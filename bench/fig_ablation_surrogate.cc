@@ -1,0 +1,114 @@
+// Figure D (supplementary): ablation over the paper's central design
+// choice — which certain point stands in for each uncertain point —
+// crossed with the assignment rule. Also ablates the P̃ candidate
+// policy (all sites vs own locations) in finite metrics, the knob that
+// trades the Lemma 3.5/3.6 constants for speed.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+
+namespace ukc {
+namespace {
+
+double RunConfig(const exper::InstanceSpec& spec,
+                 core::SurrogateKind surrogate, cost::AssignmentRule rule,
+                 core::OneCenterCandidates candidates, double* millis) {
+  auto dataset = exper::MakeInstance(spec);
+  UKC_CHECK(dataset.ok()) << dataset.status();
+  core::UncertainKCenterOptions options;
+  options.k = spec.k;
+  options.rule = rule;
+  options.surrogate = surrogate;
+  options.one_center_candidates = candidates;
+  Stopwatch stopwatch;
+  auto solution = core::SolveUncertainKCenter(&dataset.value(), options);
+  UKC_CHECK(solution.ok()) << solution.status();
+  if (millis != nullptr) *millis = stopwatch.ElapsedMillis();
+  return solution->expected_cost;
+}
+
+int Run() {
+  bench::PrintBanner(
+      "Figure D — ablation: surrogate kind x assignment rule",
+      "P̄/P̃ surrogates (with guarantees) vs modal (without); ED vs "
+      "EP/OC rules");
+
+  std::cout << "Euclidean (clustered, n=60, z=4, k=4), expected cost by "
+               "configuration:\n";
+  TablePrinter euclidean({"surrogate", "ED rule", "EP rule", "OC rule"});
+  exper::InstanceSpec spec;
+  spec.family = exper::Family::kClustered;
+  spec.n = 60;
+  spec.z = 4;
+  spec.k = 4;
+  spec.spread = 1.2;
+  spec.seed = 29;
+  for (auto surrogate :
+       {core::SurrogateKind::kExpectedPoint, core::SurrogateKind::kOneCenter,
+        core::SurrogateKind::kModal}) {
+    std::vector<std::string> row{core::SurrogateKindToString(surrogate)};
+    for (auto rule : {cost::AssignmentRule::kExpectedDistance,
+                      cost::AssignmentRule::kExpectedPoint,
+                      cost::AssignmentRule::kOneCenter}) {
+      row.push_back(TablePrinter::FormatCell(
+          RunConfig(spec, surrogate, rule,
+                    core::OneCenterCandidates::kAllSites, nullptr)));
+    }
+    euclidean.AddRow(std::move(row));
+  }
+  euclidean.Print(std::cout);
+
+  std::cout << "\nFinite metric (grid graph, n=40, z=3, k=3): P̃ candidate "
+               "policy ablation (quality vs construction cost):\n";
+  TablePrinter policy({"policy", "EcostOC", "pipeline ms"});
+  exper::InstanceSpec metric_spec;
+  metric_spec.family = exper::Family::kGridGraph;
+  metric_spec.n = 40;
+  metric_spec.z = 3;
+  metric_spec.k = 3;
+  metric_spec.spread = 2.0;
+  metric_spec.seed = 31;
+  for (auto [policy_kind, label] :
+       {std::pair{core::OneCenterCandidates::kAllSites, "all sites (m=1)"},
+        std::pair{core::OneCenterCandidates::kOwnLocations,
+                  "own locations (m=2)"}}) {
+    double millis = 0.0;
+    const double cost_value =
+        RunConfig(metric_spec, core::SurrogateKind::kOneCenter,
+                  cost::AssignmentRule::kOneCenter, policy_kind, &millis);
+    policy.AddRowValues(label, cost_value, millis);
+  }
+  policy.Print(std::cout);
+
+  std::cout << "\nCertain-solver ablation (clustered, n=60, z=4, k=4), ED "
+               "rule, expected cost and certified factor:\n";
+  TablePrinter solvers({"certain solver", "EcostED", "certified factor"});
+  for (auto [kind, label] :
+       {std::pair{solver::CertainSolverKind::kGonzalez, "gonzalez"},
+        std::pair{solver::CertainSolverKind::kHochbaumShmoys,
+                  "hochbaum-shmoys"},
+        std::pair{solver::CertainSolverKind::kGonzalezRefined,
+                  "gonzalez+refine"}}) {
+    auto dataset = exper::MakeInstance(spec);
+    UKC_CHECK(dataset.ok());
+    core::UncertainKCenterOptions options;
+    options.k = spec.k;
+    options.rule = cost::AssignmentRule::kExpectedDistance;
+    options.certain.kind = kind;
+    auto solution = core::SolveUncertainKCenter(&dataset.value(), options);
+    UKC_CHECK(solution.ok()) << solution.status();
+    solvers.AddRowValues(label, solution->expected_cost,
+                         solution->bounds.empty()
+                             ? 0.0
+                             : solution->bounds.front().factor);
+  }
+  solvers.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ukc
+
+int main() { return ukc::Run(); }

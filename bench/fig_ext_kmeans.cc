@@ -1,0 +1,64 @@
+// Figure F (extension): uncertain k-means via the lossless
+// expected-point reduction. Demonstrates the bias–variance identity
+// numerically (cost = surrogate objective + variance floor, to machine
+// precision) and shows how the variance floor — the irreducible part
+// of the cost no center placement can remove — grows with the
+// uncertainty spread.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/kmeans.h"
+
+namespace ukc {
+namespace {
+
+int Run() {
+  bench::PrintBanner(
+      "Figure F — extension: uncertain k-means (lossless P̄ reduction)",
+      "Ecost = kmeans(P̄) + Σ Var_i exactly; the variance floor is an "
+      "absolute lower bound");
+
+  TablePrinter table({"family", "spread", "expected cost", "surrogate obj",
+                      "variance floor", "identity gap", "floor share"});
+  for (auto family : {exper::Family::kUniform, exper::Family::kClustered}) {
+    for (double spread : {0.2, 1.0, 3.0}) {
+      exper::InstanceSpec spec;
+      spec.family = family;
+      spec.n = 80;
+      spec.z = 4;
+      spec.k = 4;
+      spec.spread = spread;
+      spec.seed = 47;
+      auto dataset = exper::MakeInstance(spec);
+      UKC_CHECK(dataset.ok());
+      core::UncertainKMeansOptions options;
+      options.k = spec.k;
+      options.lloyd.restarts = 4;
+      auto solution = core::SolveUncertainKMeans(&dataset.value(), options);
+      UKC_CHECK(solution.ok()) << solution.status();
+      const double gap =
+          std::abs(solution->expected_cost -
+                   (solution->surrogate_objective + solution->variance_floor));
+      table.AddRowValues(exper::FamilyToString(family), spread,
+                         solution->expected_cost, solution->surrogate_objective,
+                         solution->variance_floor, gap,
+                         solution->variance_floor / solution->expected_cost);
+    }
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nReading: 'identity gap' is the numerical error of\n"
+         "  E[sum d^2] = kmeans(expected points) + variance floor\n"
+         "and should be ~1e-10 or smaller. 'floor share' shows the cost\n"
+         "fraction that NO algorithm can remove; as spread grows the\n"
+         "problem is increasingly about the irreducible uncertainty, not\n"
+         "center placement — the same effect Figure C observes for the\n"
+         "k-center max objective.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace ukc
+
+int main() { return ukc::Run(); }

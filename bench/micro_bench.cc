@@ -1,0 +1,187 @@
+// Google-benchmark micro-benchmarks for the library's hot paths:
+// surrogate construction, deterministic clustering, assignment, exact
+// cost evaluation, sampling, and enclosing balls.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/surrogates.h"
+#include "cost/assignment.h"
+#include "cost/expected_cost.h"
+#include "exper/instances.h"
+#include "solver/enclosing_ball.h"
+#include "solver/geometric_median.h"
+#include "solver/gonzalez.h"
+#include "uncertain/sampler.h"
+
+namespace ukc {
+namespace {
+
+uncertain::UncertainDataset MakeDataset(size_t n, size_t z = 4,
+                                        size_t dim = 2) {
+  exper::InstanceSpec spec;
+  spec.family = exper::Family::kClustered;
+  spec.n = n;
+  spec.z = z;
+  spec.dim = dim;
+  spec.k = 8;
+  spec.seed = 42;
+  return std::move(exper::MakeInstance(spec)).value();
+}
+
+void BM_ExpectedPointSurrogates(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto dataset = MakeDataset(n);
+    core::SurrogateOptions options;
+    options.kind = core::SurrogateKind::kExpectedPoint;
+    state.ResumeTiming();
+    auto surrogates = core::BuildSurrogates(&dataset, options);
+    benchmark::DoNotOptimize(surrogates);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ExpectedPointSurrogates)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_GeometricMedianSurrogates(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto dataset = MakeDataset(n);
+    core::SurrogateOptions options;
+    options.kind = core::SurrogateKind::kOneCenter;
+    state.ResumeTiming();
+    auto surrogates = core::BuildSurrogates(&dataset, options);
+    benchmark::DoNotOptimize(surrogates);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GeometricMedianSurrogates)->Arg(1000)->Arg(4000);
+
+void BM_Gonzalez(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  auto dataset = MakeDataset(n, 1);
+  const auto sites = dataset.LocationSites();
+  for (auto _ : state) {
+    auto solution = solver::Gonzalez(dataset.space(), sites, k);
+    benchmark::DoNotOptimize(solution);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n * k));
+}
+BENCHMARK(BM_Gonzalez)
+    ->Args({1000, 8})
+    ->Args({4000, 8})
+    ->Args({16000, 8})
+    ->Args({4000, 32});
+
+void BM_AssignExpectedDistance(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto dataset = MakeDataset(n);
+  const auto sites = dataset.LocationSites();
+  auto centers = solver::Gonzalez(dataset.space(), sites, 8);
+  for (auto _ : state) {
+    auto assignment = cost::AssignExpectedDistance(dataset, centers->centers);
+    benchmark::DoNotOptimize(assignment);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AssignExpectedDistance)->Arg(1000)->Arg(4000);
+
+void BM_ExactExpectedCost(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto dataset = MakeDataset(n);
+  const auto sites = dataset.LocationSites();
+  auto centers = solver::Gonzalez(dataset.space(), sites, 8);
+  auto assignment = cost::AssignExpectedDistance(dataset, centers->centers);
+  for (auto _ : state) {
+    auto value = cost::ExactAssignedCost(dataset, *assignment);
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dataset.total_locations()));
+}
+BENCHMARK(BM_ExactExpectedCost)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_MonteCarloCost1k(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto dataset = MakeDataset(n);
+  const auto sites = dataset.LocationSites();
+  auto centers = solver::Gonzalez(dataset.space(), sites, 8);
+  auto assignment = cost::AssignExpectedDistance(dataset, centers->centers);
+  Rng rng(1);
+  for (auto _ : state) {
+    auto value = cost::MonteCarloAssignedCost(dataset, *assignment, 1000, rng);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_MonteCarloCost1k)->Arg(1000);
+
+void BM_RealizationSampling(benchmark::State& state) {
+  auto dataset = MakeDataset(static_cast<size_t>(state.range(0)));
+  uncertain::RealizationSampler sampler(dataset);
+  Rng rng(2);
+  uncertain::Realization realization;
+  for (auto _ : state) {
+    sampler.SampleInto(rng, &realization);
+    benchmark::DoNotOptimize(realization);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RealizationSampling)->Arg(1000)->Arg(16000);
+
+void BM_WelzlMinBall(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = static_cast<size_t>(state.range(1));
+  Rng rng(3);
+  std::vector<geometry::Point> points;
+  for (size_t i = 0; i < n; ++i) {
+    geometry::Point p(dim);
+    for (size_t a = 0; a < dim; ++a) p[a] = rng.Gaussian();
+    points.push_back(std::move(p));
+  }
+  for (auto _ : state) {
+    Rng welzl_rng(4);
+    auto ball = solver::WelzlMinBall(points, welzl_rng);
+    benchmark::DoNotOptimize(ball);
+  }
+}
+BENCHMARK(BM_WelzlMinBall)->Args({1000, 2})->Args({1000, 3})->Args({10000, 2});
+
+void BM_BadoiuClarkson(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<geometry::Point> points;
+  for (size_t i = 0; i < n; ++i) {
+    geometry::Point p(16);
+    for (size_t a = 0; a < 16; ++a) p[a] = rng.Gaussian();
+    points.push_back(std::move(p));
+  }
+  for (auto _ : state) {
+    auto ball = solver::BadoiuClarkson(points, 0.1);
+    benchmark::DoNotOptimize(ball);
+  }
+}
+BENCHMARK(BM_BadoiuClarkson)->Arg(1000)->Arg(10000);
+
+void BM_WeightedGeometricMedian(benchmark::State& state) {
+  const size_t z = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<geometry::Point> points;
+  std::vector<double> weights;
+  for (size_t i = 0; i < z; ++i) {
+    points.push_back(geometry::Point{rng.Gaussian(), rng.Gaussian()});
+    weights.push_back(rng.UniformDouble(0.1, 1.0));
+  }
+  for (auto _ : state) {
+    auto median = solver::WeightedGeometricMedian(points, weights);
+    benchmark::DoNotOptimize(median);
+  }
+}
+BENCHMARK(BM_WeightedGeometricMedian)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace ukc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Table 1, row 9: unrestricted assigned k-center in an arbitrary metric
+// space. The paper's table states 5+eps; the underlying Theorem 2.7
+// proves Ecost_OC <= (3+2f) OPT = (5+2eps) OPT with an f = (1+eps)
+// certain solver (we flag this one-character discrepancy of the paper in
+// EXPERIMENTS.md and check the theorem's 3+2f).
+//
+// Substrate: shortest-path metrics of random-weight grid graphs. In a
+// finite metric the enumeration reference is the TRUE optimum (centers
+// must be sites), so these ratio checks are exact.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace ukc {
+namespace {
+
+int Run() {
+  bench::PrintBanner(
+      "Table 1, row 9 — unrestricted assigned k-center, general metric",
+      "factor 3+2f: 5 with exact plug (f=1), 7 with Gonzalez (f=2) "
+      "(Theorem 2.7); ED variant 5+2f (Theorem 2.6)");
+
+  TablePrinter table({"rule", "certain solver", "claimed", "ratio mean",
+                      "ratio max", "ok", "ms/instance"});
+  bool all_ok = true;
+  struct Config {
+    cost::AssignmentRule rule;
+    solver::CertainSolverKind kind;
+    double claimed;
+    const char* label;
+  };
+  for (const Config& config :
+       {Config{cost::AssignmentRule::kOneCenter,
+               solver::CertainSolverKind::kExact, 5.0, "exact (f=1)"},
+        Config{cost::AssignmentRule::kOneCenter,
+               solver::CertainSolverKind::kGonzalez, 7.0, "gonzalez (f=2)"},
+        Config{cost::AssignmentRule::kExpectedDistance,
+               solver::CertainSolverKind::kExact, 7.0, "exact (f=1)"},
+        Config{cost::AssignmentRule::kExpectedDistance,
+               solver::CertainSolverKind::kGonzalez, 9.0, "gonzalez (f=2)"}}) {
+    RunningStats ratios;
+    RunningStats times;
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      exper::InstanceSpec spec;
+      spec.family = exper::Family::kGridGraph;
+      spec.n = 5;
+      spec.z = 2;
+      spec.k = 2;
+      spec.spread = 1.0;
+      spec.seed = seed;
+      core::UncertainKCenterOptions options;
+      options.k = spec.k;
+      options.rule = config.rule;
+      options.surrogate = core::SurrogateKind::kOneCenter;
+      options.certain.kind = config.kind;
+      auto sample = bench::MeasureAgainstTinyUnrestricted(spec, options);
+      UKC_CHECK(sample.ok()) << sample.status();
+      ratios.Add(sample->ratio);
+      times.Add(sample->seconds * 1e3);
+    }
+    const bool ok = ratios.Max() <= config.claimed + 1e-9;
+    all_ok = all_ok && ok;
+    table.AddRowValues(cost::AssignmentRuleToString(config.rule), config.label,
+                       config.claimed, ratios.Mean(), ratios.Max(),
+                       ok ? "yes" : "NO", times.Mean());
+  }
+  table.Print(std::cout);
+
+  // Larger graphs against the certified lower bound.
+  std::cout << "\nRatio vs certified lower bound on larger graphs "
+               "(overstates the true ratio):\n";
+  TablePrinter large({"n", "|V|", "k", "EcostOC", "lower bound", "cost/LB"});
+  for (size_t n : {40u, 80u}) {
+    exper::InstanceSpec spec;
+    spec.family = exper::Family::kGridGraph;
+    spec.n = n;
+    spec.z = 3;
+    spec.k = 4;
+    spec.spread = 2.0;
+    spec.seed = 5;
+    auto dataset = exper::MakeInstance(spec);
+    UKC_CHECK(dataset.ok());
+    const int num_vertices = dataset->space().num_sites();
+    core::UncertainKCenterOptions options;
+    options.k = spec.k;
+    options.rule = cost::AssignmentRule::kOneCenter;
+    auto sample = bench::MeasureAgainstLowerBound(spec, options);
+    UKC_CHECK(sample.ok()) << sample.status();
+    large.AddRowValues(static_cast<int>(n), num_vertices,
+                       static_cast<int>(spec.k), sample->algorithm_cost,
+                       sample->reference, sample->ratio);
+  }
+  large.Print(std::cout);
+  std::cout << (all_ok ? "\nAll measured ratios within the claimed factors.\n"
+                       : "\nBOUND VIOLATION DETECTED\n");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ukc
+
+int main() { return ukc::Run(); }

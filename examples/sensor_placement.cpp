@@ -1,0 +1,104 @@
+// Scenario: base-station placement for a field of noisy sensors.
+//
+//   build/examples/sensor_placement [--n=120] [--k=5] [--noise=0.8]
+//
+// Each sensor reports its position through a noisy channel, so its true
+// location is one of several GPS fixes with confidence weights — an
+// uncertain point. We place k base stations so that, in expectation over
+// the true positions, the farthest sensor from its station is as close
+// as possible. The example compares the paper's pipeline (both
+// assignment rules) against the modal-location baseline a naive
+// deployment would use, and prints the certified guarantees.
+
+#include <iostream>
+
+#include "baselines/baselines.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/uncertain_kcenter.h"
+#include "uncertain/generators.h"
+
+using ukc::FlagParser;
+using ukc::TablePrinter;
+
+int main(int argc, char** argv) {
+  int64_t n = 120;
+  int64_t k = 5;
+  double noise = 0.8;
+  int64_t seed = 2024;
+  FlagParser flags;
+  flags.AddInt("n", &n, "number of sensors");
+  flags.AddInt("k", &k, "number of base stations");
+  flags.AddDouble("noise", &noise, "GPS noise scale (support spread)");
+  flags.AddInt("seed", &seed, "random seed");
+  if (auto status = flags.Parse(argc, argv); !status.ok()) {
+    std::cerr << status << "\n" << flags.Usage("sensor_placement");
+    return 1;
+  }
+
+  // Sensors cluster around k hot spots; each reports 5 candidate fixes.
+  ukc::uncertain::EuclideanInstanceOptions gen;
+  gen.n = static_cast<size_t>(n);
+  gen.z = 5;
+  gen.dim = 2;
+  gen.spread = noise;
+  gen.shape = ukc::uncertain::ProbabilityShape::kSpiky;  // One confident fix.
+  gen.seed = static_cast<uint64_t>(seed);
+  auto make = [&] {
+    auto dataset = ukc::uncertain::GenerateClusteredInstance(
+        gen, static_cast<size_t>(k), /*cluster_stddev=*/0.6);
+    if (!dataset.ok()) {
+      std::cerr << dataset.status() << "\n";
+      std::exit(1);
+    }
+    return std::move(dataset).value();
+  };
+
+  std::cout << "Placing " << k << " base stations for " << n
+            << " noisy sensors (noise " << noise << ")\n\n";
+
+  TablePrinter table(
+      {"method", "expected worst distance", "guarantee", "theorem"});
+  auto run_pipeline = [&](ukc::cost::AssignmentRule rule, const char* label) {
+    auto dataset = make();
+    ukc::core::UncertainKCenterOptions options;
+    options.k = static_cast<size_t>(k);
+    options.rule = rule;
+    auto solution = ukc::core::SolveUncertainKCenter(&dataset, options);
+    if (!solution.ok()) {
+      std::cerr << solution.status() << "\n";
+      std::exit(1);
+    }
+    table.AddRow(
+        {label, TablePrinter::FormatCell(solution->expected_cost),
+         solution->bounds.empty()
+             ? "-"
+             : TablePrinter::FormatCell(solution->bounds.front().factor) + "x",
+         solution->bounds.empty() ? "-" : solution->bounds.front().theorem});
+  };
+  run_pipeline(ukc::cost::AssignmentRule::kExpectedDistance,
+               "paper pipeline, ED rule");
+  run_pipeline(ukc::cost::AssignmentRule::kExpectedPoint,
+               "paper pipeline, EP rule");
+
+  {
+    auto dataset = make();
+    ukc::baselines::BaselineOptions options;
+    options.k = static_cast<size_t>(k);
+    auto modal = ukc::baselines::RunBaseline(
+        &dataset, ukc::baselines::BaselineKind::kModalLocation, options);
+    if (!modal.ok()) {
+      std::cerr << modal.status() << "\n";
+      return 1;
+    }
+    table.AddRow({"modal-fix baseline",
+                  TablePrinter::FormatCell(modal->expected_cost), "-", "-"});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nThe EP rule's 3+eps guarantee (vs 5+eps for ED) usually "
+               "shows up as a lower expected cost; the modal baseline "
+               "carries no guarantee and ignores low-confidence fixes "
+               "entirely.\n";
+  return 0;
+}

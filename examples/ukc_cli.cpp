@@ -1,0 +1,175 @@
+// Command-line front end: run any pipeline configuration on a dataset
+// file (or a generated instance) and print a report.
+//
+//   build/examples/ukc_cli --input=data.ukc --k=4 --rule=ED
+//   build/examples/ukc_cli --generate=clustered --n=200 --k=5 --rule=EP
+//
+// Flags:
+//   --input      path to a dataset in the ukc text format (see
+//                uncertain/io.h); mutually exclusive with --generate
+//   --generate   instance family: uniform|clustered|outlier|line
+//   --n, --z, --dim, --spread, --seed   generator parameters
+//   --k          number of centers
+//   --rule       ED | EP | OC
+//   --surrogate  auto | expected-point | one-center | modal
+//   --solver     gonzalez | hochbaum-shmoys | gonzalez-refined | exact
+//   --unassigned also evaluate the unassigned objective
+//   --mc         Monte-Carlo cross-check samples (0 = off)
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/uncertain_kcenter.h"
+#include "cost/expected_cost.h"
+#include "exper/instances.h"
+#include "uncertain/io.h"
+
+namespace {
+
+int Fail(const ukc::Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string generate = "clustered";
+  int64_t n = 100;
+  int64_t z = 4;
+  int64_t dim = 2;
+  double spread = 1.0;
+  int64_t seed = 1;
+  int64_t k = 3;
+  std::string rule = "ED";
+  std::string surrogate = "auto";
+  std::string solver_name = "gonzalez";
+  bool unassigned = false;
+  int64_t mc = 0;
+
+  ukc::FlagParser flags;
+  flags.AddString("input", &input, "dataset file (ukc text format)");
+  flags.AddString("generate", &generate,
+                  "instance family when no --input is given");
+  flags.AddInt("n", &n, "generated points");
+  flags.AddInt("z", &z, "locations per point");
+  flags.AddInt("dim", &dim, "dimension");
+  flags.AddDouble("spread", &spread, "support spread");
+  flags.AddInt("seed", &seed, "generator seed");
+  flags.AddInt("k", &k, "number of centers");
+  flags.AddString("rule", &rule, "assignment rule: ED|EP|OC");
+  flags.AddString("surrogate", &surrogate,
+                  "auto|expected-point|one-center|modal");
+  flags.AddString("solver", &solver_name,
+                  "gonzalez|hochbaum-shmoys|gonzalez-refined|exact");
+  flags.AddBool("unassigned", &unassigned, "also evaluate unassigned cost");
+  flags.AddInt("mc", &mc, "Monte-Carlo cross-check samples (0 = off)");
+  if (auto status = flags.Parse(argc, argv); !status.ok()) {
+    std::cerr << status << "\n" << flags.Usage("ukc_cli");
+    return 1;
+  }
+
+  // Materialize the dataset.
+  ukc::Result<ukc::uncertain::UncertainDataset> dataset =
+      ukc::Status::Internal("unset");
+  if (!input.empty()) {
+    dataset = ukc::uncertain::LoadDatasetFromFile(input);
+  } else {
+    ukc::exper::InstanceSpec spec;
+    if (generate == "uniform") {
+      spec.family = ukc::exper::Family::kUniform;
+    } else if (generate == "clustered") {
+      spec.family = ukc::exper::Family::kClustered;
+    } else if (generate == "outlier") {
+      spec.family = ukc::exper::Family::kOutlier;
+    } else if (generate == "line") {
+      spec.family = ukc::exper::Family::kLine;
+    } else {
+      return Fail(ukc::Status::InvalidArgument("unknown family " + generate));
+    }
+    spec.n = static_cast<size_t>(n);
+    spec.z = static_cast<size_t>(z);
+    spec.dim = static_cast<size_t>(dim);
+    spec.k = static_cast<size_t>(k);
+    spec.spread = spread;
+    spec.seed = static_cast<uint64_t>(seed);
+    dataset = ukc::exper::MakeInstance(spec);
+  }
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::cout << "Instance: " << dataset->ToString() << "\n";
+
+  // Configure the pipeline.
+  ukc::core::UncertainKCenterOptions options;
+  options.k = static_cast<size_t>(k);
+  options.evaluate_unassigned = unassigned;
+  if (rule == "ED") {
+    options.rule = ukc::cost::AssignmentRule::kExpectedDistance;
+  } else if (rule == "EP") {
+    options.rule = ukc::cost::AssignmentRule::kExpectedPoint;
+  } else if (rule == "OC") {
+    options.rule = ukc::cost::AssignmentRule::kOneCenter;
+  } else {
+    return Fail(ukc::Status::InvalidArgument("unknown rule " + rule));
+  }
+  if (surrogate == "expected-point") {
+    options.surrogate = ukc::core::SurrogateKind::kExpectedPoint;
+  } else if (surrogate == "one-center") {
+    options.surrogate = ukc::core::SurrogateKind::kOneCenter;
+  } else if (surrogate == "modal") {
+    options.surrogate = ukc::core::SurrogateKind::kModal;
+  } else if (surrogate != "auto") {
+    return Fail(ukc::Status::InvalidArgument("unknown surrogate " + surrogate));
+  }
+  if (solver_name == "gonzalez") {
+    options.certain.kind = ukc::solver::CertainSolverKind::kGonzalez;
+  } else if (solver_name == "hochbaum-shmoys") {
+    options.certain.kind = ukc::solver::CertainSolverKind::kHochbaumShmoys;
+  } else if (solver_name == "gonzalez-refined") {
+    options.certain.kind = ukc::solver::CertainSolverKind::kGonzalezRefined;
+  } else if (solver_name == "exact") {
+    options.certain.kind = ukc::solver::CertainSolverKind::kExact;
+  } else {
+    return Fail(ukc::Status::InvalidArgument("unknown solver " + solver_name));
+  }
+
+  auto solution = ukc::core::SolveUncertainKCenter(&dataset.value(), options);
+  if (!solution.ok()) return Fail(solution.status());
+
+  ukc::TablePrinter report({"metric", "value"});
+  report.AddRowValues("expected cost (assigned, exact)",
+                      solution->expected_cost);
+  if (unassigned) {
+    report.AddRowValues("expected cost (unassigned, exact)",
+                        solution->unassigned_cost);
+  }
+  report.AddRowValues("certain radius on surrogates", solution->certain_radius);
+  report.AddRow({"certain solver", solution->certain_algorithm});
+  report.AddRowValues("certain factor f", solution->certain_factor);
+  report.AddRowValues("surrogate ms",
+                      solution->timings.surrogate_seconds * 1e3);
+  report.AddRowValues("clustering ms",
+                      solution->timings.clustering_seconds * 1e3);
+  report.AddRowValues("assignment ms",
+                      solution->timings.assignment_seconds * 1e3);
+  report.AddRowValues("evaluation ms",
+                      solution->timings.evaluation_seconds * 1e3);
+  report.Print(std::cout);
+
+  for (const auto& bound : solution->bounds) {
+    std::cout << "guarantee: cost <= " << bound.factor << " x "
+              << ukc::core::BoundReferenceToString(bound.reference) << "  ["
+              << bound.theorem << "]\n";
+  }
+
+  if (mc > 0) {
+    ukc::Rng rng(static_cast<uint64_t>(seed) + 1);
+    auto estimate = ukc::cost::MonteCarloAssignedCost(
+        *dataset, solution->assignment, mc, rng);
+    if (!estimate.ok()) return Fail(estimate.status());
+    std::cout << "Monte-Carlo cross-check: " << estimate->mean << " +/- "
+              << estimate->std_error << " (" << mc << " samples)\n";
+  }
+  return 0;
+}

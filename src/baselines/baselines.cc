@@ -1,0 +1,163 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+#include "core/surrogates.h"
+#include "cost/expected_cost.h"
+#include "solver/geometric_median.h"
+#include "solver/gonzalez.h"
+
+namespace ukc {
+namespace baselines {
+
+using metric::SiteId;
+
+std::string BaselineKindToString(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kPooledLocations:
+      return "pooled-locations";
+    case BaselineKind::kModalLocation:
+      return "modal-location";
+    case BaselineKind::kRandomCenters:
+      return "random-centers";
+    case BaselineKind::kTruncatedMedian:
+      return "truncated-median";
+  }
+  return "?";
+}
+
+namespace {
+
+// Finalizes a baseline: ED assignment + exact evaluation.
+Result<BaselineResult> FinishWithED(const uncertain::UncertainDataset& dataset,
+                                    std::string name,
+                                    std::vector<SiteId> centers) {
+  BaselineResult result;
+  result.name = std::move(name);
+  result.centers = std::move(centers);
+  UKC_ASSIGN_OR_RETURN(result.assignment,
+                       cost::AssignExpectedDistance(dataset, result.centers));
+  UKC_ASSIGN_OR_RETURN(result.expected_cost,
+                       cost::ExactAssignedCost(dataset, result.assignment));
+  return result;
+}
+
+// The truncated surrogate of one point: drop the lowest-probability
+// locations until just before the removed mass would exceed delta,
+// renormalize, and take the 1-median of what is left.
+Result<SiteId> TruncatedMedianSurrogate(uncertain::UncertainDataset* dataset,
+                                        size_t i, double delta) {
+  const uncertain::UncertainPoint& p = dataset->point(i);
+  std::vector<uncertain::Location> kept(p.locations());
+  std::sort(kept.begin(), kept.end(),
+            [](const uncertain::Location& a, const uncertain::Location& b) {
+              return a.probability > b.probability;
+            });
+  double removed = 0.0;
+  while (kept.size() > 1 && removed + kept.back().probability <= delta) {
+    removed += kept.back().probability;
+    kept.pop_back();
+  }
+
+  if (dataset->is_euclidean()) {
+    metric::EuclideanSpace* space = dataset->euclidean();
+    std::vector<geometry::Point> points;
+    std::vector<double> weights;
+    for (const uncertain::Location& loc : kept) {
+      points.push_back(space->point(loc.site));
+      weights.push_back(loc.probability);
+    }
+    UKC_ASSIGN_OR_RETURN(solver::GeometricMedianResult median,
+                         solver::WeightedGeometricMedian(points, weights));
+    return space->AddPoint(std::move(median.median));
+  }
+  // Finite metric: best own kept location by truncated expected distance.
+  const metric::MetricSpace& space = dataset->space();
+  SiteId best = kept[0].site;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (const uncertain::Location& candidate : kept) {
+    double value = 0.0;
+    for (const uncertain::Location& loc : kept) {
+      value += loc.probability * space.Distance(loc.site, candidate.site);
+    }
+    if (value < best_value) {
+      best_value = value;
+      best = candidate.site;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<BaselineResult> RunBaseline(uncertain::UncertainDataset* dataset,
+                                   BaselineKind kind,
+                                   const BaselineOptions& options) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("RunBaseline: null dataset");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("RunBaseline: k must be >= 1");
+  }
+  metric::MetricSpace& space = *dataset->shared_space();
+
+  switch (kind) {
+    case BaselineKind::kPooledLocations: {
+      const std::vector<SiteId> pool = dataset->LocationSites();
+      UKC_ASSIGN_OR_RETURN(solver::KCenterSolution certain,
+                           solver::Gonzalez(space, pool, options.k));
+      return FinishWithED(*dataset, BaselineKindToString(kind),
+                          std::move(certain.centers));
+    }
+    case BaselineKind::kModalLocation: {
+      core::SurrogateOptions surrogate_options;
+      surrogate_options.kind = core::SurrogateKind::kModal;
+      UKC_ASSIGN_OR_RETURN(std::vector<SiteId> modal,
+                           core::BuildSurrogates(dataset, surrogate_options));
+      UKC_ASSIGN_OR_RETURN(solver::KCenterSolution certain,
+                           solver::Gonzalez(space, modal, options.k));
+      BaselineResult result;
+      result.name = BaselineKindToString(kind);
+      result.centers = std::move(certain.centers);
+      UKC_ASSIGN_OR_RETURN(
+          result.assignment,
+          cost::AssignBySurrogate(*dataset, modal, result.centers));
+      UKC_ASSIGN_OR_RETURN(result.expected_cost,
+                           cost::ExactAssignedCost(*dataset, result.assignment));
+      return result;
+    }
+    case BaselineKind::kRandomCenters: {
+      const std::vector<SiteId> pool = dataset->LocationSites();
+      Rng rng(options.seed);
+      std::vector<SiteId> shuffled = pool;
+      rng.Shuffle(&shuffled);
+      shuffled.resize(std::min<size_t>(options.k, shuffled.size()));
+      return FinishWithED(*dataset, BaselineKindToString(kind),
+                          std::move(shuffled));
+    }
+    case BaselineKind::kTruncatedMedian: {
+      if (!(options.truncation_delta >= 0.0) || options.truncation_delta >= 1.0) {
+        return Status::InvalidArgument(
+            "RunBaseline: truncation_delta must be in [0, 1)");
+      }
+      std::vector<SiteId> surrogates;
+      surrogates.reserve(dataset->n());
+      for (size_t i = 0; i < dataset->n(); ++i) {
+        UKC_ASSIGN_OR_RETURN(
+            SiteId site,
+            TruncatedMedianSurrogate(dataset, i, options.truncation_delta));
+        surrogates.push_back(site);
+      }
+      UKC_ASSIGN_OR_RETURN(solver::KCenterSolution certain,
+                           solver::Gonzalez(space, surrogates, options.k));
+      return FinishWithED(*dataset, BaselineKindToString(kind),
+                          std::move(certain.centers));
+    }
+  }
+  return Status::Internal("RunBaseline: unknown baseline kind");
+}
+
+}  // namespace baselines
+}  // namespace ukc

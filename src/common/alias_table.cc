@@ -1,0 +1,76 @@
+#include "common/alias_table.h"
+
+#include <limits>
+#include <string>
+
+namespace ukc {
+
+Result<AliasTable> AliasTable::Build(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("AliasTable: empty weight vector");
+  }
+  if (weights.size() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("AliasTable: too many outcomes");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (!(weights[i] >= 0.0)) {  // Also rejects NaN.
+      return Status::InvalidArgument("AliasTable: negative or NaN weight at index " +
+                                     std::to_string(i));
+    }
+    total += weights[i];
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("AliasTable: total weight must be positive");
+  }
+
+  const size_t n = weights.size();
+  AliasTable table;
+  table.normalized_.resize(n);
+  table.probability_.assign(n, 0.0);
+  table.alias_.assign(n, 0);
+
+  // Scaled probabilities: mean 1.0 across slots.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    table.normalized_[i] = weights[i] / total;
+    scaled[i] = table.normalized_[i] * static_cast<double>(n);
+  }
+
+  // Partition into under-full and over-full slots and pair them up.
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    table.probability_[s] = scaled[s];
+    table.alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Remaining slots are exactly full up to rounding.
+  for (uint32_t s : small) table.probability_[s] = 1.0;
+  for (uint32_t l : large) table.probability_[l] = 1.0;
+  return table;
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  const size_t slot =
+      static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(size()) - 1));
+  return rng.UniformDouble() < probability_[slot] ? slot : alias_[slot];
+}
+
+double AliasTable::Probability(size_t i) const {
+  UKC_CHECK_LT(i, normalized_.size());
+  return normalized_[i];
+}
+
+}  // namespace ukc

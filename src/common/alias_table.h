@@ -1,0 +1,43 @@
+// Walker alias method: O(1) sampling from a fixed discrete distribution
+// after O(n) preprocessing. Used by the realization sampler, where each
+// uncertain point's location distribution is sampled many times.
+
+#ifndef UKC_COMMON_ALIAS_TABLE_H_
+#define UKC_COMMON_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace ukc {
+
+/// Precomputed alias table over indices {0, ..., n-1}.
+class AliasTable {
+ public:
+  /// Builds a table from (not necessarily normalized) non-negative
+  /// weights. Fails on empty input, negative weights, or all-zero total.
+  static Result<AliasTable> Build(const std::vector<double>& weights);
+
+  /// Draws one index in O(1).
+  size_t Sample(Rng& rng) const;
+
+  /// Number of outcomes.
+  size_t size() const { return probability_.size(); }
+
+  /// The normalized probability of outcome i (reconstructed from the
+  /// table; exact up to floating-point rounding).
+  double Probability(size_t i) const;
+
+ private:
+  AliasTable() = default;
+
+  std::vector<double> probability_;  // Acceptance threshold per slot.
+  std::vector<uint32_t> alias_;      // Fallback outcome per slot.
+  std::vector<double> normalized_;   // Original weights / total.
+};
+
+}  // namespace ukc
+
+#endif  // UKC_COMMON_ALIAS_TABLE_H_

@@ -1,0 +1,97 @@
+// UKC_CHECK: fatal assertions for programmer errors (invariants,
+// precondition violations that cannot be produced by bad user input).
+// User-input validation belongs in Status-returning APIs instead.
+//
+// All macros support streaming extra context:
+//   UKC_CHECK(k > 0) << "k-center needs at least one center, got " << k;
+
+#ifndef UKC_COMMON_CHECK_H_
+#define UKC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+namespace ukc {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only via the UKC_CHECK macros.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed CheckFailure expression into void so the ternary
+/// in UKC_CHECK type-checks. operator& binds looser than operator<<, so
+/// all streaming happens before voidification.
+struct Voidify {
+  void operator&(CheckFailure&) {}
+  void operator&(CheckFailure&&) {}
+};
+
+/// Builds the "(lhs vs rhs)" detail string for a failed comparison, or
+/// returns nullptr on success. Evaluates the operands exactly once.
+template <typename A, typename B, typename Op>
+std::unique_ptr<std::string> CheckOpDetail(const A& a, const B& b, Op op) {
+  if (op(a, b)) return nullptr;
+  std::ostringstream detail;
+  detail << " (" << a << " vs " << b << ")";
+  return std::make_unique<std::string>(detail.str());
+}
+
+}  // namespace internal
+}  // namespace ukc
+
+#define UKC_CHECK(condition)                            \
+  (condition) ? (void)0                                 \
+              : ::ukc::internal::Voidify() &            \
+                    ::ukc::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+// Comparison helpers. The operands are evaluated exactly once; their
+// values are included in the failure message. The while-loop body runs
+// at most once (CheckFailure's destructor aborts) and supports extra
+// streamed context just like UKC_CHECK.
+#define UKC_CHECK_OP_IMPL(op, a, b, name)                                 \
+  while (auto ukc_detail_ = ::ukc::internal::CheckOpDetail(               \
+             (a), (b), [](const auto& x, const auto& y) { return x op y; })) \
+  ::ukc::internal::CheckFailure(__FILE__, __LINE__, name) << *ukc_detail_
+
+#define UKC_CHECK_EQ(a, b) UKC_CHECK_OP_IMPL(==, a, b, #a " == " #b)
+#define UKC_CHECK_NE(a, b) UKC_CHECK_OP_IMPL(!=, a, b, #a " != " #b)
+#define UKC_CHECK_LT(a, b) UKC_CHECK_OP_IMPL(<, a, b, #a " < " #b)
+#define UKC_CHECK_LE(a, b) UKC_CHECK_OP_IMPL(<=, a, b, #a " <= " #b)
+#define UKC_CHECK_GT(a, b) UKC_CHECK_OP_IMPL(>, a, b, #a " > " #b)
+#define UKC_CHECK_GE(a, b) UKC_CHECK_OP_IMPL(>=, a, b, #a " >= " #b)
+
+#ifndef NDEBUG
+#define UKC_DCHECK(condition) UKC_CHECK(condition)
+#define UKC_DCHECK_EQ(a, b) UKC_CHECK_EQ(a, b)
+#define UKC_DCHECK_LT(a, b) UKC_CHECK_LT(a, b)
+#define UKC_DCHECK_LE(a, b) UKC_CHECK_LE(a, b)
+#else
+#define UKC_DCHECK(condition) (void)0
+#define UKC_DCHECK_EQ(a, b) (void)0
+#define UKC_DCHECK_LT(a, b) (void)0
+#define UKC_DCHECK_LE(a, b) (void)0
+#endif
+
+#endif  // UKC_COMMON_CHECK_H_

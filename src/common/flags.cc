@@ -1,0 +1,145 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace ukc {
+
+namespace {
+
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = parsed;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = parsed;
+  return true;
+}
+
+bool ParseBool(const std::string& text, bool* out) {
+  if (text == "true" || text == "1" || text.empty()) {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void FlagParser::AddInt(const std::string& name, int64_t* value,
+                        const std::string& help) {
+  UKC_CHECK(value != nullptr);
+  flags_[name] = FlagInfo{Type::kInt, value, help, std::to_string(*value)};
+}
+
+void FlagParser::AddDouble(const std::string& name, double* value,
+                           const std::string& help) {
+  UKC_CHECK(value != nullptr);
+  flags_[name] = FlagInfo{Type::kDouble, value, help, std::to_string(*value)};
+}
+
+void FlagParser::AddBool(const std::string& name, bool* value,
+                         const std::string& help) {
+  UKC_CHECK(value != nullptr);
+  flags_[name] = FlagInfo{Type::kBool, value, help, *value ? "true" : "false"};
+}
+
+void FlagParser::AddString(const std::string& name, std::string* value,
+                           const std::string& help) {
+  UKC_CHECK(value != nullptr);
+  flags_[name] = FlagInfo{Type::kString, value, help, *value};
+}
+
+Status FlagParser::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  FlagInfo& info = it->second;
+  switch (info.type) {
+    case Type::kInt:
+      if (!ParseInt64(value, static_cast<int64_t*>(info.target))) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got '" + value + "'");
+      }
+      return Status::OK();
+    case Type::kDouble:
+      if (!ParseDouble(value, static_cast<double*>(info.target))) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got '" + value + "'");
+      }
+      return Status::OK();
+    case Type::kBool:
+      if (!ParseBool(value, static_cast<bool*>(info.target))) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got '" + value + "'");
+      }
+      return Status::OK();
+    case Type::kString:
+      *static_cast<std::string*>(info.target) = value;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable flag type");
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      auto it = flags_.find(name);
+      if (it == flags_.end()) {
+        return Status::InvalidArgument("unknown flag --" + name);
+      }
+      if (it->second.type == Type::kBool) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("flag --" + name + " missing a value");
+        }
+        value = argv[++i];
+      }
+    }
+    UKC_RETURN_IF_ERROR(SetValue(name, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n";
+  for (const auto& [name, info] : flags_) {
+    out += "  --" + name + " (default " + info.default_value + "): " + info.help +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace ukc

@@ -1,0 +1,61 @@
+// Minimal command-line flag parser for the bench and example binaries.
+//
+//   FlagParser flags;
+//   int n = 200;
+//   flags.AddInt("n", &n, "number of uncertain points");
+//   UKC_CHECK(flags.Parse(argc, argv).ok());
+//
+// Accepted forms: --name=value, --name value, and --flag for booleans.
+
+#ifndef UKC_COMMON_FLAGS_H_
+#define UKC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ukc {
+
+/// Registers typed flags and parses argv into them.
+class FlagParser {
+ public:
+  /// Registration. The pointee holds the default and receives the parsed
+  /// value; it must outlive Parse().
+  void AddInt(const std::string& name, int64_t* value, const std::string& help);
+  void AddDouble(const std::string& name, double* value, const std::string& help);
+  void AddBool(const std::string& name, bool* value, const std::string& help);
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& help);
+
+  /// Parses argv (skipping argv[0]). Unknown flags and malformed values
+  /// produce InvalidArgument. Positional arguments are collected and
+  /// available via positional().
+  Status Parse(int argc, const char* const* argv);
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders a usage string listing all registered flags.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct FlagInfo {
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, FlagInfo> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ukc
+
+#endif  // UKC_COMMON_FLAGS_H_

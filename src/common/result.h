@@ -1,0 +1,66 @@
+// Result<T>: a value-or-Status holder (StatusOr analogue).
+
+#ifndef UKC_COMMON_RESULT_H_
+#define UKC_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace ukc {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value is absent. Accessing the value of an errored Result aborts, so
+/// callers must check ok() (or use UKC_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, mirrors StatusOr ergonomics).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Aborts if the status is OK, since
+  /// an OK Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    UKC_CHECK(!status_.ok()) << "Result constructed from OK status without a value";
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value accessors; abort if !ok().
+  const T& value() const& {
+    UKC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    UKC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    UKC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ has a value.
+  std::optional<T> value_;
+};
+
+}  // namespace ukc
+
+#endif  // UKC_COMMON_RESULT_H_

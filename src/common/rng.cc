@@ -1,0 +1,120 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace ukc {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 mix(seed);
+  for (auto& word : state_) word = mix.Next();
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> uniform in [0, 1) with full double resolution.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  UKC_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * UniformDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  UKC_CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<int64_t>(Next());
+  }
+  // Rejection sampling for an unbiased draw.
+  const uint64_t limit = max() - max() % span;
+  uint64_t draw;
+  do {
+    draw = Next();
+  } while (draw >= limit);
+  return lo + static_cast<int64_t>(draw % span);
+}
+
+double Rng::Gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  // Box–Muller; u is kept away from 0 so log() is finite.
+  double u = 0.0;
+  while (u == 0.0) u = UniformDouble();
+  const double v = UniformDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u));
+  const double angle = 2.0 * M_PI * v;
+  spare_gaussian_ = radius * std::sin(angle);
+  has_spare_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  UKC_CHECK_GE(stddev, 0.0);
+  return mean + stddev * Gaussian();
+}
+
+double Rng::Exponential(double rate) {
+  UKC_CHECK_GT(rate, 0.0);
+  double u = 0.0;
+  while (u == 0.0) u = UniformDouble();
+  return -std::log(u) / rate;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    UKC_CHECK_GE(w, 0.0) << "Discrete() weight must be non-negative";
+    total += w;
+  }
+  UKC_CHECK_GT(total, 0.0) << "Discrete() needs a positive total weight";
+  double target = UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Floating-point underflow at the boundary: return the last positive
+  // weight.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork(uint64_t stream) {
+  // Mix the child stream id with fresh state from the parent so distinct
+  // streams are decorrelated.
+  SplitMix64 mix(Next() ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  Rng child(mix.Next());
+  return child;
+}
+
+}  // namespace ukc

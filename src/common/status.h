@@ -1,0 +1,119 @@
+// Lightweight Status error model (no exceptions in library code).
+//
+// Follows the database-engine idiom (Arrow/RocksDB style): fallible
+// operations return `Status` or `Result<T>`; logic errors that indicate
+// programmer mistakes use UKC_CHECK from check.h instead.
+
+#ifndef UKC_COMMON_STATUS_H_
+#define UKC_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ukc {
+
+/// Canonical error codes, a deliberately small subset of the usual
+/// database-engine set.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+/// Returns a stable human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case (no
+/// allocation); error states carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. A code of
+  /// kOk ignores the message.
+  Status(StatusCode code, std::string message);
+
+  /// Named constructors, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The status code (kOk when ok()).
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+
+  /// The error message; empty when ok().
+  const std::string& message() const;
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `prefix + ": "` prepended to the
+  /// message. OK statuses are returned unchanged.
+  Status WithPrefix(std::string_view prefix) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Null for OK; shared so copies are cheap.
+  std::shared_ptr<const Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace ukc
+
+/// Propagates a non-OK Status from the current function.
+#define UKC_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::ukc::Status ukc_status_ = (expr);            \
+    if (!ukc_status_.ok()) return ukc_status_;     \
+  } while (false)
+
+#define UKC_CONCAT_IMPL(a, b) a##b
+#define UKC_CONCAT(a, b) UKC_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>), propagates its error, otherwise
+/// moves the value into `lhs`.
+#define UKC_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  UKC_ASSIGN_OR_RETURN_IMPL(UKC_CONCAT(ukc_result_, __LINE__), lhs, rexpr)
+
+#define UKC_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+#endif  // UKC_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+// Small string helpers (printf-style formatting, join/split) used across
+// the library. Kept minimal: no dependency on absl.
+
+#ifndef UKC_COMMON_STRINGS_H_
+#define UKC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ukc {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins the parts with the separator.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view text);
+
+/// True iff `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace ukc
+
+#endif  // UKC_COMMON_STRINGS_H_

@@ -1,0 +1,98 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ukc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  UKC_CHECK(!headers_.empty());
+  alignment_.assign(headers_.size(), Align::kRight);
+  alignment_[0] = Align::kLeft;
+}
+
+void TablePrinter::SetAlignment(std::vector<Align> alignment) {
+  UKC_CHECK_EQ(alignment.size(), headers_.size());
+  alignment_ = std::move(alignment);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  UKC_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::FormatCell(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  return buffer;
+}
+
+namespace {
+
+void PrintPadded(std::ostream& os, const std::string& cell, size_t width,
+                 Align align) {
+  const size_t pad = width > cell.size() ? width - cell.size() : 0;
+  if (align == Align::kRight) os << std::string(pad, ' ');
+  os << cell;
+  if (align == Align::kLeft) os << std::string(pad, ' ');
+}
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  if (!title_.empty()) os << title_ << "\n";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << "  ";
+    PrintPadded(os, headers_[c], widths[c], alignment_[c]);
+  }
+  os << "\n";
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c > 0 ? 2 : 0);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      PrintPadded(os, row[c], widths[c], alignment_[c]);
+    }
+    os << "\n";
+  }
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << ",";
+    os << CsvEscape(headers_[c]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ",";
+      os << CsvEscape(row[c]);
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace ukc

@@ -1,0 +1,73 @@
+// Fixed-width text table renderer shared by the benchmark binaries, so
+// every reproduced paper table prints in the same aligned format.
+
+#ifndef UKC_COMMON_TABLE_H_
+#define UKC_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ukc {
+
+/// Column alignment for TablePrinter.
+enum class Align {
+  kLeft,
+  kRight,
+};
+
+/// Accumulates rows of string cells and renders them with aligned
+/// columns, a header rule, and an optional title. Also exports CSV.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Sets a title printed above the table.
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  /// Sets per-column alignment; default is left for the first column and
+  /// right for the rest (the usual "label, numbers..." layout).
+  void SetAlignment(std::vector<Align> alignment);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with FormatCell.
+  template <typename... Ts>
+  void AddRowValues(const Ts&... values) {
+    AddRow({FormatCell(values)...});
+  }
+
+  /// Renders the aligned table.
+  void Print(std::ostream& os) const;
+
+  /// Renders as CSV (no alignment padding).
+  void PrintCsv(std::ostream& os) const;
+
+  /// Number of data rows so far.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a value for a cell: doubles with %.4g, strings verbatim.
+  static std::string FormatCell(const std::string& value) { return value; }
+  static std::string FormatCell(const char* value) { return value; }
+  static std::string FormatCell(double value);
+  static std::string FormatCell(int value) { return std::to_string(value); }
+  static std::string FormatCell(long value) { return std::to_string(value); }
+  static std::string FormatCell(long long value) { return std::to_string(value); }
+  static std::string FormatCell(unsigned value) { return std::to_string(value); }
+  static std::string FormatCell(unsigned long value) { return std::to_string(value); }
+  static std::string FormatCell(unsigned long long value) {
+    return std::to_string(value);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ukc
+
+#endif  // UKC_COMMON_TABLE_H_

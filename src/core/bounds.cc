@@ -1,0 +1,57 @@
+#include "core/bounds.h"
+
+namespace ukc {
+namespace core {
+
+std::string BoundReferenceToString(BoundReference reference) {
+  switch (reference) {
+    case BoundReference::kRestrictedOptimum:
+      return "restricted-optimum";
+    case BoundReference::kUnrestrictedOptimum:
+      return "unrestricted-optimum";
+  }
+  return "?";
+}
+
+std::vector<BoundClaim> BoundsFor(bool euclidean, SurrogateKind surrogate,
+                                  cost::AssignmentRule rule,
+                                  double certain_factor, double median_factor) {
+  const double f = certain_factor;
+  const double m = median_factor;
+  std::vector<BoundClaim> claims;
+  if (f <= 0.0) return claims;
+
+  if (surrogate == SurrogateKind::kExpectedPoint && euclidean) {
+    if (rule == cost::AssignmentRule::kExpectedDistance) {
+      claims.push_back(BoundClaim{4.0 + f, BoundReference::kRestrictedOptimum,
+                                  "Theorem 2.2 (ED)"});
+      claims.push_back(BoundClaim{4.0 + f, BoundReference::kUnrestrictedOptimum,
+                                  "Theorem 2.4"});
+    } else if (rule == cost::AssignmentRule::kExpectedPoint) {
+      claims.push_back(BoundClaim{2.0 + f, BoundReference::kRestrictedOptimum,
+                                  "Theorem 2.2 (EP)"});
+      claims.push_back(BoundClaim{2.0 + f, BoundReference::kUnrestrictedOptimum,
+                                  "Theorem 2.5"});
+    }
+    return claims;
+  }
+
+  if (surrogate == SurrogateKind::kOneCenter) {
+    // The metric theorems hold in every metric space, Euclidean included.
+    if (rule == cost::AssignmentRule::kExpectedDistance) {
+      claims.push_back(BoundClaim{2.0 + 3.0 * m + f * (1.0 + m),
+                                  BoundReference::kUnrestrictedOptimum,
+                                  "Theorem 2.6"});
+    } else if (rule == cost::AssignmentRule::kOneCenter) {
+      claims.push_back(BoundClaim{2.0 + m + f * (1.0 + m),
+                                  BoundReference::kUnrestrictedOptimum,
+                                  "Theorem 2.7"});
+    }
+    return claims;
+  }
+
+  return claims;
+}
+
+}  // namespace core
+}  // namespace ukc

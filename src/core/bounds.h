@@ -1,0 +1,67 @@
+// Approximation-guarantee bookkeeping: for each (surrogate, assignment
+// rule, certain-solver factor) configuration, which theorem applies and
+// what factor it certifies, against which reference optimum.
+//
+// All factors are stated in terms of the plugged certain-solver factor
+// f (the paper's 1+ε):
+//
+//   Euclidean, P̄ surrogate:
+//     ED rule: Ecost_ED <= (4+f)·opt   (Thm 2.2 vs opt_ED; Thm 2.4 vs
+//                                       unrestricted OPT)
+//     EP rule: Ecost_EP <= (2+f)·opt   (Thm 2.2 vs opt_EP; Thm 2.5 vs
+//                                       unrestricted OPT)
+//   Any metric, P̃ surrogate:
+//     ED rule: Ecost_ED <= (5+2f)·OPT  (Thm 2.6)
+//     OC rule: Ecost_OC <= (3+2f)·OPT  (Thm 2.7)
+//
+// With f = 1+ε these give the paper's 5+ε, 3+ε, 7+2ε, 5+2ε; with the
+// Gonzalez factor f = 2 they give Table 1's 6, 4, —, —.
+
+#ifndef UKC_CORE_BOUNDS_H_
+#define UKC_CORE_BOUNDS_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/assignment.h"
+#include "core/surrogates.h"
+
+namespace ukc {
+namespace core {
+
+/// What the guaranteed factor is measured against.
+enum class BoundReference {
+  /// The optimal restricted-assigned cost under the same rule.
+  kRestrictedOptimum,
+  /// The optimal unrestricted-assigned cost (centers and assignment
+  /// both free).
+  kUnrestrictedOptimum,
+};
+
+std::string BoundReferenceToString(BoundReference reference);
+
+/// One certified guarantee.
+struct BoundClaim {
+  double factor = 0.0;
+  BoundReference reference = BoundReference::kUnrestrictedOptimum;
+  std::string theorem;  // e.g. "Theorem 2.4".
+};
+
+/// The guarantees the paper provides for a configuration. `euclidean`
+/// selects the Euclidean theorems; `certain_factor` is the plugged
+/// solver's factor f; `median_factor` m is the approximation quality of
+/// the P̃ construction (1 when P̃ exactly minimizes the expected
+/// distance, 2 for the own-locations shortcut; the metric-theorem
+/// constants generalize to 2+3m+f(1+m) for ED and 2+m+f(1+m) for OC).
+/// Unsupported combinations (e.g. expected-point surrogate outside
+/// Euclidean space, modal surrogate) return an empty list — the
+/// pipeline still runs but certifies nothing.
+std::vector<BoundClaim> BoundsFor(bool euclidean, SurrogateKind surrogate,
+                                  cost::AssignmentRule rule,
+                                  double certain_factor,
+                                  double median_factor = 1.0);
+
+}  // namespace core
+}  // namespace ukc
+
+#endif  // UKC_CORE_BOUNDS_H_

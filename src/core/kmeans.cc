@@ -1,0 +1,102 @@
+#include "core/kmeans.h"
+
+#include "common/strings.h"
+#include "core/surrogates.h"
+
+namespace ukc {
+namespace core {
+
+using geometry::Point;
+using metric::SiteId;
+
+Result<double> ExactKMeansCost(const uncertain::UncertainDataset& dataset,
+                               const cost::Assignment& assignment) {
+  if (assignment.size() != dataset.n()) {
+    return Status::InvalidArgument("ExactKMeansCost: assignment size mismatch");
+  }
+  const metric::MetricSpace& space = dataset.space();
+  double total = 0.0;
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    if (assignment[i] < 0 || assignment[i] >= space.num_sites()) {
+      return Status::InvalidArgument(
+          StrFormat("ExactKMeansCost: assignment[%zu]=%d out of range", i,
+                    assignment[i]));
+    }
+    for (const uncertain::Location& loc : dataset.point(i).locations()) {
+      const double d = space.Distance(loc.site, assignment[i]);
+      total += loc.probability * d * d;
+    }
+  }
+  return total;
+}
+
+Result<double> KMeansVarianceFloor(const uncertain::UncertainDataset& dataset) {
+  const metric::EuclideanSpace* space = dataset.euclidean();
+  if (space == nullptr) {
+    return Status::FailedPrecondition(
+        "KMeansVarianceFloor: requires a Euclidean dataset");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    const uncertain::UncertainPoint& p = dataset.point(i);
+    Point mean(space->dim());
+    for (const uncertain::Location& loc : p.locations()) {
+      mean += space->point(loc.site) * loc.probability;
+    }
+    for (const uncertain::Location& loc : p.locations()) {
+      total += loc.probability *
+               geometry::SquaredDistance(space->point(loc.site), mean);
+    }
+  }
+  return total;
+}
+
+Result<UncertainKMeansSolution> SolveUncertainKMeans(
+    uncertain::UncertainDataset* dataset,
+    const UncertainKMeansOptions& options) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("SolveUncertainKMeans: null dataset");
+  }
+  metric::EuclideanSpace* space = dataset->euclidean();
+  if (space == nullptr) {
+    return Status::FailedPrecondition(
+        "SolveUncertainKMeans: the lossless reduction requires a Euclidean "
+        "dataset");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("SolveUncertainKMeans: k must be >= 1");
+  }
+
+  // Expected points (as free points; minted after clustering).
+  std::vector<Point> expected;
+  expected.reserve(dataset->n());
+  for (size_t i = 0; i < dataset->n(); ++i) {
+    Point mean(space->dim());
+    for (const uncertain::Location& loc : dataset->point(i).locations()) {
+      mean += space->point(loc.site) * loc.probability;
+    }
+    expected.push_back(std::move(mean));
+  }
+  const std::vector<double> unit_weights(dataset->n(), 1.0);
+  UKC_ASSIGN_OR_RETURN(
+      solver::KMeansSolution certain,
+      solver::WeightedKMeans(expected, unit_weights, options.k, options.lloyd));
+
+  UncertainKMeansSolution solution;
+  solution.surrogate_objective = certain.objective;
+  solution.centers.reserve(certain.centers.size());
+  for (Point& center : certain.centers) {
+    solution.centers.push_back(space->AddPoint(std::move(center)));
+  }
+  solution.assignment.resize(dataset->n());
+  for (size_t i = 0; i < dataset->n(); ++i) {
+    solution.assignment[i] = solution.centers[certain.cluster_of[i]];
+  }
+  UKC_ASSIGN_OR_RETURN(solution.variance_floor, KMeansVarianceFloor(*dataset));
+  UKC_ASSIGN_OR_RETURN(solution.expected_cost,
+                       ExactKMeansCost(*dataset, solution.assignment));
+  return solution;
+}
+
+}  // namespace core
+}  // namespace ukc

@@ -1,0 +1,71 @@
+// Uncertain k-means — the second extension the paper's conclusion
+// announces as future work.
+//
+// Objective (assigned version, squared distances):
+//
+//   EcostA = E_R[ Σ_i d(P̂_i, A(P_i))² ] = Σ_i E[ d(P̂_i, A(P_i))² ]
+//
+// In Euclidean space the paper's expected-point surrogate is *lossless*
+// for this objective, by the bias–variance identity
+//
+//   E||P̂_i − c||² = ||P̄_i − c||² + V_i,   V_i := E||P̂_i − P̄_i||²
+//
+// so the uncertain k-means cost equals the deterministic k-means cost
+// of the expected points plus the constant Σ_i V_i: the optimal
+// centers, the optimal assignment (nearest center to P̄_i), and even
+// the cost gap to optimal all transfer exactly. This module implements
+// the reduction (Lloyd + k-means++ on P̄), the exact cost evaluator the
+// tests validate the identity with, and a tiny-instance exact
+// enumeration.
+
+#ifndef UKC_CORE_KMEANS_H_
+#define UKC_CORE_KMEANS_H_
+
+#include "common/result.h"
+#include "cost/assignment.h"
+#include "solver/lloyd.h"
+#include "uncertain/dataset.h"
+
+namespace ukc {
+namespace core {
+
+/// Options for SolveUncertainKMeans.
+struct UncertainKMeansOptions {
+  size_t k = 1;
+  solver::KMeansOptions lloyd;
+};
+
+/// Output of the uncertain k-means solver.
+struct UncertainKMeansSolution {
+  /// Centers, minted as sites of the dataset's space.
+  std::vector<metric::SiteId> centers;
+  cost::Assignment assignment;
+  /// Exact expected sum-of-squared-distances cost.
+  double expected_cost = 0.0;
+  /// The irreducible variance term Σ_i E||P̂_i − P̄_i||²: no choice of
+  /// centers can push the cost below it.
+  double variance_floor = 0.0;
+  /// The deterministic k-means objective on the expected points
+  /// (expected_cost == surrogate_objective + variance_floor).
+  double surrogate_objective = 0.0;
+};
+
+/// Exact expected k-means cost of an assignment (sum of per-point
+/// expected squared distances; linearity of expectation).
+Result<double> ExactKMeansCost(const uncertain::UncertainDataset& dataset,
+                               const cost::Assignment& assignment);
+
+/// Σ_i E||P̂_i − P̄_i||², the additive constant of the reduction.
+Result<double> KMeansVarianceFloor(const uncertain::UncertainDataset& dataset);
+
+/// Solves uncertain k-means by the lossless expected-point reduction
+/// (Euclidean datasets only). Lloyd's local-optimum caveat carries over
+/// unchanged from the deterministic problem — the *reduction* is exact,
+/// the plugged k-means solver is the usual heuristic.
+Result<UncertainKMeansSolution> SolveUncertainKMeans(
+    uncertain::UncertainDataset* dataset, const UncertainKMeansOptions& options);
+
+}  // namespace core
+}  // namespace ukc
+
+#endif  // UKC_CORE_KMEANS_H_

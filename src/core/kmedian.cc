@@ -1,0 +1,130 @@
+#include "core/kmedian.h"
+
+#include "common/strings.h"
+#include "core/surrogates.h"
+
+namespace ukc {
+namespace core {
+
+using metric::SiteId;
+
+Result<double> ExactKMedianCost(const uncertain::UncertainDataset& dataset,
+                                const cost::Assignment& assignment) {
+  if (assignment.size() != dataset.n()) {
+    return Status::InvalidArgument("ExactKMedianCost: assignment size mismatch");
+  }
+  const metric::MetricSpace& space = dataset.space();
+  double total = 0.0;
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    if (assignment[i] < 0 || assignment[i] >= space.num_sites()) {
+      return Status::InvalidArgument(
+          StrFormat("ExactKMedianCost: assignment[%zu]=%d out of range", i,
+                    assignment[i]));
+    }
+    // Linearity of expectation: the sum objective is the sum of the
+    // per-point expected distances.
+    total += dataset.point(i).ExpectedDistanceTo(space, assignment[i]);
+  }
+  return total;
+}
+
+namespace {
+
+// cost[i][f] = E[d(P̂_i, candidates[f])].
+std::vector<std::vector<double>> ExpectedDistanceMatrix(
+    const uncertain::UncertainDataset& dataset,
+    const std::vector<SiteId>& candidates) {
+  std::vector<std::vector<double>> cost(dataset.n());
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    cost[i].reserve(candidates.size());
+    for (SiteId f : candidates) {
+      cost[i].push_back(dataset.point(i).ExpectedDistanceTo(dataset.space(), f));
+    }
+  }
+  return cost;
+}
+
+Result<UncertainKMedianSolution> FromMatrixSolution(
+    const uncertain::UncertainDataset& dataset,
+    const std::vector<SiteId>& candidates,
+    const solver::KMedianSolution& matrix_solution) {
+  UncertainKMedianSolution solution;
+  solution.centers.reserve(matrix_solution.facilities.size());
+  for (size_t f : matrix_solution.facilities) {
+    solution.centers.push_back(candidates[f]);
+  }
+  solution.assignment.resize(dataset.n());
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    solution.assignment[i] = candidates[matrix_solution.assignment[i]];
+  }
+  UKC_ASSIGN_OR_RETURN(solution.expected_cost,
+                       ExactKMedianCost(dataset, solution.assignment));
+  return solution;
+}
+
+}  // namespace
+
+Result<UncertainKMedianSolution> SolveUncertainKMedian(
+    uncertain::UncertainDataset* dataset, const std::vector<SiteId>& candidates,
+    const UncertainKMedianOptions& options) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("SolveUncertainKMedian: null dataset");
+  }
+  if (candidates.empty()) {
+    return Status::InvalidArgument("SolveUncertainKMedian: no candidates");
+  }
+  if (options.k == 0 || options.k > candidates.size()) {
+    return Status::InvalidArgument(
+        "SolveUncertainKMedian: need 1 <= k <= |candidates|");
+  }
+
+  switch (options.method) {
+    case KMedianMethod::kExpectedMatrixLocalSearch: {
+      const auto cost = ExpectedDistanceMatrix(*dataset, candidates);
+      UKC_ASSIGN_OR_RETURN(
+          solver::KMedianSolution matrix_solution,
+          solver::KMedianLocalSearch(cost, options.k, options.local_search));
+      return FromMatrixSolution(*dataset, candidates, matrix_solution);
+    }
+    case KMedianMethod::kExpectedMatrixExact: {
+      const auto cost = ExpectedDistanceMatrix(*dataset, candidates);
+      UKC_ASSIGN_OR_RETURN(
+          solver::KMedianSolution matrix_solution,
+          solver::KMedianExact(cost, options.k, options.max_exact_subsets));
+      return FromMatrixSolution(*dataset, candidates, matrix_solution);
+    }
+    case KMedianMethod::kSurrogateLocalSearch: {
+      // The paper's recipe: cluster the P̃ surrogates, assign by ED.
+      SurrogateOptions surrogate_options;
+      surrogate_options.kind = SurrogateKind::kOneCenter;
+      UKC_ASSIGN_OR_RETURN(std::vector<SiteId> surrogates,
+                           BuildSurrogates(dataset, surrogate_options));
+      // Deterministic k-median of the surrogates over the candidates.
+      std::vector<std::vector<double>> cost(surrogates.size());
+      for (size_t i = 0; i < surrogates.size(); ++i) {
+        cost[i].reserve(candidates.size());
+        for (SiteId f : candidates) {
+          cost[i].push_back(dataset->space().Distance(surrogates[i], f));
+        }
+      }
+      UKC_ASSIGN_OR_RETURN(
+          solver::KMedianSolution matrix_solution,
+          solver::KMedianLocalSearch(cost, options.k, options.local_search));
+      UncertainKMedianSolution solution;
+      for (size_t f : matrix_solution.facilities) {
+        solution.centers.push_back(candidates[f]);
+      }
+      // ED assignment is optimal for the sum objective given centers.
+      UKC_ASSIGN_OR_RETURN(
+          solution.assignment,
+          cost::AssignExpectedDistance(*dataset, solution.centers));
+      UKC_ASSIGN_OR_RETURN(solution.expected_cost,
+                           ExactKMedianCost(*dataset, solution.assignment));
+      return solution;
+    }
+  }
+  return Status::Internal("SolveUncertainKMedian: unknown method");
+}
+
+}  // namespace core
+}  // namespace ukc

@@ -1,0 +1,171 @@
+#include "core/line_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "cost/expected_cost.h"
+#include "solver/kcenter_1d.h"
+
+namespace ukc {
+namespace core {
+
+namespace {
+
+// Evaluates EcostA for center coordinates and a fixed cluster labeling
+// (label[i] = which center serves point i), without minting sites.
+double EvaluateLabeled(const uncertain::UncertainDataset& dataset,
+                       const metric::EuclideanSpace& space,
+                       const std::vector<double>& centers,
+                       const std::vector<size_t>& label) {
+  std::vector<cost::DiscreteDistribution> distributions(dataset.n());
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    const uncertain::UncertainPoint& p = dataset.point(i);
+    const double c = centers[label[i]];
+    distributions[i].reserve(p.num_locations());
+    for (const uncertain::Location& loc : p.locations()) {
+      distributions[i].emplace_back(std::abs(space.point(loc.site)[0] - c),
+                                    loc.probability);
+    }
+  }
+  return cost::ExpectedMaxOfIndependent(std::move(distributions));
+}
+
+// ED labeling: point -> center with minimal expected |x - c|.
+std::vector<size_t> EDLabels(const uncertain::UncertainDataset& dataset,
+                             const metric::EuclideanSpace& space,
+                             const std::vector<double>& centers) {
+  std::vector<size_t> label(dataset.n(), 0);
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    const uncertain::UncertainPoint& p = dataset.point(i);
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t g = 0; g < centers.size(); ++g) {
+      double expected = 0.0;
+      for (const uncertain::Location& loc : p.locations()) {
+        expected += loc.probability * std::abs(space.point(loc.site)[0] - centers[g]);
+      }
+      if (expected < best) {
+        best = expected;
+        label[i] = g;
+      }
+    }
+  }
+  return label;
+}
+
+// Ternary search for the gth center on a convex objective (others
+// fixed).
+double OptimizeCenter(const uncertain::UncertainDataset& dataset,
+                      const metric::EuclideanSpace& space,
+                      std::vector<double>* centers,
+                      const std::vector<size_t>& label, size_t g, double lo,
+                      double hi, size_t iterations) {
+  auto objective = [&](double c) {
+    const double saved = (*centers)[g];
+    (*centers)[g] = c;
+    const double value = EvaluateLabeled(dataset, space, *centers, label);
+    (*centers)[g] = saved;
+    return value;
+  };
+  for (size_t it = 0; it < iterations; ++it) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (objective(m1) <= objective(m2)) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+  }
+  const double best = (lo + hi) / 2.0;
+  (*centers)[g] = best;
+  return EvaluateLabeled(dataset, space, *centers, label);
+}
+
+}  // namespace
+
+Result<LineSolution> SolveLineKCenterED(uncertain::UncertainDataset* dataset,
+                                        const LineSolverOptions& options) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("SolveLineKCenterED: null dataset");
+  }
+  metric::EuclideanSpace* space = dataset->euclidean();
+  if (space == nullptr || space->dim() != 1) {
+    return Status::InvalidArgument(
+        "SolveLineKCenterED: requires a 1-dimensional Euclidean dataset");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("SolveLineKCenterED: k must be >= 1");
+  }
+
+  // All location coordinates; bounds for the ternary searches.
+  std::vector<double> coordinates;
+  coordinates.reserve(dataset->total_locations());
+  for (size_t i = 0; i < dataset->n(); ++i) {
+    for (const uncertain::Location& loc : dataset->point(i).locations()) {
+      coordinates.push_back(space->point(loc.site)[0]);
+    }
+  }
+  const double lo = *std::min_element(coordinates.begin(), coordinates.end());
+  const double hi = *std::max_element(coordinates.begin(), coordinates.end());
+
+  // Starting center sets: the exact deterministic 1D k-center over all
+  // locations, then random restarts.
+  std::vector<std::vector<double>> starts;
+  UKC_ASSIGN_OR_RETURN(solver::KCenter1DSolution deterministic,
+                       solver::KCenter1D(coordinates, options.k));
+  std::vector<double> seed_centers = deterministic.centers;
+  seed_centers.resize(options.k, (lo + hi) / 2.0);  // Pad if < k clusters.
+  starts.push_back(seed_centers);
+  Rng rng(options.seed);
+  for (size_t r = 0; r < options.restarts; ++r) {
+    std::vector<double> random_centers(options.k);
+    for (double& c : random_centers) c = rng.UniformDouble(lo, hi);
+    starts.push_back(std::move(random_centers));
+  }
+
+  std::vector<double> best_centers;
+  std::vector<size_t> best_labels;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (auto& centers : starts) {
+    std::vector<size_t> label = EDLabels(*dataset, *space, centers);
+    double cost = EvaluateLabeled(*dataset, *space, centers, label);
+    for (size_t round = 0; round < options.max_rounds; ++round) {
+      // Recenter each cluster by convex 1D minimization.
+      for (size_t g = 0; g < centers.size(); ++g) {
+        cost = OptimizeCenter(*dataset, *space, &centers, label, g, lo, hi,
+                              options.ternary_iterations);
+      }
+      // Refresh the ED assignment.
+      std::vector<size_t> next_label = EDLabels(*dataset, *space, centers);
+      const double next_cost =
+          EvaluateLabeled(*dataset, *space, centers, next_label);
+      const bool label_changed = next_label != label;
+      label = std::move(next_label);
+      const double improvement = cost - next_cost;
+      cost = next_cost;
+      if (!label_changed && improvement < 1e-13 * std::max(1.0, cost)) break;
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_centers = centers;
+      best_labels = label;
+    }
+  }
+
+  LineSolution solution;
+  std::sort(best_centers.begin(), best_centers.end());
+  solution.center_coordinates = best_centers;
+  solution.centers.reserve(best_centers.size());
+  for (double c : best_centers) {
+    solution.centers.push_back(space->AddPoint(geometry::Point{c}));
+  }
+  UKC_ASSIGN_OR_RETURN(solution.assignment,
+                       cost::AssignExpectedDistance(*dataset, solution.centers));
+  UKC_ASSIGN_OR_RETURN(solution.expected_cost,
+                       cost::ExactAssignedCost(*dataset, solution.assignment));
+  return solution;
+}
+
+}  // namespace core
+}  // namespace ukc

@@ -1,0 +1,132 @@
+#include "core/surrogates.h"
+
+#include <limits>
+
+#include "geometry/point.h"
+#include "solver/geometric_median.h"
+
+namespace ukc {
+namespace core {
+
+using metric::SiteId;
+
+std::string SurrogateKindToString(SurrogateKind kind) {
+  switch (kind) {
+    case SurrogateKind::kExpectedPoint:
+      return "expected-point";
+    case SurrogateKind::kOneCenter:
+      return "one-center";
+    case SurrogateKind::kModal:
+      return "modal";
+  }
+  return "?";
+}
+
+namespace {
+
+// P̄_i = Σ_j p_ij P_ij, minted into the Euclidean space.
+Result<SiteId> ExpectedPointSite(uncertain::UncertainDataset* dataset,
+                                 size_t i) {
+  metric::EuclideanSpace* space = dataset->euclidean();
+  if (space == nullptr) {
+    return Status::FailedPrecondition(
+        "expected-point surrogate requires a Euclidean space");
+  }
+  const uncertain::UncertainPoint& p = dataset->point(i);
+  geometry::Point mean(space->dim());
+  for (const uncertain::Location& loc : p.locations()) {
+    mean += space->point(loc.site) * loc.probability;
+  }
+  return space->AddPoint(std::move(mean));
+}
+
+// P̃_i for a Euclidean space: the weighted geometric median.
+Result<SiteId> EuclideanOneCenterSite(uncertain::UncertainDataset* dataset,
+                                      size_t i) {
+  metric::EuclideanSpace* space = dataset->euclidean();
+  UKC_CHECK(space != nullptr);
+  const uncertain::UncertainPoint& p = dataset->point(i);
+  std::vector<geometry::Point> locations;
+  std::vector<double> weights;
+  locations.reserve(p.num_locations());
+  weights.reserve(p.num_locations());
+  for (const uncertain::Location& loc : p.locations()) {
+    locations.push_back(space->point(loc.site));
+    weights.push_back(loc.probability);
+  }
+  UKC_ASSIGN_OR_RETURN(solver::GeometricMedianResult median,
+                       solver::WeightedGeometricMedian(locations, weights));
+  return space->AddPoint(std::move(median.median));
+}
+
+// P̃_i for a finite metric: argmin over candidate sites of the expected
+// distance.
+SiteId FiniteOneCenterSite(const uncertain::UncertainDataset& dataset, size_t i,
+                           OneCenterCandidates candidates) {
+  const metric::MetricSpace& space = dataset.space();
+  const uncertain::UncertainPoint& p = dataset.point(i);
+  SiteId best = metric::kInvalidSite;
+  double best_value = std::numeric_limits<double>::infinity();
+  auto consider = [&](SiteId q) {
+    const double value = p.ExpectedDistanceTo(space, q);
+    if (value < best_value) {
+      best_value = value;
+      best = q;
+    }
+  };
+  if (candidates == OneCenterCandidates::kAllSites) {
+    for (SiteId q = 0; q < space.num_sites(); ++q) consider(q);
+  } else {
+    for (const uncertain::Location& loc : p.locations()) consider(loc.site);
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<std::vector<SiteId>> BuildSurrogates(uncertain::UncertainDataset* dataset,
+                                            const SurrogateOptions& options) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("BuildSurrogates: null dataset");
+  }
+  std::vector<SiteId> surrogates;
+  surrogates.reserve(dataset->n());
+  for (size_t i = 0; i < dataset->n(); ++i) {
+    switch (options.kind) {
+      case SurrogateKind::kExpectedPoint: {
+        UKC_ASSIGN_OR_RETURN(SiteId site, ExpectedPointSite(dataset, i));
+        surrogates.push_back(site);
+        break;
+      }
+      case SurrogateKind::kOneCenter: {
+        if (dataset->is_euclidean()) {
+          UKC_ASSIGN_OR_RETURN(SiteId site, EuclideanOneCenterSite(dataset, i));
+          surrogates.push_back(site);
+        } else {
+          surrogates.push_back(
+              FiniteOneCenterSite(*dataset, i, options.candidates));
+        }
+        break;
+      }
+      case SurrogateKind::kModal: {
+        surrogates.push_back(dataset->point(i).ModalLocation().site);
+        break;
+      }
+    }
+  }
+  return surrogates;
+}
+
+Result<SiteId> ExpectedPointOneCenter(uncertain::UncertainDataset* dataset,
+                                      size_t point_index) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("ExpectedPointOneCenter: null dataset");
+  }
+  if (point_index >= dataset->n()) {
+    return Status::InvalidArgument("ExpectedPointOneCenter: index out of range");
+  }
+  return ExpectedPointSite(dataset, point_index);
+}
+
+}  // namespace core
+}  // namespace ukc

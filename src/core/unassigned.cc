@@ -1,0 +1,123 @@
+#include "core/unassigned.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/strings.h"
+#include "cost/expected_cost.h"
+#include "solver/brute_force.h"
+
+namespace ukc {
+namespace core {
+
+using metric::SiteId;
+
+Result<UnassignedSolution> ExactUnassignedTiny(
+    const uncertain::UncertainDataset& dataset, size_t k,
+    const std::vector<SiteId>& candidates, uint64_t max_subsets) {
+  if (k == 0 || k > candidates.size()) {
+    return Status::InvalidArgument(
+        "ExactUnassignedTiny: need 1 <= k <= |candidates|");
+  }
+  const uint64_t subsets = solver::BinomialCount(candidates.size(), k);
+  if (subsets > max_subsets) {
+    return Status::InvalidArgument(
+        StrFormat("ExactUnassignedTiny: %llu subsets exceeds the cap",
+                  static_cast<unsigned long long>(subsets)));
+  }
+  UnassignedSolution best;
+  best.expected_cost = std::numeric_limits<double>::infinity();
+  std::vector<size_t> index(k);
+  for (size_t i = 0; i < k; ++i) index[i] = i;
+  std::vector<SiteId> centers(k);
+  while (true) {
+    for (size_t i = 0; i < k; ++i) centers[i] = candidates[index[i]];
+    UKC_ASSIGN_OR_RETURN(double value,
+                         cost::ExactUnassignedCost(dataset, centers));
+    if (value < best.expected_cost) {
+      best.expected_cost = value;
+      best.centers = centers;
+    }
+    size_t i = k;
+    bool done = true;
+    while (i-- > 0) {
+      if (index[i] + (k - i) < candidates.size()) {
+        ++index[i];
+        for (size_t j = i + 1; j < k; ++j) index[j] = index[j - 1] + 1;
+        done = false;
+        break;
+      }
+    }
+    if (done) break;
+  }
+  return best;
+}
+
+Result<UnassignedSolution> LocalSearchUnassigned(
+    uncertain::UncertainDataset* dataset,
+    const UnassignedSearchOptions& options) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("LocalSearchUnassigned: null dataset");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("LocalSearchUnassigned: k must be >= 1");
+  }
+
+  // Seed with the paper's pipeline under the given configuration.
+  UncertainKCenterOptions pipeline_options = options.pipeline;
+  pipeline_options.k = options.k;
+  if (!dataset->is_euclidean() &&
+      pipeline_options.rule == cost::AssignmentRule::kExpectedPoint) {
+    pipeline_options.rule = cost::AssignmentRule::kOneCenter;
+  }
+  UKC_ASSIGN_OR_RETURN(UncertainKCenterSolution seed,
+                       SolveUncertainKCenter(dataset, pipeline_options));
+
+  // Candidate pool: caller-provided, or locations + surrogates.
+  std::vector<SiteId> pool = options.candidates;
+  if (pool.empty()) {
+    pool = dataset->LocationSites();
+    pool.insert(pool.end(), seed.surrogates.begin(), seed.surrogates.end());
+    std::sort(pool.begin(), pool.end());
+    pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  }
+
+  UnassignedSolution solution;
+  solution.centers = seed.centers;
+  UKC_ASSIGN_OR_RETURN(solution.expected_cost,
+                       cost::ExactUnassignedCost(*dataset, solution.centers));
+
+  for (size_t round = 0; round < options.max_swaps; ++round) {
+    double best_value = solution.expected_cost;
+    size_t best_position = solution.centers.size();
+    SiteId best_replacement = metric::kInvalidSite;
+    std::vector<SiteId> trial = solution.centers;
+    for (size_t position = 0; position < solution.centers.size(); ++position) {
+      const SiteId saved = trial[position];
+      for (SiteId candidate : pool) {
+        if (candidate == saved) continue;
+        trial[position] = candidate;
+        UKC_ASSIGN_OR_RETURN(double value,
+                             cost::ExactUnassignedCost(*dataset, trial));
+        if (value < best_value) {
+          best_value = value;
+          best_position = position;
+          best_replacement = candidate;
+        }
+      }
+      trial[position] = saved;
+    }
+    if (best_replacement == metric::kInvalidSite ||
+        solution.expected_cost - best_value <
+            1e-12 * std::max(1.0, solution.expected_cost)) {
+      break;
+    }
+    solution.centers[best_position] = best_replacement;
+    solution.expected_cost = best_value;
+    ++solution.swaps;
+  }
+  return solution;
+}
+
+}  // namespace core
+}  // namespace ukc

@@ -1,0 +1,74 @@
+#include "cost/assignment.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace ukc {
+namespace cost {
+
+std::string AssignmentRuleToString(AssignmentRule rule) {
+  switch (rule) {
+    case AssignmentRule::kExpectedDistance:
+      return "ED";
+    case AssignmentRule::kExpectedPoint:
+      return "EP";
+    case AssignmentRule::kOneCenter:
+      return "OC";
+  }
+  return "?";
+}
+
+Result<Assignment> AssignExpectedDistance(
+    const uncertain::UncertainDataset& dataset,
+    const std::vector<metric::SiteId>& centers) {
+  if (centers.empty()) {
+    return Status::InvalidArgument("AssignExpectedDistance: no centers");
+  }
+  Assignment assignment(dataset.n(), metric::kInvalidSite);
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    assignment[i] =
+        dataset.point(i).MinExpectedDistanceSite(dataset.space(), centers);
+  }
+  return assignment;
+}
+
+Result<Assignment> AssignBySurrogate(const uncertain::UncertainDataset& dataset,
+                                     const std::vector<metric::SiteId>& surrogates,
+                                     const std::vector<metric::SiteId>& centers) {
+  if (centers.empty()) {
+    return Status::InvalidArgument("AssignBySurrogate: no centers");
+  }
+  if (surrogates.size() != dataset.n()) {
+    return Status::InvalidArgument(
+        StrFormat("AssignBySurrogate: %zu surrogates for %zu points",
+                  surrogates.size(), dataset.n()));
+  }
+  Assignment assignment(dataset.n(), metric::kInvalidSite);
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    assignment[i] = dataset.space().NearestInSet(surrogates[i], centers);
+  }
+  return assignment;
+}
+
+Status ValidateAssignment(const uncertain::UncertainDataset& dataset,
+                          const std::vector<metric::SiteId>& centers,
+                          const Assignment& assignment) {
+  if (assignment.size() != dataset.n()) {
+    return Status::InvalidArgument(
+        StrFormat("assignment covers %zu points, dataset has %zu",
+                  assignment.size(), dataset.n()));
+  }
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (std::find(centers.begin(), centers.end(), assignment[i]) ==
+        centers.end()) {
+      return Status::InvalidArgument(
+          StrFormat("assignment[%zu]=%d is not one of the centers", i,
+                    assignment[i]));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cost
+}  // namespace ukc

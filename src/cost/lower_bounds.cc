@@ -1,0 +1,52 @@
+#include "cost/lower_bounds.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "solver/geometric_median.h"
+
+namespace ukc {
+namespace cost {
+
+Result<double> PointExpectedDistanceFloor(
+    const uncertain::UncertainDataset& dataset, size_t i) {
+  if (i >= dataset.n()) {
+    return Status::InvalidArgument("PointExpectedDistanceFloor: index out of range");
+  }
+  const uncertain::UncertainPoint& p = dataset.point(i);
+  const metric::EuclideanSpace* euclidean = dataset.euclidean();
+  if (euclidean != nullptr) {
+    // min over all of R^d: the weighted geometric median objective.
+    std::vector<geometry::Point> locations;
+    std::vector<double> weights;
+    locations.reserve(p.num_locations());
+    weights.reserve(p.num_locations());
+    for (const uncertain::Location& loc : p.locations()) {
+      locations.push_back(euclidean->point(loc.site));
+      weights.push_back(loc.probability);
+    }
+    UKC_ASSIGN_OR_RETURN(
+        solver::GeometricMedianResult median,
+        solver::WeightedGeometricMedian(locations, weights));
+    return median.objective;
+  }
+  // Finite metric: minimize over every site of the space.
+  const metric::MetricSpace& space = dataset.space();
+  double best = std::numeric_limits<double>::infinity();
+  for (metric::SiteId c = 0; c < space.num_sites(); ++c) {
+    best = std::min(best, p.ExpectedDistanceTo(space, c));
+  }
+  return best;
+}
+
+Result<double> PerPointLowerBound(const uncertain::UncertainDataset& dataset) {
+  double bound = 0.0;
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    UKC_ASSIGN_OR_RETURN(double floor, PointExpectedDistanceFloor(dataset, i));
+    bound = std::max(bound, floor);
+  }
+  return bound;
+}
+
+}  // namespace cost
+}  // namespace ukc

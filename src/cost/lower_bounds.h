@@ -1,0 +1,33 @@
+// Instance-level lower bounds on the optimal unrestricted assigned
+// expected cost. These give the ratio denominators on instances too
+// large for the exact tiny-instance optimum.
+
+#ifndef UKC_COST_LOWER_BOUNDS_H_
+#define UKC_COST_LOWER_BOUNDS_H_
+
+#include "common/result.h"
+#include "uncertain/dataset.h"
+
+namespace ukc {
+namespace cost {
+
+/// The per-point (Lemma 3.2) bound:
+///
+///   OPT >= max_i  min_{c in X}  E[d(P̂_i, c)]
+///
+/// because for any centers and assignment, EcostA >= Σ_j prob(P̂_i)
+/// d(P̂_i, A(P_i)) >= min_c E[d(P̂_i, c)]. In Euclidean spaces the inner
+/// minimum over all of R^d is the weighted geometric-median objective
+/// (computed by Weiszfeld); in finite metrics it is a minimum over all
+/// sites.
+Result<double> PerPointLowerBound(const uncertain::UncertainDataset& dataset);
+
+/// The same bound for a single point i (min over the whole space of the
+/// expected distance). Exposed for the surrogate tests.
+Result<double> PointExpectedDistanceFloor(const uncertain::UncertainDataset& dataset,
+                                          size_t i);
+
+}  // namespace cost
+}  // namespace ukc
+
+#endif  // UKC_COST_LOWER_BOUNDS_H_

@@ -1,0 +1,42 @@
+#include "exper/reference.h"
+
+#include <algorithm>
+
+#include "core/surrogates.h"
+#include "cost/lower_bounds.h"
+#include "solver/hochbaum_shmoys.h"
+
+namespace ukc {
+namespace exper {
+
+Result<LowerBoundReport> UnrestrictedLowerBound(
+    uncertain::UncertainDataset* dataset, size_t k) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("UnrestrictedLowerBound: null dataset");
+  }
+  LowerBoundReport report;
+  UKC_ASSIGN_OR_RETURN(report.per_point, cost::PerPointLowerBound(*dataset));
+
+  // Surrogate bound. Lemma 3.4: for Euclidean instances, the certain
+  // k-center optimum of the expected points lower-bounds OPT. Lemma
+  // 3.6: in any metric, half the certain optimum of the 1-medians does.
+  // The certain optimum itself is lower-bounded by the threshold
+  // certificate of Hochbaum–Shmoys (k+1 surrogates pairwise > 2t apart
+  // force radius > t for any centers).
+  const bool euclidean = dataset->is_euclidean();
+  core::SurrogateOptions surrogate_options;
+  surrogate_options.kind = euclidean ? core::SurrogateKind::kExpectedPoint
+                                     : core::SurrogateKind::kOneCenter;
+  UKC_ASSIGN_OR_RETURN(std::vector<metric::SiteId> surrogates,
+                       core::BuildSurrogates(dataset, surrogate_options));
+  UKC_ASSIGN_OR_RETURN(
+      solver::ThresholdSolution threshold,
+      solver::HochbaumShmoys(dataset->space(), surrogates, k));
+  report.surrogate = euclidean ? threshold.continuous_lower_bound
+                               : threshold.continuous_lower_bound / 2.0;
+  report.combined = std::max(report.per_point, report.surrogate);
+  return report;
+}
+
+}  // namespace exper
+}  // namespace ukc

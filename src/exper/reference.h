@@ -1,0 +1,34 @@
+// Reference values for ratio measurement: certified lower bounds on the
+// optimal unrestricted assigned cost at any instance size, and exact
+// optima on tiny instances (see core/exact_tiny.h for the latter).
+
+#ifndef UKC_EXPER_REFERENCE_H_
+#define UKC_EXPER_REFERENCE_H_
+
+#include "common/result.h"
+#include "uncertain/dataset.h"
+
+namespace ukc {
+namespace exper {
+
+/// The components of the instance lower bound.
+struct LowerBoundReport {
+  /// Lemma 3.2: max_i min_q E[d(P̂_i, q)].
+  double per_point = 0.0;
+  /// Lemma 3.4 / 3.6: a certified lower bound on the certain k-center
+  /// optimum of the surrogates, scaled by the lemma's constant (1 for
+  /// Euclidean expected points, 1/2 for metric 1-medians).
+  double surrogate = 0.0;
+  /// max(per_point, surrogate) — the usable denominator.
+  double combined = 0.0;
+};
+
+/// Computes both bounds. The dataset's space may grow (surrogates are
+/// minted for the Lemma 3.4 bound on Euclidean instances).
+Result<LowerBoundReport> UnrestrictedLowerBound(
+    uncertain::UncertainDataset* dataset, size_t k);
+
+}  // namespace exper
+}  // namespace ukc
+
+#endif  // UKC_EXPER_REFERENCE_H_

@@ -1,0 +1,53 @@
+#include "geometry/box.h"
+
+#include <algorithm>
+
+namespace ukc {
+namespace geometry {
+
+Box::Box(Point lo, Point hi) : lo_(std::move(lo)), hi_(std::move(hi)) {
+  UKC_CHECK_EQ(lo_.dim(), hi_.dim());
+  for (size_t i = 0; i < lo_.dim(); ++i) {
+    UKC_CHECK_LE(lo_[i], hi_[i]) << "Box corners out of order on axis " << i;
+  }
+}
+
+Box Box::BoundingBox(const std::vector<Point>& points) {
+  UKC_CHECK(!points.empty());
+  Box box(points[0], points[0]);
+  for (size_t i = 1; i < points.size(); ++i) box.Expand(points[i]);
+  return box;
+}
+
+double Box::MaxExtent() const {
+  double worst = 0.0;
+  for (size_t i = 0; i < dim(); ++i) worst = std::max(worst, Extent(i));
+  return worst;
+}
+
+bool Box::Contains(const Point& p) const {
+  UKC_DCHECK_EQ(p.dim(), dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+void Box::Expand(const Point& p) {
+  UKC_DCHECK_EQ(p.dim(), dim());
+  for (size_t i = 0; i < dim(); ++i) {
+    lo_[i] = std::min(lo_[i], p[i]);
+    hi_[i] = std::max(hi_[i], p[i]);
+  }
+}
+
+void Box::Inflate(double margin) {
+  UKC_CHECK_GE(margin, 0.0);
+  for (size_t i = 0; i < dim(); ++i) {
+    lo_[i] -= margin;
+    hi_[i] += margin;
+  }
+}
+
+}  // namespace geometry
+}  // namespace ukc

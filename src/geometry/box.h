@@ -1,0 +1,59 @@
+// Axis-aligned bounding boxes, used by dataset generators and the grid
+// (1+eps) k-center solver.
+
+#ifndef UKC_GEOMETRY_BOX_H_
+#define UKC_GEOMETRY_BOX_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace ukc {
+namespace geometry {
+
+/// An axis-aligned box [lo, hi] in R^d.
+class Box {
+ public:
+  /// Degenerate box at the origin of R^dim.
+  explicit Box(size_t dim) : lo_(dim), hi_(dim) {}
+
+  /// Box with the given corners; requires lo[i] <= hi[i] for all i.
+  Box(Point lo, Point hi);
+
+  /// The tightest box containing all points (non-empty input).
+  static Box BoundingBox(const std::vector<Point>& points);
+
+  size_t dim() const { return lo_.dim(); }
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+
+  /// Side length along axis i.
+  double Extent(size_t i) const { return hi_[i] - lo_[i]; }
+
+  /// The largest side length.
+  double MaxExtent() const;
+
+  /// The length of the box diagonal.
+  double Diagonal() const { return Distance(lo_, hi_); }
+
+  /// The center of the box.
+  Point Center() const { return Lerp(lo_, hi_, 0.5); }
+
+  /// Whether p lies inside (inclusive).
+  bool Contains(const Point& p) const;
+
+  /// Grows the box to include p.
+  void Expand(const Point& p);
+
+  /// Grows the box by `margin` in every direction (margin >= 0).
+  void Inflate(double margin);
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+}  // namespace geometry
+}  // namespace ukc
+
+#endif  // UKC_GEOMETRY_BOX_H_

@@ -1,0 +1,109 @@
+#include "geometry/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ukc {
+namespace geometry {
+
+Result<KdTree> KdTree::Build(std::vector<Point> points) {
+  if (points.empty()) {
+    return Status::InvalidArgument("KdTree: no points");
+  }
+  const size_t dim = points[0].dim();
+  if (dim == 0) {
+    return Status::InvalidArgument("KdTree: zero-dimensional points");
+  }
+  for (const Point& p : points) {
+    if (p.dim() != dim) {
+      return Status::InvalidArgument("KdTree: mixed dimensions");
+    }
+  }
+  KdTree tree;
+  tree.points_ = std::move(points);
+  tree.dim_ = dim;
+  tree.nodes_.reserve(tree.points_.size());
+  std::vector<uint32_t> order(tree.points_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<uint32_t>(i);
+  tree.root_ = tree.BuildRecursive(&order, 0, order.size(), 0);
+  return tree;
+}
+
+int32_t KdTree::BuildRecursive(std::vector<uint32_t>* order, size_t begin,
+                               size_t end, size_t depth) {
+  if (begin >= end) return -1;
+  const uint16_t axis = static_cast<uint16_t>(depth % dim_);
+  const size_t median = begin + (end - begin) / 2;
+  std::nth_element(order->begin() + begin, order->begin() + median,
+                   order->begin() + end, [&](uint32_t a, uint32_t b) {
+                     return points_[a][axis] < points_[b][axis];
+                   });
+  const int32_t node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_index].point_index = (*order)[median];
+  nodes_[node_index].axis = axis;
+  const int32_t left = BuildRecursive(order, begin, median, depth + 1);
+  const int32_t right = BuildRecursive(order, median + 1, end, depth + 1);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+NearestResult KdTree::Nearest(const Point& query) const {
+  UKC_CHECK_EQ(query.dim(), dim_);
+  NearestResult best;
+  best.squared_distance = std::numeric_limits<double>::infinity();
+  NearestRecursive(root_, query, &best);
+  return best;
+}
+
+void KdTree::NearestRecursive(int32_t node_index, const Point& query,
+                              NearestResult* best) const {
+  if (node_index < 0) return;
+  const Node& node = nodes_[static_cast<size_t>(node_index)];
+  const Point& here = points_[node.point_index];
+  const double d2 = SquaredDistance(here, query);
+  if (d2 < best->squared_distance) {
+    best->squared_distance = d2;
+    best->index = node.point_index;
+  }
+  const double delta = query[node.axis] - here[node.axis];
+  const int32_t near_child = delta <= 0.0 ? node.left : node.right;
+  const int32_t far_child = delta <= 0.0 ? node.right : node.left;
+  NearestRecursive(near_child, query, best);
+  // The far side can only help if the splitting plane is closer than
+  // the incumbent.
+  if (delta * delta < best->squared_distance) {
+    NearestRecursive(far_child, query, best);
+  }
+}
+
+std::vector<size_t> KdTree::WithinRadius(const Point& query,
+                                         double radius) const {
+  UKC_CHECK_EQ(query.dim(), dim_);
+  UKC_CHECK_GE(radius, 0.0);
+  std::vector<size_t> out;
+  RadiusRecursive(root_, query, radius * radius, &out);
+  return out;
+}
+
+void KdTree::RadiusRecursive(int32_t node_index, const Point& query,
+                             double squared_radius,
+                             std::vector<size_t>* out) const {
+  if (node_index < 0) return;
+  const Node& node = nodes_[static_cast<size_t>(node_index)];
+  const Point& here = points_[node.point_index];
+  if (SquaredDistance(here, query) <= squared_radius) {
+    out->push_back(node.point_index);
+  }
+  const double delta = query[node.axis] - here[node.axis];
+  const int32_t near_child = delta <= 0.0 ? node.left : node.right;
+  const int32_t far_child = delta <= 0.0 ? node.right : node.left;
+  RadiusRecursive(near_child, query, squared_radius, out);
+  if (delta * delta <= squared_radius) {
+    RadiusRecursive(far_child, query, squared_radius, out);
+  }
+}
+
+}  // namespace geometry
+}  // namespace ukc

@@ -1,0 +1,78 @@
+// Static kd-tree over points in R^d for nearest-neighbor queries.
+//
+// Used to accelerate the assignment phase of the pipeline (nearest
+// center to each surrogate) and the Gonzalez relaxation on large
+// Euclidean instances: brute force is O(n k), the tree answers nearest
+// queries in roughly O(log k) for the small center sets k-center
+// produces. Exact (no approximation), with standard
+// median-split construction.
+
+#ifndef UKC_GEOMETRY_KDTREE_H_
+#define UKC_GEOMETRY_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/point.h"
+
+namespace ukc {
+namespace geometry {
+
+/// A nearest-neighbor answer: index into the construction array plus
+/// the (squared) distance.
+struct NearestResult {
+  size_t index = 0;
+  double squared_distance = 0.0;
+};
+
+/// Immutable kd-tree. Build once, query many times.
+class KdTree {
+ public:
+  /// Builds the tree in O(n log n). All points must share one dimension
+  /// >= 1; the input is copied.
+  static Result<KdTree> Build(std::vector<Point> points);
+
+  /// The exact nearest point to `query` (ties broken arbitrarily).
+  NearestResult Nearest(const Point& query) const;
+
+  /// All point indices within `radius` (inclusive) of `query`.
+  std::vector<size_t> WithinRadius(const Point& query, double radius) const;
+
+  /// Number of indexed points.
+  size_t size() const { return points_.size(); }
+
+  /// The point for an index returned by a query.
+  const Point& point(size_t index) const {
+    UKC_DCHECK_LT(index, points_.size());
+    return points_[index];
+  }
+
+ private:
+  struct Node {
+    // Children as node indices; kNoChild when absent.
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t point_index = 0;  // Index into points_.
+    uint16_t axis = 0;         // Split axis.
+  };
+
+  KdTree() = default;
+
+  int32_t BuildRecursive(std::vector<uint32_t>* order, size_t begin, size_t end,
+                         size_t depth);
+  void NearestRecursive(int32_t node, const Point& query,
+                        NearestResult* best) const;
+  void RadiusRecursive(int32_t node, const Point& query, double squared_radius,
+                       std::vector<size_t>* out) const;
+
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  size_t dim_ = 0;
+};
+
+}  // namespace geometry
+}  // namespace ukc
+
+#endif  // UKC_GEOMETRY_KDTREE_H_

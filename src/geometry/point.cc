@@ -1,0 +1,126 @@
+#include "geometry/point.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ukc {
+namespace geometry {
+
+Point& Point::operator+=(const Point& other) {
+  UKC_DCHECK_EQ(dim(), other.dim());
+  for (size_t i = 0; i < coords_.size(); ++i) coords_[i] += other.coords_[i];
+  return *this;
+}
+
+Point& Point::operator-=(const Point& other) {
+  UKC_DCHECK_EQ(dim(), other.dim());
+  for (size_t i = 0; i < coords_.size(); ++i) coords_[i] -= other.coords_[i];
+  return *this;
+}
+
+Point& Point::operator*=(double scale) {
+  for (double& c : coords_) c *= scale;
+  return *this;
+}
+
+double Point::SquaredNorm() const {
+  double total = 0.0;
+  for (double c : coords_) total += c * c;
+  return total;
+}
+
+double Point::Norm() const { return std::sqrt(SquaredNorm()); }
+
+double Point::Dot(const Point& other) const {
+  UKC_DCHECK_EQ(dim(), other.dim());
+  double total = 0.0;
+  for (size_t i = 0; i < coords_.size(); ++i) total += coords_[i] * other.coords_[i];
+  return total;
+}
+
+std::string Point::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < coords_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%.6g", coords_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << p.ToString();
+}
+
+double SquaredDistance(const Point& a, const Point& b) {
+  UKC_DCHECK_EQ(a.dim(), b.dim());
+  double total = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    const double diff = a[i] - b[i];
+    total += diff * diff;
+  }
+  return total;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double L1Distance(const Point& a, const Point& b) {
+  UKC_DCHECK_EQ(a.dim(), b.dim());
+  double total = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) total += std::abs(a[i] - b[i]);
+  return total;
+}
+
+double LInfDistance(const Point& a, const Point& b) {
+  UKC_DCHECK_EQ(a.dim(), b.dim());
+  double worst = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+double LpDistance(const Point& a, const Point& b, double p) {
+  UKC_DCHECK_EQ(a.dim(), b.dim());
+  UKC_CHECK_GE(p, 1.0) << "Lp distance needs p >= 1 for the triangle inequality";
+  double total = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    total += std::pow(std::abs(a[i] - b[i]), p);
+  }
+  return std::pow(total, 1.0 / p);
+}
+
+Point Lerp(const Point& a, const Point& b, double t) {
+  UKC_DCHECK_EQ(a.dim(), b.dim());
+  Point out(a.dim());
+  for (size_t i = 0; i < a.dim(); ++i) out[i] = (1.0 - t) * a[i] + t * b[i];
+  return out;
+}
+
+Point Centroid(const std::vector<Point>& points) {
+  UKC_CHECK(!points.empty());
+  Point sum(points[0].dim());
+  for (const Point& p : points) sum += p;
+  return sum * (1.0 / static_cast<double>(points.size()));
+}
+
+Point WeightedCentroid(const std::vector<Point>& points,
+                       const std::vector<double>& weights) {
+  UKC_CHECK(!points.empty());
+  UKC_CHECK_EQ(points.size(), weights.size());
+  Point sum(points[0].dim());
+  double total = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    UKC_CHECK_GE(weights[i], 0.0);
+    sum += points[i] * weights[i];
+    total += weights[i];
+  }
+  UKC_CHECK_GT(total, 0.0);
+  return sum * (1.0 / total);
+}
+
+}  // namespace geometry
+}  // namespace ukc

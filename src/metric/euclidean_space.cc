@@ -1,0 +1,72 @@
+#include "metric/euclidean_space.h"
+
+#include "common/strings.h"
+
+namespace ukc {
+namespace metric {
+
+std::string NormToString(Norm norm) {
+  switch (norm) {
+    case Norm::kL2:
+      return "L2";
+    case Norm::kL1:
+      return "L1";
+    case Norm::kLInf:
+      return "LInf";
+  }
+  return "?";
+}
+
+EuclideanSpace::EuclideanSpace(size_t dim, Norm norm) : dim_(dim), norm_(norm) {
+  UKC_CHECK_GE(dim, 1u);
+}
+
+EuclideanSpace::EuclideanSpace(size_t dim, std::vector<geometry::Point> points,
+                               Norm norm)
+    : dim_(dim), norm_(norm), points_(std::move(points)) {
+  UKC_CHECK_GE(dim, 1u);
+  for (const auto& p : points_) {
+    UKC_CHECK_EQ(p.dim(), dim_) << "point dimension mismatch";
+  }
+}
+
+double EuclideanSpace::PointDistance(const geometry::Point& a,
+                                     const geometry::Point& b) const {
+  switch (norm_) {
+    case Norm::kL2:
+      return geometry::Distance(a, b);
+    case Norm::kL1:
+      return geometry::L1Distance(a, b);
+    case Norm::kLInf:
+      return geometry::LInfDistance(a, b);
+  }
+  return 0.0;
+}
+
+double EuclideanSpace::Distance(SiteId a, SiteId b) const {
+  return PointDistance(point(a), point(b));
+}
+
+std::string EuclideanSpace::Name() const {
+  return StrFormat("%s(R^%zu, %d sites)", NormToString(norm_).c_str(), dim_,
+                   static_cast<int>(points_.size()));
+}
+
+SiteId EuclideanSpace::AddPoint(geometry::Point point) {
+  UKC_CHECK_EQ(point.dim(), dim_) << "point dimension mismatch";
+  points_.push_back(std::move(point));
+  return static_cast<SiteId>(points_.size()) - 1;
+}
+
+const geometry::Point& EuclideanSpace::point(SiteId id) const {
+  UKC_CHECK_GE(id, 0);
+  UKC_CHECK_LT(static_cast<size_t>(id), points_.size());
+  return points_[static_cast<size_t>(id)];
+}
+
+double EuclideanSpace::DistanceToPoint(SiteId a, const geometry::Point& p) const {
+  return PointDistance(point(a), p);
+}
+
+}  // namespace metric
+}  // namespace ukc

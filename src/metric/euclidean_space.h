@@ -1,0 +1,77 @@
+// Euclidean (and general normed R^d) metric space over an extensible
+// point set.
+
+#ifndef UKC_METRIC_EUCLIDEAN_SPACE_H_
+#define UKC_METRIC_EUCLIDEAN_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "metric/metric_space.h"
+
+namespace ukc {
+namespace metric {
+
+/// Which norm induces the distance. The paper's Euclidean theorems rely
+/// only on Lemma 3.1 (d(P̄,Q) ≤ E d(P,Q)), which holds for any norm, so
+/// L1 and L∞ are provided for ablation studies.
+enum class Norm {
+  kL2,
+  kL1,
+  kLInf,
+};
+
+/// Returns a short name ("L2", ...) for a norm.
+std::string NormToString(Norm norm);
+
+/// A normed space R^d over a growable list of points. Sites may be
+/// appended (never removed), so SiteIds remain stable; this is how
+/// constructed points such as expected points enter the space.
+class EuclideanSpace : public MetricSpace {
+ public:
+  /// An empty space of the given dimension.
+  explicit EuclideanSpace(size_t dim, Norm norm = Norm::kL2);
+
+  /// A space populated with the given points (all of dimension dim).
+  EuclideanSpace(size_t dim, std::vector<geometry::Point> points,
+                 Norm norm = Norm::kL2);
+
+  double Distance(SiteId a, SiteId b) const override;
+  SiteId num_sites() const override {
+    return static_cast<SiteId>(points_.size());
+  }
+  std::string Name() const override;
+
+  /// Dimension of the ambient space.
+  size_t dim() const { return dim_; }
+
+  /// The norm in use.
+  Norm norm() const { return norm_; }
+
+  /// Appends a point and returns its new site id. The point's dimension
+  /// must match the space.
+  SiteId AddPoint(geometry::Point point);
+
+  /// The point backing a site.
+  const geometry::Point& point(SiteId id) const;
+
+  /// All points (index == SiteId).
+  const std::vector<geometry::Point>& points() const { return points_; }
+
+  /// Distance between a site and a free (unregistered) point.
+  double DistanceToPoint(SiteId a, const geometry::Point& p) const;
+
+  /// Distance between two free points under this space's norm.
+  double PointDistance(const geometry::Point& a, const geometry::Point& b) const;
+
+ private:
+  size_t dim_;
+  Norm norm_;
+  std::vector<geometry::Point> points_;
+};
+
+}  // namespace metric
+}  // namespace ukc
+
+#endif  // UKC_METRIC_EUCLIDEAN_SPACE_H_

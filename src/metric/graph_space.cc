@@ -1,0 +1,111 @@
+#include "metric/graph_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace ukc {
+namespace metric {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Single-source Dijkstra over an adjacency list.
+void Dijkstra(const std::vector<std::vector<std::pair<SiteId, double>>>& adjacency,
+              SiteId source, double* distances) {
+  const size_t n = adjacency.size();
+  for (size_t i = 0; i < n; ++i) distances[i] = kInf;
+  distances[source] = 0.0;
+  using Entry = std::pair<double, SiteId>;  // (distance, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> frontier;
+  frontier.emplace(0.0, source);
+  while (!frontier.empty()) {
+    const auto [dist, u] = frontier.top();
+    frontier.pop();
+    if (dist > distances[u]) continue;  // Stale entry.
+    for (const auto& [v, w] : adjacency[u]) {
+      const double candidate = dist + w;
+      if (candidate < distances[v]) {
+        distances[v] = candidate;
+        frontier.emplace(candidate, v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::shared_ptr<GraphSpace>> GraphSpace::Build(
+    SiteId num_vertices, const std::vector<Edge>& edges) {
+  if (num_vertices <= 0) {
+    return Status::InvalidArgument("GraphSpace: need at least one vertex");
+  }
+  std::vector<std::vector<std::pair<SiteId, double>>> adjacency(
+      static_cast<size_t>(num_vertices));
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const Edge& edge = edges[e];
+    if (edge.u < 0 || edge.u >= num_vertices || edge.v < 0 ||
+        edge.v >= num_vertices) {
+      return Status::InvalidArgument(
+          StrFormat("GraphSpace: edge %zu endpoints (%d,%d) out of range", e,
+                    edge.u, edge.v));
+    }
+    if (edge.u == edge.v) {
+      return Status::InvalidArgument(
+          StrFormat("GraphSpace: self loop at vertex %d (edge %zu)", edge.u, e));
+    }
+    if (!(edge.weight > 0.0) || std::isinf(edge.weight)) {
+      return Status::InvalidArgument(
+          StrFormat("GraphSpace: edge %zu weight %g must be positive and finite",
+                    e, edge.weight));
+    }
+    adjacency[static_cast<size_t>(edge.u)].emplace_back(edge.v, edge.weight);
+    adjacency[static_cast<size_t>(edge.v)].emplace_back(edge.u, edge.weight);
+  }
+
+  const size_t n = static_cast<size_t>(num_vertices);
+  std::vector<double> flat(n * n, kInf);
+  for (size_t s = 0; s < n; ++s) {
+    Dijkstra(adjacency, static_cast<SiteId>(s), flat.data() + s * n);
+  }
+  for (double d : flat) {
+    if (std::isinf(d)) {
+      return Status::InvalidArgument(
+          "GraphSpace: graph is disconnected; the shortest-path metric "
+          "requires a connected graph");
+    }
+  }
+  // Two Dijkstra runs sum the same path in opposite orders, which can
+  // differ in the last bit; force exact symmetry by keeping the smaller.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d = std::min(flat[i * n + j], flat[j * n + i]);
+      flat[i * n + j] = d;
+      flat[j * n + i] = d;
+    }
+  }
+  return std::shared_ptr<GraphSpace>(
+      new GraphSpace(num_vertices, edges.size(), std::move(flat)));
+}
+
+GraphSpace::GraphSpace(SiteId n, size_t num_edges, std::vector<double> flat)
+    : n_(n), num_edges_(num_edges), flat_(std::move(flat)) {}
+
+double GraphSpace::Distance(SiteId a, SiteId b) const {
+  UKC_DCHECK(a >= 0 && a < n_);
+  UKC_DCHECK(b >= 0 && b < n_);
+  return flat_[static_cast<size_t>(a) * static_cast<size_t>(n_) +
+               static_cast<size_t>(b)];
+}
+
+std::string GraphSpace::Name() const {
+  return StrFormat("Graph(%d vertices, %zu edges)", n_, num_edges_);
+}
+
+}  // namespace metric
+}  // namespace ukc

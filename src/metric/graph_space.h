@@ -1,0 +1,55 @@
+// Shortest-path metric of a weighted undirected graph.
+//
+// This is the "general metric space" substrate for the paper's metric
+// theorems (2.6, 2.7): sites are graph vertices, distances are shortest
+// paths. All-pairs distances are precomputed with Dijkstra from every
+// vertex at Build() time, so Distance() is an O(1) table lookup — the
+// clustering algorithms probe distances heavily.
+
+#ifndef UKC_METRIC_GRAPH_SPACE_H_
+#define UKC_METRIC_GRAPH_SPACE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "metric/metric_space.h"
+
+namespace ukc {
+namespace metric {
+
+/// An undirected weighted edge between vertices u and v.
+struct Edge {
+  SiteId u = 0;
+  SiteId v = 0;
+  double weight = 0.0;
+};
+
+/// Shortest-path metric over a connected weighted undirected graph.
+class GraphSpace : public MetricSpace {
+ public:
+  /// Validates the graph (vertex ids in range, positive finite weights,
+  /// no self loops, connected) and precomputes all-pairs shortest paths.
+  static Result<std::shared_ptr<GraphSpace>> Build(SiteId num_vertices,
+                                                   const std::vector<Edge>& edges);
+
+  double Distance(SiteId a, SiteId b) const override;
+  SiteId num_sites() const override { return n_; }
+  std::string Name() const override;
+
+  /// Number of edges in the underlying graph.
+  size_t num_edges() const { return num_edges_; }
+
+ private:
+  GraphSpace(SiteId n, size_t num_edges, std::vector<double> flat);
+
+  SiteId n_;
+  size_t num_edges_;
+  std::vector<double> flat_;  // n_*n_ all-pairs shortest-path distances.
+};
+
+}  // namespace metric
+}  // namespace ukc
+
+#endif  // UKC_METRIC_GRAPH_SPACE_H_

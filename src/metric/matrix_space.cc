@@ -1,0 +1,94 @@
+#include "metric/matrix_space.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ukc {
+namespace metric {
+
+Result<std::shared_ptr<MatrixSpace>> MatrixSpace::Build(
+    std::vector<std::vector<double>> matrix, bool check_triangle) {
+  const size_t n = matrix.size();
+  if (n == 0) {
+    return Status::InvalidArgument("MatrixSpace: empty matrix");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (matrix[i].size() != n) {
+      return Status::InvalidArgument(
+          StrFormat("MatrixSpace: row %zu has %zu entries, want %zu", i,
+                    matrix[i].size(), n));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (matrix[i][i] != 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("MatrixSpace: diagonal entry (%zu,%zu) is %g, want 0", i, i,
+                    matrix[i][i]));
+    }
+    for (size_t j = 0; j < n; ++j) {
+      const double d = matrix[i][j];
+      if (!(d >= 0.0) || std::isinf(d)) {  // Also rejects NaN.
+        return Status::InvalidArgument(
+            StrFormat("MatrixSpace: entry (%zu,%zu)=%g is not a finite "
+                      "non-negative distance",
+                      i, j, d));
+      }
+      if (matrix[i][j] != matrix[j][i]) {
+        return Status::InvalidArgument(
+            StrFormat("MatrixSpace: asymmetric at (%zu,%zu): %g vs %g", i, j,
+                      matrix[i][j], matrix[j][i]));
+      }
+      if (i != j && d == 0.0) {
+        return Status::InvalidArgument(
+            StrFormat("MatrixSpace: zero distance between distinct sites "
+                      "%zu and %zu",
+                      i, j));
+      }
+    }
+  }
+  if (check_triangle) {
+    // Allow a tiny relative slack for matrices assembled from floating
+    // point computations (e.g. shortest paths).
+    constexpr double kSlack = 1e-9;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        for (size_t l = 0; l < n; ++l) {
+          const double lhs = matrix[i][j];
+          const double rhs = matrix[i][l] + matrix[l][j];
+          if (lhs > rhs * (1.0 + kSlack)) {
+            return Status::InvalidArgument(
+                StrFormat("MatrixSpace: triangle inequality violated: "
+                          "d(%zu,%zu)=%g > d(%zu,%zu)+d(%zu,%zu)=%g",
+                          i, j, lhs, i, l, l, j, rhs));
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<double> flat;
+  flat.reserve(n * n);
+  for (const auto& row : matrix) {
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return std::shared_ptr<MatrixSpace>(
+      new MatrixSpace(static_cast<SiteId>(n), std::move(flat)));
+}
+
+MatrixSpace::MatrixSpace(SiteId n, std::vector<double> flat)
+    : n_(n), flat_(std::move(flat)) {}
+
+double MatrixSpace::Distance(SiteId a, SiteId b) const {
+  UKC_DCHECK(a >= 0 && a < n_);
+  UKC_DCHECK(b >= 0 && b < n_);
+  return flat_[static_cast<size_t>(a) * static_cast<size_t>(n_) +
+               static_cast<size_t>(b)];
+}
+
+std::string MatrixSpace::Name() const {
+  return StrFormat("Matrix(%d sites)", n_);
+}
+
+}  // namespace metric
+}  // namespace ukc

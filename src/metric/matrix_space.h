@@ -1,0 +1,40 @@
+// Finite metric space given by an explicit symmetric distance matrix.
+
+#ifndef UKC_METRIC_MATRIX_SPACE_H_
+#define UKC_METRIC_MATRIX_SPACE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "metric/metric_space.h"
+
+namespace ukc {
+namespace metric {
+
+/// A metric space backed by a dense n×n distance matrix (row-major).
+/// Build() validates the metric axioms: symmetry, non-negativity, zero
+/// diagonal, and — when `check_triangle` is set — the full O(n³)
+/// triangle-inequality check.
+class MatrixSpace : public MetricSpace {
+ public:
+  /// Validates the matrix and constructs the space.
+  static Result<std::shared_ptr<MatrixSpace>> Build(
+      std::vector<std::vector<double>> matrix, bool check_triangle = true);
+
+  double Distance(SiteId a, SiteId b) const override;
+  SiteId num_sites() const override { return n_; }
+  std::string Name() const override;
+
+ private:
+  MatrixSpace(SiteId n, std::vector<double> flat);
+
+  SiteId n_;
+  std::vector<double> flat_;  // n_*n_ row-major distances.
+};
+
+}  // namespace metric
+}  // namespace ukc
+
+#endif  // UKC_METRIC_MATRIX_SPACE_H_

@@ -1,0 +1,96 @@
+#include "metric/metric_checker.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ukc {
+namespace metric {
+
+namespace {
+
+Status CheckTriple(const MetricSpace& space, SiteId i, SiteId j, SiteId l,
+                   double slack) {
+  const double dij = space.Distance(i, j);
+  const double dil = space.Distance(i, l);
+  const double dlj = space.Distance(l, j);
+  if (dij > (dil + dlj) * (1.0 + slack)) {
+    return Status::FailedPrecondition(
+        StrFormat("triangle inequality violated: d(%d,%d)=%g > "
+                  "d(%d,%d)+d(%d,%d)=%g",
+                  i, j, dij, i, l, l, j, dil + dlj));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckMetricAxioms(const MetricSpace& space,
+                         const MetricCheckOptions& options) {
+  const SiteId n = space.num_sites();
+  if (n <= 0) {
+    return Status::FailedPrecondition("metric space has no sites");
+  }
+
+  // Pairwise axioms: always exhaustive when affordable, sampled
+  // otherwise.
+  const bool pairwise_exhaustive =
+      static_cast<int64_t>(n) * n <= options.exhaustive_limit;
+  Rng rng(options.seed);
+  auto check_pair = [&](SiteId i, SiteId j) -> Status {
+    const double d = space.Distance(i, j);
+    if (std::isnan(d) || d < 0.0) {
+      return Status::FailedPrecondition(
+          StrFormat("d(%d,%d)=%g is negative or NaN", i, j, d));
+    }
+    if (i == j && d != 0.0) {
+      return Status::FailedPrecondition(
+          StrFormat("d(%d,%d)=%g, the diagonal must be zero", i, j, d));
+    }
+    const double reverse = space.Distance(j, i);
+    if (d != reverse) {
+      return Status::FailedPrecondition(
+          StrFormat("asymmetry: d(%d,%d)=%g but d(%d,%d)=%g", i, j, d, j, i,
+                    reverse));
+    }
+    return Status::OK();
+  };
+
+  if (pairwise_exhaustive) {
+    for (SiteId i = 0; i < n; ++i) {
+      for (SiteId j = i; j < n; ++j) {
+        UKC_RETURN_IF_ERROR(check_pair(i, j));
+      }
+    }
+  } else {
+    for (int64_t s = 0; s < options.num_samples; ++s) {
+      const SiteId i = static_cast<SiteId>(rng.UniformInt(0, n - 1));
+      const SiteId j = static_cast<SiteId>(rng.UniformInt(0, n - 1));
+      UKC_RETURN_IF_ERROR(check_pair(i, j));
+    }
+  }
+
+  // Triangle inequality.
+  const int64_t cube = static_cast<int64_t>(n) * n * n;
+  if (cube <= options.exhaustive_limit) {
+    for (SiteId i = 0; i < n; ++i) {
+      for (SiteId j = 0; j < n; ++j) {
+        for (SiteId l = 0; l < n; ++l) {
+          UKC_RETURN_IF_ERROR(
+              CheckTriple(space, i, j, l, options.relative_slack));
+        }
+      }
+    }
+  } else {
+    for (int64_t s = 0; s < options.num_samples; ++s) {
+      const SiteId i = static_cast<SiteId>(rng.UniformInt(0, n - 1));
+      const SiteId j = static_cast<SiteId>(rng.UniformInt(0, n - 1));
+      const SiteId l = static_cast<SiteId>(rng.UniformInt(0, n - 1));
+      UKC_RETURN_IF_ERROR(CheckTriple(space, i, j, l, options.relative_slack));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace metric
+}  // namespace ukc

@@ -1,0 +1,37 @@
+// Empirical verification that a MetricSpace satisfies the metric axioms.
+// Used by tests and as a debugging aid for user-supplied spaces.
+
+#ifndef UKC_METRIC_METRIC_CHECKER_H_
+#define UKC_METRIC_METRIC_CHECKER_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "metric/metric_space.h"
+
+namespace ukc {
+namespace metric {
+
+/// Options for CheckMetricAxioms.
+struct MetricCheckOptions {
+  /// Check every (i,j,k) triple when num_sites^3 does not exceed this;
+  /// otherwise sample `num_samples` random triples.
+  int64_t exhaustive_limit = 1'000'000;
+  int64_t num_samples = 100'000;
+  /// Relative slack tolerated in the triangle inequality, for distances
+  /// assembled from floating-point arithmetic.
+  double relative_slack = 1e-9;
+  uint64_t seed = 7;
+};
+
+/// Verifies non-negativity, zero diagonal, symmetry, and the triangle
+/// inequality. Returns FailedPrecondition naming the first offending
+/// pair/triple, or OK.
+Status CheckMetricAxioms(const MetricSpace& space,
+                         const MetricCheckOptions& options = {});
+
+}  // namespace metric
+}  // namespace ukc
+
+#endif  // UKC_METRIC_METRIC_CHECKER_H_

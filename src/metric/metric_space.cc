@@ -1,0 +1,33 @@
+#include "metric/metric_space.h"
+
+#include <limits>
+
+namespace ukc {
+namespace metric {
+
+double MetricSpace::DistanceToSet(SiteId a,
+                                  const std::vector<SiteId>& candidates) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (SiteId c : candidates) {
+    const double d = Distance(a, c);
+    if (d < best) best = d;
+  }
+  return best;
+}
+
+SiteId MetricSpace::NearestInSet(SiteId a,
+                                 const std::vector<SiteId>& candidates) const {
+  SiteId best = kInvalidSite;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (SiteId c : candidates) {
+    const double d = Distance(a, c);
+    if (d < best_distance) {
+      best_distance = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace metric
+}  // namespace ukc

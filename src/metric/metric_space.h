@@ -1,0 +1,56 @@
+// Abstract finite metric space interface.
+//
+// All clustering algorithms in this library address points through
+// *site ids* — indices into a metric space. This unifies the Euclidean
+// and general-metric paths of the paper: Euclidean algorithms may mint
+// new sites for constructed points (expected points, refined centers),
+// while finite metrics (distance matrix, graph shortest path) restrict
+// centers to existing sites, exactly as the paper's general-metric
+// theorems assume.
+
+#ifndef UKC_METRIC_METRIC_SPACE_H_
+#define UKC_METRIC_METRIC_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ukc {
+namespace metric {
+
+/// Index of a site (point) within a MetricSpace.
+using SiteId = int32_t;
+
+/// Sentinel for "no site".
+inline constexpr SiteId kInvalidSite = -1;
+
+/// A finite metric space: a set of sites {0, ..., num_sites()-1} with a
+/// distance oracle. Implementations must satisfy the metric axioms;
+/// CheckMetricAxioms (metric_checker.h) verifies them empirically.
+class MetricSpace {
+ public:
+  virtual ~MetricSpace() = default;
+
+  /// The distance between two sites. Must be symmetric, non-negative,
+  /// zero on the diagonal, and satisfy the triangle inequality.
+  virtual double Distance(SiteId a, SiteId b) const = 0;
+
+  /// Number of sites currently in the space.
+  virtual SiteId num_sites() const = 0;
+
+  /// Human-readable space name for reports.
+  virtual std::string Name() const = 0;
+
+  /// The distance from `a` to the nearest site in `candidates`
+  /// (infinity when `candidates` is empty).
+  double DistanceToSet(SiteId a, const std::vector<SiteId>& candidates) const;
+
+  /// The site in `candidates` nearest to `a` (kInvalidSite when empty);
+  /// ties broken toward the earliest candidate.
+  SiteId NearestInSet(SiteId a, const std::vector<SiteId>& candidates) const;
+};
+
+}  // namespace metric
+}  // namespace ukc
+
+#endif  // UKC_METRIC_METRIC_SPACE_H_

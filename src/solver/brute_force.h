@@ -1,0 +1,35 @@
+// Exact discrete k-center by exhaustive enumeration of center subsets.
+// The experiment harness uses it as ground truth on tiny instances.
+
+#ifndef UKC_SOLVER_BRUTE_FORCE_H_
+#define UKC_SOLVER_BRUTE_FORCE_H_
+
+#include "common/result.h"
+#include "metric/metric_space.h"
+#include "solver/types.h"
+
+namespace ukc {
+namespace solver {
+
+/// Options for ExactDiscreteKCenter.
+struct BruteForceOptions {
+  /// Refuses instances where C(|candidates|, k) exceeds this, to keep
+  /// accidental exponential blowups out of test runs.
+  uint64_t max_subsets = 20'000'000;
+};
+
+/// Finds the optimal k centers *restricted to `candidates`* covering
+/// `sites`, by enumerating every k-subset with branch-and-bound pruning.
+/// approx_factor is 1 (with respect to the discrete optimum).
+Result<KCenterSolution> ExactDiscreteKCenter(
+    const metric::MetricSpace& space, const std::vector<metric::SiteId>& sites,
+    const std::vector<metric::SiteId>& candidates, size_t k,
+    const BruteForceOptions& options = {});
+
+/// Number of k-subsets of an m-set, saturating at uint64 max.
+uint64_t BinomialCount(uint64_t m, uint64_t k);
+
+}  // namespace solver
+}  // namespace ukc
+
+#endif  // UKC_SOLVER_BRUTE_FORCE_H_

@@ -1,0 +1,116 @@
+#include "solver/geometric_median.h"
+
+#include <cmath>
+
+#include "geometry/box.h"
+
+namespace ukc {
+namespace solver {
+
+using geometry::Point;
+
+namespace {
+
+double Objective(const std::vector<Point>& points,
+                 const std::vector<double>& weights, const Point& q) {
+  double total = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    total += weights[i] * geometry::Distance(points[i], q);
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<GeometricMedianResult> WeightedGeometricMedian(
+    const std::vector<Point>& points, const std::vector<double>& weights,
+    const GeometricMedianOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("WeightedGeometricMedian: no points");
+  }
+  if (points.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "WeightedGeometricMedian: points/weights size mismatch");
+  }
+  const size_t dim = points[0].dim();
+  for (const Point& p : points) {
+    if (p.dim() != dim) {
+      return Status::InvalidArgument("WeightedGeometricMedian: mixed dimensions");
+    }
+  }
+  for (double w : weights) {
+    if (!(w > 0.0)) {
+      return Status::InvalidArgument(
+          "WeightedGeometricMedian: weights must be positive");
+    }
+  }
+
+  GeometricMedianResult result;
+  if (points.size() == 1) {
+    result.median = points[0];
+    result.objective = 0.0;
+    result.converged = true;
+    return result;
+  }
+
+  const double scale =
+      std::max(geometry::Box::BoundingBox(points).Diagonal(), 1e-300);
+  const double step_tolerance = scale * options.relative_tolerance;
+  // Anchor-coincidence threshold: treat q as sitting on an anchor when
+  // closer than this.
+  const double snap = scale * 1e-14;
+
+  // Start from the weighted centroid, which already minimizes the
+  // squared-distance relaxation.
+  Point q = geometry::WeightedCentroid(points, weights);
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    // T(q) = sum w_i p_i / d_i / sum w_i / d_i over anchors away from q;
+    // Vardi–Zhang: if q coincides with anchor a, step only if the pull
+    // R of the other anchors exceeds w_a, scaled by (1 - w_a/|R|).
+    Point numerator(dim);
+    double denominator = 0.0;
+    Point pull(dim);
+    double coincident_weight = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      const double d = geometry::Distance(points[i], q);
+      if (d <= snap) {
+        coincident_weight += weights[i];
+        continue;
+      }
+      const double w_over_d = weights[i] / d;
+      numerator += points[i] * w_over_d;
+      denominator += w_over_d;
+      pull += (points[i] - q) * w_over_d;
+    }
+    if (denominator == 0.0) {
+      // All mass sits exactly at q: q is the median.
+      result.converged = true;
+      break;
+    }
+    Point next = numerator * (1.0 / denominator);
+    if (coincident_weight > 0.0) {
+      const double pull_norm = pull.Norm();
+      if (pull_norm <= coincident_weight) {
+        // The anchor's weight dominates the drift: q is optimal.
+        result.converged = true;
+        break;
+      }
+      const double damping = 1.0 - coincident_weight / pull_norm;
+      next = q + (next - q) * damping;
+    }
+    const double step = geometry::Distance(q, next);
+    q = next;
+    if (step <= step_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.median = q;
+  result.objective = Objective(points, weights, q);
+  return result;
+}
+
+}  // namespace solver
+}  // namespace ukc

@@ -1,0 +1,49 @@
+#include "solver/gonzalez.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ukc {
+namespace solver {
+
+Result<KCenterSolution> Gonzalez(const metric::MetricSpace& space,
+                                 const std::vector<metric::SiteId>& sites,
+                                 size_t k, const GonzalezOptions& options) {
+  if (k == 0) return Status::InvalidArgument("Gonzalez: k must be >= 1");
+  if (sites.empty()) return Status::InvalidArgument("Gonzalez: no sites");
+  if (options.first_index >= sites.size()) {
+    return Status::InvalidArgument("Gonzalez: first_index out of range");
+  }
+
+  KCenterSolution solution;
+  solution.algorithm = "gonzalez";
+  solution.approx_factor = 2.0;
+  const size_t num_centers = std::min(k, sites.size());
+  solution.centers.reserve(num_centers);
+
+  // nearest[i] = distance from sites[i] to the closest chosen center.
+  std::vector<double> nearest(sites.size(),
+                              std::numeric_limits<double>::infinity());
+  size_t next = options.first_index;
+  for (size_t round = 0; round < num_centers; ++round) {
+    const metric::SiteId center = sites[next];
+    solution.centers.push_back(center);
+    // Relax distances and find the new farthest site in one pass.
+    double farthest = -1.0;
+    size_t farthest_index = 0;
+    for (size_t i = 0; i < sites.size(); ++i) {
+      nearest[i] = std::min(nearest[i], space.Distance(sites[i], center));
+      if (nearest[i] > farthest) {
+        farthest = nearest[i];
+        farthest_index = i;
+      }
+    }
+    next = farthest_index;
+    solution.radius = farthest;
+  }
+  if (num_centers == sites.size()) solution.radius = 0.0;
+  return solution;
+}
+
+}  // namespace solver
+}  // namespace ukc

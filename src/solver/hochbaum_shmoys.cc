@@ -1,0 +1,84 @@
+#include "solver/hochbaum_shmoys.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ukc {
+namespace solver {
+
+namespace {
+
+// Greedy cover at threshold t: repeatedly pick the first uncovered site
+// as a center and cover everything within 2t of it. Returns the chosen
+// centers. Any two chosen centers are > 2t apart, which is what powers
+// both the 2-approximation and the lower-bound certificate.
+std::vector<metric::SiteId> GreedyCover(const metric::MetricSpace& space,
+                                        const std::vector<metric::SiteId>& sites,
+                                        double t, size_t stop_after) {
+  std::vector<bool> covered(sites.size(), false);
+  std::vector<metric::SiteId> centers;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    if (covered[i]) continue;
+    centers.push_back(sites[i]);
+    if (centers.size() > stop_after) break;  // Already infeasible.
+    for (size_t j = i; j < sites.size(); ++j) {
+      if (!covered[j] && space.Distance(sites[i], sites[j]) <= 2.0 * t) {
+        covered[j] = true;
+      }
+    }
+  }
+  return centers;
+}
+
+}  // namespace
+
+Result<ThresholdSolution> HochbaumShmoys(const metric::MetricSpace& space,
+                                         const std::vector<metric::SiteId>& sites,
+                                         size_t k) {
+  if (k == 0) return Status::InvalidArgument("HochbaumShmoys: k must be >= 1");
+  if (sites.empty()) return Status::InvalidArgument("HochbaumShmoys: no sites");
+
+  // All distinct pairwise distances, ascending, 0 prepended so that the
+  // degenerate all-coincident case works.
+  std::vector<double> thresholds;
+  thresholds.reserve(sites.size() * (sites.size() - 1) / 2 + 1);
+  thresholds.push_back(0.0);
+  for (size_t i = 0; i < sites.size(); ++i) {
+    for (size_t j = i + 1; j < sites.size(); ++j) {
+      thresholds.push_back(space.Distance(sites[i], sites[j]));
+    }
+  }
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  // Binary search for the smallest feasible threshold.
+  size_t lo = 0;                     // Unknown.
+  size_t hi = thresholds.size() - 1; // Always feasible: 2*d_max covers all.
+  auto feasible = [&](size_t index) {
+    return GreedyCover(space, sites, thresholds[index], k).size() <= k;
+  };
+  if (!feasible(hi)) {
+    return Status::Internal("HochbaumShmoys: maximal threshold infeasible");
+  }
+  if (feasible(lo)) {
+    hi = lo;
+  } else {
+    while (hi - lo > 1) {
+      const size_t mid = lo + (hi - lo) / 2;
+      (feasible(mid) ? hi : lo) = mid;
+    }
+  }
+
+  ThresholdSolution out;
+  out.solution.centers = GreedyCover(space, sites, thresholds[hi], k);
+  out.solution.radius = CoveringRadius(space, sites, out.solution.centers);
+  out.solution.approx_factor = 2.0;
+  out.solution.algorithm = "hochbaum-shmoys";
+  out.lower_bound = hi == 0 ? 0.0 : thresholds[hi];
+  out.continuous_lower_bound = hi == 0 ? 0.0 : thresholds[hi - 1];
+  return out;
+}
+
+}  // namespace solver
+}  // namespace ukc

@@ -1,0 +1,48 @@
+// Hochbaum–Shmoys style threshold algorithm: a 2-approximation for the
+// *discrete* k-center problem (centers restricted to the input sites),
+// found by binary search over the sorted pairwise distances.
+//
+// Complements Gonzalez: same factor, but its radius is at most twice the
+// best *discrete* radius at every threshold, and the threshold search
+// yields the exact critical distance, which the experiment harness uses
+// as a lower-bound oracle (opt_discrete >= critical/2... see
+// LowerBound()).
+
+#ifndef UKC_SOLVER_HOCHBAUM_SHMOYS_H_
+#define UKC_SOLVER_HOCHBAUM_SHMOYS_H_
+
+#include "common/result.h"
+#include "metric/metric_space.h"
+#include "solver/types.h"
+
+namespace ukc {
+namespace solver {
+
+/// Result of the threshold search: the 2-approximate solution plus a
+/// certified lower bound on the optimal discrete k-center radius.
+struct ThresholdSolution {
+  KCenterSolution solution;
+  /// Certified lower bound on the *discrete* optimal radius: the optimal
+  /// discrete radius is a pairwise distance, and every pairwise distance
+  /// below this value was proved infeasible, so opt_discrete >=
+  /// lower_bound.
+  double lower_bound = 0.0;
+  /// Certified lower bound on the *continuous* optimal radius: at the
+  /// largest infeasible threshold t the greedy produced k+1 sites
+  /// pairwise more than 2t apart, so any k centers (anywhere in the
+  /// space) leave some site farther than t: opt_continuous >
+  /// continuous_lower_bound.
+  double continuous_lower_bound = 0.0;
+};
+
+/// Runs the threshold algorithm. O(|sites|^2 log |sites|) time and
+/// O(|sites|^2) memory for the distance list; intended for |sites| up to
+/// a few thousand.
+Result<ThresholdSolution> HochbaumShmoys(const metric::MetricSpace& space,
+                                         const std::vector<metric::SiteId>& sites,
+                                         size_t k);
+
+}  // namespace solver
+}  // namespace ukc
+
+#endif  // UKC_SOLVER_HOCHBAUM_SHMOYS_H_

@@ -1,0 +1,125 @@
+#include "solver/kcenter_1d.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace ukc {
+namespace solver {
+
+namespace {
+
+Status ValidateInput(const std::vector<double>& values, size_t k) {
+  if (k == 0) return Status::InvalidArgument("KCenter1D: k must be >= 1");
+  if (values.empty()) return Status::InvalidArgument("KCenter1D: no points");
+  return Status::OK();
+}
+
+// Builds the solution for sorted points given the optimal radius: sweep
+// greedily, each cluster anchored at its leftmost point.
+KCenter1DSolution BuildSolution(const std::vector<double>& sorted, double r) {
+  KCenter1DSolution solution;
+  solution.cluster_of.resize(sorted.size());
+  size_t start = 0;
+  double realized = 0.0;
+  while (start < sorted.size()) {
+    size_t end = start;
+    while (end + 1 < sorted.size() && sorted[end + 1] - sorted[start] <= 2.0 * r) {
+      ++end;
+    }
+    const double half_width = (sorted[end] - sorted[start]) / 2.0;
+    solution.centers.push_back(sorted[start] + half_width);
+    realized = std::max(realized, half_width);
+    for (size_t i = start; i <= end; ++i) {
+      solution.cluster_of[i] = solution.centers.size() - 1;
+    }
+    start = end + 1;
+  }
+  solution.radius = realized;
+  return solution;
+}
+
+// Number of clusters the greedy sweep needs at radius r.
+size_t GreedyClusters(const std::vector<double>& sorted, double r) {
+  size_t clusters = 0;
+  size_t start = 0;
+  while (start < sorted.size()) {
+    size_t end = start;
+    while (end + 1 < sorted.size() && sorted[end + 1] - sorted[start] <= 2.0 * r) {
+      ++end;
+    }
+    ++clusters;
+    start = end + 1;
+  }
+  return clusters;
+}
+
+}  // namespace
+
+Result<KCenter1DSolution> KCenter1DDP(const std::vector<double>& values,
+                                      size_t k) {
+  UKC_RETURN_IF_ERROR(ValidateInput(values, k));
+  std::vector<double> sorted(values);
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  if (k >= n) return BuildSolution(sorted, 0.0);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp[j][i]: minimal radius covering the first i sorted points with j
+  // clusters; rolling over j.
+  std::vector<double> previous(n + 1, kInf);
+  std::vector<double> current(n + 1, kInf);
+  previous[0] = 0.0;
+  for (size_t j = 1; j <= k; ++j) {
+    current.assign(n + 1, kInf);
+    current[0] = 0.0;
+    for (size_t i = 1; i <= n; ++i) {
+      // Last cluster covers sorted[t..i-1].
+      for (size_t t = 0; t < i; ++t) {
+        if (previous[t] == kInf) continue;
+        const double width = (sorted[i - 1] - sorted[t]) / 2.0;
+        const double radius = std::max(previous[t], width);
+        current[i] = std::min(current[i], radius);
+      }
+    }
+    std::swap(previous, current);
+  }
+  return BuildSolution(sorted, previous[n]);
+}
+
+Result<KCenter1DSolution> KCenter1D(const std::vector<double>& values, size_t k) {
+  UKC_RETURN_IF_ERROR(ValidateInput(values, k));
+  std::vector<double> sorted(values);
+  std::sort(sorted.begin(), sorted.end());
+  if (k >= sorted.size()) return BuildSolution(sorted, 0.0);
+
+  // Candidate radii: half of every pairwise gap (the optimal radius is
+  // always half the width of some cluster), plus zero.
+  std::vector<double> candidates;
+  candidates.reserve(sorted.size() * (sorted.size() - 1) / 2 + 1);
+  candidates.push_back(0.0);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    for (size_t j = i + 1; j < sorted.size(); ++j) {
+      candidates.push_back((sorted[j] - sorted[i]) / 2.0);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  size_t lo = 0;
+  size_t hi = candidates.size() - 1;
+  if (GreedyClusters(sorted, candidates[lo]) <= k) {
+    hi = lo;
+  } else {
+    while (hi - lo > 1) {
+      const size_t mid = lo + (hi - lo) / 2;
+      (GreedyClusters(sorted, candidates[mid]) <= k ? hi : lo) = mid;
+    }
+  }
+  return BuildSolution(sorted, candidates[hi]);
+}
+
+}  // namespace solver
+}  // namespace ukc

@@ -1,0 +1,44 @@
+// Exact k-center for certain points on the real line.
+//
+// The deterministic 1D problem is polynomial [Megiddo et al. 1981]; this
+// module provides two exact algorithms used as references and as the
+// final clustering step of the paper's R^1 pipeline (Table 1 row 8):
+//
+//  * KCenter1DDP        — O(n^2 k) dynamic program over sorted points;
+//                         simple, exact, used as the test oracle.
+//  * KCenter1D          — binary search over the O(n^2) candidate radii
+//                         (half pairwise gaps) with a greedy feasibility
+//                         sweep; exact and much faster in practice.
+
+#ifndef UKC_SOLVER_KCENTER_1D_H_
+#define UKC_SOLVER_KCENTER_1D_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace ukc {
+namespace solver {
+
+/// Solution on the line: cluster boundaries and centers as coordinates.
+struct KCenter1DSolution {
+  /// Optimal centers (midpoints of the clusters' extreme points).
+  std::vector<double> centers;
+  /// The optimal radius: max distance from a point to its center.
+  double radius = 0.0;
+  /// cluster_of[i] = index of the center serving sorted point i.
+  std::vector<size_t> cluster_of;
+};
+
+/// Exact O(n^2 k) dynamic program. `values` need not be sorted.
+Result<KCenter1DSolution> KCenter1DDP(const std::vector<double>& values,
+                                      size_t k);
+
+/// Exact candidate-radius binary search, O(n^2) candidates but only
+/// O(n log n) per feasibility test. `values` need not be sorted.
+Result<KCenter1DSolution> KCenter1D(const std::vector<double>& values, size_t k);
+
+}  // namespace solver
+}  // namespace ukc
+
+#endif  // UKC_SOLVER_KCENTER_1D_H_

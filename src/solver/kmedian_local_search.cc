@@ -1,0 +1,176 @@
+#include "solver/kmedian_local_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "solver/brute_force.h"
+
+namespace ukc {
+namespace solver {
+
+namespace {
+
+Status ValidateCostMatrix(const std::vector<std::vector<double>>& cost,
+                          size_t k) {
+  if (cost.empty() || cost[0].empty()) {
+    return Status::InvalidArgument("KMedian: empty cost matrix");
+  }
+  const size_t m = cost[0].size();
+  for (size_t i = 0; i < cost.size(); ++i) {
+    if (cost[i].size() != m) {
+      return Status::InvalidArgument("KMedian: ragged cost matrix");
+    }
+    for (double value : cost[i]) {
+      if (!(value >= 0.0) || std::isinf(value)) {
+        return Status::InvalidArgument(
+            "KMedian: costs must be finite and non-negative");
+      }
+    }
+  }
+  if (k == 0 || k > m) {
+    return Status::InvalidArgument("KMedian: need 1 <= k <= #facilities");
+  }
+  return Status::OK();
+}
+
+// Recomputes assignment and total for an open set.
+void Reassign(const std::vector<std::vector<double>>& cost,
+              const std::vector<size_t>& open, KMedianSolution* solution) {
+  solution->assignment.resize(cost.size());
+  solution->total_cost = 0.0;
+  for (size_t i = 0; i < cost.size(); ++i) {
+    size_t best = open[0];
+    for (size_t f : open) {
+      if (cost[i][f] < cost[i][best]) best = f;
+    }
+    solution->assignment[i] = best;
+    solution->total_cost += cost[i][best];
+  }
+}
+
+// Total cost of `open` with facility `out` replaced by `in`.
+double SwapCost(const std::vector<std::vector<double>>& cost,
+                const std::vector<size_t>& open, size_t out, size_t in) {
+  double total = 0.0;
+  for (size_t i = 0; i < cost.size(); ++i) {
+    double best = cost[i][in];
+    for (size_t f : open) {
+      if (f == out) continue;
+      best = std::min(best, cost[i][f]);
+    }
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<KMedianSolution> KMedianLocalSearch(
+    const std::vector<std::vector<double>>& cost, size_t k,
+    const KMedianOptions& options) {
+  UKC_RETURN_IF_ERROR(ValidateCostMatrix(cost, k));
+  const size_t m = cost[0].size();
+
+  // Greedy start: repeatedly open the facility with the largest
+  // marginal gain.
+  std::vector<size_t> open;
+  std::vector<double> best_cost(cost.size(),
+                                std::numeric_limits<double>::infinity());
+  std::vector<bool> is_open(m, false);
+  for (size_t round = 0; round < k; ++round) {
+    size_t best_facility = m;
+    double best_total = std::numeric_limits<double>::infinity();
+    for (size_t f = 0; f < m; ++f) {
+      if (is_open[f]) continue;
+      double total = 0.0;
+      for (size_t i = 0; i < cost.size(); ++i) {
+        total += std::min(best_cost[i], cost[i][f]);
+      }
+      if (total < best_total) {
+        best_total = total;
+        best_facility = f;
+      }
+    }
+    UKC_CHECK_LT(best_facility, m);
+    open.push_back(best_facility);
+    is_open[best_facility] = true;
+    for (size_t i = 0; i < cost.size(); ++i) {
+      best_cost[i] = std::min(best_cost[i], cost[i][best_facility]);
+    }
+  }
+
+  KMedianSolution solution;
+  Reassign(cost, open, &solution);
+
+  // Best-improvement single swaps.
+  for (size_t swaps = 0; swaps < options.max_swaps; ++swaps) {
+    double best_total = solution.total_cost;
+    size_t best_out = m;
+    size_t best_in = m;
+    for (size_t oi = 0; oi < open.size(); ++oi) {
+      for (size_t in = 0; in < m; ++in) {
+        if (is_open[in]) continue;
+        const double total = SwapCost(cost, open, open[oi], in);
+        if (total < best_total) {
+          best_total = total;
+          best_out = oi;
+          best_in = in;
+        }
+      }
+    }
+    if (best_in == m ||
+        solution.total_cost - best_total <
+            options.min_relative_improvement * std::max(1.0, solution.total_cost)) {
+      break;
+    }
+    is_open[open[best_out]] = false;
+    is_open[best_in] = true;
+    open[best_out] = best_in;
+    Reassign(cost, open, &solution);
+  }
+
+  std::sort(open.begin(), open.end());
+  solution.facilities = std::move(open);
+  return solution;
+}
+
+Result<KMedianSolution> KMedianExact(const std::vector<std::vector<double>>& cost,
+                                     size_t k, uint64_t max_subsets) {
+  UKC_RETURN_IF_ERROR(ValidateCostMatrix(cost, k));
+  const size_t m = cost[0].size();
+  if (BinomialCount(m, k) > max_subsets) {
+    return Status::InvalidArgument("KMedianExact: too many subsets");
+  }
+  std::vector<size_t> index(k);
+  for (size_t i = 0; i < k; ++i) index[i] = i;
+  KMedianSolution best;
+  best.total_cost = std::numeric_limits<double>::infinity();
+  std::vector<size_t> open(k);
+  while (true) {
+    for (size_t i = 0; i < k; ++i) open[i] = index[i];
+    KMedianSolution candidate;
+    Reassign(cost, open, &candidate);
+    if (candidate.total_cost < best.total_cost) {
+      candidate.facilities = open;
+      best = std::move(candidate);
+    }
+    // Advance the combination odometer.
+    size_t i = k;
+    bool done = true;
+    while (i-- > 0) {
+      if (index[i] + (k - i) < m) {
+        ++index[i];
+        for (size_t j = i + 1; j < k; ++j) index[j] = index[j - 1] + 1;
+        done = false;
+        break;
+      }
+    }
+    if (done) break;
+  }
+  return best;
+}
+
+}  // namespace solver
+}  // namespace ukc

@@ -1,0 +1,123 @@
+#include "solver/lloyd.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ukc {
+namespace solver {
+
+using geometry::Point;
+
+namespace {
+
+// k-means++ seeding: first center weighted by w, subsequent centers
+// weighted by w_i * D(p_i)^2.
+std::vector<Point> SeedPlusPlus(const std::vector<Point>& points,
+                                const std::vector<double>& weights, size_t k,
+                                Rng& rng) {
+  std::vector<Point> centers;
+  centers.reserve(k);
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  centers.push_back(points[rng.Discrete(weights)]);
+  while (centers.size() < k) {
+    std::vector<double> scores(points.size());
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], geometry::SquaredDistance(points[i], centers.back()));
+      scores[i] = weights[i] * d2[i];
+      total += scores[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with chosen centers; duplicate any.
+      centers.push_back(points[0]);
+      continue;
+    }
+    centers.push_back(points[rng.Discrete(scores)]);
+  }
+  return centers;
+}
+
+double AssignAll(const std::vector<Point>& points,
+                 const std::vector<double>& weights,
+                 const std::vector<Point>& centers,
+                 std::vector<size_t>* cluster_of) {
+  double objective = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    size_t best = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < centers.size(); ++c) {
+      const double d2 = geometry::SquaredDistance(points[i], centers[c]);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = c;
+      }
+    }
+    (*cluster_of)[i] = best;
+    objective += weights[i] * best_d2;
+  }
+  return objective;
+}
+
+}  // namespace
+
+Result<KMeansSolution> WeightedKMeans(const std::vector<Point>& points,
+                                      const std::vector<double>& weights,
+                                      size_t k, const KMeansOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("WeightedKMeans: no points");
+  }
+  if (points.size() != weights.size()) {
+    return Status::InvalidArgument("WeightedKMeans: points/weights mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("WeightedKMeans: k must be >= 1");
+  const size_t dim = points[0].dim();
+  for (const Point& p : points) {
+    if (p.dim() != dim) {
+      return Status::InvalidArgument("WeightedKMeans: mixed dimensions");
+    }
+  }
+  for (double w : weights) {
+    if (!(w > 0.0)) {
+      return Status::InvalidArgument("WeightedKMeans: weights must be positive");
+    }
+  }
+
+  Rng rng(options.seed);
+  KMeansSolution best;
+  best.objective = std::numeric_limits<double>::infinity();
+  const size_t restarts = std::max<size_t>(1, options.restarts);
+  for (size_t restart = 0; restart < restarts; ++restart) {
+    KMeansSolution run;
+    run.centers = SeedPlusPlus(points, weights, k, rng);
+    run.cluster_of.assign(points.size(), 0);
+    run.objective = AssignAll(points, weights, run.centers, &run.cluster_of);
+    for (run.iterations = 0; run.iterations < options.max_iterations;
+         ++run.iterations) {
+      // Recenter: weighted centroid per cluster.
+      std::vector<Point> sums(run.centers.size(), Point(dim));
+      std::vector<double> mass(run.centers.size(), 0.0);
+      for (size_t i = 0; i < points.size(); ++i) {
+        sums[run.cluster_of[i]] += points[i] * weights[i];
+        mass[run.cluster_of[i]] += weights[i];
+      }
+      for (size_t c = 0; c < run.centers.size(); ++c) {
+        if (mass[c] > 0.0) run.centers[c] = sums[c] * (1.0 / mass[c]);
+        // Empty clusters keep their center in place.
+      }
+      const double objective =
+          AssignAll(points, weights, run.centers, &run.cluster_of);
+      const double improvement = run.objective - objective;
+      run.objective = objective;
+      if (improvement <
+          options.min_relative_improvement * std::max(1.0, run.objective)) {
+        break;
+      }
+    }
+    if (run.objective < best.objective) best = std::move(run);
+  }
+  return best;
+}
+
+}  // namespace solver
+}  // namespace ukc

@@ -1,0 +1,49 @@
+// Weighted k-means in R^d: k-means++ seeding plus Lloyd iterations.
+// The deterministic substrate of the uncertain k-means extension
+// (core/kmeans.h), where it runs on the expected points.
+
+#ifndef UKC_SOLVER_LLOYD_H_
+#define UKC_SOLVER_LLOYD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "geometry/point.h"
+
+namespace ukc {
+namespace solver {
+
+/// Options for WeightedKMeans.
+struct KMeansOptions {
+  size_t max_iterations = 100;
+  /// Stop when an iteration improves the objective by less than this
+  /// relative amount.
+  double min_relative_improvement = 1e-10;
+  /// Independent k-means++ restarts; the best run wins.
+  size_t restarts = 3;
+  uint64_t seed = 37;
+};
+
+/// Output: centers, per-point cluster index, and the weighted
+/// sum-of-squared-distances objective.
+struct KMeansSolution {
+  std::vector<geometry::Point> centers;
+  std::vector<size_t> cluster_of;
+  double objective = 0.0;
+  size_t iterations = 0;
+};
+
+/// Minimizes Σ_i w_i ||p_i - c_{a(i)}||² over centers and assignment.
+/// Weights must be positive; k >= 1. When k >= #distinct points the
+/// objective reaches 0. Lloyd converges to a local optimum; k-means++
+/// seeding gives the usual O(log k) expected-quality guarantee.
+Result<KMeansSolution> WeightedKMeans(const std::vector<geometry::Point>& points,
+                                      const std::vector<double>& weights,
+                                      size_t k, const KMeansOptions& options = {});
+
+}  // namespace solver
+}  // namespace ukc
+
+#endif  // UKC_SOLVER_LLOYD_H_

@@ -1,0 +1,111 @@
+#include "solver/refine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "solver/enclosing_ball.h"
+
+namespace ukc {
+namespace solver {
+
+namespace {
+
+// Partitions sites by nearest center; returns cluster membership lists
+// aligned with `centers`.
+std::vector<std::vector<metric::SiteId>> AssignClusters(
+    const metric::MetricSpace& space, const std::vector<metric::SiteId>& sites,
+    const std::vector<metric::SiteId>& centers) {
+  std::vector<std::vector<metric::SiteId>> clusters(centers.size());
+  for (metric::SiteId s : sites) {
+    size_t best = 0;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < centers.size(); ++c) {
+      const double d = space.Distance(s, centers[c]);
+      if (d < best_distance) {
+        best_distance = d;
+        best = c;
+      }
+    }
+    clusters[best].push_back(s);
+  }
+  return clusters;
+}
+
+// The site of `cluster` minimizing the max distance to the cluster (the
+// discrete 1-center). Used in general metric spaces.
+metric::SiteId DiscreteOneCenter(const metric::MetricSpace& space,
+                                 const std::vector<metric::SiteId>& cluster) {
+  metric::SiteId best = cluster[0];
+  double best_radius = std::numeric_limits<double>::infinity();
+  for (metric::SiteId candidate : cluster) {
+    double radius = 0.0;
+    for (metric::SiteId s : cluster) {
+      radius = std::max(radius, space.Distance(candidate, s));
+      if (radius >= best_radius) break;
+    }
+    if (radius < best_radius) {
+      best_radius = radius;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<KCenterSolution> RefineKCenter(metric::MetricSpace* space,
+                                      const std::vector<metric::SiteId>& sites,
+                                      const KCenterSolution& seed,
+                                      const RefineOptions& options) {
+  if (space == nullptr) {
+    return Status::InvalidArgument("RefineKCenter: null space");
+  }
+  if (seed.centers.empty()) {
+    return Status::InvalidArgument("RefineKCenter: seed has no centers");
+  }
+  if (sites.empty()) {
+    return Status::InvalidArgument("RefineKCenter: no sites");
+  }
+  auto* euclidean = dynamic_cast<metric::EuclideanSpace*>(space);
+  Rng rng(options.seed);
+
+  KCenterSolution best = seed;
+  best.radius = CoveringRadius(*space, sites, best.centers);
+  best.algorithm = seed.algorithm + "+refine";
+
+  std::vector<metric::SiteId> centers = best.centers;
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    const auto clusters = AssignClusters(*space, sites, centers);
+    std::vector<metric::SiteId> next;
+    next.reserve(centers.size());
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      if (clusters[c].empty()) {
+        next.push_back(centers[c]);  // Keep an idle center in place.
+        continue;
+      }
+      if (euclidean != nullptr) {
+        std::vector<geometry::Point> members;
+        members.reserve(clusters[c].size());
+        for (metric::SiteId s : clusters[c]) {
+          members.push_back(euclidean->point(s));
+        }
+        UKC_ASSIGN_OR_RETURN(Ball ball, WelzlMinBall(members, rng));
+        next.push_back(euclidean->AddPoint(ball.center));
+      } else {
+        next.push_back(DiscreteOneCenter(*space, clusters[c]));
+      }
+    }
+    const double radius = CoveringRadius(*space, sites, next);
+    const double improvement = best.radius - radius;
+    if (radius < best.radius) {
+      best.radius = radius;
+      best.centers = next;
+    }
+    if (improvement < options.min_relative_improvement * best.radius) break;
+    centers = next;
+  }
+  return best;
+}
+
+}  // namespace solver
+}  // namespace ukc

@@ -1,0 +1,41 @@
+// Alternating refinement for k-center ("Lloyd for the max radius"):
+// reassign sites to their nearest center, then recenter each cluster —
+// with its exact minimum enclosing ball in Euclidean spaces, or its
+// discrete 1-center in general metric spaces. The covering radius never
+// increases, so the seed solver's guarantee is preserved while the
+// constant improves markedly in practice.
+
+#ifndef UKC_SOLVER_REFINE_H_
+#define UKC_SOLVER_REFINE_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "metric/euclidean_space.h"
+#include "metric/metric_space.h"
+#include "solver/types.h"
+
+namespace ukc {
+namespace solver {
+
+/// Options for RefineKCenter.
+struct RefineOptions {
+  size_t max_rounds = 50;
+  /// Stop when a round improves the radius by less than this relative
+  /// amount.
+  double min_relative_improvement = 1e-9;
+  uint64_t seed = 23;  // Drives Welzl shuffles.
+};
+
+/// Refines `seed` over `sites`. `space` must be the space the seed was
+/// computed in; when it is a EuclideanSpace, refined centers are minted
+/// as new sites (the space grows). The result's radius is <= the seed's
+/// radius, and approx_factor is inherited from the seed.
+Result<KCenterSolution> RefineKCenter(metric::MetricSpace* space,
+                                      const std::vector<metric::SiteId>& sites,
+                                      const KCenterSolution& seed,
+                                      const RefineOptions& options = {});
+
+}  // namespace solver
+}  // namespace ukc
+
+#endif  // UKC_SOLVER_REFINE_H_

@@ -1,0 +1,19 @@
+#include "solver/types.h"
+
+#include <algorithm>
+
+namespace ukc {
+namespace solver {
+
+double CoveringRadius(const metric::MetricSpace& space,
+                      const std::vector<metric::SiteId>& sites,
+                      const std::vector<metric::SiteId>& centers) {
+  double worst = 0.0;
+  for (metric::SiteId s : sites) {
+    worst = std::max(worst, space.DistanceToSet(s, centers));
+  }
+  return worst;
+}
+
+}  // namespace solver
+}  // namespace ukc

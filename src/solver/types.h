@@ -1,0 +1,37 @@
+// Shared result types for the deterministic (certain-point) k-center
+// solvers.
+
+#ifndef UKC_SOLVER_TYPES_H_
+#define UKC_SOLVER_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "metric/metric_space.h"
+
+namespace ukc {
+namespace solver {
+
+/// Output of a deterministic k-center solver: chosen centers (site ids;
+/// Euclidean solvers may mint new sites for constructed centers) and the
+/// achieved covering radius max_i d(site_i, centers).
+struct KCenterSolution {
+  std::vector<metric::SiteId> centers;
+  double radius = 0.0;
+  /// The solver's worst-case guarantee: radius <= factor * optimum.
+  /// (2 for Gonzalez/Hochbaum–Shmoys, 1 for exact solvers.) For
+  /// heuristic refinement this is the guarantee of its seed solver.
+  double approx_factor = 0.0;
+  /// Name of the algorithm that produced this solution.
+  std::string algorithm;
+};
+
+/// Recomputes the covering radius of `centers` for `sites`.
+double CoveringRadius(const metric::MetricSpace& space,
+                      const std::vector<metric::SiteId>& sites,
+                      const std::vector<metric::SiteId>& centers);
+
+}  // namespace solver
+}  // namespace ukc
+
+#endif  // UKC_SOLVER_TYPES_H_

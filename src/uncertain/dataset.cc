@@ -1,0 +1,76 @@
+#include "uncertain/dataset.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace ukc {
+namespace uncertain {
+
+Result<UncertainDataset> UncertainDataset::Build(
+    std::shared_ptr<metric::MetricSpace> space,
+    std::vector<UncertainPoint> points) {
+  if (space == nullptr) {
+    return Status::InvalidArgument("UncertainDataset: null metric space");
+  }
+  if (points.empty()) {
+    return Status::InvalidArgument("UncertainDataset: no uncertain points");
+  }
+  const metric::SiteId num_sites = space->num_sites();
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (const Location& loc : points[i].locations()) {
+      if (loc.site < 0 || loc.site >= num_sites) {
+        return Status::InvalidArgument(
+            StrFormat("UncertainDataset: point %zu references site %d, but the "
+                      "space has %d sites",
+                      i, loc.site, num_sites));
+      }
+    }
+  }
+  return UncertainDataset(std::move(space), std::move(points));
+}
+
+UncertainDataset::UncertainDataset(std::shared_ptr<metric::MetricSpace> space,
+                                   std::vector<UncertainPoint> points)
+    : space_(std::move(space)), points_(std::move(points)) {
+  euclidean_ = dynamic_cast<metric::EuclideanSpace*>(space_.get());
+}
+
+size_t UncertainDataset::max_locations() const {
+  size_t z = 0;
+  for (const auto& p : points_) z = std::max(z, p.num_locations());
+  return z;
+}
+
+size_t UncertainDataset::total_locations() const {
+  size_t total = 0;
+  for (const auto& p : points_) total += p.num_locations();
+  return total;
+}
+
+std::vector<metric::SiteId> UncertainDataset::LocationSites() const {
+  std::vector<metric::SiteId> sites;
+  sites.reserve(total_locations());
+  for (const auto& p : points_) {
+    for (const Location& loc : p.locations()) sites.push_back(loc.site);
+  }
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  return sites;
+}
+
+double UncertainDataset::MaxSupportDiameter() const {
+  double worst = 0.0;
+  for (const auto& p : points_) {
+    worst = std::max(worst, p.SupportDiameter(*space_));
+  }
+  return worst;
+}
+
+std::string UncertainDataset::ToString() const {
+  return StrFormat("UncertainDataset(n=%zu, z=%zu, space=%s)", n(),
+                   max_locations(), space_->Name().c_str());
+}
+
+}  // namespace uncertain
+}  // namespace ukc

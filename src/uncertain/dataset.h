@@ -1,0 +1,78 @@
+// An uncertain k-center instance: a metric space plus n independent
+// uncertain points over its sites.
+
+#ifndef UKC_UNCERTAIN_DATASET_H_
+#define UKC_UNCERTAIN_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "metric/euclidean_space.h"
+#include "metric/metric_space.h"
+#include "uncertain/uncertain_point.h"
+
+namespace ukc {
+namespace uncertain {
+
+/// Owns the metric space and the uncertain points. The space is held by
+/// shared_ptr because algorithms mint new sites (expected points,
+/// candidate centers) into Euclidean spaces; site ids are append-only so
+/// existing ids stay valid.
+class UncertainDataset {
+ public:
+  /// Validates that every referenced site exists in the space.
+  static Result<UncertainDataset> Build(std::shared_ptr<metric::MetricSpace> space,
+                                        std::vector<UncertainPoint> points);
+
+  /// Number of uncertain points (the paper's n).
+  size_t n() const { return points_.size(); }
+
+  /// The paper's z = max_i z_i; 0 for an empty dataset.
+  size_t max_locations() const;
+
+  /// Total number of location records Σ_i z_i.
+  size_t total_locations() const;
+
+  const UncertainPoint& point(size_t i) const {
+    UKC_DCHECK_LT(i, points_.size());
+    return points_[i];
+  }
+  const std::vector<UncertainPoint>& points() const { return points_; }
+
+  const metric::MetricSpace& space() const { return *space_; }
+  const std::shared_ptr<metric::MetricSpace>& shared_space() const {
+    return space_;
+  }
+
+  /// The space as a mutable EuclideanSpace, or nullptr when the instance
+  /// lives in a non-Euclidean metric. Euclidean-only algorithms
+  /// (expected point, Weiszfeld refinement) require this.
+  metric::EuclideanSpace* euclidean() const { return euclidean_; }
+
+  /// True iff the space is Euclidean (more precisely, a normed R^d).
+  bool is_euclidean() const { return euclidean_ != nullptr; }
+
+  /// The deduplicated union of all location sites, sorted ascending.
+  /// This is the natural candidate-center set for discrete solvers.
+  std::vector<metric::SiteId> LocationSites() const;
+
+  /// max_i SupportDiameter(P_i): how "spread out" the uncertainty is.
+  double MaxSupportDiameter() const;
+
+  std::string ToString() const;
+
+ private:
+  UncertainDataset(std::shared_ptr<metric::MetricSpace> space,
+                   std::vector<UncertainPoint> points);
+
+  std::shared_ptr<metric::MetricSpace> space_;
+  metric::EuclideanSpace* euclidean_ = nullptr;  // Borrowed from space_.
+  std::vector<UncertainPoint> points_;
+};
+
+}  // namespace uncertain
+}  // namespace ukc
+
+#endif  // UKC_UNCERTAIN_DATASET_H_

@@ -1,0 +1,289 @@
+#include "uncertain/generators.h"
+
+#include <cmath>
+
+#include "geometry/point.h"
+#include "metric/euclidean_space.h"
+
+namespace ukc {
+namespace uncertain {
+
+namespace {
+
+using geometry::Point;
+using metric::EuclideanSpace;
+using metric::SiteId;
+
+Point RandomPointInBox(Rng& rng, size_t dim, double extent) {
+  Point p(dim);
+  for (size_t i = 0; i < dim; ++i) p[i] = rng.UniformDouble(0.0, extent);
+  return p;
+}
+
+Point GaussianAround(Rng& rng, const Point& center, double stddev) {
+  Point p(center.dim());
+  for (size_t i = 0; i < center.dim(); ++i) {
+    p[i] = rng.Gaussian(center[i], stddev);
+  }
+  return p;
+}
+
+// Builds the uncertain point for a list of freshly minted sites.
+Result<UncertainPoint> MakePoint(const std::vector<SiteId>& sites,
+                                 const std::vector<double>& probabilities) {
+  std::vector<Location> locations;
+  locations.reserve(sites.size());
+  for (size_t j = 0; j < sites.size(); ++j) {
+    locations.push_back(Location{sites[j], probabilities[j]});
+  }
+  return UncertainPoint::Build(std::move(locations));
+}
+
+}  // namespace
+
+std::vector<double> MakeProbabilities(size_t z, ProbabilityShape shape,
+                                      Rng& rng) {
+  UKC_CHECK_GE(z, 1u);
+  std::vector<double> probabilities(z, 0.0);
+  switch (shape) {
+    case ProbabilityShape::kUniform: {
+      for (double& p : probabilities) p = 1.0 / static_cast<double>(z);
+      break;
+    }
+    case ProbabilityShape::kRandom: {
+      double total = 0.0;
+      for (double& p : probabilities) {
+        p = rng.Exponential(1.0);
+        total += p;
+      }
+      for (double& p : probabilities) p /= total;
+      break;
+    }
+    case ProbabilityShape::kSpiky: {
+      if (z == 1) {
+        probabilities[0] = 1.0;
+        break;
+      }
+      const double dominant = 0.9;
+      const size_t star = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(z) - 1));
+      double total = 0.0;
+      for (size_t j = 0; j < z; ++j) {
+        if (j == star) continue;
+        probabilities[j] = rng.Exponential(1.0);
+        total += probabilities[j];
+      }
+      for (size_t j = 0; j < z; ++j) {
+        if (j == star) {
+          probabilities[j] = dominant;
+        } else {
+          probabilities[j] *= (1.0 - dominant) / total;
+        }
+      }
+      break;
+    }
+  }
+  // Fix any rounding drift exactly: scale so the sum is 1.
+  double total = 0.0;
+  for (double p : probabilities) total += p;
+  for (double& p : probabilities) p /= total;
+  return probabilities;
+}
+
+Result<UncertainDataset> GenerateUniformInstance(
+    const EuclideanInstanceOptions& options, double extent) {
+  Rng rng(options.seed);
+  auto space = std::make_shared<EuclideanSpace>(options.dim);
+  std::vector<UncertainPoint> points;
+  points.reserve(options.n);
+  for (size_t i = 0; i < options.n; ++i) {
+    const Point home = RandomPointInBox(rng, options.dim, extent);
+    std::vector<SiteId> sites;
+    sites.reserve(options.z);
+    for (size_t j = 0; j < options.z; ++j) {
+      sites.push_back(space->AddPoint(GaussianAround(rng, home, options.spread)));
+    }
+    const std::vector<double> probabilities =
+        MakeProbabilities(options.z, options.shape, rng);
+    UKC_ASSIGN_OR_RETURN(UncertainPoint point, MakePoint(sites, probabilities));
+    points.push_back(std::move(point));
+  }
+  return UncertainDataset::Build(std::move(space), std::move(points));
+}
+
+Result<UncertainDataset> GenerateClusteredInstance(
+    const EuclideanInstanceOptions& options, size_t num_clusters,
+    double cluster_stddev, double extent) {
+  if (num_clusters == 0) {
+    return Status::InvalidArgument("GenerateClusteredInstance: num_clusters = 0");
+  }
+  Rng rng(options.seed);
+  auto space = std::make_shared<EuclideanSpace>(options.dim);
+  std::vector<Point> cluster_centers;
+  cluster_centers.reserve(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    cluster_centers.push_back(RandomPointInBox(rng, options.dim, extent));
+  }
+  std::vector<UncertainPoint> points;
+  points.reserve(options.n);
+  for (size_t i = 0; i < options.n; ++i) {
+    const size_t c = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(num_clusters) - 1));
+    const Point home = GaussianAround(rng, cluster_centers[c], cluster_stddev);
+    std::vector<SiteId> sites;
+    sites.reserve(options.z);
+    for (size_t j = 0; j < options.z; ++j) {
+      sites.push_back(space->AddPoint(GaussianAround(rng, home, options.spread)));
+    }
+    const std::vector<double> probabilities =
+        MakeProbabilities(options.z, options.shape, rng);
+    UKC_ASSIGN_OR_RETURN(UncertainPoint point, MakePoint(sites, probabilities));
+    points.push_back(std::move(point));
+  }
+  return UncertainDataset::Build(std::move(space), std::move(points));
+}
+
+Result<UncertainDataset> GenerateOutlierInstance(
+    const EuclideanInstanceOptions& options, size_t num_clusters,
+    double outlier_probability, double outlier_distance, double extent) {
+  if (options.z < 2) {
+    return Status::InvalidArgument(
+        "GenerateOutlierInstance: needs z >= 2 (core + outlier location)");
+  }
+  if (!(outlier_probability > 0.0) || outlier_probability >= 1.0) {
+    return Status::InvalidArgument(
+        "GenerateOutlierInstance: outlier_probability must be in (0,1)");
+  }
+  Rng rng(options.seed);
+  auto space = std::make_shared<EuclideanSpace>(options.dim);
+  std::vector<Point> cluster_centers;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    cluster_centers.push_back(RandomPointInBox(rng, options.dim, extent));
+  }
+  std::vector<UncertainPoint> points;
+  points.reserve(options.n);
+  for (size_t i = 0; i < options.n; ++i) {
+    const size_t c = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(num_clusters) - 1));
+    const Point home = GaussianAround(rng, cluster_centers[c], 0.5);
+    std::vector<SiteId> sites;
+    // z-1 core locations near home.
+    for (size_t j = 0; j + 1 < options.z; ++j) {
+      sites.push_back(space->AddPoint(GaussianAround(rng, home, options.spread)));
+    }
+    // One far location: home + random direction * outlier_distance.
+    Point direction(options.dim);
+    double norm = 0.0;
+    while (norm < 1e-12) {
+      for (size_t a = 0; a < options.dim; ++a) direction[a] = rng.Gaussian();
+      norm = direction.Norm();
+    }
+    direction *= outlier_distance / norm;
+    sites.push_back(space->AddPoint(home + direction));
+
+    // Core probabilities share 1 - outlier_probability.
+    std::vector<double> probabilities =
+        MakeProbabilities(options.z - 1, options.shape, rng);
+    for (double& p : probabilities) p *= (1.0 - outlier_probability);
+    probabilities.push_back(outlier_probability);
+    UKC_ASSIGN_OR_RETURN(UncertainPoint point, MakePoint(sites, probabilities));
+    points.push_back(std::move(point));
+  }
+  return UncertainDataset::Build(std::move(space), std::move(points));
+}
+
+Result<UncertainDataset> GenerateLineInstance(size_t n, size_t z, double length,
+                                              double spread,
+                                              ProbabilityShape shape,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  auto space = std::make_shared<EuclideanSpace>(1);
+  std::vector<UncertainPoint> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double home = rng.UniformDouble(0.0, length);
+    std::vector<SiteId> sites;
+    sites.reserve(z);
+    for (size_t j = 0; j < z; ++j) {
+      const double x = home + rng.UniformDouble(-spread / 2.0, spread / 2.0);
+      sites.push_back(space->AddPoint(Point{x}));
+    }
+    const std::vector<double> probabilities = MakeProbabilities(z, shape, rng);
+    UKC_ASSIGN_OR_RETURN(UncertainPoint point, MakePoint(sites, probabilities));
+    points.push_back(std::move(point));
+  }
+  return UncertainDataset::Build(std::move(space), std::move(points));
+}
+
+Result<std::shared_ptr<metric::GraphSpace>> GenerateGridGraph(
+    int rows, int cols, double min_weight, double max_weight, uint64_t seed) {
+  if (rows < 1 || cols < 1) {
+    return Status::InvalidArgument("GenerateGridGraph: rows/cols must be >= 1");
+  }
+  if (!(min_weight > 0.0) || min_weight > max_weight) {
+    return Status::InvalidArgument(
+        "GenerateGridGraph: need 0 < min_weight <= max_weight");
+  }
+  Rng rng(seed);
+  std::vector<metric::Edge> edges;
+  auto vertex = [cols](int r, int c) {
+    return static_cast<SiteId>(r * cols + c);
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.push_back(metric::Edge{vertex(r, c), vertex(r, c + 1),
+                                     rng.UniformDouble(min_weight, max_weight)});
+      }
+      if (r + 1 < rows) {
+        edges.push_back(metric::Edge{vertex(r, c), vertex(r + 1, c),
+                                     rng.UniformDouble(min_weight, max_weight)});
+      }
+    }
+  }
+  return metric::GraphSpace::Build(static_cast<SiteId>(rows * cols), edges);
+}
+
+Result<UncertainDataset> GenerateMetricInstance(
+    std::shared_ptr<metric::MetricSpace> space, size_t n, size_t z,
+    double locality_scale, ProbabilityShape shape, uint64_t seed) {
+  if (space == nullptr) {
+    return Status::InvalidArgument("GenerateMetricInstance: null space");
+  }
+  if (!(locality_scale > 0.0)) {
+    return Status::InvalidArgument(
+        "GenerateMetricInstance: locality_scale must be positive");
+  }
+  const SiteId num_sites = space->num_sites();
+  if (static_cast<size_t>(num_sites) < z) {
+    return Status::InvalidArgument(
+        "GenerateMetricInstance: space has fewer sites than z");
+  }
+  Rng rng(seed);
+  std::vector<UncertainPoint> points;
+  points.reserve(n);
+  std::vector<double> weights(static_cast<size_t>(num_sites));
+  for (size_t i = 0; i < n; ++i) {
+    const SiteId home = static_cast<SiteId>(rng.UniformInt(0, num_sites - 1));
+    for (SiteId v = 0; v < num_sites; ++v) {
+      weights[static_cast<size_t>(v)] =
+          std::exp(-space->Distance(home, v) / locality_scale);
+    }
+    // Sample z distinct sites without replacement.
+    std::vector<double> remaining = weights;
+    std::vector<SiteId> sites;
+    sites.reserve(z);
+    for (size_t j = 0; j < z; ++j) {
+      const size_t pick = rng.Discrete(remaining);
+      sites.push_back(static_cast<SiteId>(pick));
+      remaining[pick] = 0.0;
+    }
+    const std::vector<double> probabilities = MakeProbabilities(z, shape, rng);
+    UKC_ASSIGN_OR_RETURN(UncertainPoint point, MakePoint(sites, probabilities));
+    points.push_back(std::move(point));
+  }
+  return UncertainDataset::Build(std::move(space), std::move(points));
+}
+
+}  // namespace uncertain
+}  // namespace ukc

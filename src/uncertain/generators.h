@@ -1,0 +1,91 @@
+// Synthetic instance families.
+//
+// The paper is pure theory and evaluates nothing empirically, so the
+// reproduction needs instance families that exercise the regimes its
+// analysis distinguishes: tight supports vs wide supports (relative to
+// inter-cluster separation), planted cluster structure, heavy-tailed
+// outlier locations, the line (for the R^1 exact solver), and general
+// graph metrics (for Theorems 2.6/2.7). All generators are
+// deterministic in the seed.
+
+#ifndef UKC_UNCERTAIN_GENERATORS_H_
+#define UKC_UNCERTAIN_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "metric/graph_space.h"
+#include "uncertain/dataset.h"
+
+namespace ukc {
+namespace uncertain {
+
+/// How location probabilities are distributed within a point.
+enum class ProbabilityShape {
+  kUniform,  // All locations equally likely.
+  kRandom,   // Random (normalized i.i.d. exponentials).
+  kSpiky,    // One dominant location holding ~90% of the mass.
+};
+
+/// Common knobs for Euclidean generators.
+struct EuclideanInstanceOptions {
+  size_t n = 100;        // Number of uncertain points.
+  size_t z = 4;          // Locations per point.
+  size_t dim = 2;        // Ambient dimension.
+  double spread = 0.5;   // Scale of each point's location cloud.
+  ProbabilityShape shape = ProbabilityShape::kRandom;
+  uint64_t seed = 1;
+};
+
+/// Homes uniform in [0, extent]^dim; locations Gaussian around the home
+/// with stddev `spread`.
+Result<UncertainDataset> GenerateUniformInstance(
+    const EuclideanInstanceOptions& options, double extent = 10.0);
+
+/// Homes drawn from `num_clusters` planted Gaussian clusters (centers
+/// uniform in [0, extent]^dim, within-cluster stddev `cluster_stddev`);
+/// locations Gaussian around the home with stddev `spread`. The planted
+/// structure makes the k-center decomposition meaningful.
+Result<UncertainDataset> GenerateClusteredInstance(
+    const EuclideanInstanceOptions& options, size_t num_clusters,
+    double cluster_stddev = 0.5, double extent = 10.0);
+
+/// Like the clustered family, but each point devotes probability
+/// `outlier_probability` to one far-away location at distance
+/// ~`outlier_distance`. Stress-tests the expectation: modal-location
+/// baselines ignore the tail, the paper's surrogates do not.
+Result<UncertainDataset> GenerateOutlierInstance(
+    const EuclideanInstanceOptions& options, size_t num_clusters,
+    double outlier_probability = 0.05, double outlier_distance = 30.0,
+    double extent = 10.0);
+
+/// One-dimensional instance (dim forced to 1): homes uniform on
+/// [0, length], locations uniform in a window of width `spread` around
+/// the home. Feeds the R^1 exact solver (Table 1 row 8).
+Result<UncertainDataset> GenerateLineInstance(size_t n, size_t z, double length,
+                                              double spread,
+                                              ProbabilityShape shape,
+                                              uint64_t seed);
+
+/// A rows×cols grid graph with independent uniform edge weights in
+/// [min_weight, max_weight] — the general-metric substrate.
+Result<std::shared_ptr<metric::GraphSpace>> GenerateGridGraph(
+    int rows, int cols, double min_weight, double max_weight, uint64_t seed);
+
+/// An uncertain instance over an arbitrary finite metric space: each
+/// point picks a home site uniformly, then z locations sampled from the
+/// whole space with probability proportional to exp(-d(home, v)/scale),
+/// so supports are local but occasionally stretch far.
+Result<UncertainDataset> GenerateMetricInstance(
+    std::shared_ptr<metric::MetricSpace> space, size_t n, size_t z,
+    double locality_scale, ProbabilityShape shape, uint64_t seed);
+
+/// Fills a probability vector of the given size and shape.
+std::vector<double> MakeProbabilities(size_t z, ProbabilityShape shape, Rng& rng);
+
+}  // namespace uncertain
+}  // namespace ukc
+
+#endif  // UKC_UNCERTAIN_GENERATORS_H_

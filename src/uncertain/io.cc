@@ -1,0 +1,151 @@
+#include "uncertain/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "metric/euclidean_space.h"
+
+namespace ukc {
+namespace uncertain {
+
+namespace {
+
+constexpr char kMagic[] = "ukc-dataset";
+constexpr int kVersion = 1;
+
+// Reads the next non-comment, non-empty line into a token stream.
+bool NextLine(std::istream& is, std::istringstream* line) {
+  std::string text;
+  while (std::getline(is, text)) {
+    const size_t hash = text.find('#');
+    if (hash != std::string::npos) text.resize(hash);
+    const std::string_view trimmed = StrTrim(text);
+    if (trimmed.empty()) continue;
+    line->clear();
+    line->str(std::string(trimmed));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status SaveDataset(const UncertainDataset& dataset, std::ostream& os) {
+  const metric::EuclideanSpace* space = dataset.euclidean();
+  if (space == nullptr) {
+    return Status::FailedPrecondition(
+        "SaveDataset: only Euclidean datasets are serializable");
+  }
+  os << kMagic << " " << kVersion << "\n";
+  os << "dim " << space->dim() << "\n";
+  os << "n " << dataset.n() << "\n";
+  os.precision(17);
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    const UncertainPoint& p = dataset.point(i);
+    os << "point " << p.num_locations() << "\n";
+    for (const Location& loc : p.locations()) {
+      os << loc.probability;
+      const geometry::Point& point = space->point(loc.site);
+      for (size_t a = 0; a < point.dim(); ++a) os << " " << point[a];
+      os << "\n";
+    }
+  }
+  if (!os.good()) return Status::Internal("SaveDataset: write failure");
+  return Status::OK();
+}
+
+Status SaveDatasetToFile(const UncertainDataset& dataset,
+                         const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("SaveDatasetToFile: cannot open " + path);
+  }
+  return SaveDataset(dataset, file);
+}
+
+Result<UncertainDataset> LoadDataset(std::istream& is) {
+  std::istringstream line;
+  if (!NextLine(is, &line)) {
+    return Status::InvalidArgument("LoadDataset: empty input");
+  }
+  std::string magic;
+  int version = 0;
+  line >> magic >> version;
+  if (magic != kMagic || version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("LoadDataset: bad header '%s %d'", magic.c_str(), version));
+  }
+
+  auto read_keyed_size = [&](const char* key, size_t* out) -> Status {
+    if (!NextLine(is, &line)) {
+      return Status::InvalidArgument(StrFormat("LoadDataset: missing '%s'", key));
+    }
+    std::string word;
+    long long value = -1;
+    line >> word >> value;
+    if (word != key || value < 0 || line.fail()) {
+      return Status::InvalidArgument(
+          StrFormat("LoadDataset: expected '%s <count>', got '%s'", key,
+                    line.str().c_str()));
+    }
+    *out = static_cast<size_t>(value);
+    return Status::OK();
+  };
+
+  size_t dim = 0;
+  size_t n = 0;
+  UKC_RETURN_IF_ERROR(read_keyed_size("dim", &dim));
+  UKC_RETURN_IF_ERROR(read_keyed_size("n", &n));
+  if (dim == 0) return Status::InvalidArgument("LoadDataset: dim must be >= 1");
+  if (n == 0) return Status::InvalidArgument("LoadDataset: n must be >= 1");
+
+  auto space = std::make_shared<metric::EuclideanSpace>(dim);
+  std::vector<UncertainPoint> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t z = 0;
+    UKC_RETURN_IF_ERROR(read_keyed_size("point", &z));
+    if (z == 0) {
+      return Status::InvalidArgument(
+          StrFormat("LoadDataset: point %zu has no locations", i));
+    }
+    std::vector<Location> locations;
+    locations.reserve(z);
+    for (size_t j = 0; j < z; ++j) {
+      if (!NextLine(is, &line)) {
+        return Status::InvalidArgument(
+            StrFormat("LoadDataset: truncated at point %zu location %zu", i, j));
+      }
+      double probability = 0.0;
+      line >> probability;
+      std::vector<double> coords(dim, 0.0);
+      for (size_t a = 0; a < dim; ++a) line >> coords[a];
+      if (line.fail()) {
+        return Status::InvalidArgument(
+            StrFormat("LoadDataset: malformed location line for point %zu: '%s'",
+                      i, line.str().c_str()));
+      }
+      const metric::SiteId site =
+          space->AddPoint(geometry::Point(std::move(coords)));
+      locations.push_back(Location{site, probability});
+    }
+    auto point = UncertainPoint::Build(std::move(locations));
+    if (!point.ok()) {
+      return point.status().WithPrefix(StrFormat("LoadDataset: point %zu", i));
+    }
+    points.push_back(std::move(point).value());
+  }
+  return UncertainDataset::Build(std::move(space), std::move(points));
+}
+
+Result<UncertainDataset> LoadDatasetFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("LoadDatasetFromFile: cannot open " + path);
+  }
+  return LoadDataset(file);
+}
+
+}  // namespace uncertain
+}  // namespace ukc

@@ -1,0 +1,43 @@
+// Plain-text serialization of Euclidean uncertain datasets.
+//
+// Format (whitespace separated, '#' starts a comment):
+//
+//   ukc-dataset 1
+//   dim <d>
+//   n <num_points>
+//   point <z>
+//   <prob> <x_1> ... <x_d>     (z such lines)
+//   ...
+//
+// Only Euclidean datasets are serializable; finite metric spaces carry
+// their own provenance (matrix or graph) and are rebuilt from it.
+
+#ifndef UKC_UNCERTAIN_IO_H_
+#define UKC_UNCERTAIN_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "uncertain/dataset.h"
+
+namespace ukc {
+namespace uncertain {
+
+/// Writes a Euclidean dataset. Fails on non-Euclidean datasets.
+Status SaveDataset(const UncertainDataset& dataset, std::ostream& os);
+
+/// Convenience: save to a file path.
+Status SaveDatasetToFile(const UncertainDataset& dataset,
+                         const std::string& path);
+
+/// Parses a dataset written by SaveDataset.
+Result<UncertainDataset> LoadDataset(std::istream& is);
+
+/// Convenience: load from a file path.
+Result<UncertainDataset> LoadDatasetFromFile(const std::string& path);
+
+}  // namespace uncertain
+}  // namespace ukc
+
+#endif  // UKC_UNCERTAIN_IO_H_

@@ -1,0 +1,44 @@
+#include "uncertain/sampler.h"
+
+namespace ukc {
+namespace uncertain {
+
+RealizationSampler::RealizationSampler(const UncertainDataset& dataset)
+    : dataset_(dataset) {
+  tables_.reserve(dataset.n());
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    const UncertainPoint& p = dataset.point(i);
+    std::vector<double> weights;
+    weights.reserve(p.num_locations());
+    for (const Location& loc : p.locations()) {
+      weights.push_back(loc.probability);
+    }
+    auto table = AliasTable::Build(weights);
+    // Dataset points are validated at Build() time, so this cannot fail.
+    UKC_CHECK(table.ok()) << table.status();
+    tables_.push_back(std::move(table).value());
+  }
+}
+
+Realization RealizationSampler::Sample(Rng& rng) const {
+  Realization out;
+  SampleInto(rng, &out);
+  return out;
+}
+
+void RealizationSampler::SampleInto(Rng& rng, Realization* out) const {
+  UKC_CHECK(out != nullptr);
+  out->resize(tables_.size());
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    (*out)[i] = tables_[i].Sample(rng);
+  }
+}
+
+metric::SiteId RealizationSampler::SiteOf(const Realization& realization,
+                                          size_t i) const {
+  UKC_DCHECK_LT(i, realization.size());
+  return dataset_.point(i).site(realization[i]);
+}
+
+}  // namespace uncertain
+}  // namespace ukc

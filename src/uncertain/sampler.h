@@ -1,0 +1,44 @@
+// Sampling realizations R = (P̂_1, ..., P̂_n) of an uncertain dataset.
+// Backed by per-point alias tables, so each realization costs O(n).
+
+#ifndef UKC_UNCERTAIN_SAMPLER_H_
+#define UKC_UNCERTAIN_SAMPLER_H_
+
+#include <vector>
+
+#include "common/alias_table.h"
+#include "common/rng.h"
+#include "uncertain/dataset.h"
+
+namespace ukc {
+namespace uncertain {
+
+/// A realization assigns each uncertain point the index of the location
+/// it materialized at (index into UncertainPoint::locations()).
+using Realization = std::vector<size_t>;
+
+/// Draws independent realizations of a dataset.
+class RealizationSampler {
+ public:
+  /// Precomputes alias tables. The dataset must outlive the sampler.
+  explicit RealizationSampler(const UncertainDataset& dataset);
+
+  /// Draws a fresh realization.
+  Realization Sample(Rng& rng) const;
+
+  /// Draws into an existing buffer (resized to n), avoiding allocation
+  /// in Monte-Carlo loops.
+  void SampleInto(Rng& rng, Realization* out) const;
+
+  /// Translates a realization into the concrete site of point i.
+  metric::SiteId SiteOf(const Realization& realization, size_t i) const;
+
+ private:
+  const UncertainDataset& dataset_;
+  std::vector<AliasTable> tables_;
+};
+
+}  // namespace uncertain
+}  // namespace ukc
+
+#endif  // UKC_UNCERTAIN_SAMPLER_H_

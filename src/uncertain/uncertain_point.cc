@@ -1,0 +1,109 @@
+#include "uncertain/uncertain_point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/strings.h"
+
+namespace ukc {
+namespace uncertain {
+
+Result<UncertainPoint> UncertainPoint::Build(std::vector<Location> locations) {
+  if (locations.empty()) {
+    return Status::InvalidArgument("UncertainPoint: no locations");
+  }
+  // Merge duplicate sites, validating as we go.
+  std::map<metric::SiteId, double> merged;
+  double total = 0.0;
+  for (size_t j = 0; j < locations.size(); ++j) {
+    const Location& loc = locations[j];
+    if (loc.site < 0) {
+      return Status::InvalidArgument(
+          StrFormat("UncertainPoint: location %zu has invalid site %d", j,
+                    loc.site));
+    }
+    if (!(loc.probability > 0.0) || std::isinf(loc.probability)) {
+      return Status::InvalidArgument(
+          StrFormat("UncertainPoint: location %zu has probability %g; "
+                    "probabilities must be positive and finite",
+                    j, loc.probability));
+    }
+    merged[loc.site] += loc.probability;
+    total += loc.probability;
+  }
+  if (std::abs(total - 1.0) > kProbabilityTolerance) {
+    return Status::InvalidArgument(
+        StrFormat("UncertainPoint: probabilities sum to %.12g, want 1", total));
+  }
+  std::vector<Location> clean;
+  clean.reserve(merged.size());
+  for (const auto& [site, prob] : merged) {
+    clean.push_back(Location{site, prob});
+  }
+  return UncertainPoint(std::move(clean));
+}
+
+UncertainPoint UncertainPoint::Certain(metric::SiteId site) {
+  UKC_CHECK_GE(site, 0);
+  return UncertainPoint({Location{site, 1.0}});
+}
+
+const Location& UncertainPoint::ModalLocation() const {
+  size_t best = 0;
+  for (size_t j = 1; j < locations_.size(); ++j) {
+    if (locations_[j].probability > locations_[best].probability) best = j;
+  }
+  return locations_[best];
+}
+
+double UncertainPoint::ExpectedDistanceTo(const metric::MetricSpace& space,
+                                          metric::SiteId q) const {
+  double total = 0.0;
+  for (const Location& loc : locations_) {
+    total += loc.probability * space.Distance(loc.site, q);
+  }
+  return total;
+}
+
+metric::SiteId UncertainPoint::MinExpectedDistanceSite(
+    const metric::MetricSpace& space,
+    const std::vector<metric::SiteId>& candidates, double* min_expected) const {
+  metric::SiteId best = metric::kInvalidSite;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (metric::SiteId c : candidates) {
+    const double value = ExpectedDistanceTo(space, c);
+    if (value < best_value) {
+      best_value = value;
+      best = c;
+    }
+  }
+  if (min_expected != nullptr) *min_expected = best_value;
+  return best;
+}
+
+double UncertainPoint::SupportDiameter(const metric::MetricSpace& space) const {
+  double worst = 0.0;
+  for (size_t a = 0; a < locations_.size(); ++a) {
+    for (size_t b = a + 1; b < locations_.size(); ++b) {
+      worst = std::max(worst,
+                       space.Distance(locations_[a].site, locations_[b].site));
+    }
+  }
+  return worst;
+}
+
+std::string UncertainPoint::ToString() const {
+  std::string out = "{";
+  for (size_t j = 0; j < locations_.size(); ++j) {
+    if (j > 0) out += ", ";
+    out += StrFormat("site %d: %.4g", locations_[j].site,
+                     locations_[j].probability);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace uncertain
+}  // namespace ukc

@@ -1,0 +1,81 @@
+// The paper's input object: an uncertain point, i.e. an independent
+// discrete distribution over finitely many locations of a metric space.
+
+#ifndef UKC_UNCERTAIN_UNCERTAIN_POINT_H_
+#define UKC_UNCERTAIN_UNCERTAIN_POINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "metric/metric_space.h"
+
+namespace ukc {
+namespace uncertain {
+
+/// One possible location of an uncertain point, with its probability.
+struct Location {
+  metric::SiteId site = metric::kInvalidSite;
+  double probability = 0.0;
+};
+
+/// A discrete distribution over sites of a metric space. Immutable once
+/// built; Build() validates that probabilities are positive and sum to 1
+/// (within kProbabilityTolerance) and that sites are non-negative.
+class UncertainPoint {
+ public:
+  /// Tolerance on |sum(p) - 1|.
+  static constexpr double kProbabilityTolerance = 1e-9;
+
+  /// Validates and constructs. Locations with duplicate sites are
+  /// allowed (their probabilities are merged).
+  static Result<UncertainPoint> Build(std::vector<Location> locations);
+
+  /// A certain point: one location with probability 1.
+  static UncertainPoint Certain(metric::SiteId site);
+
+  /// Number of distinct locations (the paper's z_i).
+  size_t num_locations() const { return locations_.size(); }
+
+  /// Location access.
+  const Location& location(size_t j) const {
+    UKC_DCHECK_LT(j, locations_.size());
+    return locations_[j];
+  }
+  const std::vector<Location>& locations() const { return locations_; }
+
+  metric::SiteId site(size_t j) const { return location(j).site; }
+  double probability(size_t j) const { return location(j).probability; }
+
+  /// The location with the largest probability (ties: first).
+  const Location& ModalLocation() const;
+
+  /// Expected distance E[d(P̂, q)] = Σ_j p_j d(site_j, q).
+  double ExpectedDistanceTo(const metric::MetricSpace& space,
+                            metric::SiteId q) const;
+
+  /// Expected distance to the nearest of several candidate sites, i.e.
+  /// min_c E[d(P̂, c)] together with the argmin (the paper's ED rule).
+  /// Returns kInvalidSite for an empty candidate list.
+  metric::SiteId MinExpectedDistanceSite(const metric::MetricSpace& space,
+                                         const std::vector<metric::SiteId>& candidates,
+                                         double* min_expected = nullptr) const;
+
+  /// Largest pairwise distance within the support (the point's own
+  /// diameter); 0 for a single location.
+  double SupportDiameter(const metric::MetricSpace& space) const;
+
+  std::string ToString() const;
+
+ private:
+  explicit UncertainPoint(std::vector<Location> locations)
+      : locations_(std::move(locations)) {}
+
+  std::vector<Location> locations_;
+};
+
+}  // namespace uncertain
+}  // namespace ukc
+
+#endif  // UKC_UNCERTAIN_UNCERTAIN_POINT_H_

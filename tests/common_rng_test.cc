@@ -1,0 +1,234 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+#include <set>
+
+#include "common/alias_table.h"
+
+namespace ukc {
+namespace {
+
+TEST(SplitMix64Test, DeterministicStream) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, DeterministicStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanIsCentered) {
+  Rng rng(5);
+  double total = 0.0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) total += rng.UniformDouble();
+  EXPECT_NEAR(total / samples, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(6);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(2, 6);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All 5 values observed.
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(8);
+  std::vector<int> histogram(10, 0);
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) {
+    ++histogram[static_cast<size_t>(rng.UniformInt(0, 9))];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, samples / 10, samples / 100);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(9);
+  double total = 0.0;
+  double total_sq = 0.0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) {
+    const double g = rng.Gaussian();
+    total += g;
+    total_sq += g * g;
+  }
+  EXPECT_NEAR(total / samples, 0.0, 0.02);
+  EXPECT_NEAR(total_sq / samples, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianShifted) {
+  Rng rng(10);
+  double total = 0.0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) total += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(total / samples, 5.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double total = 0.0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) total += rng.Exponential(2.0);
+  EXPECT_NEAR(total / samples, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / samples, 0.3, 0.01);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(14);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> histogram(3, 0);
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) ++histogram[rng.Discrete(weights)];
+  EXPECT_EQ(histogram[1], 0);
+  EXPECT_NEAR(static_cast<double>(histogram[0]) / samples, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(histogram[2]) / samples, 0.75, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(15);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ShuffleIsDeterministic) {
+  std::vector<int> a = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> b = a;
+  Rng rng_a(16);
+  Rng rng_b(16);
+  rng_a.Shuffle(&a);
+  rng_b.Shuffle(&b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkedStreamsDecorrelated) {
+  Rng parent(17);
+  Rng child_a = parent.Fork(0);
+  Rng child_b = parent.Fork(1);
+  // Not a statistical test, just a smoke check that streams differ.
+  bool any_difference = false;
+  for (int i = 0; i < 16; ++i) {
+    if (child_a.Next() != child_b.Next()) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(AliasTableTest, RejectsBadInput) {
+  EXPECT_FALSE(AliasTable::Build({}).ok());
+  EXPECT_FALSE(AliasTable::Build({0.0, 0.0}).ok());
+  EXPECT_FALSE(AliasTable::Build({1.0, -0.5}).ok());
+}
+
+TEST(AliasTableTest, SingleOutcome) {
+  auto table = AliasTable::Build({2.5});
+  ASSERT_TRUE(table.ok());
+  Rng rng(18);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table->Sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(table->Probability(0), 1.0);
+}
+
+TEST(AliasTableTest, NormalizesWeights) {
+  auto table = AliasTable::Build({2.0, 6.0});
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(table->Probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(table->Probability(1), 0.75);
+}
+
+TEST(AliasTableTest, EmpiricalFrequenciesMatch) {
+  const std::vector<double> weights = {0.1, 0.2, 0.3, 0.4};
+  auto table = AliasTable::Build(weights);
+  ASSERT_TRUE(table.ok());
+  Rng rng(19);
+  std::vector<int> histogram(4, 0);
+  const int samples = 400000;
+  for (int i = 0; i < samples; ++i) ++histogram[table->Sample(rng)];
+  for (size_t j = 0; j < weights.size(); ++j) {
+    EXPECT_NEAR(static_cast<double>(histogram[j]) / samples, weights[j], 0.005)
+        << "outcome " << j;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightOutcomeNeverSampled) {
+  auto table = AliasTable::Build({0.0, 1.0, 0.0, 1.0});
+  ASSERT_TRUE(table.ok());
+  Rng rng(20);
+  for (int i = 0; i < 20000; ++i) {
+    const size_t s = table->Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTableTest, ManyOutcomes) {
+  std::vector<double> weights(257);
+  Rng seed_rng(21);
+  for (double& w : weights) w = seed_rng.UniformDouble(0.0, 1.0);
+  weights[100] = 0.0;
+  auto table = AliasTable::Build(weights);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->size(), weights.size());
+  Rng rng(22);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(table->Sample(rng), 100u);
+  }
+}
+
+}  // namespace
+}  // namespace ukc

@@ -1,0 +1,155 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace ukc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad k");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(StatusTest, AllFactories) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Internal("a"));
+  EXPECT_NE(Status::OK(), Status::Internal("a"));
+}
+
+TEST(StatusTest, WithPrefix) {
+  Status status = Status::InvalidArgument("negative weight");
+  Status prefixed = status.WithPrefix("point 3");
+  EXPECT_EQ(prefixed.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(prefixed.message(), "point 3: negative weight");
+}
+
+TEST(StatusTest, WithPrefixOnOkIsNoop) {
+  EXPECT_TRUE(Status::OK().WithPrefix("ignored").ok());
+}
+
+TEST(StatusTest, CopyIsCheap) {
+  Status status = Status::Internal("boom");
+  Status copy = status;
+  EXPECT_EQ(copy, status);
+  EXPECT_EQ(copy.message(), "boom");
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::NotFound("missing");
+  EXPECT_EQ(os.str(), "NOT_FOUND: missing");
+}
+
+Status FailIfNegative(int value) {
+  if (value < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int value) {
+  UKC_RETURN_IF_ERROR(FailIfNegative(value));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_EQ(Chained(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> HalveEven(int value) {
+  if (value % 2 != 0) return Status::InvalidArgument("odd");
+  return value / 2;
+}
+
+Result<int> QuarterEven(int value) {
+  UKC_ASSIGN_OR_RETURN(int half, HalveEven(value));
+  return HalveEven(half);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValue) {
+  Result<int> result = 7;
+  EXPECT_EQ(result.value_or(-1), 7);
+}
+
+TEST(ResultTest, MoveOut) {
+  Result<std::string> result = std::string("payload");
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result = std::string("abc");
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ResultMacroTest, AssignOrReturn) {
+  Result<int> ok = QuarterEven(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+
+  Result<int> inner_fails = QuarterEven(6);  // 6/2 = 3 is odd.
+  EXPECT_FALSE(inner_fails.ok());
+  EXPECT_EQ(inner_fails.status().code(), StatusCode::kInvalidArgument);
+
+  Result<int> outer_fails = QuarterEven(3);
+  EXPECT_FALSE(outer_fails.ok());
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> result = Status::Internal("boom");
+  EXPECT_DEATH({ (void)result.value(); }, "boom");
+}
+
+}  // namespace
+}  // namespace ukc

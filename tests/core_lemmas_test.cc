@@ -1,0 +1,207 @@
+// Executable versions of the paper's Lemmas 3.1–3.6, checked on random
+// instances with random centers and random assignments. These are the
+// building blocks of every approximation guarantee; each test states
+// the inequality it verifies.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/surrogates.h"
+#include "cost/assignment.h"
+#include "cost/expected_cost.h"
+#include "solver/types.h"
+#include "uncertain/generators.h"
+
+namespace ukc {
+namespace core {
+namespace {
+
+using metric::SiteId;
+using uncertain::UncertainDataset;
+
+struct LemmaCase {
+  UncertainDataset dataset;
+  std::vector<SiteId> centers;
+  cost::Assignment assignment;
+};
+
+// Builds a random instance plus random centers (from the location
+// sites) and a random assignment.
+LemmaCase RandomEuclideanCase(uint64_t seed, size_t n = 8, size_t k = 3) {
+  uncertain::EuclideanInstanceOptions options;
+  options.n = n;
+  options.z = 3;
+  options.dim = 2;
+  options.spread = 1.0;
+  options.seed = seed;
+  LemmaCase out{
+      std::move(uncertain::GenerateClusteredInstance(options, k)).value(),
+      {},
+      {}};
+  Rng rng(seed * 17 + 1);
+  const auto sites = out.dataset.LocationSites();
+  for (size_t c = 0; c < k; ++c) {
+    out.centers.push_back(
+        sites[static_cast<size_t>(rng.UniformInt(0, sites.size() - 1))]);
+  }
+  for (size_t i = 0; i < out.dataset.n(); ++i) {
+    out.assignment.push_back(
+        out.centers[static_cast<size_t>(rng.UniformInt(0, k - 1))]);
+  }
+  return out;
+}
+
+LemmaCase RandomMetricCase(uint64_t seed, size_t n = 8, size_t k = 3) {
+  auto graph = uncertain::GenerateGridGraph(5, 5, 0.5, 2.0, seed * 3 + 1);
+  LemmaCase out{std::move(uncertain::GenerateMetricInstance(
+                              *graph, n, 3, 2.0,
+                              uncertain::ProbabilityShape::kRandom, seed))
+                    .value(),
+                {},
+                {}};
+  Rng rng(seed * 19 + 2);
+  const SiteId num_sites = out.dataset.space().num_sites();
+  for (size_t c = 0; c < k; ++c) {
+    out.centers.push_back(static_cast<SiteId>(rng.UniformInt(0, num_sites - 1)));
+  }
+  for (size_t i = 0; i < out.dataset.n(); ++i) {
+    out.assignment.push_back(
+        out.centers[static_cast<size_t>(rng.UniformInt(0, k - 1))]);
+  }
+  return out;
+}
+
+// E[max_i d(P̂_i, target_i)] where target_i is the per-point site in
+// `targets` (e.g. each point's own surrogate).
+double ExpectedMaxToPerPointSites(const UncertainDataset& dataset,
+                                  const std::vector<SiteId>& targets) {
+  auto value = cost::ExactAssignedCost(dataset, targets);
+  return value.value();
+}
+
+class LemmaSweep : public ::testing::TestWithParam<int> {};
+
+// Lemma 3.1: d(P̄, Q) <= E[d(P, Q)] for every uncertain point and any Q.
+TEST_P(LemmaSweep, Lemma31ExpectedPointBeatsExpectedDistance) {
+  LemmaCase c = RandomEuclideanCase(static_cast<uint64_t>(GetParam()) + 100);
+  SurrogateOptions options;
+  options.kind = SurrogateKind::kExpectedPoint;
+  auto surrogates = BuildSurrogates(&c.dataset, options);
+  ASSERT_TRUE(surrogates.ok());
+  Rng rng(GetParam());
+  const metric::MetricSpace& space = c.dataset.space();
+  for (size_t i = 0; i < c.dataset.n(); ++i) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const SiteId q =
+          static_cast<SiteId>(rng.UniformInt(0, space.num_sites() - 1));
+      EXPECT_LE(space.Distance((*surrogates)[i], q),
+                c.dataset.point(i).ExpectedDistanceTo(space, q) + 1e-9);
+    }
+  }
+}
+
+// Lemma 3.2: EcostA >= Σ_{P̂_i} prob(P̂_i) d(P̂_i, A(P_i)) for every i.
+TEST_P(LemmaSweep, Lemma32PerPointExpectedDistanceLowerBoundsCost) {
+  LemmaCase c = RandomEuclideanCase(static_cast<uint64_t>(GetParam()) + 200);
+  auto cost_value = cost::ExactAssignedCost(c.dataset, c.assignment);
+  ASSERT_TRUE(cost_value.ok());
+  for (size_t i = 0; i < c.dataset.n(); ++i) {
+    const double per_point = c.dataset.point(i).ExpectedDistanceTo(
+        c.dataset.space(), c.assignment[i]);
+    EXPECT_LE(per_point, *cost_value + 1e-9) << "point " << i;
+  }
+}
+
+// Lemma 3.3: E[max_i d(P̂_i, P̄_i)] <= 2 EcostA for ANY centers and
+// assignment (Euclidean).
+TEST_P(LemmaSweep, Lemma33SurrogateDriftAtMostTwiceCost) {
+  LemmaCase c = RandomEuclideanCase(static_cast<uint64_t>(GetParam()) + 300);
+  SurrogateOptions options;
+  options.kind = SurrogateKind::kExpectedPoint;
+  auto surrogates = BuildSurrogates(&c.dataset, options);
+  ASSERT_TRUE(surrogates.ok());
+  const double drift = ExpectedMaxToPerPointSites(c.dataset, *surrogates);
+  auto cost_value = cost::ExactAssignedCost(c.dataset, c.assignment);
+  ASSERT_TRUE(cost_value.ok());
+  EXPECT_LE(drift, 2.0 * *cost_value + 1e-9);
+}
+
+// Lemma 3.4: cost(c_1..c_k) on the expected points <= EcostA(c_1..c_k)
+// for the same centers, any assignment (Euclidean).
+TEST_P(LemmaSweep, Lemma34CertainCostOfExpectedPointsLowerBounds) {
+  LemmaCase c = RandomEuclideanCase(static_cast<uint64_t>(GetParam()) + 400);
+  SurrogateOptions options;
+  options.kind = SurrogateKind::kExpectedPoint;
+  auto surrogates = BuildSurrogates(&c.dataset, options);
+  ASSERT_TRUE(surrogates.ok());
+  const double certain_cost =
+      solver::CoveringRadius(c.dataset.space(), *surrogates, c.centers);
+  auto cost_value = cost::ExactAssignedCost(c.dataset, c.assignment);
+  ASSERT_TRUE(cost_value.ok());
+  EXPECT_LE(certain_cost, *cost_value + 1e-9);
+}
+
+// Lemma 3.5: E[max_i d(P̂_i, P̃_i)] <= 3 EcostA in any metric space.
+TEST_P(LemmaSweep, Lemma35OneCenterDriftAtMostThriceCost) {
+  LemmaCase c = RandomMetricCase(static_cast<uint64_t>(GetParam()) + 500);
+  SurrogateOptions options;
+  options.kind = SurrogateKind::kOneCenter;
+  options.candidates = OneCenterCandidates::kAllSites;
+  auto surrogates = BuildSurrogates(&c.dataset, options);
+  ASSERT_TRUE(surrogates.ok());
+  const double drift = ExpectedMaxToPerPointSites(c.dataset, *surrogates);
+  auto cost_value = cost::ExactAssignedCost(c.dataset, c.assignment);
+  ASSERT_TRUE(cost_value.ok());
+  EXPECT_LE(drift, 3.0 * *cost_value + 1e-9);
+}
+
+// Lemma 3.6: cost(c_1..c_k) on the 1-centers <= 2 EcostA(c_1..c_k).
+TEST_P(LemmaSweep, Lemma36CertainCostOfOneCentersLowerBounds) {
+  LemmaCase c = RandomMetricCase(static_cast<uint64_t>(GetParam()) + 600);
+  SurrogateOptions options;
+  options.kind = SurrogateKind::kOneCenter;
+  options.candidates = OneCenterCandidates::kAllSites;
+  auto surrogates = BuildSurrogates(&c.dataset, options);
+  ASSERT_TRUE(surrogates.ok());
+  const double certain_cost =
+      solver::CoveringRadius(c.dataset.space(), *surrogates, c.centers);
+  auto cost_value = cost::ExactAssignedCost(c.dataset, c.assignment);
+  ASSERT_TRUE(cost_value.ok());
+  EXPECT_LE(certain_cost, 2.0 * *cost_value + 1e-9);
+}
+
+// Lemma 3.1 holds for the L1 and L-infinity norms too (the proof only
+// needs the triangle inequality of a norm), which the ablation uses.
+TEST_P(LemmaSweep, Lemma31HoldsForOtherNorms) {
+  for (metric::Norm norm : {metric::Norm::kL1, metric::Norm::kLInf}) {
+    Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 31);
+    auto space = std::make_shared<metric::EuclideanSpace>(2, norm);
+    std::vector<SiteId> sites;
+    for (int i = 0; i < 6; ++i) {
+      sites.push_back(space->AddPoint(
+          geometry::Point{rng.Gaussian(0.0, 3.0), rng.Gaussian(0.0, 3.0)}));
+    }
+    std::vector<uncertain::UncertainPoint> points;
+    points.push_back(*uncertain::UncertainPoint::Build(
+        {{sites[0], 0.2}, {sites[1], 0.3}, {sites[2], 0.5}}));
+    auto dataset = UncertainDataset::Build(space, std::move(points));
+    ASSERT_TRUE(dataset.ok());
+    SurrogateOptions options;
+    options.kind = SurrogateKind::kExpectedPoint;
+    auto surrogates = BuildSurrogates(&dataset.value(), options);
+    ASSERT_TRUE(surrogates.ok());
+    for (SiteId q : sites) {
+      EXPECT_LE(dataset->space().Distance((*surrogates)[0], q),
+                dataset->point(0).ExpectedDistanceTo(dataset->space(), q) +
+                    1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace core
+}  // namespace ukc

@@ -1,0 +1,181 @@
+#include "core/surrogates.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "metric/euclidean_space.h"
+#include "metric/matrix_space.h"
+#include "uncertain/generators.h"
+
+namespace ukc {
+namespace core {
+namespace {
+
+using geometry::Point;
+using metric::EuclideanSpace;
+using metric::SiteId;
+using uncertain::UncertainDataset;
+using uncertain::UncertainPoint;
+
+uncertain::UncertainDataset EuclideanInstance(uint64_t seed, size_t n = 10) {
+  uncertain::EuclideanInstanceOptions options;
+  options.n = n;
+  options.z = 4;
+  options.dim = 2;
+  options.seed = seed;
+  return std::move(uncertain::GenerateClusteredInstance(options, 2)).value();
+}
+
+TEST(SurrogateTest, ExpectedPointIsTheProbabilityWeightedMean) {
+  auto space = std::make_shared<EuclideanSpace>(2);
+  const SiteId a = space->AddPoint(Point{0.0, 0.0});
+  const SiteId b = space->AddPoint(Point{4.0, 8.0});
+  std::vector<UncertainPoint> points;
+  points.push_back(*UncertainPoint::Build({{a, 0.25}, {b, 0.75}}));
+  auto dataset = UncertainDataset::Build(space, std::move(points));
+  ASSERT_TRUE(dataset.ok());
+
+  SurrogateOptions options;
+  options.kind = SurrogateKind::kExpectedPoint;
+  auto surrogates = BuildSurrogates(&dataset.value(), options);
+  ASSERT_TRUE(surrogates.ok());
+  ASSERT_EQ(surrogates->size(), 1u);
+  const Point& mean = dataset->euclidean()->point((*surrogates)[0]);
+  EXPECT_NEAR(mean[0], 3.0, 1e-12);
+  EXPECT_NEAR(mean[1], 6.0, 1e-12);
+}
+
+TEST(SurrogateTest, ExpectedPointRequiresEuclidean) {
+  auto matrix = metric::MatrixSpace::Build({{0, 1}, {1, 0}});
+  ASSERT_TRUE(matrix.ok());
+  std::vector<UncertainPoint> points;
+  points.push_back(*UncertainPoint::Build({{0, 0.5}, {1, 0.5}}));
+  auto dataset = UncertainDataset::Build(*matrix, std::move(points));
+  ASSERT_TRUE(dataset.ok());
+  SurrogateOptions options;
+  options.kind = SurrogateKind::kExpectedPoint;
+  EXPECT_FALSE(BuildSurrogates(&dataset.value(), options).ok());
+}
+
+TEST(SurrogateTest, OneCenterEuclideanMinimizesExpectedDistance) {
+  auto dataset = EuclideanInstance(3, 6);
+  SurrogateOptions options;
+  options.kind = SurrogateKind::kOneCenter;
+  auto surrogates = BuildSurrogates(&dataset, options);
+  ASSERT_TRUE(surrogates.ok());
+  // The P̃ objective at the surrogate beats the objective at every
+  // location of the point (the discrete alternative).
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    const double at_surrogate =
+        dataset.point(i).ExpectedDistanceTo(dataset.space(), (*surrogates)[i]);
+    for (const uncertain::Location& loc : dataset.point(i).locations()) {
+      EXPECT_LE(at_surrogate,
+                dataset.point(i).ExpectedDistanceTo(dataset.space(), loc.site) +
+                    1e-7);
+    }
+  }
+}
+
+TEST(SurrogateTest, OneCenterFiniteMetricAllSites) {
+  auto graph = uncertain::GenerateGridGraph(4, 4, 0.5, 2.0, 7);
+  ASSERT_TRUE(graph.ok());
+  auto dataset = uncertain::GenerateMetricInstance(
+      *graph, 8, 3, 2.0, uncertain::ProbabilityShape::kRandom, 9);
+  ASSERT_TRUE(dataset.ok());
+  SurrogateOptions options;
+  options.kind = SurrogateKind::kOneCenter;
+  options.candidates = OneCenterCandidates::kAllSites;
+  auto surrogates = BuildSurrogates(&dataset.value(), options);
+  ASSERT_TRUE(surrogates.ok());
+  // Exhaustive verification of minimality over the whole space.
+  for (size_t i = 0; i < dataset->n(); ++i) {
+    const double best = dataset->point(i).ExpectedDistanceTo(
+        dataset->space(), (*surrogates)[i]);
+    for (SiteId q = 0; q < dataset->space().num_sites(); ++q) {
+      EXPECT_LE(best,
+                dataset->point(i).ExpectedDistanceTo(dataset->space(), q) +
+                    1e-12);
+    }
+  }
+}
+
+TEST(SurrogateTest, OwnLocationsIsTwoApproximateMedian) {
+  auto graph = uncertain::GenerateGridGraph(5, 5, 0.5, 2.0, 11);
+  ASSERT_TRUE(graph.ok());
+  auto dataset = uncertain::GenerateMetricInstance(
+      *graph, 10, 4, 2.0, uncertain::ProbabilityShape::kRandom, 13);
+  ASSERT_TRUE(dataset.ok());
+  SurrogateOptions all;
+  all.kind = SurrogateKind::kOneCenter;
+  all.candidates = OneCenterCandidates::kAllSites;
+  SurrogateOptions own;
+  own.kind = SurrogateKind::kOneCenter;
+  own.candidates = OneCenterCandidates::kOwnLocations;
+  auto exact = BuildSurrogates(&dataset.value(), all);
+  auto approx = BuildSurrogates(&dataset.value(), own);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(approx.ok());
+  for (size_t i = 0; i < dataset->n(); ++i) {
+    const double exact_value = dataset->point(i).ExpectedDistanceTo(
+        dataset->space(), (*exact)[i]);
+    const double approx_value = dataset->point(i).ExpectedDistanceTo(
+        dataset->space(), (*approx)[i]);
+    EXPECT_GE(approx_value, exact_value - 1e-12);
+    EXPECT_LE(approx_value, 2.0 * exact_value + 1e-9)
+        << "point " << i << ": own-locations median worse than 2x optimal";
+  }
+}
+
+TEST(SurrogateTest, ModalPicksMostProbableLocation) {
+  auto space = std::make_shared<EuclideanSpace>(1);
+  const SiteId a = space->AddPoint(Point{0.0});
+  const SiteId b = space->AddPoint(Point{5.0});
+  std::vector<UncertainPoint> points;
+  points.push_back(*UncertainPoint::Build({{a, 0.3}, {b, 0.7}}));
+  auto dataset = UncertainDataset::Build(space, std::move(points));
+  ASSERT_TRUE(dataset.ok());
+  SurrogateOptions options;
+  options.kind = SurrogateKind::kModal;
+  auto surrogates = BuildSurrogates(&dataset.value(), options);
+  ASSERT_TRUE(surrogates.ok());
+  EXPECT_EQ((*surrogates)[0], b);
+}
+
+TEST(SurrogateTest, SurrogatesAreOnePerPoint) {
+  auto dataset = EuclideanInstance(5, 12);
+  for (auto kind : {SurrogateKind::kExpectedPoint, SurrogateKind::kOneCenter,
+                    SurrogateKind::kModal}) {
+    SurrogateOptions options;
+    options.kind = kind;
+    auto surrogates = BuildSurrogates(&dataset, options);
+    ASSERT_TRUE(surrogates.ok()) << SurrogateKindToString(kind);
+    EXPECT_EQ(surrogates->size(), dataset.n());
+  }
+}
+
+TEST(SurrogateTest, KindNames) {
+  EXPECT_EQ(SurrogateKindToString(SurrogateKind::kExpectedPoint),
+            "expected-point");
+  EXPECT_EQ(SurrogateKindToString(SurrogateKind::kOneCenter), "one-center");
+  EXPECT_EQ(SurrogateKindToString(SurrogateKind::kModal), "modal");
+}
+
+TEST(SurrogateTest, NullDatasetRejected) {
+  EXPECT_FALSE(BuildSurrogates(nullptr, {}).ok());
+  EXPECT_FALSE(ExpectedPointOneCenter(nullptr).ok());
+}
+
+TEST(SurrogateTest, ExpectedPointOneCenterIndexChecked) {
+  auto dataset = EuclideanInstance(6, 3);
+  EXPECT_FALSE(ExpectedPointOneCenter(&dataset, 99).ok());
+  auto site = ExpectedPointOneCenter(&dataset, 1);
+  ASSERT_TRUE(site.ok());
+  EXPECT_GE(*site, 0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ukc

@@ -1,0 +1,276 @@
+// Executable versions of the paper's Theorems 2.1–2.7: each test runs
+// the corresponding pipeline configuration and checks the certified
+// factor against a reference optimum.
+//
+// Reference optima: exact enumeration over a dense candidate set (the
+// true optimum in finite metrics, where centers must be sites of the
+// space; an upper bound on the Euclidean optimum, which only makes the
+// checks *stricter* in the denominator... see EXPERIMENTS.md for the
+// full discussion). All checks are implied by the theorems, so a
+// failure is a real bug.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_tiny.h"
+#include "core/line_solver.h"
+#include "core/surrogates.h"
+#include "core/uncertain_kcenter.h"
+#include "cost/expected_cost.h"
+#include "uncertain/generators.h"
+
+namespace ukc {
+namespace core {
+namespace {
+
+using metric::SiteId;
+using uncertain::UncertainDataset;
+
+UncertainDataset TinyEuclidean(uint64_t seed, size_t n = 5, size_t z = 3) {
+  uncertain::EuclideanInstanceOptions options;
+  options.n = n;
+  options.z = z;
+  options.dim = 2;
+  options.spread = 0.8;
+  options.seed = seed;
+  return std::move(uncertain::GenerateClusteredInstance(options, 2)).value();
+}
+
+UncertainDataset TinyMetric(uint64_t seed, size_t n = 5, size_t z = 3) {
+  auto graph = uncertain::GenerateGridGraph(4, 4, 0.5, 2.0, seed * 7 + 5);
+  return std::move(uncertain::GenerateMetricInstance(
+                       *graph, n, z, 2.0,
+                       uncertain::ProbabilityShape::kRandom, seed))
+      .value();
+}
+
+class TheoremSweep : public ::testing::TestWithParam<int> {};
+
+// Theorem 2.1: Ecost(P̄_1) <= 2 Ecost(c*) for the 1-center problem in a
+// Euclidean space. The reference c* is refined by convex compass search,
+// whose value upper-bounds the true optimum — making the check valid.
+TEST_P(TheoremSweep, Theorem21ExpectedPointIsTwoApproxOneCenter) {
+  UncertainDataset dataset =
+      TinyEuclidean(static_cast<uint64_t>(GetParam()) + 1000, 6);
+  auto p_bar = ExpectedPointOneCenter(&dataset, 0);
+  ASSERT_TRUE(p_bar.ok());
+  auto algorithm_cost = cost::ExactUnassignedCost(dataset, {*p_bar});
+  ASSERT_TRUE(algorithm_cost.ok());
+
+  // Reference: best candidate site, refined continuously.
+  auto candidates = DefaultCandidateSites(&dataset);
+  ASSERT_TRUE(candidates.ok());
+  double best = 1e300;
+  SiteId best_site = (*candidates)[0];
+  for (SiteId c : *candidates) {
+    auto value = cost::ExactUnassignedCost(dataset, {c});
+    ASSERT_TRUE(value.ok());
+    if (*value < best) {
+      best = *value;
+      best_site = c;
+    }
+  }
+  auto refined = RefineOneCenterContinuous(
+      dataset, dataset.euclidean()->point(best_site), /*initial_step=*/1.0);
+  ASSERT_TRUE(refined.ok());
+  auto refined_value = OneCenterObjectiveAt(dataset, *refined);
+  ASSERT_TRUE(refined_value.ok());
+  const double reference = std::min(best, *refined_value);
+
+  EXPECT_LE(*algorithm_cost, 2.0 * reference + 1e-9);
+}
+
+// Theorem 2.2 (ED): the P̄ pipeline with an f-approximate certain
+// solver satisfies Ecost_ED <= (4+f) * opt_restricted_ED.
+TEST_P(TheoremSweep, Theorem22ExpectedDistanceBound) {
+  UncertainDataset dataset =
+      TinyEuclidean(static_cast<uint64_t>(GetParam()) + 2000);
+  UncertainKCenterOptions options;
+  options.k = 2;
+  options.rule = cost::AssignmentRule::kExpectedDistance;
+  options.certain.kind = solver::CertainSolverKind::kExact;  // f = 1.
+  auto solution = SolveUncertainKCenter(&dataset, options);
+  ASSERT_TRUE(solution.ok());
+
+  auto candidates = DefaultCandidateSites(&dataset);
+  ASSERT_TRUE(candidates.ok());
+  auto reference = ExactRestrictedAssigned(
+      &dataset, 2, cost::AssignmentRule::kExpectedDistance, *candidates);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_LE(solution->expected_cost,
+            (4.0 + 1.0) * reference->expected_cost + 1e-9);
+}
+
+// Theorem 2.2 (EP): Ecost_EP <= (2+f) * opt_restricted_EP.
+TEST_P(TheoremSweep, Theorem22ExpectedPointBound) {
+  UncertainDataset dataset =
+      TinyEuclidean(static_cast<uint64_t>(GetParam()) + 3000);
+  UncertainKCenterOptions options;
+  options.k = 2;
+  options.rule = cost::AssignmentRule::kExpectedPoint;
+  options.certain.kind = solver::CertainSolverKind::kExact;
+  auto solution = SolveUncertainKCenter(&dataset, options);
+  ASSERT_TRUE(solution.ok());
+
+  auto candidates = DefaultCandidateSites(&dataset);
+  ASSERT_TRUE(candidates.ok());
+  auto reference = ExactRestrictedAssigned(
+      &dataset, 2, cost::AssignmentRule::kExpectedPoint, *candidates);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_LE(solution->expected_cost,
+            (2.0 + 1.0) * reference->expected_cost + 1e-9);
+}
+
+// Theorem 2.3: the optimal restricted-ED cost is at most 3x the optimal
+// unrestricted cost. Checked exactly in a finite metric, where the
+// candidate set (all sites) makes both enumerations the true optima.
+TEST_P(TheoremSweep, Theorem23RestrictedEDWithinThreeOfUnrestricted) {
+  UncertainDataset dataset =
+      TinyMetric(static_cast<uint64_t>(GetParam()) + 4000, 4);
+  auto candidates = DefaultCandidateSites(&dataset);
+  ASSERT_TRUE(candidates.ok());
+  auto restricted = ExactRestrictedAssigned(
+      &dataset, 2, cost::AssignmentRule::kExpectedDistance, *candidates);
+  auto unrestricted = ExactUnrestrictedAssigned(&dataset, 2, *candidates);
+  ASSERT_TRUE(restricted.ok());
+  ASSERT_TRUE(unrestricted.ok());
+  EXPECT_GE(restricted->expected_cost, unrestricted->expected_cost - 1e-9);
+  EXPECT_LE(restricted->expected_cost,
+            3.0 * unrestricted->expected_cost + 1e-9);
+}
+
+// Theorems 2.4 / 2.5: Euclidean unrestricted bounds, (4+f) for ED and
+// (2+f) for EP, against the exact unrestricted optimum over the dense
+// candidate set.
+TEST_P(TheoremSweep, Theorem24And25UnrestrictedBounds) {
+  for (auto rule : {cost::AssignmentRule::kExpectedDistance,
+                    cost::AssignmentRule::kExpectedPoint}) {
+    UncertainDataset dataset =
+        TinyEuclidean(static_cast<uint64_t>(GetParam()) + 5000, 4);
+    UncertainKCenterOptions options;
+    options.k = 2;
+    options.rule = rule;
+    options.certain.kind = solver::CertainSolverKind::kExact;
+    auto solution = SolveUncertainKCenter(&dataset, options);
+    ASSERT_TRUE(solution.ok());
+
+    auto candidates = DefaultCandidateSites(&dataset);
+    ASSERT_TRUE(candidates.ok());
+    auto reference = ExactUnrestrictedAssigned(&dataset, 2, *candidates);
+    ASSERT_TRUE(reference.ok());
+    const double factor =
+        rule == cost::AssignmentRule::kExpectedDistance ? 5.0 : 3.0;
+    EXPECT_LE(solution->expected_cost,
+              factor * reference->expected_cost + 1e-9)
+        << cost::AssignmentRuleToString(rule);
+  }
+}
+
+// Theorems 2.6 / 2.7: metric-space unrestricted bounds with the P̃
+// surrogate, (5+2f) for ED and (3+2f) for OC, against the exact
+// unrestricted optimum (true optimum in a finite metric).
+TEST_P(TheoremSweep, Theorem26And27MetricBounds) {
+  for (auto rule : {cost::AssignmentRule::kExpectedDistance,
+                    cost::AssignmentRule::kOneCenter}) {
+    UncertainDataset dataset =
+        TinyMetric(static_cast<uint64_t>(GetParam()) + 6000, 4);
+    UncertainKCenterOptions options;
+    options.k = 2;
+    options.rule = rule;
+    options.surrogate = SurrogateKind::kOneCenter;
+    options.certain.kind = solver::CertainSolverKind::kExact;
+    auto solution = SolveUncertainKCenter(&dataset, options);
+    ASSERT_TRUE(solution.ok());
+
+    auto candidates = DefaultCandidateSites(&dataset);
+    ASSERT_TRUE(candidates.ok());
+    auto reference = ExactUnrestrictedAssigned(&dataset, 2, *candidates);
+    ASSERT_TRUE(reference.ok());
+    const double factor =
+        rule == cost::AssignmentRule::kExpectedDistance ? 7.0 : 5.0;
+    EXPECT_LE(solution->expected_cost,
+              factor * reference->expected_cost + 1e-9)
+        << cost::AssignmentRuleToString(rule);
+  }
+}
+
+// Gonzalez-plugged versions (f = 2): Table 1's factors 6 and 4.
+TEST_P(TheoremSweep, GonzalezPluggedFactors) {
+  for (auto [rule, factor] :
+       {std::pair{cost::AssignmentRule::kExpectedDistance, 6.0},
+        std::pair{cost::AssignmentRule::kExpectedPoint, 4.0}}) {
+    UncertainDataset dataset =
+        TinyEuclidean(static_cast<uint64_t>(GetParam()) + 7000, 4);
+    UncertainKCenterOptions options;
+    options.k = 2;
+    options.rule = rule;
+    options.certain.kind = solver::CertainSolverKind::kGonzalez;
+    auto solution = SolveUncertainKCenter(&dataset, options);
+    ASSERT_TRUE(solution.ok());
+    auto candidates = DefaultCandidateSites(&dataset);
+    ASSERT_TRUE(candidates.ok());
+    auto reference = ExactRestrictedAssigned(&dataset, 2, rule, *candidates);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_LE(solution->expected_cost, factor * reference->expected_cost + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremSweep, ::testing::Range(0, 6));
+
+// The R^1 chain (Table 1 row 8): the line solver's restricted-ED cost is
+// within 3x of the exact unrestricted optimum (Theorem 2.3), since the
+// solver optimizes the restricted-ED objective (numerically) exactly.
+class LineChainSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LineChainSweep, LineSolverWithinThreeOfUnrestricted) {
+  auto dataset = uncertain::GenerateLineInstance(
+      5, 3, 20.0, 2.0, uncertain::ProbabilityShape::kRandom,
+      static_cast<uint64_t>(GetParam()) + 8000);
+  ASSERT_TRUE(dataset.ok());
+  LineSolverOptions options;
+  options.k = 2;
+  auto solution = SolveLineKCenterED(&dataset.value(), options);
+  ASSERT_TRUE(solution.ok());
+
+  auto candidates = DefaultCandidateSites(&dataset.value());
+  ASSERT_TRUE(candidates.ok());
+  auto reference = ExactUnrestrictedAssigned(&dataset.value(), 2, *candidates);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_LE(solution->expected_cost, 3.0 * reference->expected_cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LineChainSweep, ::testing::Range(0, 6));
+
+
+// The grid (1+eps) plug: Theorem 2.2's (4+f) factor with f = 1+eps
+// certified end to end by a genuine (1+eps) solver.
+class GridPlugSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridPlugSweep, Theorem22WithGridEpsilonPlug) {
+  const double eps = 0.25;
+  UncertainDataset dataset =
+      TinyEuclidean(static_cast<uint64_t>(GetParam()) + 9000);
+  UncertainKCenterOptions options;
+  options.k = 2;
+  options.rule = cost::AssignmentRule::kExpectedDistance;
+  options.certain.kind = solver::CertainSolverKind::kGridEpsilon;
+  options.certain.epsilon = eps;
+  auto solution = SolveUncertainKCenter(&dataset, options);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_DOUBLE_EQ(solution->certain_factor, 1.0 + eps);
+
+  auto candidates = DefaultCandidateSites(&dataset);
+  ASSERT_TRUE(candidates.ok());
+  auto reference = ExactRestrictedAssigned(
+      &dataset, 2, cost::AssignmentRule::kExpectedDistance, *candidates);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_LE(solution->expected_cost,
+            (4.0 + 1.0 + eps) * reference->expected_cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridPlugSweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace core
+}  // namespace ukc

@@ -1,0 +1,186 @@
+#include "uncertain/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metric/metric_checker.h"
+
+namespace ukc {
+namespace uncertain {
+namespace {
+
+TEST(ProbabilitiesTest, UniformShape) {
+  Rng rng(1);
+  const auto p = MakeProbabilities(4, ProbabilityShape::kUniform, rng);
+  ASSERT_EQ(p.size(), 4u);
+  for (double value : p) EXPECT_DOUBLE_EQ(value, 0.25);
+}
+
+TEST(ProbabilitiesTest, RandomShapeSumsToOne) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto p = MakeProbabilities(7, ProbabilityShape::kRandom, rng);
+    double total = 0.0;
+    for (double value : p) {
+      EXPECT_GT(value, 0.0);
+      total += value;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(ProbabilitiesTest, SpikyShapeHasDominantMass) {
+  Rng rng(3);
+  const auto p = MakeProbabilities(5, ProbabilityShape::kSpiky, rng);
+  double biggest = 0.0;
+  double total = 0.0;
+  for (double value : p) {
+    biggest = std::max(biggest, value);
+    total += value;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_GE(biggest, 0.89);
+}
+
+TEST(ProbabilitiesTest, SingleLocation) {
+  Rng rng(4);
+  for (auto shape : {ProbabilityShape::kUniform, ProbabilityShape::kRandom,
+                     ProbabilityShape::kSpiky}) {
+    const auto p = MakeProbabilities(1, shape, rng);
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_DOUBLE_EQ(p[0], 1.0);
+  }
+}
+
+EuclideanInstanceOptions SmallOptions() {
+  EuclideanInstanceOptions options;
+  options.n = 25;
+  options.z = 3;
+  options.dim = 2;
+  options.spread = 0.4;
+  options.seed = 11;
+  return options;
+}
+
+TEST(GeneratorsTest, UniformInstanceShape) {
+  auto dataset = GenerateUniformInstance(SmallOptions());
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->n(), 25u);
+  EXPECT_EQ(dataset->max_locations(), 3u);
+  EXPECT_TRUE(dataset->is_euclidean());
+  EXPECT_EQ(dataset->euclidean()->dim(), 2u);
+}
+
+TEST(GeneratorsTest, DeterministicInSeed) {
+  auto a = GenerateUniformInstance(SmallOptions());
+  auto b = GenerateUniformInstance(SmallOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->n(); ++i) {
+    for (size_t j = 0; j < a->point(i).num_locations(); ++j) {
+      EXPECT_EQ(a->euclidean()->point(a->point(i).site(j)),
+                b->euclidean()->point(b->point(i).site(j)));
+      EXPECT_DOUBLE_EQ(a->point(i).probability(j), b->point(i).probability(j));
+    }
+  }
+}
+
+TEST(GeneratorsTest, SeedsChangeTheInstance) {
+  auto options = SmallOptions();
+  auto a = GenerateUniformInstance(options);
+  options.seed = 12;
+  auto b = GenerateUniformInstance(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->euclidean()->point(a->point(0).site(0)),
+            b->euclidean()->point(b->point(0).site(0)));
+}
+
+TEST(GeneratorsTest, ClusteredInstanceIsTighterThanUniform) {
+  auto options = SmallOptions();
+  options.n = 60;
+  auto clustered = GenerateClusteredInstance(options, 3, /*cluster_stddev=*/0.2);
+  ASSERT_TRUE(clustered.ok());
+  EXPECT_EQ(clustered->n(), 60u);
+  EXPECT_FALSE(GenerateClusteredInstance(options, 0).ok());
+}
+
+TEST(GeneratorsTest, OutlierInstanceHasFarLocations) {
+  auto options = SmallOptions();
+  options.z = 4;
+  auto dataset = GenerateOutlierInstance(options, 2, /*outlier_probability=*/0.1,
+                                         /*outlier_distance=*/50.0);
+  ASSERT_TRUE(dataset.ok());
+  // Every point's support diameter is near the outlier distance.
+  double min_diameter = 1e18;
+  for (size_t i = 0; i < dataset->n(); ++i) {
+    min_diameter = std::min(min_diameter,
+                            dataset->point(i).SupportDiameter(dataset->space()));
+  }
+  EXPECT_GT(min_diameter, 25.0);
+}
+
+TEST(GeneratorsTest, OutlierInstanceValidation) {
+  auto options = SmallOptions();
+  options.z = 1;
+  EXPECT_FALSE(GenerateOutlierInstance(options, 2).ok());  // Needs z >= 2.
+  options.z = 3;
+  EXPECT_FALSE(GenerateOutlierInstance(options, 2, /*outlier_probability=*/1.5).ok());
+}
+
+TEST(GeneratorsTest, LineInstanceIsOneDimensional) {
+  auto dataset = GenerateLineInstance(30, 4, 100.0, 2.0,
+                                      ProbabilityShape::kUniform, 7);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->euclidean()->dim(), 1u);
+  EXPECT_EQ(dataset->n(), 30u);
+  // Supports are narrow relative to the line length.
+  EXPECT_LE(dataset->MaxSupportDiameter(), 2.0 + 1e-9);
+}
+
+TEST(GeneratorsTest, GridGraphIsValidMetric) {
+  auto graph = GenerateGridGraph(4, 5, 0.5, 2.0, 13);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ((*graph)->num_sites(), 20);
+  EXPECT_EQ((*graph)->num_edges(), 4u * 4 + 3 * 5);  // 31 edges.
+  EXPECT_TRUE(metric::CheckMetricAxioms(**graph).ok());
+}
+
+TEST(GeneratorsTest, GridGraphValidation) {
+  EXPECT_FALSE(GenerateGridGraph(0, 5, 0.5, 2.0, 1).ok());
+  EXPECT_FALSE(GenerateGridGraph(3, 3, 0.0, 2.0, 1).ok());
+  EXPECT_FALSE(GenerateGridGraph(3, 3, 2.0, 1.0, 1).ok());
+}
+
+TEST(GeneratorsTest, MetricInstanceOverGraph) {
+  auto graph = GenerateGridGraph(5, 5, 0.5, 2.0, 17);
+  ASSERT_TRUE(graph.ok());
+  auto dataset = GenerateMetricInstance(*graph, 12, 3, 2.0,
+                                        ProbabilityShape::kRandom, 19);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->n(), 12u);
+  EXPECT_FALSE(dataset->is_euclidean());
+  // Locations are distinct sites per point.
+  for (size_t i = 0; i < dataset->n(); ++i) {
+    EXPECT_EQ(dataset->point(i).num_locations(), 3u);
+  }
+}
+
+TEST(GeneratorsTest, MetricInstanceValidation) {
+  auto graph = GenerateGridGraph(2, 2, 0.5, 2.0, 17);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(GenerateMetricInstance(nullptr, 5, 2, 1.0,
+                                      ProbabilityShape::kUniform, 1)
+                   .ok());
+  EXPECT_FALSE(GenerateMetricInstance(*graph, 5, 9, 1.0,
+                                      ProbabilityShape::kUniform, 1)
+                   .ok());  // z > |sites|.
+  EXPECT_FALSE(GenerateMetricInstance(*graph, 5, 2, 0.0,
+                                      ProbabilityShape::kUniform, 1)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace uncertain
+}  // namespace ukc

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace ukc {
+namespace geometry {
+namespace {
+
+TEST(PointTest, ConstructionAndAccess) {
+  Point p{1.0, 2.0, 3.0};
+  EXPECT_EQ(p.dim(), 3u);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[2], 3.0);
+  p[1] = -4.0;
+  EXPECT_DOUBLE_EQ(p[1], -4.0);
+}
+
+TEST(PointTest, OriginConstructor) {
+  Point p(4);
+  EXPECT_EQ(p.dim(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(p[i], 0.0);
+}
+
+TEST(PointTest, VectorArithmetic) {
+  Point a{1.0, 2.0};
+  Point b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Point{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Point{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Point{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Point{2.0, 4.0}));
+}
+
+TEST(PointTest, CompoundOperators) {
+  Point p{1.0, 1.0};
+  p += Point{2.0, 3.0};
+  EXPECT_EQ(p, (Point{3.0, 4.0}));
+  p -= Point{1.0, 1.0};
+  EXPECT_EQ(p, (Point{2.0, 3.0}));
+  p *= 0.5;
+  EXPECT_EQ(p, (Point{1.0, 1.5}));
+}
+
+TEST(PointTest, NormAndDot) {
+  Point p{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(p.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(p.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(p.Dot(Point{1.0, 1.0}), 7.0);
+}
+
+TEST(PointTest, ToStringFormatsCoordinates) {
+  EXPECT_EQ((Point{1.0, -2.5}).ToString(), "(1, -2.5)");
+}
+
+TEST(DistanceTest, EuclideanBasics) {
+  Point a{0.0, 0.0};
+  Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, a), 0.0);
+}
+
+TEST(DistanceTest, L1AndLInf) {
+  Point a{1.0, 2.0, 3.0};
+  Point b{4.0, 0.0, 3.5};
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 3.0 + 2.0 + 0.5);
+  EXPECT_DOUBLE_EQ(LInfDistance(a, b), 3.0);
+}
+
+TEST(DistanceTest, LpInterpolatesBetweenL1AndL2) {
+  Point a{0.0, 0.0};
+  Point b{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(LpDistance(a, b, 1.0), 2.0);
+  EXPECT_NEAR(LpDistance(a, b, 2.0), std::sqrt(2.0), 1e-12);
+  // Lp decreases in p.
+  EXPECT_GT(LpDistance(a, b, 1.5), LpDistance(a, b, 3.0));
+}
+
+TEST(DistanceTest, TriangleInequalityRandom) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    Point a{rng.Gaussian(), rng.Gaussian(), rng.Gaussian()};
+    Point b{rng.Gaussian(), rng.Gaussian(), rng.Gaussian()};
+    Point c{rng.Gaussian(), rng.Gaussian(), rng.Gaussian()};
+    EXPECT_LE(Distance(a, b), Distance(a, c) + Distance(c, b) + 1e-12);
+    EXPECT_LE(L1Distance(a, b), L1Distance(a, c) + L1Distance(c, b) + 1e-12);
+    EXPECT_LE(LInfDistance(a, b),
+              LInfDistance(a, c) + LInfDistance(c, b) + 1e-12);
+  }
+}
+
+TEST(LerpTest, Endpoints) {
+  Point a{0.0, 0.0};
+  Point b{2.0, 4.0};
+  EXPECT_EQ(Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Lerp(a, b, 1.0), b);
+  EXPECT_EQ(Lerp(a, b, 0.5), (Point{1.0, 2.0}));
+}
+
+TEST(CentroidTest, Mean) {
+  std::vector<Point> points = {{0.0, 0.0}, {2.0, 0.0}, {1.0, 3.0}};
+  EXPECT_EQ(Centroid(points), (Point{1.0, 1.0}));
+}
+
+TEST(WeightedCentroidTest, RespectsWeights) {
+  std::vector<Point> points = {{0.0}, {10.0}};
+  EXPECT_EQ(WeightedCentroid(points, {1.0, 3.0}), (Point{7.5}));
+  EXPECT_EQ(WeightedCentroid(points, {1.0, 0.0}), (Point{0.0}));
+}
+
+TEST(WeightedCentroidDeathTest, RejectsAllZeroWeights) {
+  std::vector<Point> points = {{0.0}, {1.0}};
+  EXPECT_DEATH(WeightedCentroid(points, {0.0, 0.0}), "CHECK failed");
+}
+
+TEST(BoxTest, BoundingBox) {
+  std::vector<Point> points = {{1.0, 5.0}, {-2.0, 3.0}, {0.0, 7.0}};
+  Box box = Box::BoundingBox(points);
+  EXPECT_EQ(box.lo(), (Point{-2.0, 3.0}));
+  EXPECT_EQ(box.hi(), (Point{1.0, 7.0}));
+  EXPECT_DOUBLE_EQ(box.Extent(0), 3.0);
+  EXPECT_DOUBLE_EQ(box.Extent(1), 4.0);
+  EXPECT_DOUBLE_EQ(box.MaxExtent(), 4.0);
+  EXPECT_DOUBLE_EQ(box.Diagonal(), 5.0);
+}
+
+TEST(BoxTest, ContainsAndExpand) {
+  Box box(Point{0.0, 0.0}, Point{1.0, 1.0});
+  EXPECT_TRUE(box.Contains(Point{0.5, 0.5}));
+  EXPECT_TRUE(box.Contains(Point{0.0, 1.0}));  // Boundary inclusive.
+  EXPECT_FALSE(box.Contains(Point{1.5, 0.5}));
+  box.Expand(Point{2.0, -1.0});
+  EXPECT_TRUE(box.Contains(Point{1.5, 0.0}));
+}
+
+TEST(BoxTest, Inflate) {
+  Box box(Point{0.0}, Point{1.0});
+  box.Inflate(0.5);
+  EXPECT_TRUE(box.Contains(Point{-0.4}));
+  EXPECT_TRUE(box.Contains(Point{1.4}));
+  EXPECT_FALSE(box.Contains(Point{1.6}));
+}
+
+TEST(BoxTest, Center) {
+  Box box(Point{0.0, 2.0}, Point{4.0, 6.0});
+  EXPECT_EQ(box.Center(), (Point{2.0, 4.0}));
+}
+
+TEST(BoxDeathTest, RejectsInvertedCorners) {
+  EXPECT_DEATH(Box(Point{1.0}, Point{0.0}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace geometry
+}  // namespace ukc

@@ -1,0 +1,245 @@
+// End-to-end integration tests: every instance family crossed with
+// every valid pipeline configuration, the coherence chain between
+// lower bounds, exact optima, and pipeline costs, and solution
+// stability across serialization.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/baselines.h"
+#include "core/exact_tiny.h"
+#include "core/uncertain_kcenter.h"
+#include "cost/expected_cost.h"
+#include "exper/instances.h"
+#include "exper/reference.h"
+#include "uncertain/io.h"
+
+namespace ukc {
+namespace {
+
+using uncertain::UncertainDataset;
+
+struct Configuration {
+  cost::AssignmentRule rule;
+  core::SurrogateKind surrogate;
+};
+
+std::vector<Configuration> ValidConfigurations(bool euclidean) {
+  std::vector<Configuration> configs;
+  if (euclidean) {
+    configs.push_back({cost::AssignmentRule::kExpectedDistance,
+                       core::SurrogateKind::kExpectedPoint});
+    configs.push_back({cost::AssignmentRule::kExpectedPoint,
+                       core::SurrogateKind::kExpectedPoint});
+  }
+  configs.push_back({cost::AssignmentRule::kExpectedDistance,
+                     core::SurrogateKind::kOneCenter});
+  configs.push_back({cost::AssignmentRule::kOneCenter,
+                     core::SurrogateKind::kOneCenter});
+  return configs;
+}
+
+// Every family x configuration x solver runs, produces a valid
+// assignment, and its exact cost agrees with an independent recompute.
+TEST(IntegrationTest, AllFamiliesAllConfigurations) {
+  for (auto family :
+       {exper::Family::kUniform, exper::Family::kClustered,
+        exper::Family::kOutlier, exper::Family::kLine,
+        exper::Family::kGridGraph}) {
+    exper::InstanceSpec spec;
+    spec.family = family;
+    spec.n = 18;
+    spec.z = 3;
+    spec.k = 3;
+    spec.seed = 101;
+    for (auto solver_kind : {solver::CertainSolverKind::kGonzalez,
+                             solver::CertainSolverKind::kGonzalezRefined}) {
+      auto probe = exper::MakeInstance(spec);
+      ASSERT_TRUE(probe.ok());
+      for (const auto& config : ValidConfigurations(probe->is_euclidean())) {
+        auto dataset = exper::MakeInstance(spec);
+        ASSERT_TRUE(dataset.ok());
+        core::UncertainKCenterOptions options;
+        options.k = spec.k;
+        options.rule = config.rule;
+        options.surrogate = config.surrogate;
+        options.certain.kind = solver_kind;
+        auto solution = core::SolveUncertainKCenter(&dataset.value(), options);
+        ASSERT_TRUE(solution.ok())
+            << exper::FamilyToString(family) << " "
+            << cost::AssignmentRuleToString(config.rule) << " "
+            << core::SurrogateKindToString(config.surrogate);
+        EXPECT_TRUE(cost::ValidateAssignment(*dataset, solution->centers,
+                                             solution->assignment)
+                        .ok());
+        auto recomputed =
+            cost::ExactAssignedCost(*dataset, solution->assignment);
+        ASSERT_TRUE(recomputed.ok());
+        EXPECT_DOUBLE_EQ(solution->expected_cost, *recomputed);
+      }
+    }
+  }
+}
+
+// The coherence chain on a tiny instance:
+//   lower bound <= unrestricted optimum <= restricted optimum
+//   <= pipeline cost <= factor * restricted optimum.
+TEST(IntegrationTest, CoherenceChainTinyEuclidean) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    exper::InstanceSpec spec;
+    spec.family = exper::Family::kClustered;
+    spec.n = 5;
+    spec.z = 2;
+    spec.k = 2;
+    spec.seed = seed;
+    auto dataset = exper::MakeInstance(spec);
+    ASSERT_TRUE(dataset.ok());
+
+    core::UncertainKCenterOptions options;
+    options.k = 2;
+    options.rule = cost::AssignmentRule::kExpectedDistance;
+    auto pipeline = core::SolveUncertainKCenter(&dataset.value(), options);
+    ASSERT_TRUE(pipeline.ok());
+
+    auto candidates = core::DefaultCandidateSites(&dataset.value());
+    ASSERT_TRUE(candidates.ok());
+    auto unrestricted =
+        core::ExactUnrestrictedAssigned(&dataset.value(), 2, *candidates);
+    auto restricted = core::ExactRestrictedAssigned(
+        &dataset.value(), 2, cost::AssignmentRule::kExpectedDistance,
+        *candidates);
+    auto bound = exper::UnrestrictedLowerBound(&dataset.value(), 2);
+    ASSERT_TRUE(unrestricted.ok());
+    ASSERT_TRUE(restricted.ok());
+    ASSERT_TRUE(bound.ok());
+
+    EXPECT_LE(bound->combined, unrestricted->expected_cost + 1e-9);
+    EXPECT_LE(unrestricted->expected_cost, restricted->expected_cost + 1e-9);
+    EXPECT_LE(restricted->expected_cost, pipeline->expected_cost + 1e-9);
+    ASSERT_FALSE(pipeline->bounds.empty());
+    EXPECT_LE(pipeline->expected_cost,
+              pipeline->bounds[0].factor * restricted->expected_cost + 1e-9);
+  }
+}
+
+// The same chain in a finite metric, where every quantity is the true
+// optimum over the whole space.
+TEST(IntegrationTest, CoherenceChainFiniteMetric) {
+  exper::InstanceSpec spec;
+  spec.family = exper::Family::kGridGraph;
+  spec.n = 5;
+  spec.z = 2;
+  spec.k = 2;
+  spec.seed = 7;
+  auto dataset = exper::MakeInstance(spec);
+  ASSERT_TRUE(dataset.ok());
+
+  core::UncertainKCenterOptions options;
+  options.k = 2;
+  options.rule = cost::AssignmentRule::kOneCenter;
+  auto pipeline = core::SolveUncertainKCenter(&dataset.value(), options);
+  ASSERT_TRUE(pipeline.ok());
+
+  auto candidates = core::DefaultCandidateSites(&dataset.value());
+  ASSERT_TRUE(candidates.ok());
+  auto unrestricted =
+      core::ExactUnrestrictedAssigned(&dataset.value(), 2, *candidates);
+  auto bound = exper::UnrestrictedLowerBound(&dataset.value(), 2);
+  ASSERT_TRUE(unrestricted.ok());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_LE(bound->combined, unrestricted->expected_cost + 1e-9);
+  EXPECT_LE(unrestricted->expected_cost, pipeline->expected_cost + 1e-9);
+  ASSERT_FALSE(pipeline->bounds.empty());
+  EXPECT_LE(pipeline->expected_cost,
+            pipeline->bounds[0].factor * unrestricted->expected_cost + 1e-9);
+}
+
+// Serializing and reloading an instance yields the same solution.
+TEST(IntegrationTest, SerializationPreservesSolutions) {
+  exper::InstanceSpec spec;
+  spec.family = exper::Family::kClustered;
+  spec.n = 25;
+  spec.z = 4;
+  spec.k = 3;
+  spec.seed = 13;
+  auto original = exper::MakeInstance(spec);
+  ASSERT_TRUE(original.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(uncertain::SaveDataset(*original, buffer).ok());
+  auto reloaded = uncertain::LoadDataset(buffer);
+  ASSERT_TRUE(reloaded.ok());
+
+  core::UncertainKCenterOptions options;
+  options.k = 3;
+  auto a = core::SolveUncertainKCenter(&original.value(), options);
+  auto b = core::SolveUncertainKCenter(&reloaded.value(), options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a->expected_cost, b->expected_cost,
+              1e-12 * (1.0 + a->expected_cost));
+  EXPECT_NEAR(a->certain_radius, b->certain_radius, 1e-12);
+}
+
+// Baselines and the pipeline agree on the playing field: everything is
+// evaluated by the same exact cost engine, and the certified lower
+// bound sits below all of them.
+TEST(IntegrationTest, LowerBoundBelowAllAlgorithms) {
+  exper::InstanceSpec spec;
+  spec.family = exper::Family::kOutlier;
+  spec.n = 25;
+  spec.z = 4;
+  spec.k = 3;
+  spec.seed = 17;
+  auto probe = exper::MakeInstance(spec);
+  ASSERT_TRUE(probe.ok());
+  auto bound = exper::UnrestrictedLowerBound(&probe.value(), 3);
+  ASSERT_TRUE(bound.ok());
+
+  for (auto kind : {baselines::BaselineKind::kPooledLocations,
+                    baselines::BaselineKind::kModalLocation,
+                    baselines::BaselineKind::kRandomCenters,
+                    baselines::BaselineKind::kTruncatedMedian}) {
+    auto dataset = exper::MakeInstance(spec);
+    ASSERT_TRUE(dataset.ok());
+    baselines::BaselineOptions options;
+    options.k = 3;
+    auto result = baselines::RunBaseline(&dataset.value(), kind, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(bound->combined, result->expected_cost + 1e-9)
+        << baselines::BaselineKindToString(kind);
+  }
+}
+
+// Monte-Carlo agreement for the full pipeline on every family (the
+// exact engine and the sampler disagree only through floating noise).
+TEST(IntegrationTest, MonteCarloAgreesEverywhere) {
+  for (auto family : {exper::Family::kClustered, exper::Family::kLine,
+                      exper::Family::kGridGraph}) {
+    exper::InstanceSpec spec;
+    spec.family = family;
+    spec.n = 20;
+    spec.z = 3;
+    spec.k = 3;
+    spec.seed = 19;
+    auto dataset = exper::MakeInstance(spec);
+    ASSERT_TRUE(dataset.ok());
+    core::UncertainKCenterOptions options;
+    options.k = 3;
+    options.rule = dataset->is_euclidean()
+                       ? cost::AssignmentRule::kExpectedDistance
+                       : cost::AssignmentRule::kOneCenter;
+    auto solution = core::SolveUncertainKCenter(&dataset.value(), options);
+    ASSERT_TRUE(solution.ok());
+    Rng rng(21);
+    auto estimate = cost::MonteCarloAssignedCost(
+        *dataset, solution->assignment, 150000, rng);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_NEAR(estimate->mean, solution->expected_cost,
+                5.0 * estimate->std_error + 1e-9)
+        << exper::FamilyToString(family);
+  }
+}
+
+}  // namespace
+}  // namespace ukc

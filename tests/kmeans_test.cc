@@ -1,0 +1,209 @@
+// Tests for the uncertain k-means extension and the weighted Lloyd
+// substrate, centered on the bias–variance identity that makes the
+// expected-point reduction lossless.
+
+#include "core/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "solver/lloyd.h"
+#include "uncertain/generators.h"
+
+namespace ukc {
+namespace core {
+namespace {
+
+using geometry::Point;
+using metric::SiteId;
+using uncertain::UncertainDataset;
+
+// --- WeightedKMeans substrate ---
+
+TEST(WeightedKMeansTest, RejectsBadInput) {
+  EXPECT_FALSE(solver::WeightedKMeans({}, {}, 1).ok());
+  EXPECT_FALSE(solver::WeightedKMeans({Point{0.0}}, {1.0, 2.0}, 1).ok());
+  EXPECT_FALSE(solver::WeightedKMeans({Point{0.0}}, {1.0}, 0).ok());
+  EXPECT_FALSE(solver::WeightedKMeans({Point{0.0}}, {0.0}, 1).ok());
+  EXPECT_FALSE(
+      solver::WeightedKMeans({Point{0.0}, Point{0.0, 1.0}}, {1.0, 1.0}, 1).ok());
+}
+
+TEST(WeightedKMeansTest, SingleClusterIsWeightedCentroid) {
+  std::vector<Point> points = {Point{0.0}, Point{10.0}};
+  auto solution = solver::WeightedKMeans(points, {1.0, 3.0}, 1);
+  ASSERT_TRUE(solution.ok());
+  ASSERT_EQ(solution->centers.size(), 1u);
+  EXPECT_NEAR(solution->centers[0][0], 7.5, 1e-9);
+  // Objective = 1*(7.5)^2 + 3*(2.5)^2.
+  EXPECT_NEAR(solution->objective, 56.25 + 18.75, 1e-9);
+}
+
+TEST(WeightedKMeansTest, SeparatedClustersSplitCorrectly) {
+  std::vector<Point> points = {Point{0.0, 0.0}, Point{1.0, 0.0},
+                               Point{100.0, 0.0}, Point{101.0, 0.0}};
+  std::vector<double> weights(4, 1.0);
+  auto solution = solver::WeightedKMeans(points, weights, 2);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->objective, 4 * 0.25, 1e-9);
+  EXPECT_EQ(solution->cluster_of[0], solution->cluster_of[1]);
+  EXPECT_NE(solution->cluster_of[0], solution->cluster_of[2]);
+}
+
+TEST(WeightedKMeansTest, KAtLeastDistinctPointsReachesZero) {
+  std::vector<Point> points = {Point{1.0}, Point{2.0}, Point{3.0}};
+  auto solution = solver::WeightedKMeans(points, {1.0, 1.0, 1.0}, 3);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->objective, 0.0, 1e-12);
+}
+
+TEST(WeightedKMeansTest, DuplicatePointsHandled) {
+  std::vector<Point> points(6, Point{2.0, 2.0});
+  auto solution = solver::WeightedKMeans(points, std::vector<double>(6, 1.0), 3);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->objective, 0.0, 1e-12);
+}
+
+TEST(WeightedKMeansTest, MoreRestartsNeverHurt) {
+  Rng rng(1);
+  std::vector<Point> points;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back(Point{rng.Gaussian(), rng.Gaussian()});
+  }
+  std::vector<double> weights(points.size(), 1.0);
+  solver::KMeansOptions one;
+  one.restarts = 1;
+  one.seed = 5;
+  solver::KMeansOptions many;
+  many.restarts = 8;
+  many.seed = 5;
+  auto a = solver::WeightedKMeans(points, weights, 4, one);
+  auto b = solver::WeightedKMeans(points, weights, 4, many);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(b->objective, a->objective + 1e-9);
+}
+
+// --- Uncertain k-means ---
+
+UncertainDataset Clustered(uint64_t seed, size_t n = 25) {
+  uncertain::EuclideanInstanceOptions options;
+  options.n = n;
+  options.z = 4;
+  options.dim = 2;
+  options.seed = seed;
+  return std::move(uncertain::GenerateClusteredInstance(options, 3)).value();
+}
+
+TEST(UncertainKMeansTest, BiasVarianceIdentityHolds) {
+  // expected_cost == surrogate_objective + variance_floor, exactly.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    UncertainDataset dataset = Clustered(seed);
+    UncertainKMeansOptions options;
+    options.k = 3;
+    auto solution = SolveUncertainKMeans(&dataset, options);
+    ASSERT_TRUE(solution.ok());
+    EXPECT_NEAR(solution->expected_cost,
+                solution->surrogate_objective + solution->variance_floor,
+                1e-9 * (1.0 + solution->expected_cost));
+  }
+}
+
+TEST(UncertainKMeansTest, VarianceFloorIsAHardLowerBound) {
+  UncertainDataset dataset = Clustered(7, 10);
+  auto floor = KMeansVarianceFloor(dataset);
+  ASSERT_TRUE(floor.ok());
+  // Any assignment whatsoever costs at least the floor.
+  Rng rng(8);
+  const auto sites = dataset.LocationSites();
+  for (int trial = 0; trial < 20; ++trial) {
+    cost::Assignment assignment(dataset.n());
+    for (auto& a : assignment) {
+      a = sites[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(sites.size()) - 1))];
+    }
+    auto cost_value = ExactKMeansCost(dataset, assignment);
+    ASSERT_TRUE(cost_value.ok());
+    EXPECT_GE(*cost_value, *floor - 1e-9);
+  }
+}
+
+TEST(UncertainKMeansTest, NearestExpectedPointAssignmentIsOptimal) {
+  // For fixed centers, assigning each point to the center nearest its
+  // expected point minimizes the squared objective (bias-variance).
+  UncertainDataset dataset = Clustered(9, 8);
+  UncertainKMeansOptions options;
+  options.k = 2;
+  auto solution = SolveUncertainKMeans(&dataset, options);
+  ASSERT_TRUE(solution.ok());
+  Rng rng(10);
+  for (int trial = 0; trial < 30; ++trial) {
+    cost::Assignment perturbed = solution->assignment;
+    const size_t i =
+        static_cast<size_t>(rng.UniformInt(0, dataset.n() - 1));
+    perturbed[i] = solution->centers[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(solution->centers.size()) - 1))];
+    auto cost_value = ExactKMeansCost(dataset, perturbed);
+    ASSERT_TRUE(cost_value.ok());
+    EXPECT_GE(*cost_value, solution->expected_cost - 1e-9);
+  }
+}
+
+TEST(UncertainKMeansTest, ExactCostMatchesManualSum) {
+  UncertainDataset dataset = Clustered(11, 5);
+  const auto sites = dataset.LocationSites();
+  cost::Assignment assignment(dataset.n(), sites[0]);
+  auto total = ExactKMeansCost(dataset, assignment);
+  ASSERT_TRUE(total.ok());
+  double manual = 0.0;
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    for (const auto& loc : dataset.point(i).locations()) {
+      const double d = dataset.space().Distance(loc.site, sites[0]);
+      manual += loc.probability * d * d;
+    }
+  }
+  EXPECT_NEAR(*total, manual, 1e-10);
+}
+
+TEST(UncertainKMeansTest, Validation) {
+  UncertainDataset dataset = Clustered(13, 5);
+  UncertainKMeansOptions options;
+  options.k = 0;
+  EXPECT_FALSE(SolveUncertainKMeans(&dataset, options).ok());
+  EXPECT_FALSE(SolveUncertainKMeans(nullptr, {}).ok());
+  EXPECT_FALSE(ExactKMeansCost(dataset, cost::Assignment{0}).ok());
+  EXPECT_FALSE(
+      ExactKMeansCost(dataset, cost::Assignment(dataset.n(), 9999)).ok());
+
+  // Non-Euclidean datasets are rejected (the reduction needs means).
+  auto graph = uncertain::GenerateGridGraph(3, 3, 0.5, 2.0, 14);
+  ASSERT_TRUE(graph.ok());
+  auto metric_dataset = uncertain::GenerateMetricInstance(
+      *graph, 4, 2, 2.0, uncertain::ProbabilityShape::kUniform, 15);
+  ASSERT_TRUE(metric_dataset.ok());
+  options.k = 2;
+  EXPECT_FALSE(SolveUncertainKMeans(&metric_dataset.value(), options).ok());
+  EXPECT_FALSE(KMeansVarianceFloor(*metric_dataset).ok());
+}
+
+TEST(UncertainKMeansTest, MoreCentersNeverIncreaseCost) {
+  UncertainDataset dataset_a = Clustered(17, 20);
+  UncertainDataset dataset_b = Clustered(17, 20);
+  UncertainKMeansOptions options;
+  options.k = 2;
+  options.lloyd.restarts = 6;
+  auto two = SolveUncertainKMeans(&dataset_a, options);
+  options.k = 5;
+  auto five = SolveUncertainKMeans(&dataset_b, options);
+  ASSERT_TRUE(two.ok());
+  ASSERT_TRUE(five.ok());
+  EXPECT_LE(five->expected_cost, two->expected_cost + 1e-6);
+  // But never below the variance floor.
+  EXPECT_GE(five->expected_cost, five->variance_floor - 1e-9);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ukc

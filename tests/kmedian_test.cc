@@ -1,0 +1,209 @@
+// Tests for the uncertain k-median extension (the paper's announced
+// future work) and its deterministic local-search substrate.
+
+#include "core/kmedian.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/exact_tiny.h"
+#include "solver/kmedian_local_search.h"
+#include "uncertain/generators.h"
+
+namespace ukc {
+namespace core {
+namespace {
+
+using metric::SiteId;
+using uncertain::UncertainDataset;
+
+// --- Deterministic substrate ---
+
+TEST(KMedianLocalSearchTest, RejectsBadInput) {
+  EXPECT_FALSE(solver::KMedianLocalSearch({}, 1).ok());
+  EXPECT_FALSE(solver::KMedianLocalSearch({{1.0}}, 0).ok());
+  EXPECT_FALSE(solver::KMedianLocalSearch({{1.0}}, 2).ok());
+  EXPECT_FALSE(solver::KMedianLocalSearch({{1.0, 2.0}, {1.0}}, 1).ok());
+  EXPECT_FALSE(solver::KMedianLocalSearch({{-1.0}}, 1).ok());
+}
+
+TEST(KMedianLocalSearchTest, SingleFacility) {
+  // Facility 1 is cheaper in total.
+  auto solution = solver::KMedianLocalSearch({{5.0, 1.0}, {5.0, 2.0}}, 1);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->facilities, (std::vector<size_t>{1}));
+  EXPECT_DOUBLE_EQ(solution->total_cost, 3.0);
+  EXPECT_EQ(solution->assignment, (std::vector<size_t>{1, 1}));
+}
+
+TEST(KMedianLocalSearchTest, MatchesExactOnRandomMatrices) {
+  Rng rng(1);
+  int matched = 0;
+  const int trials = 12;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<std::vector<double>> cost(7, std::vector<double>(8));
+    for (auto& row : cost) {
+      for (double& value : row) value = rng.UniformDouble(0.0, 10.0);
+    }
+    auto heuristic = solver::KMedianLocalSearch(cost, 3);
+    auto exact = solver::KMedianExact(cost, 3);
+    ASSERT_TRUE(heuristic.ok());
+    ASSERT_TRUE(exact.ok());
+    EXPECT_GE(heuristic->total_cost, exact->total_cost - 1e-12);
+    // Arbitrary matrices are not metric, so the 5-approx bound does not
+    // apply; still, best-improvement local search should usually land
+    // on the optimum at this size.
+    if (heuristic->total_cost <= exact->total_cost + 1e-9) ++matched;
+  }
+  EXPECT_GE(matched, trials / 2);
+}
+
+TEST(KMedianLocalSearchTest, FiveApproxOnMetricCosts) {
+  // Metric cost matrices (points on a line, facilities = clients): the
+  // single-swap local optimum is within 5x of the exact optimum.
+  Rng rng(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<double> xs(9);
+    for (double& x : xs) x = rng.UniformDouble(0.0, 100.0);
+    std::vector<std::vector<double>> cost(xs.size(),
+                                          std::vector<double>(xs.size()));
+    for (size_t i = 0; i < xs.size(); ++i) {
+      for (size_t j = 0; j < xs.size(); ++j) {
+        cost[i][j] = std::abs(xs[i] - xs[j]);
+      }
+    }
+    auto heuristic = solver::KMedianLocalSearch(cost, 3);
+    auto exact = solver::KMedianExact(cost, 3);
+    ASSERT_TRUE(heuristic.ok());
+    ASSERT_TRUE(exact.ok());
+    EXPECT_LE(heuristic->total_cost, 5.0 * exact->total_cost + 1e-9);
+  }
+}
+
+TEST(KMedianExactTest, RespectsSubsetCap) {
+  std::vector<std::vector<double>> cost(3, std::vector<double>(30, 1.0));
+  EXPECT_FALSE(solver::KMedianExact(cost, 10, /*max_subsets=*/100).ok());
+}
+
+// --- Uncertain k-median ---
+
+UncertainDataset Clustered(uint64_t seed, size_t n = 20) {
+  uncertain::EuclideanInstanceOptions options;
+  options.n = n;
+  options.z = 3;
+  options.dim = 2;
+  options.seed = seed;
+  return std::move(uncertain::GenerateClusteredInstance(options, 3)).value();
+}
+
+TEST(UncertainKMedianTest, CostIsSumOfPerPointExpectations) {
+  UncertainDataset dataset = Clustered(3, 6);
+  const auto sites = dataset.LocationSites();
+  cost::Assignment assignment(dataset.n(), sites[0]);
+  auto total = ExactKMedianCost(dataset, assignment);
+  ASSERT_TRUE(total.ok());
+  double manual = 0.0;
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    manual += dataset.point(i).ExpectedDistanceTo(dataset.space(), sites[0]);
+  }
+  EXPECT_NEAR(*total, manual, 1e-12);
+}
+
+TEST(UncertainKMedianTest, EDAssignmentIsOptimalForFixedCenters) {
+  // Structural fact 1: with the sum objective, per-point argmin expected
+  // distance is the optimal assignment — no other assignment beats it.
+  UncertainDataset dataset = Clustered(4, 6);
+  const auto sites = dataset.LocationSites();
+  const std::vector<SiteId> centers = {sites[0], sites[sites.size() / 2],
+                                       sites.back()};
+  auto ed = cost::AssignExpectedDistance(dataset, centers);
+  ASSERT_TRUE(ed.ok());
+  auto ed_cost = ExactKMedianCost(dataset, *ed);
+  ASSERT_TRUE(ed_cost.ok());
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    cost::Assignment random(dataset.n());
+    for (auto& a : random) {
+      a = centers[static_cast<size_t>(rng.UniformInt(0, 2))];
+    }
+    auto random_cost = ExactKMedianCost(dataset, random);
+    ASSERT_TRUE(random_cost.ok());
+    EXPECT_GE(*random_cost, *ed_cost - 1e-12);
+  }
+}
+
+TEST(UncertainKMedianTest, LocalSearchNearExactReduction) {
+  for (uint64_t seed = 10; seed < 14; ++seed) {
+    UncertainDataset dataset = Clustered(seed, 8);
+    const auto candidates = dataset.LocationSites();
+    UncertainKMedianOptions options;
+    options.k = 2;
+    options.method = KMedianMethod::kExpectedMatrixLocalSearch;
+    auto heuristic = SolveUncertainKMedian(&dataset, candidates, options);
+    options.method = KMedianMethod::kExpectedMatrixExact;
+    auto exact = SolveUncertainKMedian(&dataset, candidates, options);
+    ASSERT_TRUE(heuristic.ok());
+    ASSERT_TRUE(exact.ok());
+    EXPECT_GE(heuristic->expected_cost, exact->expected_cost - 1e-12);
+    EXPECT_LE(heuristic->expected_cost, 5.0 * exact->expected_cost + 1e-9);
+  }
+}
+
+TEST(UncertainKMedianTest, SurrogatePipelineRunsAndIsComparable) {
+  UncertainDataset dataset = Clustered(20, 15);
+  const auto candidates = dataset.LocationSites();
+  UncertainKMedianOptions options;
+  options.k = 3;
+  options.method = KMedianMethod::kSurrogateLocalSearch;
+  auto surrogate = SolveUncertainKMedian(&dataset, candidates, options);
+  ASSERT_TRUE(surrogate.ok());
+  options.method = KMedianMethod::kExpectedMatrixLocalSearch;
+  auto direct = SolveUncertainKMedian(&dataset, candidates, options);
+  ASSERT_TRUE(direct.ok());
+  // The exact reduction can only be at least as good; the surrogate
+  // pipeline should be in the same ballpark (within the 5-approx-ish
+  // constants, loosely checked at 3x here).
+  EXPECT_LE(direct->expected_cost, surrogate->expected_cost + 1e-9);
+  EXPECT_LE(surrogate->expected_cost, 3.0 * direct->expected_cost + 1e-9);
+}
+
+TEST(UncertainKMedianTest, Validation) {
+  UncertainDataset dataset = Clustered(30, 5);
+  const auto candidates = dataset.LocationSites();
+  UncertainKMedianOptions options;
+  options.k = 0;
+  EXPECT_FALSE(SolveUncertainKMedian(&dataset, candidates, options).ok());
+  options.k = 2;
+  EXPECT_FALSE(SolveUncertainKMedian(nullptr, candidates, options).ok());
+  EXPECT_FALSE(SolveUncertainKMedian(&dataset, {}, options).ok());
+  EXPECT_FALSE(
+      ExactKMedianCost(dataset, cost::Assignment(dataset.n(), 9999)).ok());
+  EXPECT_FALSE(ExactKMedianCost(dataset, cost::Assignment{0}).ok());
+}
+
+TEST(UncertainKMedianTest, WorksOnFiniteMetric) {
+  auto graph = uncertain::GenerateGridGraph(4, 4, 0.5, 2.0, 41);
+  ASSERT_TRUE(graph.ok());
+  auto dataset = uncertain::GenerateMetricInstance(
+      *graph, 8, 3, 2.0, uncertain::ProbabilityShape::kRandom, 43);
+  ASSERT_TRUE(dataset.ok());
+  std::vector<SiteId> candidates;
+  for (SiteId s = 0; s < dataset->space().num_sites(); ++s) {
+    candidates.push_back(s);
+  }
+  UncertainKMedianOptions options;
+  options.k = 2;
+  for (auto method : {KMedianMethod::kExpectedMatrixLocalSearch,
+                      KMedianMethod::kExpectedMatrixExact,
+                      KMedianMethod::kSurrogateLocalSearch}) {
+    options.method = method;
+    auto solution = SolveUncertainKMedian(&dataset.value(), candidates, options);
+    ASSERT_TRUE(solution.ok());
+    EXPECT_EQ(solution->centers.size(), 2u);
+    EXPECT_GT(solution->expected_cost, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ukc

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "metric/euclidean_space.h"
+#include "metric/graph_space.h"
+#include "metric/matrix_space.h"
+#include "metric/metric_checker.h"
+#include "metric/metric_space.h"
+
+namespace ukc {
+namespace metric {
+namespace {
+
+using geometry::Point;
+
+TEST(EuclideanSpaceTest, AddAndQuery) {
+  EuclideanSpace space(2);
+  EXPECT_EQ(space.num_sites(), 0);
+  const SiteId a = space.AddPoint(Point{0.0, 0.0});
+  const SiteId b = space.AddPoint(Point{3.0, 4.0});
+  EXPECT_EQ(space.num_sites(), 2);
+  EXPECT_DOUBLE_EQ(space.Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(space.Distance(a, a), 0.0);
+  EXPECT_EQ(space.point(b), (Point{3.0, 4.0}));
+}
+
+TEST(EuclideanSpaceTest, SiteIdsAreStableAcrossGrowth) {
+  EuclideanSpace space(1);
+  const SiteId a = space.AddPoint(Point{1.0});
+  for (int i = 0; i < 100; ++i) space.AddPoint(Point{static_cast<double>(i)});
+  EXPECT_EQ(space.point(a), (Point{1.0}));
+}
+
+TEST(EuclideanSpaceTest, NormVariants) {
+  EuclideanSpace l1(2, Norm::kL1);
+  EuclideanSpace linf(2, Norm::kLInf);
+  const SiteId a1 = l1.AddPoint(Point{0.0, 0.0});
+  const SiteId b1 = l1.AddPoint(Point{1.0, 2.0});
+  EXPECT_DOUBLE_EQ(l1.Distance(a1, b1), 3.0);
+  const SiteId a2 = linf.AddPoint(Point{0.0, 0.0});
+  const SiteId b2 = linf.AddPoint(Point{1.0, 2.0});
+  EXPECT_DOUBLE_EQ(linf.Distance(a2, b2), 2.0);
+}
+
+TEST(EuclideanSpaceTest, DistanceToFreePoint) {
+  EuclideanSpace space(2);
+  const SiteId a = space.AddPoint(Point{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(space.DistanceToPoint(a, Point{0.0, 2.0}), 2.0);
+}
+
+TEST(EuclideanSpaceTest, NameMentionsNormAndCount) {
+  EuclideanSpace space(3, Norm::kL1);
+  space.AddPoint(Point{0.0, 0.0, 0.0});
+  const std::string name = space.Name();
+  EXPECT_NE(name.find("L1"), std::string::npos);
+  EXPECT_NE(name.find("1 sites"), std::string::npos);
+}
+
+TEST(EuclideanSpaceDeathTest, DimensionMismatchAborts) {
+  EuclideanSpace space(2);
+  EXPECT_DEATH(space.AddPoint(Point{1.0}), "CHECK failed");
+}
+
+TEST(MetricSpaceTest, DistanceToSetAndNearest) {
+  EuclideanSpace space(1);
+  const SiteId a = space.AddPoint(Point{0.0});
+  const SiteId b = space.AddPoint(Point{10.0});
+  const SiteId q = space.AddPoint(Point{4.0});
+  EXPECT_DOUBLE_EQ(space.DistanceToSet(q, {a, b}), 4.0);
+  EXPECT_EQ(space.NearestInSet(q, {a, b}), a);
+  EXPECT_EQ(space.NearestInSet(q, {}), kInvalidSite);
+  EXPECT_TRUE(std::isinf(space.DistanceToSet(q, {})));
+}
+
+TEST(MetricSpaceTest, NearestTieBreaksToEarliest) {
+  EuclideanSpace space(1);
+  const SiteId a = space.AddPoint(Point{1.0});
+  const SiteId b = space.AddPoint(Point{-1.0});
+  const SiteId q = space.AddPoint(Point{0.0});
+  EXPECT_EQ(space.NearestInSet(q, {a, b}), a);
+  EXPECT_EQ(space.NearestInSet(q, {b, a}), b);
+}
+
+TEST(MatrixSpaceTest, ValidMatrix) {
+  auto space = MatrixSpace::Build({{0, 1, 2}, {1, 0, 1.5}, {2, 1.5, 0}});
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ((*space)->num_sites(), 3);
+  EXPECT_DOUBLE_EQ((*space)->Distance(0, 2), 2.0);
+}
+
+TEST(MatrixSpaceTest, RejectsEmpty) {
+  EXPECT_FALSE(MatrixSpace::Build({}).ok());
+}
+
+TEST(MatrixSpaceTest, RejectsNonSquare) {
+  EXPECT_FALSE(MatrixSpace::Build({{0, 1}, {1}}).ok());
+}
+
+TEST(MatrixSpaceTest, RejectsNonzeroDiagonal) {
+  EXPECT_FALSE(MatrixSpace::Build({{1}}).ok());
+}
+
+TEST(MatrixSpaceTest, RejectsAsymmetry) {
+  EXPECT_FALSE(MatrixSpace::Build({{0, 1}, {2, 0}}).ok());
+}
+
+TEST(MatrixSpaceTest, RejectsNegative) {
+  EXPECT_FALSE(MatrixSpace::Build({{0, -1}, {-1, 0}}).ok());
+}
+
+TEST(MatrixSpaceTest, RejectsTriangleViolation) {
+  // d(0,2) = 10 > d(0,1) + d(1,2) = 2.
+  auto result = MatrixSpace::Build({{0, 1, 10}, {1, 0, 1}, {10, 1, 0}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("triangle"), std::string::npos);
+}
+
+TEST(MatrixSpaceTest, TriangleCheckCanBeSkipped) {
+  auto result = MatrixSpace::Build({{0, 1, 10}, {1, 0, 1}, {10, 1, 0}},
+                                   /*check_triangle=*/false);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(MatrixSpaceTest, RejectsZeroDistanceBetweenDistinctSites) {
+  EXPECT_FALSE(MatrixSpace::Build({{0, 0}, {0, 0}}).ok());
+}
+
+TEST(GraphSpaceTest, PathGraphDistances) {
+  // 0 -1- 1 -2- 2.
+  auto space = GraphSpace::Build(3, {{0, 1, 1.0}, {1, 2, 2.0}});
+  ASSERT_TRUE(space.ok());
+  EXPECT_DOUBLE_EQ((*space)->Distance(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ((*space)->Distance(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ((*space)->Distance(1, 1), 0.0);
+}
+
+TEST(GraphSpaceTest, ShortcutBeatsLongPath) {
+  auto space =
+      GraphSpace::Build(3, {{0, 1, 5.0}, {1, 2, 5.0}, {0, 2, 1.0}});
+  ASSERT_TRUE(space.ok());
+  EXPECT_DOUBLE_EQ((*space)->Distance(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ((*space)->Distance(0, 1), 5.0);  // Not 6 via 2? 1+5=6 > 5.
+}
+
+TEST(GraphSpaceTest, RoutesThroughCheaperVertex) {
+  auto space =
+      GraphSpace::Build(3, {{0, 1, 5.0}, {1, 2, 1.0}, {0, 2, 1.0}});
+  ASSERT_TRUE(space.ok());
+  EXPECT_DOUBLE_EQ((*space)->Distance(0, 1), 2.0);  // Via vertex 2.
+}
+
+TEST(GraphSpaceTest, RejectsDisconnected) {
+  auto result = GraphSpace::Build(3, {{0, 1, 1.0}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("disconnected"), std::string::npos);
+}
+
+TEST(GraphSpaceTest, RejectsBadEdges) {
+  EXPECT_FALSE(GraphSpace::Build(2, {{0, 2, 1.0}}).ok());   // Out of range.
+  EXPECT_FALSE(GraphSpace::Build(2, {{0, 0, 1.0}}).ok());   // Self loop.
+  EXPECT_FALSE(GraphSpace::Build(2, {{0, 1, 0.0}}).ok());   // Zero weight.
+  EXPECT_FALSE(GraphSpace::Build(2, {{0, 1, -1.0}}).ok());  // Negative.
+  EXPECT_FALSE(GraphSpace::Build(0, {}).ok());              // No vertices.
+}
+
+TEST(GraphSpaceTest, SingleVertex) {
+  auto space = GraphSpace::Build(1, {});
+  ASSERT_TRUE(space.ok());
+  EXPECT_DOUBLE_EQ((*space)->Distance(0, 0), 0.0);
+}
+
+// The shortest-path metric satisfies the axioms by construction; the
+// checker should agree on every space we build.
+TEST(MetricCheckerTest, AcceptsEuclidean) {
+  Rng rng(2);
+  EuclideanSpace space(3);
+  for (int i = 0; i < 30; ++i) {
+    space.AddPoint(Point{rng.Gaussian(), rng.Gaussian(), rng.Gaussian()});
+  }
+  EXPECT_TRUE(CheckMetricAxioms(space).ok());
+}
+
+TEST(MetricCheckerTest, AcceptsGraph) {
+  Rng rng(3);
+  std::vector<Edge> edges;
+  const SiteId n = 20;
+  for (SiteId v = 1; v < n; ++v) {
+    edges.push_back(Edge{static_cast<SiteId>(rng.UniformInt(0, v - 1)), v,
+                         rng.UniformDouble(0.1, 2.0)});
+  }
+  auto space = GraphSpace::Build(n, edges);
+  ASSERT_TRUE(space.ok());
+  EXPECT_TRUE(CheckMetricAxioms(**space).ok());
+}
+
+TEST(MetricCheckerTest, RejectsTriangleViolation) {
+  auto space = MatrixSpace::Build({{0, 1, 9}, {1, 0, 1}, {9, 1, 0}},
+                                  /*check_triangle=*/false);
+  ASSERT_TRUE(space.ok());
+  Status status = CheckMetricAxioms(**space);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MetricCheckerTest, SamplingPathOnLargerSpace) {
+  Rng rng(4);
+  EuclideanSpace space(2);
+  for (int i = 0; i < 200; ++i) {
+    space.AddPoint(Point{rng.Gaussian(), rng.Gaussian()});
+  }
+  MetricCheckOptions options;
+  options.exhaustive_limit = 100;  // Forces the sampling path.
+  options.num_samples = 2000;
+  EXPECT_TRUE(CheckMetricAxioms(space, options).ok());
+}
+
+}  // namespace
+}  // namespace metric
+}  // namespace ukc

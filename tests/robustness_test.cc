@@ -1,0 +1,263 @@
+// Robustness and failure-injection tests: fuzzed parser input, extreme
+// probabilities, degenerate geometry, and adversarial edge cases across
+// the public API.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "common/rng.h"
+#include "core/uncertain_kcenter.h"
+#include "cost/expected_cost.h"
+#include "metric/euclidean_space.h"
+#include "solver/enclosing_ball.h"
+#include "solver/gonzalez.h"
+#include "uncertain/generators.h"
+#include "uncertain/io.h"
+
+namespace ukc {
+namespace {
+
+using geometry::Point;
+using metric::EuclideanSpace;
+using metric::SiteId;
+using uncertain::UncertainDataset;
+using uncertain::UncertainPoint;
+
+// --- Parser fuzzing: random garbage must fail cleanly, never crash ---
+
+TEST(ParserFuzzTest, RandomGarbageNeverCrashes) {
+  Rng rng(1);
+  const char alphabet[] = "ukc-dataset 0123456789.eE+- \n\tpointdimn#";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    const size_t length = static_cast<size_t>(rng.UniformInt(0, 200));
+    for (size_t i = 0; i < length; ++i) {
+      text += alphabet[static_cast<size_t>(
+          rng.UniformInt(0, sizeof(alphabet) - 2))];
+    }
+    std::istringstream stream(text);
+    auto result = uncertain::LoadDataset(stream);
+    // Either a parse error or (extremely unlikely) a valid dataset —
+    // both fine, crashes are not.
+    if (result.ok()) {
+      EXPECT_GE(result->n(), 1u);
+    }
+  }
+}
+
+TEST(ParserFuzzTest, TruncationsOfAValidFileFailCleanly) {
+  auto dataset = uncertain::GenerateLineInstance(
+      4, 3, 10.0, 1.0, uncertain::ProbabilityShape::kRandom, 2);
+  ASSERT_TRUE(dataset.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(uncertain::SaveDataset(*dataset, out).ok());
+  const std::string full = out.str();
+  for (size_t cut = 0; cut < full.size(); cut += 7) {
+    std::istringstream stream(full.substr(0, cut));
+    auto result = uncertain::LoadDataset(stream);
+    (void)result;  // Must not crash; failure expected for most cuts.
+  }
+  // The untruncated file parses.
+  std::istringstream stream(full);
+  EXPECT_TRUE(uncertain::LoadDataset(stream).ok());
+}
+
+TEST(ParserFuzzTest, MutatedNumbersFailOrParse) {
+  auto dataset = uncertain::GenerateLineInstance(
+      3, 2, 10.0, 1.0, uncertain::ProbabilityShape::kUniform, 3);
+  ASSERT_TRUE(dataset.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(uncertain::SaveDataset(*dataset, out).ok());
+  std::string text = out.str();
+  Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = text;
+    const size_t pos =
+        static_cast<size_t>(rng.UniformInt(0, mutated.size() - 1));
+    mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    std::istringstream stream(mutated);
+    auto result = uncertain::LoadDataset(stream);
+    (void)result;  // No crash is the assertion.
+  }
+}
+
+// --- Extreme probabilities ---
+
+TEST(ExtremeProbabilityTest, TinyMassStillExact) {
+  auto space = std::make_shared<EuclideanSpace>(1);
+  const SiteId near = space->AddPoint(Point{0.0});
+  const SiteId far = space->AddPoint(Point{1000.0});
+  const SiteId center = space->AddPoint(Point{0.0});
+  const double epsilon = 1e-12;
+  std::vector<UncertainPoint> points;
+  points.push_back(
+      *UncertainPoint::Build({{near, 1.0 - epsilon}, {far, epsilon}}));
+  auto dataset = UncertainDataset::Build(space, std::move(points));
+  ASSERT_TRUE(dataset.ok());
+  auto cost_value = cost::ExactAssignedCost(*dataset, {center});
+  ASSERT_TRUE(cost_value.ok());
+  EXPECT_NEAR(*cost_value, epsilon * 1000.0, 1e-18 * 1000.0 + 1e-12);
+}
+
+TEST(ExtremeProbabilityTest, ManyPointsTinyTailsAccumulate) {
+  // 50 points each with a 1e-6 far tail: P(some tail) ~ 5e-5; the exact
+  // sweep must resolve the resulting small expectation shift.
+  auto space = std::make_shared<EuclideanSpace>(1);
+  const SiteId origin = space->AddPoint(Point{0.0});
+  const SiteId far = space->AddPoint(Point{100.0});
+  std::vector<UncertainPoint> points;
+  const double tail = 1e-6;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back(*UncertainPoint::Build({{origin, 1.0 - tail}, {far, tail}}));
+  }
+  auto dataset = UncertainDataset::Build(space, std::move(points));
+  ASSERT_TRUE(dataset.ok());
+  auto cost_value = cost::ExactAssignedCost(
+      *dataset, cost::Assignment(dataset->n(), origin));
+  ASSERT_TRUE(cost_value.ok());
+  // E[max] = 100 * P(at least one tail) = 100 * (1 - (1-tail)^50).
+  const double expected = 100.0 * (1.0 - std::pow(1.0 - tail, 50));
+  EXPECT_NEAR(*cost_value, expected, 1e-9);
+}
+
+// --- Degenerate geometry ---
+
+TEST(DegenerateGeometryTest, AllPointsCoincide) {
+  auto space = std::make_shared<EuclideanSpace>(2);
+  const SiteId site = space->AddPoint(Point{3.0, 3.0});
+  std::vector<UncertainPoint> points;
+  for (int i = 0; i < 5; ++i) points.push_back(UncertainPoint::Certain(site));
+  auto dataset = UncertainDataset::Build(space, std::move(points));
+  ASSERT_TRUE(dataset.ok());
+  core::UncertainKCenterOptions options;
+  options.k = 2;
+  auto solution = core::SolveUncertainKCenter(&dataset.value(), options);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->expected_cost, 0.0, 1e-12);
+}
+
+TEST(DegenerateGeometryTest, CollinearPointsInHighDimension) {
+  auto space = std::make_shared<EuclideanSpace>(5);
+  std::vector<UncertainPoint> points;
+  for (int i = 0; i < 8; ++i) {
+    Point a(5);
+    Point b(5);
+    a[0] = static_cast<double>(i);
+    b[0] = static_cast<double>(i) + 0.25;
+    points.push_back(*UncertainPoint::Build(
+        {{space->AddPoint(a), 0.5}, {space->AddPoint(b), 0.5}}));
+  }
+  auto dataset = UncertainDataset::Build(space, std::move(points));
+  ASSERT_TRUE(dataset.ok());
+  for (auto rule : {cost::AssignmentRule::kExpectedDistance,
+                    cost::AssignmentRule::kExpectedPoint,
+                    cost::AssignmentRule::kOneCenter}) {
+    core::UncertainKCenterOptions options;
+    options.k = 3;
+    options.rule = rule;
+    auto solution = core::SolveUncertainKCenter(&dataset.value(), options);
+    ASSERT_TRUE(solution.ok()) << cost::AssignmentRuleToString(rule);
+    EXPECT_GT(solution->expected_cost, 0.0);
+  }
+}
+
+TEST(DegenerateGeometryTest, WelzlOnCoincidentAndCollinearClouds) {
+  Rng rng(5);
+  // All coincident.
+  std::vector<Point> same(20, Point{1.0, 2.0, 3.0});
+  auto ball = solver::WelzlMinBall(same, rng);
+  ASSERT_TRUE(ball.ok());
+  EXPECT_NEAR(ball->radius, 0.0, 1e-12);
+  // Collinear in 3-D.
+  std::vector<Point> line;
+  for (int i = 0; i <= 10; ++i) {
+    line.push_back(Point{static_cast<double>(i), 2.0 * i, -1.0 * i});
+  }
+  auto line_ball = solver::WelzlMinBall(line, rng);
+  ASSERT_TRUE(line_ball.ok());
+  const double half = geometry::Distance(line.front(), line.back()) / 2.0;
+  EXPECT_NEAR(line_ball->radius, half, 1e-6);
+}
+
+TEST(DegenerateGeometryTest, GonzalezWithDuplicateSites) {
+  EuclideanSpace space(2);
+  std::vector<SiteId> sites;
+  for (int i = 0; i < 12; ++i) {
+    sites.push_back(space.AddPoint(Point{static_cast<double>(i % 3), 0.0}));
+  }
+  auto solution = solver::Gonzalez(space, sites, 3);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->radius, 0.0, 1e-12);
+}
+
+// --- Heterogeneous z (points with different location counts) ---
+
+TEST(HeterogeneousTest, MixedLocationCountsWorkEndToEnd) {
+  auto space = std::make_shared<EuclideanSpace>(2);
+  Rng rng(6);
+  std::vector<UncertainPoint> points;
+  for (int i = 0; i < 12; ++i) {
+    const size_t z = 1 + static_cast<size_t>(rng.UniformInt(0, 6));
+    std::vector<uncertain::Location> locations;
+    const auto probabilities = uncertain::MakeProbabilities(
+        z, uncertain::ProbabilityShape::kRandom, rng);
+    for (size_t j = 0; j < z; ++j) {
+      locations.push_back(uncertain::Location{
+          space->AddPoint(Point{rng.Gaussian(0.0, 3.0), rng.Gaussian(0.0, 3.0)}),
+          probabilities[j]});
+    }
+    points.push_back(*UncertainPoint::Build(std::move(locations)));
+  }
+  auto dataset = UncertainDataset::Build(space, std::move(points));
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_GE(dataset->max_locations(), 1u);
+  core::UncertainKCenterOptions options;
+  options.k = 3;
+  auto solution = core::SolveUncertainKCenter(&dataset.value(), options);
+  ASSERT_TRUE(solution.ok());
+  // Cross-check against Monte Carlo.
+  Rng mc_rng(7);
+  auto estimate = cost::MonteCarloAssignedCost(*dataset, solution->assignment,
+                                               100000, mc_rng);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate->mean, solution->expected_cost,
+              5.0 * estimate->std_error + 1e-9);
+}
+
+// --- Scale invariance (sanity of the whole chain) ---
+
+TEST(ScaleInvarianceTest, CostsScaleLinearly) {
+  const double scale = 1000.0;
+  auto build = [&](double s) {
+    auto space = std::make_shared<EuclideanSpace>(2);
+    std::vector<UncertainPoint> points;
+    Rng rng(8);
+    for (int i = 0; i < 10; ++i) {
+      std::vector<uncertain::Location> locations;
+      for (int j = 0; j < 3; ++j) {
+        locations.push_back(uncertain::Location{
+            space->AddPoint(Point{s * rng.Gaussian(), s * rng.Gaussian()}),
+            1.0 / 3});
+      }
+      points.push_back(*UncertainPoint::Build(std::move(locations)));
+    }
+    return std::move(UncertainDataset::Build(space, std::move(points))).value();
+  };
+  UncertainDataset small = build(1.0);
+  UncertainDataset large = build(scale);
+  core::UncertainKCenterOptions options;
+  options.k = 2;
+  auto small_solution = core::SolveUncertainKCenter(&small, options);
+  auto large_solution = core::SolveUncertainKCenter(&large, options);
+  ASSERT_TRUE(small_solution.ok());
+  ASSERT_TRUE(large_solution.ok());
+  EXPECT_NEAR(large_solution->expected_cost,
+              scale * small_solution->expected_cost,
+              1e-6 * large_solution->expected_cost);
+}
+
+}  // namespace
+}  // namespace ukc

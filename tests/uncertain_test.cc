@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "common/rng.h"
+#include "metric/euclidean_space.h"
+#include "metric/matrix_space.h"
+#include "uncertain/dataset.h"
+#include "uncertain/io.h"
+#include "uncertain/sampler.h"
+#include "uncertain/uncertain_point.h"
+
+namespace ukc {
+namespace uncertain {
+namespace {
+
+using geometry::Point;
+using metric::EuclideanSpace;
+using metric::SiteId;
+
+TEST(UncertainPointTest, BuildValidatesProbabilities) {
+  EXPECT_TRUE(UncertainPoint::Build({{0, 0.5}, {1, 0.5}}).ok());
+  EXPECT_FALSE(UncertainPoint::Build({}).ok());
+  EXPECT_FALSE(UncertainPoint::Build({{0, 0.5}, {1, 0.4}}).ok());   // Sum != 1.
+  EXPECT_FALSE(UncertainPoint::Build({{0, 1.5}, {1, -0.5}}).ok());  // Negative.
+  EXPECT_FALSE(UncertainPoint::Build({{0, 0.0}, {1, 1.0}}).ok());   // Zero prob.
+  EXPECT_FALSE(UncertainPoint::Build({{-1, 1.0}}).ok());            // Bad site.
+}
+
+TEST(UncertainPointTest, ToleratesTinyRounding) {
+  EXPECT_TRUE(
+      UncertainPoint::Build({{0, 1.0 / 3}, {1, 1.0 / 3}, {2, 1.0 / 3}}).ok());
+}
+
+TEST(UncertainPointTest, MergesDuplicateSites) {
+  auto p = UncertainPoint::Build({{5, 0.25}, {5, 0.25}, {7, 0.5}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_locations(), 2u);
+  // Merged probability.
+  double p5 = 0.0;
+  for (const Location& loc : p->locations()) {
+    if (loc.site == 5) p5 = loc.probability;
+  }
+  EXPECT_DOUBLE_EQ(p5, 0.5);
+}
+
+TEST(UncertainPointTest, CertainFactory) {
+  UncertainPoint p = UncertainPoint::Certain(3);
+  EXPECT_EQ(p.num_locations(), 1u);
+  EXPECT_EQ(p.site(0), 3);
+  EXPECT_DOUBLE_EQ(p.probability(0), 1.0);
+}
+
+TEST(UncertainPointTest, ModalLocation) {
+  auto p = UncertainPoint::Build({{0, 0.2}, {1, 0.5}, {2, 0.3}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ModalLocation().site, 1);
+}
+
+TEST(UncertainPointTest, ExpectedDistance) {
+  auto space = std::make_shared<EuclideanSpace>(1);
+  const SiteId a = space->AddPoint(Point{0.0});
+  const SiteId b = space->AddPoint(Point{10.0});
+  const SiteId q = space->AddPoint(Point{4.0});
+  auto p = UncertainPoint::Build({{a, 0.75}, {b, 0.25}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->ExpectedDistanceTo(*space, q), 0.75 * 4.0 + 0.25 * 6.0);
+}
+
+TEST(UncertainPointTest, MinExpectedDistanceSite) {
+  auto space = std::make_shared<EuclideanSpace>(1);
+  const SiteId a = space->AddPoint(Point{0.0});
+  const SiteId b = space->AddPoint(Point{10.0});
+  const SiteId c1 = space->AddPoint(Point{1.0});
+  const SiteId c2 = space->AddPoint(Point{9.0});
+  auto p = UncertainPoint::Build({{a, 0.9}, {b, 0.1}});
+  ASSERT_TRUE(p.ok());
+  double best = 0.0;
+  EXPECT_EQ(p->MinExpectedDistanceSite(*space, {c1, c2}, &best), c1);
+  EXPECT_DOUBLE_EQ(best, 0.9 * 1.0 + 0.1 * 9.0);
+  EXPECT_EQ(p->MinExpectedDistanceSite(*space, {}), metric::kInvalidSite);
+}
+
+TEST(UncertainPointTest, SupportDiameter) {
+  auto space = std::make_shared<EuclideanSpace>(1);
+  const SiteId a = space->AddPoint(Point{0.0});
+  const SiteId b = space->AddPoint(Point{3.0});
+  const SiteId c = space->AddPoint(Point{7.0});
+  auto p = UncertainPoint::Build({{a, 0.4}, {b, 0.3}, {c, 0.3}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->SupportDiameter(*space), 7.0);
+  EXPECT_DOUBLE_EQ(UncertainPoint::Certain(a).SupportDiameter(*space), 0.0);
+}
+
+std::shared_ptr<EuclideanSpace> TinySpace() {
+  auto space = std::make_shared<EuclideanSpace>(2);
+  for (int i = 0; i < 6; ++i) {
+    space->AddPoint(Point{static_cast<double>(i), 0.0});
+  }
+  return space;
+}
+
+TEST(DatasetTest, BuildValidatesSiteRange) {
+  auto space = TinySpace();
+  std::vector<UncertainPoint> points;
+  points.push_back(UncertainPoint::Certain(0));
+  points.push_back(UncertainPoint::Certain(99));  // Out of range.
+  EXPECT_FALSE(UncertainDataset::Build(space, std::move(points)).ok());
+}
+
+TEST(DatasetTest, BuildRejectsEmpty) {
+  auto space = TinySpace();
+  EXPECT_FALSE(UncertainDataset::Build(space, {}).ok());
+  EXPECT_FALSE(UncertainDataset::Build(nullptr, {UncertainPoint::Certain(0)}).ok());
+}
+
+TEST(DatasetTest, AccessorsAndStats) {
+  auto space = TinySpace();
+  std::vector<UncertainPoint> points;
+  points.push_back(*UncertainPoint::Build({{0, 0.5}, {1, 0.5}}));
+  points.push_back(*UncertainPoint::Build({{2, 0.3}, {3, 0.3}, {4, 0.4}}));
+  auto dataset = UncertainDataset::Build(space, std::move(points));
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->n(), 2u);
+  EXPECT_EQ(dataset->max_locations(), 3u);
+  EXPECT_EQ(dataset->total_locations(), 5u);
+  EXPECT_TRUE(dataset->is_euclidean());
+  EXPECT_EQ(dataset->LocationSites(), (std::vector<SiteId>{0, 1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(dataset->MaxSupportDiameter(), 2.0);  // Sites 2..4.
+}
+
+TEST(DatasetTest, LocationSitesDeduplicates) {
+  auto space = TinySpace();
+  std::vector<UncertainPoint> points;
+  points.push_back(*UncertainPoint::Build({{1, 0.5}, {2, 0.5}}));
+  points.push_back(*UncertainPoint::Build({{2, 0.5}, {3, 0.5}}));
+  auto dataset = UncertainDataset::Build(space, std::move(points));
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->LocationSites(), (std::vector<SiteId>{1, 2, 3}));
+}
+
+TEST(SamplerTest, FrequenciesMatchProbabilities) {
+  auto space = TinySpace();
+  std::vector<UncertainPoint> points;
+  points.push_back(*UncertainPoint::Build({{0, 0.2}, {1, 0.8}}));
+  points.push_back(*UncertainPoint::Build({{2, 1.0}}));
+  auto dataset = UncertainDataset::Build(space, std::move(points));
+  ASSERT_TRUE(dataset.ok());
+
+  RealizationSampler sampler(*dataset);
+  Rng rng(5);
+  int first_is_zero = 0;
+  const int samples = 100000;
+  Realization realization;
+  for (int s = 0; s < samples; ++s) {
+    sampler.SampleInto(rng, &realization);
+    ASSERT_EQ(realization.size(), 2u);
+    if (sampler.SiteOf(realization, 0) == 0) ++first_is_zero;
+    EXPECT_EQ(sampler.SiteOf(realization, 1), 2);
+  }
+  EXPECT_NEAR(static_cast<double>(first_is_zero) / samples, 0.2, 0.01);
+}
+
+TEST(SamplerTest, DeterministicGivenSeed) {
+  auto space = TinySpace();
+  std::vector<UncertainPoint> points;
+  points.push_back(*UncertainPoint::Build({{0, 0.5}, {1, 0.5}}));
+  auto dataset = UncertainDataset::Build(space, std::move(points));
+  ASSERT_TRUE(dataset.ok());
+  RealizationSampler sampler(*dataset);
+  Rng rng_a(6);
+  Rng rng_b(6);
+  for (int s = 0; s < 100; ++s) {
+    EXPECT_EQ(sampler.Sample(rng_a), sampler.Sample(rng_b));
+  }
+}
+
+UncertainDataset MakeRoundTripDataset() {
+  auto space = std::make_shared<EuclideanSpace>(2);
+  const SiteId a = space->AddPoint(Point{0.125, -3.5});
+  const SiteId b = space->AddPoint(Point{1e-7, 42.0});
+  const SiteId c = space->AddPoint(Point{5.0, 5.0});
+  std::vector<UncertainPoint> points;
+  points.push_back(*UncertainPoint::Build({{a, 0.25}, {b, 0.75}}));
+  points.push_back(*UncertainPoint::Build({{c, 1.0}}));
+  return std::move(UncertainDataset::Build(space, std::move(points))).value();
+}
+
+TEST(IoTest, SaveLoadRoundTrip) {
+  UncertainDataset original = MakeRoundTripDataset();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveDataset(original, buffer).ok());
+  auto loaded = LoadDataset(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->n(), original.n());
+  EXPECT_EQ(loaded->max_locations(), original.max_locations());
+  const auto* loaded_space = loaded->euclidean();
+  ASSERT_NE(loaded_space, nullptr);
+  EXPECT_EQ(loaded_space->dim(), 2u);
+  // Exact coordinate and probability round trip (17 significant digits).
+  for (size_t i = 0; i < original.n(); ++i) {
+    const UncertainPoint& p0 = original.point(i);
+    const UncertainPoint& p1 = loaded->point(i);
+    ASSERT_EQ(p0.num_locations(), p1.num_locations());
+    for (size_t j = 0; j < p0.num_locations(); ++j) {
+      EXPECT_DOUBLE_EQ(p0.probability(j), p1.probability(j));
+      EXPECT_EQ(original.euclidean()->point(p0.site(j)),
+                loaded_space->point(p1.site(j)));
+    }
+  }
+}
+
+TEST(IoTest, LoadRejectsGarbage) {
+  std::stringstream bad1("not a dataset");
+  EXPECT_FALSE(LoadDataset(bad1).ok());
+  std::stringstream bad2("ukc-dataset 1\ndim 2\nn 1\npoint 2\n0.5 1 2\n");
+  EXPECT_FALSE(LoadDataset(bad2).ok());  // Truncated.
+  std::stringstream bad3("ukc-dataset 99\ndim 2\nn 1\n");
+  EXPECT_FALSE(LoadDataset(bad3).ok());  // Bad version.
+  std::stringstream empty("");
+  EXPECT_FALSE(LoadDataset(empty).ok());
+}
+
+TEST(IoTest, LoadIgnoresCommentsAndBlankLines) {
+  std::stringstream text(
+      "# header comment\n"
+      "ukc-dataset 1\n"
+      "\n"
+      "dim 1\n"
+      "n 1  # one point\n"
+      "point 1\n"
+      "1.0 2.5\n");
+  auto loaded = LoadDataset(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->n(), 1u);
+  EXPECT_EQ(loaded->euclidean()->point(loaded->point(0).site(0)), (Point{2.5}));
+}
+
+TEST(IoTest, SaveRejectsNonEuclidean) {
+  auto matrix = metric::MatrixSpace::Build({{0, 1}, {1, 0}});
+  ASSERT_TRUE(matrix.ok());
+  std::vector<UncertainPoint> points;
+  points.push_back(*UncertainPoint::Build({{0, 0.5}, {1, 0.5}}));
+  auto dataset = UncertainDataset::Build(*matrix, std::move(points));
+  ASSERT_TRUE(dataset.ok());
+  std::stringstream buffer;
+  EXPECT_FALSE(SaveDataset(*dataset, buffer).ok());
+}
+
+}  // namespace
+}  // namespace uncertain
+}  // namespace ukc
