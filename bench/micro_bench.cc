@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <limits>
+
 #include "common/rng.h"
 #include "core/surrogates.h"
 #include "cost/assignment.h"
@@ -87,7 +89,7 @@ void BM_AssignExpectedDistance(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
-BENCHMARK(BM_AssignExpectedDistance)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_AssignExpectedDistance)->Arg(1000)->Arg(4000)->Arg(10000);
 
 void BM_ExactExpectedCost(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -102,7 +104,78 @@ void BM_ExactExpectedCost(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(dataset.total_locations()));
 }
-BENCHMARK(BM_ExactExpectedCost)->Arg(1000)->Arg(4000)->Arg(16000);
+BENCHMARK(BM_ExactExpectedCost)->Arg(1000)->Arg(4000)->Arg(10000)->Arg(16000);
+
+// The kd-tree cutover study behind cost::kDefaultKdTreeCutover: the
+// unassigned cost over k centers with the kd path forced off (linear
+// flat scan) and forced on (tree). The default cutover is the k where
+// the tree rows start winning.
+void BM_UnassignedCostLinear(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  auto dataset = MakeDataset(n);
+  const auto sites = dataset.LocationSites();
+  auto centers = solver::Gonzalez(dataset.space(), sites, k);
+  cost::ExpectedCostEvaluator::Options options;
+  options.kdtree_cutover = std::numeric_limits<size_t>::max();
+  cost::ExpectedCostEvaluator evaluator(options);
+  for (auto _ : state) {
+    auto value = evaluator.UnassignedCost(dataset, centers->centers);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_UnassignedCostLinear)
+    ->Args({4000, 8})
+    ->Args({4000, 16})
+    ->Args({4000, 24})
+    ->Args({4000, 32})
+    ->Args({4000, 48})
+    ->Args({4000, 64});
+
+void BM_UnassignedCostKdTree(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  auto dataset = MakeDataset(n);
+  const auto sites = dataset.LocationSites();
+  auto centers = solver::Gonzalez(dataset.space(), sites, k);
+  cost::ExpectedCostEvaluator::Options options;
+  options.kdtree_cutover = 1;
+  cost::ExpectedCostEvaluator evaluator(options);
+  for (auto _ : state) {
+    auto value = evaluator.UnassignedCost(dataset, centers->centers);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_UnassignedCostKdTree)
+    ->Args({4000, 8})
+    ->Args({4000, 16})
+    ->Args({4000, 24})
+    ->Args({4000, 32})
+    ->Args({4000, 48})
+    ->Args({4000, 64});
+
+// Batched evaluation of many candidate center sets through one
+// evaluator (the local-search access pattern).
+void BM_UnassignedCostBatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto dataset = MakeDataset(n);
+  const auto sites = dataset.LocationSites();
+  auto seed = solver::Gonzalez(dataset.space(), sites, 8);
+  std::vector<std::vector<metric::SiteId>> center_sets;
+  for (size_t swap = 0; swap < 16; ++swap) {
+    auto centers = seed->centers;
+    centers[swap % centers.size()] = sites[(swap * 97) % sites.size()];
+    center_sets.push_back(std::move(centers));
+  }
+  cost::ExpectedCostEvaluator evaluator;
+  for (auto _ : state) {
+    auto values = evaluator.UnassignedCostBatch(dataset, center_sets);
+    benchmark::DoNotOptimize(values);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(center_sets.size()));
+}
+BENCHMARK(BM_UnassignedCostBatch)->Arg(1000)->Arg(4000);
 
 void BM_MonteCarloCost1k(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

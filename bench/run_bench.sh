@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark micro-benchmarks and writes BENCH_micro.json
+# at the repo root, so the performance trajectory of the hot paths is
+# tracked in-tree PR over PR. Extra arguments are forwarded to
+# micro_bench (e.g. --benchmark_filter=BM_ExactExpectedCost).
+#
+#   bench/run_bench.sh [micro_bench args...]
+#
+# Set BUILD_DIR to reuse an existing build tree (defaults to ./build).
+
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$root/build}"
+
+# Always (re)build so the recorded numbers match the working tree; the
+# incremental build is a no-op when nothing changed.
+if [[ ! -d "$build" ]]; then
+  cmake -B "$build" -S "$root"
+fi
+cmake --build "$build" -j --target micro_bench
+
+"$build/micro_bench" \
+  --benchmark_out="$root/BENCH_micro.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "Wrote $root/BENCH_micro.json"

@@ -30,8 +30,10 @@ std::string BaselineKindToString(BaselineKind kind) {
 
 namespace {
 
-// Finalizes a baseline: ED assignment + exact evaluation.
+// Finalizes a baseline: ED assignment + exact evaluation through the
+// shared expected-cost engine.
 Result<BaselineResult> FinishWithED(const uncertain::UncertainDataset& dataset,
+                                    cost::ExpectedCostEvaluator* evaluator,
                                     std::string name,
                                     std::vector<SiteId> centers) {
   BaselineResult result;
@@ -40,7 +42,7 @@ Result<BaselineResult> FinishWithED(const uncertain::UncertainDataset& dataset,
   UKC_ASSIGN_OR_RETURN(result.assignment,
                        cost::AssignExpectedDistance(dataset, result.centers));
   UKC_ASSIGN_OR_RETURN(result.expected_cost,
-                       cost::ExactAssignedCost(dataset, result.assignment));
+                       evaluator->AssignedCost(dataset, result.assignment));
   return result;
 }
 
@@ -102,13 +104,14 @@ Result<BaselineResult> RunBaseline(uncertain::UncertainDataset* dataset,
     return Status::InvalidArgument("RunBaseline: k must be >= 1");
   }
   metric::MetricSpace& space = *dataset->shared_space();
+  cost::ExpectedCostEvaluator evaluator;
 
   switch (kind) {
     case BaselineKind::kPooledLocations: {
       const std::vector<SiteId> pool = dataset->LocationSites();
       UKC_ASSIGN_OR_RETURN(solver::KCenterSolution certain,
                            solver::Gonzalez(space, pool, options.k));
-      return FinishWithED(*dataset, BaselineKindToString(kind),
+      return FinishWithED(*dataset, &evaluator, BaselineKindToString(kind),
                           std::move(certain.centers));
     }
     case BaselineKind::kModalLocation: {
@@ -125,7 +128,7 @@ Result<BaselineResult> RunBaseline(uncertain::UncertainDataset* dataset,
           result.assignment,
           cost::AssignBySurrogate(*dataset, modal, result.centers));
       UKC_ASSIGN_OR_RETURN(result.expected_cost,
-                           cost::ExactAssignedCost(*dataset, result.assignment));
+                           evaluator.AssignedCost(*dataset, result.assignment));
       return result;
     }
     case BaselineKind::kRandomCenters: {
@@ -134,7 +137,7 @@ Result<BaselineResult> RunBaseline(uncertain::UncertainDataset* dataset,
       std::vector<SiteId> shuffled = pool;
       rng.Shuffle(&shuffled);
       shuffled.resize(std::min<size_t>(options.k, shuffled.size()));
-      return FinishWithED(*dataset, BaselineKindToString(kind),
+      return FinishWithED(*dataset, &evaluator, BaselineKindToString(kind),
                           std::move(shuffled));
     }
     case BaselineKind::kTruncatedMedian: {
@@ -152,7 +155,7 @@ Result<BaselineResult> RunBaseline(uncertain::UncertainDataset* dataset,
       }
       UKC_ASSIGN_OR_RETURN(solver::KCenterSolution certain,
                            solver::Gonzalez(space, surrogates, options.k));
-      return FinishWithED(*dataset, BaselineKindToString(kind),
+      return FinishWithED(*dataset, &evaluator, BaselineKindToString(kind),
                           std::move(certain.centers));
     }
   }

@@ -192,8 +192,8 @@ Result<double> OneCenterObjectiveAt(const uncertain::UncertainDataset& dataset,
     const uncertain::UncertainPoint& p = dataset.point(i);
     distributions[i].reserve(p.num_locations());
     for (const uncertain::Location& loc : p.locations()) {
-      distributions[i].emplace_back(
-          space->PointDistance(space->point(loc.site), q), loc.probability);
+      distributions[i].emplace_back(space->DistanceToPoint(loc.site, q),
+                                    loc.probability);
     }
   }
   return cost::ExpectedMaxOfIndependent(std::move(distributions));

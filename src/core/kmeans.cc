@@ -1,7 +1,11 @@
 #include "core/kmeans.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/strings.h"
 #include "core/surrogates.h"
+#include "geometry/point_view.h"
 
 namespace ukc {
 namespace core {
@@ -36,16 +40,20 @@ Result<double> KMeansVarianceFloor(const uncertain::UncertainDataset& dataset) {
     return Status::FailedPrecondition(
         "KMeansVarianceFloor: requires a Euclidean dataset");
   }
+  const size_t dim = space->dim();
   double total = 0.0;
+  std::vector<double> mean(dim);
   for (size_t i = 0; i < dataset.n(); ++i) {
     const uncertain::UncertainPoint& p = dataset.point(i);
-    Point mean(space->dim());
+    std::fill(mean.begin(), mean.end(), 0.0);
     for (const uncertain::Location& loc : p.locations()) {
-      mean += space->point(loc.site) * loc.probability;
+      const double* coords = space->coords(loc.site);
+      for (size_t a = 0; a < dim; ++a) mean[a] += coords[a] * loc.probability;
     }
     for (const uncertain::Location& loc : p.locations()) {
       total += loc.probability *
-               geometry::SquaredDistance(space->point(loc.site), mean);
+               geometry::SquaredDistanceKernel(space->coords(loc.site),
+                                               mean.data(), dim);
     }
   }
   return total;
@@ -68,12 +76,14 @@ Result<UncertainKMeansSolution> SolveUncertainKMeans(
   }
 
   // Expected points (as free points; minted after clustering).
+  const size_t dim = space->dim();
   std::vector<Point> expected;
   expected.reserve(dataset->n());
   for (size_t i = 0; i < dataset->n(); ++i) {
-    Point mean(space->dim());
+    Point mean(dim);
     for (const uncertain::Location& loc : dataset->point(i).locations()) {
-      mean += space->point(loc.site) * loc.probability;
+      const double* coords = space->coords(loc.site);
+      for (size_t a = 0; a < dim; ++a) mean[a] += coords[a] * loc.probability;
     }
     expected.push_back(std::move(mean));
   }

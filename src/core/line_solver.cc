@@ -25,7 +25,7 @@ double EvaluateLabeled(const uncertain::UncertainDataset& dataset,
     const double c = centers[label[i]];
     distributions[i].reserve(p.num_locations());
     for (const uncertain::Location& loc : p.locations()) {
-      distributions[i].emplace_back(std::abs(space.point(loc.site)[0] - c),
+      distributions[i].emplace_back(std::abs(space.coords(loc.site)[0] - c),
                                     loc.probability);
     }
   }
@@ -43,7 +43,7 @@ std::vector<size_t> EDLabels(const uncertain::UncertainDataset& dataset,
     for (size_t g = 0; g < centers.size(); ++g) {
       double expected = 0.0;
       for (const uncertain::Location& loc : p.locations()) {
-        expected += loc.probability * std::abs(space.point(loc.site)[0] - centers[g]);
+        expected += loc.probability * std::abs(space.coords(loc.site)[0] - centers[g]);
       }
       if (expected < best) {
         best = expected;
@@ -103,7 +103,7 @@ Result<LineSolution> SolveLineKCenterED(uncertain::UncertainDataset* dataset,
   coordinates.reserve(dataset->total_locations());
   for (size_t i = 0; i < dataset->n(); ++i) {
     for (const uncertain::Location& loc : dataset->point(i).locations()) {
-      coordinates.push_back(space->point(loc.site)[0]);
+      coordinates.push_back(space->coords(loc.site)[0]);
     }
   }
   const double lo = *std::min_element(coordinates.begin(), coordinates.end());

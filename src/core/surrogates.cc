@@ -24,39 +24,51 @@ std::string SurrogateKindToString(SurrogateKind kind) {
 
 namespace {
 
-// P̄_i = Σ_j p_ij P_ij, minted into the Euclidean space.
+// P̄_i = Σ_j p_ij P_ij, minted into the Euclidean space. `scratch` holds
+// the accumulating mean so the per-point loop never allocates.
 Result<SiteId> ExpectedPointSite(uncertain::UncertainDataset* dataset,
-                                 size_t i) {
+                                 size_t i, std::vector<double>* scratch) {
   metric::EuclideanSpace* space = dataset->euclidean();
   if (space == nullptr) {
     return Status::FailedPrecondition(
         "expected-point surrogate requires a Euclidean space");
   }
+  const size_t dim = space->dim();
+  scratch->assign(dim, 0.0);
   const uncertain::UncertainPoint& p = dataset->point(i);
-  geometry::Point mean(space->dim());
   for (const uncertain::Location& loc : p.locations()) {
-    mean += space->point(loc.site) * loc.probability;
+    const double* coords = space->coords(loc.site);
+    for (size_t a = 0; a < dim; ++a) {
+      (*scratch)[a] += coords[a] * loc.probability;
+    }
   }
-  return space->AddPoint(std::move(mean));
+  return space->AddCoords(scratch->data());
 }
 
-// P̃_i for a Euclidean space: the weighted geometric median.
+// P̃_i for a Euclidean space: the weighted geometric median. The
+// location coordinates are gathered into flat scratch and fed to the
+// allocation-free Weiszfeld core.
 Result<SiteId> EuclideanOneCenterSite(uncertain::UncertainDataset* dataset,
-                                      size_t i) {
+                                      size_t i, std::vector<double>* coords,
+                                      std::vector<double>* weights) {
   metric::EuclideanSpace* space = dataset->euclidean();
   UKC_CHECK(space != nullptr);
+  const size_t dim = space->dim();
   const uncertain::UncertainPoint& p = dataset->point(i);
-  std::vector<geometry::Point> locations;
-  std::vector<double> weights;
-  locations.reserve(p.num_locations());
-  weights.reserve(p.num_locations());
+  coords->clear();
+  weights->clear();
+  coords->reserve(p.num_locations() * dim);
+  weights->reserve(p.num_locations());
   for (const uncertain::Location& loc : p.locations()) {
-    locations.push_back(space->point(loc.site));
-    weights.push_back(loc.probability);
+    const double* site_coords = space->coords(loc.site);
+    coords->insert(coords->end(), site_coords, site_coords + dim);
+    weights->push_back(loc.probability);
   }
-  UKC_ASSIGN_OR_RETURN(solver::GeometricMedianResult median,
-                       solver::WeightedGeometricMedian(locations, weights));
-  return space->AddPoint(std::move(median.median));
+  UKC_ASSIGN_OR_RETURN(
+      solver::GeometricMedianResult median,
+      solver::WeightedGeometricMedianFlat(coords->data(), p.num_locations(),
+                                          dim, weights->data()));
+  return space->AddPoint(median.median);
 }
 
 // P̃_i for a finite metric: argmin over candidate sites of the expected
@@ -91,16 +103,21 @@ Result<std::vector<SiteId>> BuildSurrogates(uncertain::UncertainDataset* dataset
   }
   std::vector<SiteId> surrogates;
   surrogates.reserve(dataset->n());
+  std::vector<double> coord_scratch;
+  std::vector<double> weight_scratch;
   for (size_t i = 0; i < dataset->n(); ++i) {
     switch (options.kind) {
       case SurrogateKind::kExpectedPoint: {
-        UKC_ASSIGN_OR_RETURN(SiteId site, ExpectedPointSite(dataset, i));
+        UKC_ASSIGN_OR_RETURN(SiteId site,
+                             ExpectedPointSite(dataset, i, &coord_scratch));
         surrogates.push_back(site);
         break;
       }
       case SurrogateKind::kOneCenter: {
         if (dataset->is_euclidean()) {
-          UKC_ASSIGN_OR_RETURN(SiteId site, EuclideanOneCenterSite(dataset, i));
+          UKC_ASSIGN_OR_RETURN(
+              SiteId site, EuclideanOneCenterSite(dataset, i, &coord_scratch,
+                                                  &weight_scratch));
           surrogates.push_back(site);
         } else {
           surrogates.push_back(
@@ -125,7 +142,8 @@ Result<SiteId> ExpectedPointOneCenter(uncertain::UncertainDataset* dataset,
   if (point_index >= dataset->n()) {
     return Status::InvalidArgument("ExpectedPointOneCenter: index out of range");
   }
-  return ExpectedPointSite(dataset, point_index);
+  std::vector<double> scratch;
+  return ExpectedPointSite(dataset, point_index, &scratch);
 }
 
 }  // namespace core

@@ -30,10 +30,12 @@ Result<UnassignedSolution> ExactUnassignedTiny(
   std::vector<size_t> index(k);
   for (size_t i = 0; i < k; ++i) index[i] = i;
   std::vector<SiteId> centers(k);
+  // One evaluator scores every subset: the event buffer and CDF scratch
+  // are allocated once for the whole enumeration.
+  cost::ExpectedCostEvaluator evaluator;
   while (true) {
     for (size_t i = 0; i < k; ++i) centers[i] = candidates[index[i]];
-    UKC_ASSIGN_OR_RETURN(double value,
-                         cost::ExactUnassignedCost(dataset, centers));
+    UKC_ASSIGN_OR_RETURN(double value, evaluator.UnassignedCost(dataset, centers));
     if (value < best.expected_cost) {
       best.expected_cost = value;
       best.centers = centers;
@@ -84,8 +86,11 @@ Result<UnassignedSolution> LocalSearchUnassigned(
 
   UnassignedSolution solution;
   solution.centers = seed.centers;
+  // The swap search evaluates |centers| * |pool| candidate sets per
+  // round; one evaluator amortizes all exact-sweep scratch across them.
+  cost::ExpectedCostEvaluator evaluator;
   UKC_ASSIGN_OR_RETURN(solution.expected_cost,
-                       cost::ExactUnassignedCost(*dataset, solution.centers));
+                       evaluator.UnassignedCost(*dataset, solution.centers));
 
   for (size_t round = 0; round < options.max_swaps; ++round) {
     double best_value = solution.expected_cost;
@@ -98,7 +103,7 @@ Result<UnassignedSolution> LocalSearchUnassigned(
         if (candidate == saved) continue;
         trial[position] = candidate;
         UKC_ASSIGN_OR_RETURN(double value,
-                             cost::ExactUnassignedCost(*dataset, trial));
+                             evaluator.UnassignedCost(*dataset, trial));
         if (value < best_value) {
           best_value = value;
           best_position = position;

@@ -99,13 +99,15 @@ Result<UncertainKCenterSolution> SolveUncertainKCenter(
   }
   solution.timings.assignment_seconds = stopwatch.ElapsedSeconds();
 
-  // 4. Exact evaluation.
+  // 4. Exact evaluation (one evaluator shares scratch across both
+  // objectives).
   stopwatch.Reset();
+  cost::ExpectedCostEvaluator evaluator;
   UKC_ASSIGN_OR_RETURN(solution.expected_cost,
-                       cost::ExactAssignedCost(*dataset, solution.assignment));
+                       evaluator.AssignedCost(*dataset, solution.assignment));
   if (options.evaluate_unassigned) {
     UKC_ASSIGN_OR_RETURN(solution.unassigned_cost,
-                         cost::ExactUnassignedCost(*dataset, solution.centers));
+                         evaluator.UnassignedCost(*dataset, solution.centers));
   }
   solution.timings.evaluation_seconds = stopwatch.ElapsedSeconds();
 

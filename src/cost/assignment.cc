@@ -1,8 +1,10 @@
 #include "cost/assignment.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/strings.h"
+#include "metric/euclidean_space.h"
 
 namespace ukc {
 namespace cost {
@@ -26,6 +28,36 @@ Result<Assignment> AssignExpectedDistance(
     return Status::InvalidArgument("AssignExpectedDistance: no centers");
   }
   Assignment assignment(dataset.n(), metric::kInvalidSite);
+  const metric::EuclideanSpace* euclidean = dataset.euclidean();
+  if (euclidean != nullptr) {
+    // Flat path: gather the center coordinates once, then the O(n z k)
+    // triple loop runs entirely over contiguous memory with the
+    // dimension-specialized kernel — no virtual dispatch inside.
+    const size_t dim = euclidean->dim();
+    const metric::Norm norm = euclidean->norm();
+    std::vector<double> center_coords;
+    euclidean->GatherCoords(centers, &center_coords);
+    for (size_t i = 0; i < dataset.n(); ++i) {
+      const auto& locations = dataset.point(i).locations();
+      size_t best = 0;
+      double best_value = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < centers.size(); ++c) {
+        const double* center = center_coords.data() + c * dim;
+        double value = 0.0;
+        for (const uncertain::Location& loc : locations) {
+          value += loc.probability *
+                   metric::NormDistanceKernel(
+                       norm, euclidean->coords(loc.site), center, dim);
+        }
+        if (value < best_value) {
+          best_value = value;
+          best = c;
+        }
+      }
+      assignment[i] = centers[best];
+    }
+    return assignment;
+  }
   for (size_t i = 0; i < dataset.n(); ++i) {
     assignment[i] =
         dataset.point(i).MinExpectedDistanceSite(dataset.space(), centers);

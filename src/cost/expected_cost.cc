@@ -2,161 +2,58 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "common/stats.h"
-#include "geometry/kdtree.h"
 #include "common/strings.h"
-#include "uncertain/sampler.h"
 
 namespace ukc {
 namespace cost {
 
 namespace {
 
-// An atom of probability mass: variable `index` takes `value` with
-// probability `probability`.
-struct Event {
-  double value;
-  uint32_t index;
-  double probability;
-};
-
-}  // namespace
-
-double ExpectedMaxOfIndependent(std::vector<DiscreteDistribution> distributions) {
-  UKC_CHECK(!distributions.empty());
-  const size_t n = distributions.size();
-
-  std::vector<Event> events;
-  size_t total = 0;
-  for (const auto& d : distributions) total += d.size();
-  events.reserve(total);
-  for (size_t i = 0; i < n; ++i) {
-    UKC_CHECK(!distributions[i].empty());
-    for (const auto& [value, probability] : distributions[i]) {
-      UKC_CHECK_GT(probability, 0.0);
-      events.push_back(Event{value, static_cast<uint32_t>(i), probability});
-    }
-  }
-  std::sort(events.begin(), events.end(),
-            [](const Event& a, const Event& b) { return a.value < b.value; });
-
-  // Sweep the value axis maintaining F_i (per-variable CDF), the number
-  // of variables still at F_i = 0, and log Π_{F_i > 0} F_i.
-  std::vector<double> cdf(n, 0.0);
-  size_t zeros = n;
-  KahanSum log_product;  // Σ log F_i over variables with F_i > 0.
-  KahanSum expectation;
-  double previous_cdf_product = 0.0;  // P(max <= previous value).
-
-  size_t e = 0;
-  while (e < events.size()) {
-    const double value = events[e].value;
-    // Apply every event at this exact value.
-    while (e < events.size() && events[e].value == value) {
-      const Event& event = events[e];
-      const double old_cdf = cdf[event.index];
-      const double new_cdf = old_cdf + event.probability;
-      cdf[event.index] = new_cdf;
-      // Unclamped logs keep the telescoping exact: subtracting log(old)
-      // and adding log(new) leaves Σ log F_i consistent even when
-      // round-off pushes a final CDF slightly past 1.
-      if (old_cdf == 0.0) {
-        --zeros;
-      } else {
-        log_product.Add(-std::log(old_cdf));
-      }
-      log_product.Add(std::log(new_cdf));
-      ++e;
-    }
-    const double cdf_product =
-        zeros > 0 ? 0.0 : std::exp(log_product.Total());
-    const double mass = cdf_product - previous_cdf_product;
-    if (mass > 0.0) expectation.Add(value * mass);
-    previous_cdf_product = cdf_product;
-  }
-  return expectation.Total();
-}
-
-namespace {
-
-// Builds the per-point distribution of d(P̂_i, target_i) where target_i
-// is a fixed site (assigned) or the nearest of several centers
-// (unassigned).
-template <typename DistanceOfLocation>
-std::vector<DiscreteDistribution> BuildDistributions(
-    const uncertain::UncertainDataset& dataset, DistanceOfLocation distance) {
-  std::vector<DiscreteDistribution> distributions(dataset.n());
-  for (size_t i = 0; i < dataset.n(); ++i) {
-    const uncertain::UncertainPoint& p = dataset.point(i);
-    distributions[i].reserve(p.num_locations());
-    for (const uncertain::Location& loc : p.locations()) {
-      distributions[i].emplace_back(distance(i, loc.site), loc.probability);
-    }
-  }
-  return distributions;
+// The scratch behind the free functions. Thread-local so concurrent
+// callers never share mutable state; per-thread reuse keeps repeated
+// one-off calls (benches, local search loops that predate the evaluator)
+// allocation-free after warm-up.
+ExpectedCostEvaluator& ThreadLocalEvaluator() {
+  static thread_local ExpectedCostEvaluator evaluator;
+  return evaluator;
 }
 
 }  // namespace
+
+double ExpectedMaxOfIndependent(
+    const std::vector<DiscreteDistribution>& distributions) {
+  return ThreadLocalEvaluator().ExpectedMaxOfIndependent(distributions);
+}
 
 Result<double> ExactAssignedCost(const uncertain::UncertainDataset& dataset,
                                  const Assignment& assignment) {
-  if (assignment.size() != dataset.n()) {
-    return Status::InvalidArgument(
-        StrFormat("ExactAssignedCost: assignment covers %zu points, dataset "
-                  "has %zu",
-                  assignment.size(), dataset.n()));
-  }
-  const metric::MetricSpace& space = dataset.space();
-  for (size_t i = 0; i < assignment.size(); ++i) {
-    if (assignment[i] < 0 || assignment[i] >= space.num_sites()) {
-      return Status::InvalidArgument(
-          StrFormat("ExactAssignedCost: assignment[%zu]=%d out of range", i,
-                    assignment[i]));
-    }
-  }
-  return ExpectedMaxOfIndependent(BuildDistributions(
-      dataset, [&](size_t i, metric::SiteId site) {
-        return space.Distance(site, assignment[i]);
-      }));
+  return ThreadLocalEvaluator().AssignedCost(dataset, assignment);
 }
 
 Result<double> ExactUnassignedCost(const uncertain::UncertainDataset& dataset,
-                                   const std::vector<metric::SiteId>& centers) {
-  if (centers.empty()) {
-    return Status::InvalidArgument("ExactUnassignedCost: no centers");
-  }
-  const metric::MetricSpace& space = dataset.space();
-  for (metric::SiteId c : centers) {
-    if (c < 0 || c >= space.num_sites()) {
-      return Status::InvalidArgument(
-          StrFormat("ExactUnassignedCost: center %d out of range", c));
-    }
-  }
-  // With many centers in a Euclidean space, nearest-center queries
-  // dominate; a kd-tree over the centers turns each O(k) scan into a
-  // near-logarithmic search.
-  const metric::EuclideanSpace* euclidean = dataset.euclidean();
-  if (euclidean != nullptr && euclidean->norm() == metric::Norm::kL2 &&
-      centers.size() >= 16) {
-    std::vector<geometry::Point> center_points;
-    center_points.reserve(centers.size());
-    for (metric::SiteId c : centers) {
-      center_points.push_back(euclidean->point(c));
-    }
-    UKC_ASSIGN_OR_RETURN(geometry::KdTree tree,
-                         geometry::KdTree::Build(std::move(center_points)));
-    return ExpectedMaxOfIndependent(BuildDistributions(
-        dataset, [&](size_t, metric::SiteId site) {
-          return std::sqrt(
-              tree.Nearest(euclidean->point(site)).squared_distance);
-        }));
-  }
-  return ExpectedMaxOfIndependent(BuildDistributions(
-      dataset, [&](size_t, metric::SiteId site) {
-        return space.DistanceToSet(site, centers);
-      }));
+                                   const std::vector<metric::SiteId>& centers,
+                                   const ExactCostOptions& options) {
+  ExpectedCostEvaluator& evaluator = ThreadLocalEvaluator();
+  ExpectedCostEvaluator::Options evaluator_options = evaluator.options();
+  evaluator_options.kdtree_cutover = options.kdtree_cutover;
+  evaluator.set_options(evaluator_options);
+  return evaluator.UnassignedCost(dataset, centers);
+}
+
+Result<MonteCarloEstimate> MonteCarloAssignedCost(
+    const uncertain::UncertainDataset& dataset, const Assignment& assignment,
+    int64_t samples, Rng& rng) {
+  return ThreadLocalEvaluator().MonteCarloAssignedCost(dataset, assignment,
+                                                       samples, rng);
+}
+
+Result<MonteCarloEstimate> MonteCarloUnassignedCost(
+    const uncertain::UncertainDataset& dataset,
+    const std::vector<metric::SiteId>& centers, int64_t samples, Rng& rng) {
+  return ThreadLocalEvaluator().MonteCarloUnassignedCost(dataset, centers,
+                                                         samples, rng);
 }
 
 namespace {
@@ -231,66 +128,6 @@ Result<double> BruteForceUnassignedCost(
         return space.DistanceToSet(site, centers);
       },
       options);
-}
-
-namespace {
-
-template <typename DistanceOfLocation>
-Result<MonteCarloEstimate> MonteCarloCost(
-    const uncertain::UncertainDataset& dataset, DistanceOfLocation distance,
-    int64_t samples, Rng& rng) {
-  if (samples <= 0) {
-    return Status::InvalidArgument("MonteCarloCost: samples must be positive");
-  }
-  uncertain::RealizationSampler sampler(dataset);
-  uncertain::Realization realization;
-  RunningStats stats;
-  for (int64_t s = 0; s < samples; ++s) {
-    sampler.SampleInto(rng, &realization);
-    double worst = 0.0;
-    for (size_t i = 0; i < dataset.n(); ++i) {
-      const metric::SiteId site = dataset.point(i).site(realization[i]);
-      worst = std::max(worst, distance(i, site));
-    }
-    stats.Add(worst);
-  }
-  MonteCarloEstimate estimate;
-  estimate.mean = stats.Mean();
-  estimate.std_error = stats.StdError();
-  estimate.samples = samples;
-  return estimate;
-}
-
-}  // namespace
-
-Result<MonteCarloEstimate> MonteCarloAssignedCost(
-    const uncertain::UncertainDataset& dataset, const Assignment& assignment,
-    int64_t samples, Rng& rng) {
-  if (assignment.size() != dataset.n()) {
-    return Status::InvalidArgument("MonteCarloAssignedCost: size mismatch");
-  }
-  const metric::MetricSpace& space = dataset.space();
-  return MonteCarloCost(
-      dataset,
-      [&](size_t i, metric::SiteId site) {
-        return space.Distance(site, assignment[i]);
-      },
-      samples, rng);
-}
-
-Result<MonteCarloEstimate> MonteCarloUnassignedCost(
-    const uncertain::UncertainDataset& dataset,
-    const std::vector<metric::SiteId>& centers, int64_t samples, Rng& rng) {
-  if (centers.empty()) {
-    return Status::InvalidArgument("MonteCarloUnassignedCost: no centers");
-  }
-  const metric::MetricSpace& space = dataset.space();
-  return MonteCarloCost(
-      dataset,
-      [&](size_t, metric::SiteId site) {
-        return space.DistanceToSet(site, centers);
-      },
-      samples, rng);
 }
 
 }  // namespace cost

@@ -14,6 +14,12 @@
 // in the paper) is exponential; it is provided as BruteForce* for
 // cross-validation on tiny instances, alongside a Monte-Carlo estimator
 // with standard errors for independent validation at any size.
+//
+// The functions here are convenience wrappers over the reusable engine
+// in expected_cost_evaluator.h (which owns all scratch state); they
+// delegate to a thread-local evaluator, so even one-off calls avoid
+// per-call allocation churn. Pipelines that evaluate many candidate
+// solutions should hold an ExpectedCostEvaluator directly.
 
 #ifndef UKC_COST_EXPECTED_COST_H_
 #define UKC_COST_EXPECTED_COST_H_
@@ -25,28 +31,28 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "cost/assignment.h"
+#include "cost/expected_cost_evaluator.h"
 #include "uncertain/dataset.h"
 
 namespace ukc {
 namespace cost {
 
-/// One random variable's support: (value, probability) pairs. Values
-/// need not be sorted or distinct; probabilities must be positive and
-/// sum to 1 per variable.
-using DiscreteDistribution = std::vector<std::pair<double, double>>;
-
-/// Exact E[max_i X_i] for independent discrete X_i >= any real value.
-/// O(N log N) in the total support size N.
-double ExpectedMaxOfIndependent(std::vector<DiscreteDistribution> distributions);
+/// Exact E[max_i X_i] for independent discrete X_i. O(N log N) in the
+/// total support size N. Takes the distributions by const reference —
+/// nothing is copied.
+double ExpectedMaxOfIndependent(
+    const std::vector<DiscreteDistribution>& distributions);
 
 /// Exact assigned expected cost EcostA for the given assignment
 /// (assignment[i] = serving center site of point i).
 Result<double> ExactAssignedCost(const uncertain::UncertainDataset& dataset,
                                  const Assignment& assignment);
 
-/// Exact unassigned expected cost Ecost for the given centers.
+/// Exact unassigned expected cost Ecost for the given centers. The
+/// options select the kd-tree cutover (see ExactCostOptions).
 Result<double> ExactUnassignedCost(const uncertain::UncertainDataset& dataset,
-                                   const std::vector<metric::SiteId>& centers);
+                                   const std::vector<metric::SiteId>& centers,
+                                   const ExactCostOptions& options = {});
 
 /// Options bounding the brute-force enumerations.
 struct BruteForceCostOptions {
@@ -62,13 +68,6 @@ Result<double> BruteForceUnassignedCost(
     const uncertain::UncertainDataset& dataset,
     const std::vector<metric::SiteId>& centers,
     const BruteForceCostOptions& options = {});
-
-/// A Monte-Carlo estimate with its standard error.
-struct MonteCarloEstimate {
-  double mean = 0.0;
-  double std_error = 0.0;
-  int64_t samples = 0;
-};
 
 /// Monte-Carlo estimators (sampling realizations with alias tables).
 Result<MonteCarloEstimate> MonteCarloAssignedCost(

@@ -1,0 +1,406 @@
+#include "cost/expected_cost_evaluator.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "common/stats.h"
+#include "common/strings.h"
+#include "metric/euclidean_space.h"
+#include "uncertain/sampler.h"
+
+namespace ukc {
+namespace cost {
+
+namespace {
+
+// Distance from `from` to the nearest row of the gathered block
+// `centers` (count rows of length dim) under `norm`.
+double FlatDistanceToSet(metric::Norm norm, const double* from,
+                         const double* centers, size_t count, size_t dim) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < count; ++c) {
+    const double d =
+        metric::NormDistanceKernel(norm, from, centers + c * dim, dim);
+    if (d < best) best = d;
+  }
+  return best;
+}
+
+}  // namespace
+
+namespace {
+
+// Maps a double to a uint64 whose unsigned order matches the double's
+// numeric order (the standard sign-flip transform).
+inline uint64_t OrderedBits(double v) {
+  const uint64_t bits = std::bit_cast<uint64_t>(v);
+  return (bits & (1ULL << 63)) ? ~bits : (bits | (1ULL << 63));
+}
+
+// Below this, std::sort's cache behavior beats the fixed radix overhead
+// (four 65536-entry histograms).
+constexpr size_t kRadixSortCutover = 2048;
+
+}  // namespace
+
+void ExpectedCostEvaluator::SortEventsByValue() {
+  const size_t count = events_.size();
+  if (count < kRadixSortCutover) {
+    std::sort(events_.begin(), events_.end(),
+              [](const Event& a, const Event& b) { return a.value < b.value; });
+    return;
+  }
+  // LSD radix, 4 passes of 16 bits over the order-preserving key. One
+  // histogram pass, then per-digit scatters ping-ponging between the
+  // event buffer and its scratch twin; digit positions where every key
+  // agrees are skipped (typical for the high exponent bits of a
+  // distance distribution).
+  constexpr int kPasses = 4;
+  constexpr size_t kBuckets = 65536;
+  events_scratch_.resize(count);
+  radix_counts_.assign(kPasses * kBuckets, 0);
+  for (const Event& event : events_) {
+    const uint64_t key = OrderedBits(event.value);
+    for (int p = 0; p < kPasses; ++p) {
+      ++radix_counts_[p * kBuckets + ((key >> (16 * p)) & 0xFFFF)];
+    }
+  }
+  Event* src = events_.data();
+  Event* dst = events_scratch_.data();
+  bool swapped = false;
+  for (int p = 0; p < kPasses; ++p) {
+    uint32_t* counts = radix_counts_.data() + p * kBuckets;
+    const uint64_t first_digit = (OrderedBits(src[0].value) >> (16 * p)) & 0xFFFF;
+    if (counts[first_digit] == count) continue;  // All keys share this digit.
+    uint32_t running = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      const uint32_t c = counts[b];
+      counts[b] = running;
+      running += c;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t digit = (OrderedBits(src[i].value) >> (16 * p)) & 0xFFFF;
+      dst[counts[digit]++] = src[i];
+    }
+    std::swap(src, dst);
+    swapped = !swapped;
+  }
+  if (swapped) events_.swap(events_scratch_);
+}
+
+double ExpectedCostEvaluator::SweepEvents(size_t num_variables) {
+  UKC_CHECK_GT(num_variables, 0u);
+  SortEventsByValue();
+  cdf_.assign(num_variables, 0.0);
+
+  // Sweep the value axis maintaining F_i (per-variable CDF), the number
+  // of variables still at F_i = 0, and P = Π_{F_i > 0} F_i. The product
+  // is kept as a frexp-normalized (mantissa, exponent) pair and updated
+  // multiplicatively by new/old per event: ~1 ulp of relative error per
+  // update and no transcendental calls, yet it cannot underflow the way
+  // a plain double product over many small CDFs would.
+  size_t zeros = num_variables;
+  double mantissa = 1.0;
+  int exponent = 0;
+  KahanSum expectation;
+  double previous_cdf_product = 0.0;  // P(max <= previous value).
+
+  const size_t count = events_.size();
+  size_t e = 0;
+  while (e < count) {
+    const double value = events_[e].value;
+    // Apply every event at this exact value.
+    while (e < count && events_[e].value == value) {
+      const Event& event = events_[e];
+      const double old_cdf = cdf_[event.index];
+      const double new_cdf = old_cdf + event.probability;
+      cdf_[event.index] = new_cdf;
+      // The unclamped ratio keeps the telescoping exact: dividing out
+      // old and multiplying in new leaves Π F_i consistent even when
+      // round-off pushes a final CDF slightly past 1.
+      if (old_cdf == 0.0) {
+        --zeros;
+        mantissa *= new_cdf;
+      } else {
+        mantissa *= new_cdf / old_cdf;
+      }
+      int shift;
+      mantissa = std::frexp(mantissa, &shift);
+      exponent += shift;
+      ++e;
+    }
+    if (zeros == 0) {
+      const double cdf_product = std::ldexp(mantissa, exponent);
+      const double mass = cdf_product - previous_cdf_product;
+      if (mass > 0.0) expectation.Add(value * mass);
+      previous_cdf_product = cdf_product;
+    }
+  }
+  return expectation.Total();
+}
+
+double ExpectedCostEvaluator::ExpectedMaxOfIndependent(
+    std::span<const DiscreteDistribution> distributions) {
+  UKC_CHECK(!distributions.empty());
+  const size_t n = distributions.size();
+  size_t total = 0;
+  for (const auto& d : distributions) total += d.size();
+  events_.clear();
+  events_.reserve(total);
+  for (size_t i = 0; i < n; ++i) {
+    UKC_CHECK(!distributions[i].empty());
+    for (const auto& [value, probability] : distributions[i]) {
+      UKC_CHECK_GT(probability, 0.0);
+      events_.push_back(Event{value, static_cast<uint32_t>(i), probability});
+    }
+  }
+  return SweepEvents(n);
+}
+
+Result<double> ExpectedCostEvaluator::AssignedCost(
+    const uncertain::UncertainDataset& dataset, const Assignment& assignment) {
+  if (assignment.size() != dataset.n()) {
+    return Status::InvalidArgument(
+        StrFormat("ExactAssignedCost: assignment covers %zu points, dataset "
+                  "has %zu",
+                  assignment.size(), dataset.n()));
+  }
+  const metric::MetricSpace& space = dataset.space();
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] < 0 || assignment[i] >= space.num_sites()) {
+      return Status::InvalidArgument(
+          StrFormat("ExactAssignedCost: assignment[%zu]=%d out of range", i,
+                    assignment[i]));
+    }
+  }
+  if (dataset.n() == 0) return 0.0;
+
+  events_.clear();
+  events_.reserve(dataset.total_locations());
+  const metric::EuclideanSpace* euclidean = dataset.euclidean();
+  if (euclidean != nullptr) {
+    // Distances evaluated straight off the coordinate arena.
+    const size_t dim = euclidean->dim();
+    const metric::Norm norm = euclidean->norm();
+    for (size_t i = 0; i < dataset.n(); ++i) {
+      const double* target = euclidean->coords(assignment[i]);
+      for (const uncertain::Location& loc : dataset.point(i).locations()) {
+        events_.push_back(Event{
+            metric::NormDistanceKernel(norm, euclidean->coords(loc.site),
+                                       target, dim),
+            static_cast<uint32_t>(i), loc.probability});
+      }
+    }
+  } else {
+    for (size_t i = 0; i < dataset.n(); ++i) {
+      for (const uncertain::Location& loc : dataset.point(i).locations()) {
+        events_.push_back(Event{space.Distance(loc.site, assignment[i]),
+                                static_cast<uint32_t>(i), loc.probability});
+      }
+    }
+  }
+  return SweepEvents(dataset.n());
+}
+
+Status ExpectedCostEvaluator::FillUnassignedEvents(
+    const uncertain::UncertainDataset& dataset,
+    const std::vector<metric::SiteId>& centers) {
+  if (centers.empty()) {
+    return Status::InvalidArgument("ExactUnassignedCost: no centers");
+  }
+  const metric::MetricSpace& space = dataset.space();
+  for (metric::SiteId c : centers) {
+    if (c < 0 || c >= space.num_sites()) {
+      return Status::InvalidArgument(
+          StrFormat("ExactUnassignedCost: center %d out of range", c));
+    }
+  }
+
+  events_.clear();
+  events_.reserve(dataset.total_locations());
+  const metric::EuclideanSpace* euclidean = dataset.euclidean();
+  if (euclidean != nullptr && euclidean->norm() == metric::Norm::kL2 &&
+      centers.size() >= options_.kdtree_cutover) {
+    // With many centers in a Euclidean space, nearest-center queries
+    // dominate; a kd-tree over the centers turns each O(k) scan into a
+    // near-logarithmic search. The tree is cached across calls and only
+    // rebuilt when the gathered center coordinates actually change.
+    euclidean->GatherCoords(centers, &center_coords_);
+    if (!tree_.has_value() || tree_dim_ != euclidean->dim() ||
+        tree_coords_ != center_coords_) {
+      UKC_ASSIGN_OR_RETURN(
+          geometry::KdTree tree,
+          geometry::KdTree::BuildFlat(center_coords_, euclidean->dim()));
+      tree_ = std::move(tree);
+      tree_dim_ = euclidean->dim();
+      tree_coords_ = center_coords_;
+    }
+    const geometry::KdTree& tree = *tree_;
+    for (size_t i = 0; i < dataset.n(); ++i) {
+      for (const uncertain::Location& loc : dataset.point(i).locations()) {
+        events_.push_back(Event{
+            std::sqrt(
+                tree.Nearest(euclidean->coords(loc.site)).squared_distance),
+            static_cast<uint32_t>(i), loc.probability});
+      }
+    }
+    return Status::OK();
+  }
+  if (euclidean != nullptr) {
+    // Flat linear scan over the gathered center block.
+    const size_t dim = euclidean->dim();
+    const metric::Norm norm = euclidean->norm();
+    euclidean->GatherCoords(centers, &center_coords_);
+    for (size_t i = 0; i < dataset.n(); ++i) {
+      for (const uncertain::Location& loc : dataset.point(i).locations()) {
+        events_.push_back(
+            Event{FlatDistanceToSet(norm, euclidean->coords(loc.site),
+                                    center_coords_.data(), centers.size(), dim),
+                  static_cast<uint32_t>(i), loc.probability});
+      }
+    }
+    return Status::OK();
+  }
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    for (const uncertain::Location& loc : dataset.point(i).locations()) {
+      events_.push_back(Event{space.DistanceToSet(loc.site, centers),
+                              static_cast<uint32_t>(i), loc.probability});
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> ExpectedCostEvaluator::UnassignedCost(
+    const uncertain::UncertainDataset& dataset,
+    const std::vector<metric::SiteId>& centers) {
+  UKC_RETURN_IF_ERROR(FillUnassignedEvents(dataset, centers));
+  if (dataset.n() == 0) return 0.0;
+  return SweepEvents(dataset.n());
+}
+
+Result<std::vector<double>> ExpectedCostEvaluator::UnassignedCostBatch(
+    const uncertain::UncertainDataset& dataset,
+    const std::vector<std::vector<metric::SiteId>>& center_sets) {
+  std::vector<double> values;
+  values.reserve(center_sets.size());
+  for (const auto& centers : center_sets) {
+    UKC_ASSIGN_OR_RETURN(double value, UnassignedCost(dataset, centers));
+    values.push_back(value);
+  }
+  return values;
+}
+
+template <typename DistanceOfLocation>
+void ExpectedCostEvaluator::FillDistanceTable(
+    const uncertain::UncertainDataset& dataset, DistanceOfLocation distance) {
+  offsets_.resize(dataset.n() + 1);
+  distance_table_.clear();
+  distance_table_.reserve(dataset.total_locations());
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    offsets_[i] = distance_table_.size();
+    for (const uncertain::Location& loc : dataset.point(i).locations()) {
+      distance_table_.push_back(distance(i, loc.site));
+    }
+  }
+  offsets_[dataset.n()] = distance_table_.size();
+}
+
+Result<MonteCarloEstimate> ExpectedCostEvaluator::MonteCarloOverTable(
+    const uncertain::UncertainDataset& dataset, int64_t samples, Rng& rng) {
+  if (samples <= 0) {
+    return Status::InvalidArgument("MonteCarloCost: samples must be positive");
+  }
+  const uncertain::RealizationSampler sampler(dataset);
+  const size_t n = dataset.n();
+
+  const auto run_chunk = [&](Rng* chunk_rng, int64_t chunk_samples,
+                             RunningStats* stats) {
+    for (int64_t s = 0; s < chunk_samples; ++s) {
+      double worst = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const size_t j = sampler.SamplePoint(*chunk_rng, i);
+        const double d = distance_table_[offsets_[i] + j];
+        if (d > worst) worst = d;
+      }
+      stats->Add(worst);
+    }
+  };
+
+  RunningStats stats;
+  const int threads =
+      static_cast<int>(std::min<int64_t>(options_.monte_carlo_threads, samples));
+  if (threads <= 1) {
+    run_chunk(&rng, samples, &stats);
+  } else {
+    // Deterministic fan-out: chunk t draws from a forked child stream,
+    // so the estimate depends only on (seed, threads), not scheduling.
+    std::vector<Rng> chunk_rngs;
+    chunk_rngs.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      chunk_rngs.push_back(rng.Fork(static_cast<uint64_t>(t)));
+    }
+    std::vector<RunningStats> partial(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const int64_t base = samples / threads;
+    const int64_t extra = samples % threads;
+    for (int t = 0; t < threads; ++t) {
+      const int64_t chunk_samples = base + (t < extra ? 1 : 0);
+      workers.emplace_back(run_chunk, &chunk_rngs[t], chunk_samples,
+                           &partial[t]);
+    }
+    for (auto& worker : workers) worker.join();
+    for (const RunningStats& p : partial) stats.Merge(p);
+  }
+
+  MonteCarloEstimate estimate;
+  estimate.mean = stats.Mean();
+  estimate.std_error = stats.StdError();
+  estimate.samples = samples;
+  return estimate;
+}
+
+Result<MonteCarloEstimate> ExpectedCostEvaluator::MonteCarloAssignedCost(
+    const uncertain::UncertainDataset& dataset, const Assignment& assignment,
+    int64_t samples, Rng& rng) {
+  if (assignment.size() != dataset.n()) {
+    return Status::InvalidArgument("MonteCarloAssignedCost: size mismatch");
+  }
+  const metric::MetricSpace& space = dataset.space();
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] < 0 || assignment[i] >= space.num_sites()) {
+      return Status::InvalidArgument(
+          StrFormat("MonteCarloAssignedCost: assignment[%zu]=%d out of range",
+                    i, assignment[i]));
+    }
+  }
+  FillDistanceTable(dataset, [&](size_t i, metric::SiteId site) {
+    return space.Distance(site, assignment[i]);
+  });
+  return MonteCarloOverTable(dataset, samples, rng);
+}
+
+Result<MonteCarloEstimate> ExpectedCostEvaluator::MonteCarloUnassignedCost(
+    const uncertain::UncertainDataset& dataset,
+    const std::vector<metric::SiteId>& centers, int64_t samples, Rng& rng) {
+  if (centers.empty()) {
+    return Status::InvalidArgument("MonteCarloUnassignedCost: no centers");
+  }
+  const metric::MetricSpace& space = dataset.space();
+  for (metric::SiteId c : centers) {
+    if (c < 0 || c >= space.num_sites()) {
+      return Status::InvalidArgument(
+          StrFormat("MonteCarloUnassignedCost: center %d out of range", c));
+    }
+  }
+  FillDistanceTable(dataset, [&](size_t, metric::SiteId site) {
+    return space.DistanceToSet(site, centers);
+  });
+  return MonteCarloOverTable(dataset, samples, rng);
+}
+
+}  // namespace cost
+}  // namespace ukc

@@ -1,0 +1,196 @@
+// ExpectedCostEvaluator: the reusable engine behind every expected-cost
+// evaluation (the paper's EcostA / Ecost objectives).
+//
+// The objectives reduce to E[max_i X_i] over independent discrete
+// variables, computed exactly in O(N log N) by sweeping the value axis
+// (see expected_cost.h for the math). Evaluating one candidate solution
+// is cheap; pipelines evaluate thousands (local search tries every
+// center swap, benches score whole families), and the naive free
+// functions used to pay for that with fresh allocations per call:
+// per-point distribution vectors, the event buffer, the per-variable CDF
+// array, and a kd-tree rebuilt from boxed points on every unassigned
+// call.
+//
+// The evaluator owns all of that state and amortizes it across calls:
+//   - one flat event buffer (value, variable, probability) reused by
+//     every evaluation — distances are written straight into it from the
+//     EuclideanSpace coordinate arena, no intermediate distributions;
+//   - the per-variable CDF array for the sweep;
+//   - a kd-tree over the current center set, cached and only rebuilt
+//     when the centers actually change;
+//   - the per-location distance table + alias samplers for Monte-Carlo
+//     estimation, with optional thread fan-out over samples.
+//
+// Worked example — scoring many candidate center sets:
+//
+//   cost::ExpectedCostEvaluator evaluator;           // reusable scratch
+//   for (const auto& centers : candidate_center_sets) {
+//     UKC_ASSIGN_OR_RETURN(double value,
+//                          evaluator.UnassignedCost(dataset, centers));
+//     if (value < best) { best = value; best_centers = centers; }
+//   }
+//   // ... or in one call, sharing scratch across the whole batch:
+//   UKC_ASSIGN_OR_RETURN(std::vector<double> values,
+//                        evaluator.UnassignedCostBatch(dataset,
+//                                                      candidate_center_sets));
+//
+// The evaluator is cheap to construct but only pays off when reused; the
+// free functions in expected_cost.h delegate to a thread-local instance,
+// so one-off callers get the fast path too. An evaluator must not be
+// shared across threads concurrently (it is mutable scratch); create one
+// per thread instead.
+
+#ifndef UKC_COST_EXPECTED_COST_EVALUATOR_H_
+#define UKC_COST_EXPECTED_COST_EVALUATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "cost/assignment.h"
+#include "geometry/kdtree.h"
+#include "uncertain/dataset.h"
+
+namespace ukc {
+namespace cost {
+
+/// One random variable's support: (value, probability) pairs. Values
+/// need not be sorted or distinct; probabilities must be positive and
+/// sum to 1 per variable.
+using DiscreteDistribution = std::vector<std::pair<double, double>>;
+
+/// Center-set size at which the unassigned-cost evaluation switches
+/// from the linear center scan to a kd-tree over the centers (L2 only).
+/// Picked from bench/micro_bench.cc BM_UnassignedCostLinear /
+/// BM_UnassignedCostKdTree on the 2-d clustered family (n = 4000): the
+/// flat linear scan (contiguous gathered block, unrolled kernel) wins
+/// through k = 32 (1.79 ms vs 2.02 ms), the tree wins from k = 48
+/// (2.27 ms vs 2.40 ms) and pulls away after; the crossover sits near
+/// k = 40.
+inline constexpr size_t kDefaultKdTreeCutover = 40;
+
+/// Options bounding the exact evaluations (BruteForceCostOptions-style).
+struct ExactCostOptions {
+  /// Centers >= this use the kd-tree path (Euclidean L2 spaces only).
+  size_t kdtree_cutover = kDefaultKdTreeCutover;
+};
+
+/// A Monte-Carlo estimate with its standard error.
+struct MonteCarloEstimate {
+  double mean = 0.0;
+  double std_error = 0.0;
+  int64_t samples = 0;
+};
+
+/// Reusable exact/Monte-Carlo expected-cost engine. See file comment.
+class ExpectedCostEvaluator {
+ public:
+  struct Options {
+    /// Centers >= this use the kd-tree path (Euclidean L2 spaces only).
+    size_t kdtree_cutover = kDefaultKdTreeCutover;
+    /// Threads fanning out over Monte-Carlo samples; 1 = sequential
+    /// (and bit-identical to the historical estimator).
+    int monte_carlo_threads = 1;
+  };
+
+  ExpectedCostEvaluator() = default;
+  explicit ExpectedCostEvaluator(Options options) : options_(options) {}
+
+  const Options& options() const { return options_; }
+  void set_options(Options options) { options_ = options; }
+
+  /// Exact assigned expected cost EcostA for the given assignment
+  /// (assignment[i] = serving center site of point i).
+  Result<double> AssignedCost(const uncertain::UncertainDataset& dataset,
+                              const Assignment& assignment);
+
+  /// Exact unassigned expected cost Ecost for the given centers.
+  Result<double> UnassignedCost(const uncertain::UncertainDataset& dataset,
+                                const std::vector<metric::SiteId>& centers);
+
+  /// Scores many candidate center sets, sharing all scratch (and the
+  /// kd-tree cache, for repeated sets) across the batch.
+  Result<std::vector<double>> UnassignedCostBatch(
+      const uncertain::UncertainDataset& dataset,
+      const std::vector<std::vector<metric::SiteId>>& center_sets);
+
+  /// Exact E[max_i X_i] for independent discrete X_i. O(N log N) in the
+  /// total support size N. Reuses the evaluator's event/CDF scratch.
+  double ExpectedMaxOfIndependent(
+      std::span<const DiscreteDistribution> distributions);
+
+  /// Monte-Carlo estimators (alias-table sampling over a precomputed
+  /// per-location distance table; optional thread fan-out per Options).
+  Result<MonteCarloEstimate> MonteCarloAssignedCost(
+      const uncertain::UncertainDataset& dataset, const Assignment& assignment,
+      int64_t samples, Rng& rng);
+  Result<MonteCarloEstimate> MonteCarloUnassignedCost(
+      const uncertain::UncertainDataset& dataset,
+      const std::vector<metric::SiteId>& centers, int64_t samples, Rng& rng);
+
+ private:
+  // An atom of probability mass: variable `index` takes `value` with
+  // probability `probability`.
+  struct Event {
+    double value;
+    uint32_t index;
+    double probability;
+  };
+
+  // Validates centers and fills events_ with one (distance, point,
+  // probability) atom per location.
+  Status FillUnassignedEvents(const uncertain::UncertainDataset& dataset,
+                              const std::vector<metric::SiteId>& centers);
+
+  // Sorts events_ ascending by value: LSD radix over the
+  // order-preserving bit transform of the key for large inputs (the
+  // sweep's former std::sort bottleneck), std::sort below the cutover.
+  void SortEventsByValue();
+
+  // Sorts events_ and runs the value-axis sweep for `num_variables`
+  // variables (resets cdf_).
+  double SweepEvents(size_t num_variables);
+
+  // Fills distance_table_/offsets_ with d(location, target) for every
+  // location. `distance(i, site)` gives the distance for point i's
+  // location at `site`.
+  template <typename DistanceOfLocation>
+  void FillDistanceTable(const uncertain::UncertainDataset& dataset,
+                         DistanceOfLocation distance);
+
+  // Runs the Monte-Carlo loop over the filled distance table.
+  Result<MonteCarloEstimate> MonteCarloOverTable(
+      const uncertain::UncertainDataset& dataset, int64_t samples, Rng& rng);
+
+  Options options_;
+
+  // Exact-sweep scratch.
+  std::vector<Event> events_;
+  std::vector<Event> events_scratch_;   // Radix-sort ping-pong buffer.
+  std::vector<uint32_t> radix_counts_;  // Radix-sort histograms.
+  std::vector<double> cdf_;
+
+  // Gathered center coordinates for flat linear scans.
+  std::vector<double> center_coords_;
+
+  // kd-tree cache, keyed by the gathered center *coordinates* (content,
+  // not identity: a space pointer + site ids could alias a destroyed
+  // dataset's, but equal coordinates always build the same tree).
+  std::vector<double> tree_coords_;
+  size_t tree_dim_ = 0;
+  std::optional<geometry::KdTree> tree_;
+
+  // Monte-Carlo scratch: distance_table_[offsets_[i] + j] = distance of
+  // point i's j-th location to its target (assigned center / center set).
+  std::vector<double> distance_table_;
+  std::vector<size_t> offsets_;
+};
+
+}  // namespace cost
+}  // namespace ukc
+
+#endif  // UKC_COST_EXPECTED_COST_EVALUATOR_H_

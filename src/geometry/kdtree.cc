@@ -6,7 +6,27 @@
 namespace ukc {
 namespace geometry {
 
-Result<KdTree> KdTree::Build(std::vector<Point> points) {
+namespace {
+
+// Arranges order[begin, end) into implicit median layout: the median
+// along axis depth % dim lands at the middle slot, then both halves are
+// arranged recursively. After this, slot s of the segment IS node s.
+void LayoutRecursive(std::vector<uint32_t>* order, const double* coords,
+                     size_t dim, size_t begin, size_t end, size_t depth) {
+  if (end - begin <= 1) return;
+  const size_t axis = depth % dim;
+  const size_t median = begin + (end - begin) / 2;
+  std::nth_element(order->begin() + begin, order->begin() + median,
+                   order->begin() + end, [&](uint32_t a, uint32_t b) {
+                     return coords[a * dim + axis] < coords[b * dim + axis];
+                   });
+  LayoutRecursive(order, coords, dim, begin, median, depth + 1);
+  LayoutRecursive(order, coords, dim, median + 1, end, depth + 1);
+}
+
+}  // namespace
+
+Result<KdTree> KdTree::Build(const std::vector<Point>& points) {
   if (points.empty()) {
     return Status::InvalidArgument("KdTree: no points");
   }
@@ -14,94 +34,125 @@ Result<KdTree> KdTree::Build(std::vector<Point> points) {
   if (dim == 0) {
     return Status::InvalidArgument("KdTree: zero-dimensional points");
   }
+  std::vector<double> coords;
+  coords.reserve(points.size() * dim);
   for (const Point& p : points) {
     if (p.dim() != dim) {
       return Status::InvalidArgument("KdTree: mixed dimensions");
     }
+    coords.insert(coords.end(), p.coords().begin(), p.coords().end());
   }
+  return BuildFlat(std::move(coords), dim);
+}
+
+Result<KdTree> KdTree::BuildFlat(std::vector<double> coords, size_t dim) {
+  if (dim == 0) {
+    return Status::InvalidArgument("KdTree: zero-dimensional points");
+  }
+  if (coords.empty()) {
+    return Status::InvalidArgument("KdTree: no points");
+  }
+  if (coords.size() % dim != 0) {
+    return Status::InvalidArgument("KdTree: coords not a multiple of dim");
+  }
+  const size_t count = coords.size() / dim;
+
   KdTree tree;
-  tree.points_ = std::move(points);
   tree.dim_ = dim;
-  tree.nodes_.reserve(tree.points_.size());
-  std::vector<uint32_t> order(tree.points_.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<uint32_t>(i);
-  tree.root_ = tree.BuildRecursive(&order, 0, order.size(), 0);
+  std::vector<uint32_t> order(count);
+  for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
+  LayoutRecursive(&order, coords.data(), dim, 0, count, 0);
+
+  // Gather the input coordinates into tree order.
+  tree.coords_.resize(coords.size());
+  for (size_t slot = 0; slot < count; ++slot) {
+    const double* src = coords.data() + static_cast<size_t>(order[slot]) * dim;
+    double* dst = tree.coords_.data() + slot * dim;
+    for (size_t a = 0; a < dim; ++a) dst[a] = src[a];
+  }
+  tree.index_ = std::move(order);
   return tree;
 }
 
-int32_t KdTree::BuildRecursive(std::vector<uint32_t>* order, size_t begin,
-                               size_t end, size_t depth) {
-  if (begin >= end) return -1;
-  const uint16_t axis = static_cast<uint16_t>(depth % dim_);
-  const size_t median = begin + (end - begin) / 2;
-  std::nth_element(order->begin() + begin, order->begin() + median,
-                   order->begin() + end, [&](uint32_t a, uint32_t b) {
-                     return points_[a][axis] < points_[b][axis];
-                   });
-  const int32_t node_index = static_cast<int32_t>(nodes_.size());
-  nodes_.push_back(Node{});
-  nodes_[node_index].point_index = (*order)[median];
-  nodes_[node_index].axis = axis;
-  const int32_t left = BuildRecursive(order, begin, median, depth + 1);
-  const int32_t right = BuildRecursive(order, median + 1, end, depth + 1);
-  nodes_[node_index].left = left;
-  nodes_[node_index].right = right;
-  return node_index;
+Point KdTree::point(size_t index) const {
+  UKC_DCHECK_LT(index, index_.size());
+  // index_ is a permutation; find the slot holding `index`. Queries
+  // return construction indices, so this reverse lookup is cold (tests
+  // and diagnostics only).
+  for (size_t slot = 0; slot < index_.size(); ++slot) {
+    if (index_[slot] == index) {
+      return PointView(coords_.data() + slot * dim_, dim_).ToPoint();
+    }
+  }
+  UKC_CHECK(false) << "KdTree::point: index not found";
+  return Point();
 }
 
-NearestResult KdTree::Nearest(const Point& query) const {
-  UKC_CHECK_EQ(query.dim(), dim_);
+NearestResult KdTree::Nearest(const double* query) const {
   NearestResult best;
   best.squared_distance = std::numeric_limits<double>::infinity();
-  NearestRecursive(root_, query, &best);
+  NearestRecursive(0, index_.size(), 0, query, &best);
   return best;
 }
 
-void KdTree::NearestRecursive(int32_t node_index, const Point& query,
-                              NearestResult* best) const {
-  if (node_index < 0) return;
-  const Node& node = nodes_[static_cast<size_t>(node_index)];
-  const Point& here = points_[node.point_index];
-  const double d2 = SquaredDistance(here, query);
+void KdTree::NearestRecursive(size_t begin, size_t end, size_t depth,
+                              const double* query, NearestResult* best) const {
+  if (begin >= end) return;
+  const size_t mid = begin + (end - begin) / 2;
+  const double* here = coords_.data() + mid * dim_;
+  const double d2 = SquaredDistanceKernel(here, query, dim_);
   if (d2 < best->squared_distance) {
     best->squared_distance = d2;
-    best->index = node.point_index;
+    best->index = index_[mid];
   }
-  const double delta = query[node.axis] - here[node.axis];
-  const int32_t near_child = delta <= 0.0 ? node.left : node.right;
-  const int32_t far_child = delta <= 0.0 ? node.right : node.left;
-  NearestRecursive(near_child, query, best);
-  // The far side can only help if the splitting plane is closer than
-  // the incumbent.
-  if (delta * delta < best->squared_distance) {
-    NearestRecursive(far_child, query, best);
+  if (end - begin == 1) return;
+  const size_t axis = depth % dim_;
+  const double delta = query[axis] - here[axis];
+  if (delta <= 0.0) {
+    NearestRecursive(begin, mid, depth + 1, query, best);
+    // The far side can only help if the splitting plane is closer than
+    // the incumbent.
+    if (delta * delta < best->squared_distance) {
+      NearestRecursive(mid + 1, end, depth + 1, query, best);
+    }
+  } else {
+    NearestRecursive(mid + 1, end, depth + 1, query, best);
+    if (delta * delta < best->squared_distance) {
+      NearestRecursive(begin, mid, depth + 1, query, best);
+    }
   }
 }
 
-std::vector<size_t> KdTree::WithinRadius(const Point& query,
+std::vector<size_t> KdTree::WithinRadius(const double* query,
                                          double radius) const {
-  UKC_CHECK_EQ(query.dim(), dim_);
   UKC_CHECK_GE(radius, 0.0);
   std::vector<size_t> out;
-  RadiusRecursive(root_, query, radius * radius, &out);
+  RadiusRecursive(0, index_.size(), 0, query, radius * radius, &out);
   return out;
 }
 
-void KdTree::RadiusRecursive(int32_t node_index, const Point& query,
-                             double squared_radius,
+void KdTree::RadiusRecursive(size_t begin, size_t end, size_t depth,
+                             const double* query, double squared_radius,
                              std::vector<size_t>* out) const {
-  if (node_index < 0) return;
-  const Node& node = nodes_[static_cast<size_t>(node_index)];
-  const Point& here = points_[node.point_index];
-  if (SquaredDistance(here, query) <= squared_radius) {
-    out->push_back(node.point_index);
+  if (begin >= end) return;
+  const size_t mid = begin + (end - begin) / 2;
+  const double* here = coords_.data() + mid * dim_;
+  if (SquaredDistanceKernel(here, query, dim_) <= squared_radius) {
+    out->push_back(index_[mid]);
   }
-  const double delta = query[node.axis] - here[node.axis];
-  const int32_t near_child = delta <= 0.0 ? node.left : node.right;
-  const int32_t far_child = delta <= 0.0 ? node.right : node.left;
-  RadiusRecursive(near_child, query, squared_radius, out);
-  if (delta * delta <= squared_radius) {
-    RadiusRecursive(far_child, query, squared_radius, out);
+  if (end - begin == 1) return;
+  const size_t axis = depth % dim_;
+  const double delta = query[axis] - here[axis];
+  if (delta <= 0.0) {
+    RadiusRecursive(begin, mid, depth + 1, query, squared_radius, out);
+    if (delta * delta <= squared_radius) {
+      RadiusRecursive(mid + 1, end, depth + 1, query, squared_radius, out);
+    }
+  } else {
+    RadiusRecursive(mid + 1, end, depth + 1, query, squared_radius, out);
+    if (delta * delta <= squared_radius) {
+      RadiusRecursive(begin, mid, depth + 1, query, squared_radius, out);
+    }
   }
 }
 

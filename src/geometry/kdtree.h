@@ -4,8 +4,15 @@
 // center to each surrogate) and the Gonzalez relaxation on large
 // Euclidean instances: brute force is O(n k), the tree answers nearest
 // queries in roughly O(log k) for the small center sets k-center
-// produces. Exact (no approximation), with standard
-// median-split construction.
+// produces. Exact (no approximation), with standard median-split
+// construction.
+//
+// Storage is fully flat (structure of arrays): the point coordinates are
+// reordered once at build time into a single contiguous buffer laid out
+// in *implicit median order* — the subtree over slot range [begin, end)
+// has its root at slot begin + (end - begin) / 2 and splits on axis
+// depth % d. There are no per-node Point copies, no child pointers, and
+// queries touch only the coordinate buffer and one index array.
 
 #ifndef UKC_GEOMETRY_KDTREE_H_
 #define UKC_GEOMETRY_KDTREE_H_
@@ -15,6 +22,7 @@
 
 #include "common/result.h"
 #include "geometry/point.h"
+#include "geometry/point_view.h"
 
 namespace ukc {
 namespace geometry {
@@ -29,46 +37,52 @@ struct NearestResult {
 /// Immutable kd-tree. Build once, query many times.
 class KdTree {
  public:
-  /// Builds the tree in O(n log n). All points must share one dimension
-  /// >= 1; the input is copied.
-  static Result<KdTree> Build(std::vector<Point> points);
+  /// Builds the tree in O(n log n) from boxed points (flattened once).
+  /// All points must share one dimension >= 1.
+  static Result<KdTree> Build(const std::vector<Point>& points);
+
+  /// Builds from a flat row-major coordinate buffer (count = coords.size
+  /// / dim points). The preferred entry point: no boxing anywhere.
+  static Result<KdTree> BuildFlat(std::vector<double> coords, size_t dim);
 
   /// The exact nearest point to `query` (ties broken arbitrarily).
-  NearestResult Nearest(const Point& query) const;
-
-  /// All point indices within `radius` (inclusive) of `query`.
-  std::vector<size_t> WithinRadius(const Point& query, double radius) const;
-
-  /// Number of indexed points.
-  size_t size() const { return points_.size(); }
-
-  /// The point for an index returned by a query.
-  const Point& point(size_t index) const {
-    UKC_DCHECK_LT(index, points_.size());
-    return points_[index];
+  /// `query` must have length dim() / dimension dim().
+  NearestResult Nearest(const double* query) const;
+  NearestResult Nearest(const Point& query) const {
+    UKC_DCHECK_EQ(query.dim(), dim_);
+    return Nearest(query.coords().data());
   }
 
- private:
-  struct Node {
-    // Children as node indices; kNoChild when absent.
-    int32_t left = -1;
-    int32_t right = -1;
-    uint32_t point_index = 0;  // Index into points_.
-    uint16_t axis = 0;         // Split axis.
-  };
+  /// All point indices within `radius` (inclusive) of `query`.
+  std::vector<size_t> WithinRadius(const double* query, double radius) const;
+  std::vector<size_t> WithinRadius(const Point& query, double radius) const {
+    UKC_DCHECK_EQ(query.dim(), dim_);
+    return WithinRadius(query.coords().data(), radius);
+  }
 
+  /// Number of indexed points.
+  size_t size() const { return index_.size(); }
+
+  /// Dimension of the indexed points.
+  size_t dim() const { return dim_; }
+
+  /// The point for an index returned by a query (i.e. an index into the
+  /// construction array), materialized as an owning copy.
+  Point point(size_t index) const;
+
+ private:
   KdTree() = default;
 
-  int32_t BuildRecursive(std::vector<uint32_t>* order, size_t begin, size_t end,
-                         size_t depth);
-  void NearestRecursive(int32_t node, const Point& query,
-                        NearestResult* best) const;
-  void RadiusRecursive(int32_t node, const Point& query, double squared_radius,
+  void NearestRecursive(size_t begin, size_t end, size_t depth,
+                        const double* query, NearestResult* best) const;
+  void RadiusRecursive(size_t begin, size_t end, size_t depth,
+                       const double* query, double squared_radius,
                        std::vector<size_t>* out) const;
 
-  std::vector<Point> points_;
-  std::vector<Node> nodes_;
-  int32_t root_ = -1;
+  // coords_[slot * dim_ ..] holds the point at tree slot `slot`;
+  // index_[slot] is its index in the construction array.
+  std::vector<double> coords_;
+  std::vector<uint32_t> index_;
   size_t dim_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "geometry/point_view.h"
 
 namespace ukc {
 namespace geometry {
@@ -55,12 +56,7 @@ std::ostream& operator<<(std::ostream& os, const Point& p) {
 
 double SquaredDistance(const Point& a, const Point& b) {
   UKC_DCHECK_EQ(a.dim(), b.dim());
-  double total = 0.0;
-  for (size_t i = 0; i < a.dim(); ++i) {
-    const double diff = a[i] - b[i];
-    total += diff * diff;
-  }
-  return total;
+  return SquaredDistanceKernel(a.coords().data(), b.coords().data(), a.dim());
 }
 
 double Distance(const Point& a, const Point& b) {
@@ -69,18 +65,12 @@ double Distance(const Point& a, const Point& b) {
 
 double L1Distance(const Point& a, const Point& b) {
   UKC_DCHECK_EQ(a.dim(), b.dim());
-  double total = 0.0;
-  for (size_t i = 0; i < a.dim(); ++i) total += std::abs(a[i] - b[i]);
-  return total;
+  return L1DistanceKernel(a.coords().data(), b.coords().data(), a.dim());
 }
 
 double LInfDistance(const Point& a, const Point& b) {
   UKC_DCHECK_EQ(a.dim(), b.dim());
-  double worst = 0.0;
-  for (size_t i = 0; i < a.dim(); ++i) {
-    worst = std::max(worst, std::abs(a[i] - b[i]));
-  }
-  return worst;
+  return LInfDistanceKernel(a.coords().data(), b.coords().data(), a.dim());
 }
 
 double LpDistance(const Point& a, const Point& b, double p) {

@@ -1,5 +1,7 @@
 #include "metric/euclidean_space.h"
 
+#include <limits>
+
 #include "common/strings.h"
 
 namespace ukc {
@@ -23,49 +25,85 @@ EuclideanSpace::EuclideanSpace(size_t dim, Norm norm) : dim_(dim), norm_(norm) {
 
 EuclideanSpace::EuclideanSpace(size_t dim, std::vector<geometry::Point> points,
                                Norm norm)
-    : dim_(dim), norm_(norm), points_(std::move(points)) {
+    : dim_(dim), norm_(norm) {
   UKC_CHECK_GE(dim, 1u);
-  for (const auto& p : points_) {
+  coords_.reserve(points.size() * dim_);
+  for (const auto& p : points) {
     UKC_CHECK_EQ(p.dim(), dim_) << "point dimension mismatch";
+    coords_.insert(coords_.end(), p.coords().begin(), p.coords().end());
   }
+  num_sites_ = static_cast<SiteId>(points.size());
 }
 
 double EuclideanSpace::PointDistance(const geometry::Point& a,
                                      const geometry::Point& b) const {
-  switch (norm_) {
-    case Norm::kL2:
-      return geometry::Distance(a, b);
-    case Norm::kL1:
-      return geometry::L1Distance(a, b);
-    case Norm::kLInf:
-      return geometry::LInfDistance(a, b);
-  }
-  return 0.0;
-}
-
-double EuclideanSpace::Distance(SiteId a, SiteId b) const {
-  return PointDistance(point(a), point(b));
+  UKC_DCHECK_EQ(a.dim(), dim_);
+  UKC_DCHECK_EQ(b.dim(), dim_);
+  return NormDistanceKernel(norm_, a.coords().data(), b.coords().data(), dim_);
 }
 
 std::string EuclideanSpace::Name() const {
   return StrFormat("%s(R^%zu, %d sites)", NormToString(norm_).c_str(), dim_,
-                   static_cast<int>(points_.size()));
+                   static_cast<int>(num_sites_));
 }
 
-SiteId EuclideanSpace::AddPoint(geometry::Point point) {
+SiteId EuclideanSpace::AddPoint(const geometry::Point& point) {
   UKC_CHECK_EQ(point.dim(), dim_) << "point dimension mismatch";
-  points_.push_back(std::move(point));
-  return static_cast<SiteId>(points_.size()) - 1;
+  return AddCoords(point.coords().data());
 }
 
-const geometry::Point& EuclideanSpace::point(SiteId id) const {
-  UKC_CHECK_GE(id, 0);
-  UKC_CHECK_LT(static_cast<size_t>(id), points_.size());
-  return points_[static_cast<size_t>(id)];
+SiteId EuclideanSpace::AddCoords(const double* data) {
+  coords_.insert(coords_.end(), data, data + dim_);
+  return num_sites_++;
 }
 
-double EuclideanSpace::DistanceToPoint(SiteId a, const geometry::Point& p) const {
-  return PointDistance(point(a), p);
+void EuclideanSpace::CheckSite(SiteId id) const {
+  UKC_CHECK(id >= 0 && id < num_sites_) << "site id out of range: " << id;
+}
+
+double EuclideanSpace::DistanceToSet(SiteId a,
+                                     const std::vector<SiteId>& candidates) const {
+  // Hard-check ids up front (the old boxed accessor checked every
+  // access); the scan itself then runs unchecked over the arena.
+  CheckSite(a);
+  for (SiteId c : candidates) CheckSite(c);
+  const double* from = coords(a);
+  double best = std::numeric_limits<double>::infinity();
+  for (SiteId c : candidates) {
+    const double d = NormDistanceKernel(norm_, from, coords(c), dim_);
+    if (d < best) best = d;
+  }
+  return best;
+}
+
+SiteId EuclideanSpace::NearestInSet(SiteId a,
+                                    const std::vector<SiteId>& candidates) const {
+  CheckSite(a);
+  for (SiteId c : candidates) CheckSite(c);
+  const double* from = coords(a);
+  SiteId best = kInvalidSite;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (SiteId c : candidates) {
+    const double d = NormDistanceKernel(norm_, from, coords(c), dim_);
+    if (d < best_distance) {
+      best_distance = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void EuclideanSpace::GatherCoords(const std::vector<SiteId>& sites,
+                                  std::vector<double>* out) const {
+  UKC_CHECK(out != nullptr);
+  for (SiteId s : sites) CheckSite(s);
+  out->resize(sites.size() * dim_);
+  double* dst = out->data();
+  for (SiteId s : sites) {
+    const double* src = coords(s);
+    for (size_t a = 0; a < dim_; ++a) dst[a] = src[a];
+    dst += dim_;
+  }
 }
 
 }  // namespace metric

@@ -1,5 +1,12 @@
 // Euclidean (and general normed R^d) metric space over an extensible
 // point set.
+//
+// Coordinates live in ONE flat std::vector<double> arena (structure of
+// arrays, row-major: site id s occupies [s*dim, (s+1)*dim)), so distance
+// evaluations touch contiguous memory and never chase per-point heap
+// blocks. Hot paths access sites through geometry::PointView / raw
+// coordinate pointers; the boxed geometry::Point accessors materialize a
+// copy and are for API boundaries only.
 
 #ifndef UKC_METRIC_EUCLIDEAN_SPACE_H_
 #define UKC_METRIC_EUCLIDEAN_SPACE_H_
@@ -8,6 +15,7 @@
 #include <vector>
 
 #include "geometry/point.h"
+#include "geometry/point_view.h"
 #include "metric/metric_space.h"
 
 namespace ukc {
@@ -25,6 +33,20 @@ enum class Norm {
 /// Returns a short name ("L2", ...) for a norm.
 std::string NormToString(Norm norm);
 
+/// Distance between two raw coordinate arrays under a norm.
+inline double NormDistanceKernel(Norm norm, const double* a, const double* b,
+                                 size_t dim) {
+  switch (norm) {
+    case Norm::kL2:
+      return geometry::DistanceKernel(a, b, dim);
+    case Norm::kL1:
+      return geometry::L1DistanceKernel(a, b, dim);
+    case Norm::kLInf:
+      return geometry::LInfDistanceKernel(a, b, dim);
+  }
+  return 0.0;
+}
+
 /// A normed space R^d over a growable list of points. Sites may be
 /// appended (never removed), so SiteIds remain stable; this is how
 /// constructed points such as expected points enter the space.
@@ -37,11 +59,17 @@ class EuclideanSpace : public MetricSpace {
   EuclideanSpace(size_t dim, std::vector<geometry::Point> points,
                  Norm norm = Norm::kL2);
 
-  double Distance(SiteId a, SiteId b) const override;
-  SiteId num_sites() const override {
-    return static_cast<SiteId>(points_.size());
+  double Distance(SiteId a, SiteId b) const override {
+    return NormDistanceKernel(norm_, coords(a), coords(b), dim_);
   }
+  SiteId num_sites() const override { return num_sites_; }
   std::string Name() const override;
+
+  /// Flat scans over the coordinate arena (no per-pair virtual calls).
+  double DistanceToSet(SiteId a,
+                       const std::vector<SiteId>& candidates) const override;
+  SiteId NearestInSet(SiteId a,
+                      const std::vector<SiteId>& candidates) const override;
 
   /// Dimension of the ambient space.
   size_t dim() const { return dim_; }
@@ -51,24 +79,63 @@ class EuclideanSpace : public MetricSpace {
 
   /// Appends a point and returns its new site id. The point's dimension
   /// must match the space.
-  SiteId AddPoint(geometry::Point point);
+  SiteId AddPoint(const geometry::Point& point);
 
-  /// The point backing a site.
-  const geometry::Point& point(SiteId id) const;
+  /// Appends a point given by a raw coordinate array of length dim().
+  SiteId AddCoords(const double* data);
 
-  /// All points (index == SiteId).
-  const std::vector<geometry::Point>& points() const { return points_; }
+  /// Raw coordinates of a site (length dim()). Stable until AddPoint
+  /// (the arena may reallocate on growth, like vector iterators).
+  const double* coords(SiteId id) const {
+    UKC_DCHECK(id >= 0);
+    UKC_DCHECK_LT(static_cast<size_t>(id), static_cast<size_t>(num_sites_));
+    return coords_.data() + static_cast<size_t>(id) * dim_;
+  }
+
+  /// Non-owning view of a site (same lifetime caveat as coords()).
+  geometry::PointView view(SiteId id) const {
+    return geometry::PointView(coords(id), dim_);
+  }
+
+  /// The whole arena (num_sites() * dim() doubles, row-major).
+  const std::vector<double>& coord_arena() const { return coords_; }
+
+  /// The point backing a site, materialized as an owning copy. Boundary
+  /// use only; hot loops should use view()/coords().
+  geometry::Point point(SiteId id) const { return view(id).ToPoint(); }
 
   /// Distance between a site and a free (unregistered) point.
-  double DistanceToPoint(SiteId a, const geometry::Point& p) const;
+  double DistanceToPoint(SiteId a, const geometry::Point& p) const {
+    UKC_DCHECK_EQ(p.dim(), dim_);
+    return NormDistanceKernel(norm_, coords(a), p.coords().data(), dim_);
+  }
 
   /// Distance between two free points under this space's norm.
-  double PointDistance(const geometry::Point& a, const geometry::Point& b) const;
+  double PointDistance(const geometry::Point& a,
+                       const geometry::Point& b) const;
+
+  /// Distance between two views under this space's norm.
+  double ViewDistance(geometry::PointView a, geometry::PointView b) const {
+    UKC_DCHECK_EQ(a.dim(), dim_);
+    UKC_DCHECK_EQ(b.dim(), dim_);
+    return NormDistanceKernel(norm_, a.data(), b.data(), dim_);
+  }
+
+  /// Copies the coordinates of `sites` into a contiguous row-major
+  /// buffer (resized to sites.size() * dim()). Site ids are hard-checked
+  /// (all build types). The gathered block is the standard prelude for
+  /// solver loops over a site subset.
+  void GatherCoords(const std::vector<SiteId>& sites,
+                    std::vector<double>* out) const;
 
  private:
+  /// Aborts on an out-of-range id (all build types; the flat scans
+  /// validate once up front instead of per access).
+  void CheckSite(SiteId id) const;
   size_t dim_;
   Norm norm_;
-  std::vector<geometry::Point> points_;
+  SiteId num_sites_ = 0;
+  std::vector<double> coords_;  // num_sites_ * dim_, row-major.
 };
 
 }  // namespace metric

@@ -42,12 +42,15 @@ class MetricSpace {
   virtual std::string Name() const = 0;
 
   /// The distance from `a` to the nearest site in `candidates`
-  /// (infinity when `candidates` is empty).
-  double DistanceToSet(SiteId a, const std::vector<SiteId>& candidates) const;
+  /// (infinity when `candidates` is empty). Virtual so that spaces with
+  /// contiguous storage can scan without per-pair virtual dispatch.
+  virtual double DistanceToSet(SiteId a,
+                               const std::vector<SiteId>& candidates) const;
 
   /// The site in `candidates` nearest to `a` (kInvalidSite when empty);
   /// ties broken toward the earliest candidate.
-  SiteId NearestInSet(SiteId a, const std::vector<SiteId>& candidates) const;
+  virtual SiteId NearestInSet(SiteId a,
+                              const std::vector<SiteId>& candidates) const;
 };
 
 }  // namespace metric

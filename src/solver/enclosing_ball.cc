@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "geometry/point_view.h"
 
 namespace ukc {
 namespace solver {
@@ -164,26 +165,41 @@ Result<Ball> BadoiuClarkson(const std::vector<Point>& points, double eps) {
 
   const size_t iterations =
       static_cast<size_t>(std::ceil(1.0 / (eps * eps))) + 1;
-  Point center = points[0];
+  // Flatten once; the farthest-point scans then run over contiguous
+  // memory with the dimension-specialized kernel.
+  std::vector<double> coords;
+  coords.reserve(points.size() * dim);
+  for (const Point& p : points) {
+    coords.insert(coords.end(), p.coords().begin(), p.coords().end());
+  }
+  std::vector<double> center(coords.begin(), coords.begin() + dim);
   for (size_t i = 1; i <= iterations; ++i) {
     // Farthest point from the current center.
     size_t farthest = 0;
     double worst = -1.0;
     for (size_t j = 0; j < points.size(); ++j) {
-      const double d = geometry::SquaredDistance(center, points[j]);
+      const double d = geometry::SquaredDistanceKernel(
+          center.data(), coords.data() + j * dim, dim);
       if (d > worst) {
         worst = d;
         farthest = j;
       }
     }
-    center += (points[farthest] - center) * (1.0 / static_cast<double>(i + 1));
+    const double* far = coords.data() + farthest * dim;
+    const double step = 1.0 / static_cast<double>(i + 1);
+    for (size_t a = 0; a < dim; ++a) {
+      center[a] += (far[a] - center[a]) * step;
+    }
   }
 
   Ball ball;
-  ball.center = center;
-  for (const Point& p : points) {
-    ball.radius = std::max(ball.radius, geometry::Distance(center, p));
+  ball.center = geometry::PointView(center.data(), dim).ToPoint();
+  double worst2 = 0.0;
+  for (size_t j = 0; j < points.size(); ++j) {
+    worst2 = std::max(worst2, geometry::SquaredDistanceKernel(
+                                  center.data(), coords.data() + j * dim, dim));
   }
+  ball.radius = std::sqrt(worst2);
   return ball;
 }
 

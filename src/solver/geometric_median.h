@@ -44,6 +44,14 @@ Result<GeometricMedianResult> WeightedGeometricMedian(
     const std::vector<geometry::Point>& points,
     const std::vector<double>& weights, const GeometricMedianOptions& options = {});
 
+/// Same, over a flat row-major coordinate buffer (`count` points of
+/// dimension `dim`). The allocation-free core: the iteration touches
+/// only the caller's buffers plus O(dim) scratch. Preferred for hot
+/// paths (surrogate construction reads the arena directly).
+Result<GeometricMedianResult> WeightedGeometricMedianFlat(
+    const double* coords, size_t count, size_t dim, const double* weights,
+    const GeometricMedianOptions& options = {});
+
 }  // namespace solver
 }  // namespace ukc
 

@@ -3,16 +3,54 @@
 #include <algorithm>
 #include <vector>
 
+#include "metric/euclidean_space.h"
+
 namespace ukc {
 namespace solver {
 
 namespace {
 
+// Pairwise-distance oracle over positions into `sites`. For Euclidean
+// spaces the site coordinates are gathered once into a flat block so the
+// O(n^2) threshold enumeration and the greedy covers run over contiguous
+// memory; other metrics fall back to the virtual distance.
+class PairOracle {
+ public:
+  PairOracle(const metric::MetricSpace& space,
+             const std::vector<metric::SiteId>& sites)
+      : space_(space), sites_(sites) {
+    const auto* euclidean =
+        dynamic_cast<const metric::EuclideanSpace*>(&space);
+    if (euclidean != nullptr) {
+      euclidean->GatherCoords(sites, &coords_);
+      dim_ = euclidean->dim();
+      norm_ = euclidean->norm();
+      flat_ = true;
+    }
+  }
+
+  double operator()(size_t i, size_t j) const {
+    if (flat_) {
+      return metric::NormDistanceKernel(norm_, coords_.data() + i * dim_,
+                                        coords_.data() + j * dim_, dim_);
+    }
+    return space_.Distance(sites_[i], sites_[j]);
+  }
+
+ private:
+  const metric::MetricSpace& space_;
+  const std::vector<metric::SiteId>& sites_;
+  std::vector<double> coords_;
+  size_t dim_ = 0;
+  metric::Norm norm_ = metric::Norm::kL2;
+  bool flat_ = false;
+};
+
 // Greedy cover at threshold t: repeatedly pick the first uncovered site
 // as a center and cover everything within 2t of it. Returns the chosen
 // centers. Any two chosen centers are > 2t apart, which is what powers
 // both the 2-approximation and the lower-bound certificate.
-std::vector<metric::SiteId> GreedyCover(const metric::MetricSpace& space,
+std::vector<metric::SiteId> GreedyCover(const PairOracle& distance,
                                         const std::vector<metric::SiteId>& sites,
                                         double t, size_t stop_after) {
   std::vector<bool> covered(sites.size(), false);
@@ -22,7 +60,7 @@ std::vector<metric::SiteId> GreedyCover(const metric::MetricSpace& space,
     centers.push_back(sites[i]);
     if (centers.size() > stop_after) break;  // Already infeasible.
     for (size_t j = i; j < sites.size(); ++j) {
-      if (!covered[j] && space.Distance(sites[i], sites[j]) <= 2.0 * t) {
+      if (!covered[j] && distance(i, j) <= 2.0 * t) {
         covered[j] = true;
       }
     }
@@ -38,6 +76,8 @@ Result<ThresholdSolution> HochbaumShmoys(const metric::MetricSpace& space,
   if (k == 0) return Status::InvalidArgument("HochbaumShmoys: k must be >= 1");
   if (sites.empty()) return Status::InvalidArgument("HochbaumShmoys: no sites");
 
+  const PairOracle distance(space, sites);
+
   // All distinct pairwise distances, ascending, 0 prepended so that the
   // degenerate all-coincident case works.
   std::vector<double> thresholds;
@@ -45,7 +85,7 @@ Result<ThresholdSolution> HochbaumShmoys(const metric::MetricSpace& space,
   thresholds.push_back(0.0);
   for (size_t i = 0; i < sites.size(); ++i) {
     for (size_t j = i + 1; j < sites.size(); ++j) {
-      thresholds.push_back(space.Distance(sites[i], sites[j]));
+      thresholds.push_back(distance(i, j));
     }
   }
   std::sort(thresholds.begin(), thresholds.end());
@@ -56,7 +96,7 @@ Result<ThresholdSolution> HochbaumShmoys(const metric::MetricSpace& space,
   size_t lo = 0;                     // Unknown.
   size_t hi = thresholds.size() - 1; // Always feasible: 2*d_max covers all.
   auto feasible = [&](size_t index) {
-    return GreedyCover(space, sites, thresholds[index], k).size() <= k;
+    return GreedyCover(distance, sites, thresholds[index], k).size() <= k;
   };
   if (!feasible(hi)) {
     return Status::Internal("HochbaumShmoys: maximal threshold infeasible");
@@ -71,7 +111,7 @@ Result<ThresholdSolution> HochbaumShmoys(const metric::MetricSpace& space,
   }
 
   ThresholdSolution out;
-  out.solution.centers = GreedyCover(space, sites, thresholds[hi], k);
+  out.solution.centers = GreedyCover(distance, sites, thresholds[hi], k);
   out.solution.radius = CoveringRadius(space, sites, out.solution.centers);
   out.solution.approx_factor = 2.0;
   out.solution.algorithm = "hochbaum-shmoys";

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "geometry/point_view.h"
+
 namespace ukc {
 namespace solver {
 
@@ -10,44 +12,54 @@ using geometry::Point;
 
 namespace {
 
+// The Lloyd inner loops run over flat row-major buffers: `coords` holds
+// the input points, `centers` the current centers, both contiguous.
+
 // k-means++ seeding: first center weighted by w, subsequent centers
-// weighted by w_i * D(p_i)^2.
-std::vector<Point> SeedPlusPlus(const std::vector<Point>& points,
-                                const std::vector<double>& weights, size_t k,
-                                Rng& rng) {
-  std::vector<Point> centers;
-  centers.reserve(k);
-  std::vector<double> d2(points.size(),
-                         std::numeric_limits<double>::infinity());
-  centers.push_back(points[rng.Discrete(weights)]);
-  while (centers.size() < k) {
-    std::vector<double> scores(points.size());
+// weighted by w_i * D(p_i)^2. Appends k centers to `centers`.
+void SeedPlusPlus(const std::vector<double>& coords, size_t count, size_t dim,
+                  const std::vector<double>& weights, size_t k, Rng& rng,
+                  std::vector<double>* centers) {
+  centers->clear();
+  centers->reserve(k * dim);
+  std::vector<double> d2(count, std::numeric_limits<double>::infinity());
+  std::vector<double> scores(count);
+  size_t chosen = rng.Discrete(weights);
+  centers->insert(centers->end(), coords.data() + chosen * dim,
+                  coords.data() + (chosen + 1) * dim);
+  while (centers->size() < k * dim) {
+    const double* last = centers->data() + centers->size() - dim;
     double total = 0.0;
-    for (size_t i = 0; i < points.size(); ++i) {
-      d2[i] = std::min(d2[i], geometry::SquaredDistance(points[i], centers.back()));
+    for (size_t i = 0; i < count; ++i) {
+      d2[i] = std::min(
+          d2[i], geometry::SquaredDistanceKernel(coords.data() + i * dim, last,
+                                                 dim));
       scores[i] = weights[i] * d2[i];
       total += scores[i];
     }
     if (total <= 0.0) {
       // All points coincide with chosen centers; duplicate any.
-      centers.push_back(points[0]);
-      continue;
+      chosen = 0;
+    } else {
+      chosen = rng.Discrete(scores);
     }
-    centers.push_back(points[rng.Discrete(scores)]);
+    centers->insert(centers->end(), coords.data() + chosen * dim,
+                    coords.data() + (chosen + 1) * dim);
   }
-  return centers;
 }
 
-double AssignAll(const std::vector<Point>& points,
+double AssignAll(const std::vector<double>& coords, size_t count, size_t dim,
                  const std::vector<double>& weights,
-                 const std::vector<Point>& centers,
+                 const std::vector<double>& centers, size_t k,
                  std::vector<size_t>* cluster_of) {
   double objective = 0.0;
-  for (size_t i = 0; i < points.size(); ++i) {
+  for (size_t i = 0; i < count; ++i) {
+    const double* p = coords.data() + i * dim;
     size_t best = 0;
     double best_d2 = std::numeric_limits<double>::infinity();
-    for (size_t c = 0; c < centers.size(); ++c) {
-      const double d2 = geometry::SquaredDistance(points[i], centers[c]);
+    for (size_t c = 0; c < k; ++c) {
+      const double d2 =
+          geometry::SquaredDistanceKernel(p, centers.data() + c * dim, dim);
       if (d2 < best_d2) {
         best_d2 = d2;
         best = c;
@@ -72,49 +84,84 @@ Result<KMeansSolution> WeightedKMeans(const std::vector<Point>& points,
   }
   if (k == 0) return Status::InvalidArgument("WeightedKMeans: k must be >= 1");
   const size_t dim = points[0].dim();
+  std::vector<double> coords;
+  coords.reserve(points.size() * dim);
   for (const Point& p : points) {
     if (p.dim() != dim) {
       return Status::InvalidArgument("WeightedKMeans: mixed dimensions");
     }
+    coords.insert(coords.end(), p.coords().begin(), p.coords().end());
   }
   for (double w : weights) {
     if (!(w > 0.0)) {
       return Status::InvalidArgument("WeightedKMeans: weights must be positive");
     }
   }
+  const size_t count = points.size();
 
   Rng rng(options.seed);
-  KMeansSolution best;
-  best.objective = std::numeric_limits<double>::infinity();
+  // Flat working state for the best run and the current run.
+  std::vector<double> best_centers;
+  std::vector<size_t> best_cluster_of;
+  double best_objective = std::numeric_limits<double>::infinity();
+  size_t best_iterations = 0;
+
+  std::vector<double> centers;
+  std::vector<size_t> cluster_of(count, 0);
+  std::vector<double> sums;
+  std::vector<double> mass;
+
   const size_t restarts = std::max<size_t>(1, options.restarts);
   for (size_t restart = 0; restart < restarts; ++restart) {
-    KMeansSolution run;
-    run.centers = SeedPlusPlus(points, weights, k, rng);
-    run.cluster_of.assign(points.size(), 0);
-    run.objective = AssignAll(points, weights, run.centers, &run.cluster_of);
-    for (run.iterations = 0; run.iterations < options.max_iterations;
-         ++run.iterations) {
+    SeedPlusPlus(coords, count, dim, weights, k, rng, &centers);
+    std::fill(cluster_of.begin(), cluster_of.end(), 0);
+    double objective =
+        AssignAll(coords, count, dim, weights, centers, k, &cluster_of);
+    size_t iterations = 0;
+    for (; iterations < options.max_iterations; ++iterations) {
       // Recenter: weighted centroid per cluster.
-      std::vector<Point> sums(run.centers.size(), Point(dim));
-      std::vector<double> mass(run.centers.size(), 0.0);
-      for (size_t i = 0; i < points.size(); ++i) {
-        sums[run.cluster_of[i]] += points[i] * weights[i];
-        mass[run.cluster_of[i]] += weights[i];
+      sums.assign(k * dim, 0.0);
+      mass.assign(k, 0.0);
+      for (size_t i = 0; i < count; ++i) {
+        const double* p = coords.data() + i * dim;
+        double* sum = sums.data() + cluster_of[i] * dim;
+        for (size_t a = 0; a < dim; ++a) sum[a] += p[a] * weights[i];
+        mass[cluster_of[i]] += weights[i];
       }
-      for (size_t c = 0; c < run.centers.size(); ++c) {
-        if (mass[c] > 0.0) run.centers[c] = sums[c] * (1.0 / mass[c]);
+      for (size_t c = 0; c < k; ++c) {
+        if (mass[c] > 0.0) {
+          const double inverse = 1.0 / mass[c];
+          for (size_t a = 0; a < dim; ++a) {
+            centers[c * dim + a] = sums[c * dim + a] * inverse;
+          }
+        }
         // Empty clusters keep their center in place.
       }
-      const double objective =
-          AssignAll(points, weights, run.centers, &run.cluster_of);
-      const double improvement = run.objective - objective;
-      run.objective = objective;
+      const double next =
+          AssignAll(coords, count, dim, weights, centers, k, &cluster_of);
+      const double improvement = objective - next;
+      objective = next;
       if (improvement <
-          options.min_relative_improvement * std::max(1.0, run.objective)) {
+          options.min_relative_improvement * std::max(1.0, objective)) {
         break;
       }
     }
-    if (run.objective < best.objective) best = std::move(run);
+    if (objective < best_objective) {
+      best_objective = objective;
+      best_centers = centers;
+      best_cluster_of = cluster_of;
+      best_iterations = iterations;
+    }
+  }
+
+  KMeansSolution best;
+  best.objective = best_objective;
+  best.iterations = best_iterations;
+  best.cluster_of = std::move(best_cluster_of);
+  best.centers.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    best.centers.push_back(
+        geometry::PointView(best_centers.data() + c * dim, dim).ToPoint());
   }
   return best;
 }

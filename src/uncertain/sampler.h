@@ -30,6 +30,14 @@ class RealizationSampler {
   /// in Monte-Carlo loops.
   void SampleInto(Rng& rng, Realization* out) const;
 
+  /// Draws the location index of point i alone. The building block for
+  /// callers that fold over points without materializing a Realization
+  /// (e.g. the Monte-Carlo estimator's max-over-points loop).
+  size_t SamplePoint(Rng& rng, size_t i) const {
+    UKC_DCHECK_LT(i, tables_.size());
+    return tables_[i].Sample(rng);
+  }
+
   /// Translates a realization into the concrete site of point i.
   metric::SiteId SiteOf(const Realization& realization, size_t i) const;
 

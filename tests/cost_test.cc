@@ -301,8 +301,9 @@ TEST(LowerBoundTest, FiniteMetricFloorSearchesAllSites) {
 }
 
 
-// The kd-tree fast path for the unassigned cost (Euclidean, >= 16
-// centers) must agree exactly with the brute-force distance scan.
+// The kd-tree fast path for the unassigned cost (Euclidean L2, at least
+// kDefaultKdTreeCutover centers) must agree exactly with the
+// brute-force distance scan.
 TEST(UnassignedKdPathTest, AgreesWithLinearScan) {
   uncertain::EuclideanInstanceOptions options;
   options.n = 40;
@@ -312,8 +313,10 @@ TEST(UnassignedKdPathTest, AgreesWithLinearScan) {
   auto dataset = uncertain::GenerateClusteredInstance(options, 4);
   ASSERT_TRUE(dataset.ok());
   const auto sites = dataset->LocationSites();
-  // 20 centers trigger the kd-tree path.
-  std::vector<SiteId> centers(sites.begin(), sites.begin() + 20);
+  ASSERT_GE(sites.size(), kDefaultKdTreeCutover + 4);
+  // Enough centers to trigger the kd-tree path.
+  std::vector<SiteId> centers(sites.begin(),
+                              sites.begin() + kDefaultKdTreeCutover + 4);
   auto fast = ExactUnassignedCost(*dataset, centers);
   ASSERT_TRUE(fast.ok());
   // Reference: rebuild via the generic machinery with a manual scan.
