@@ -1,15 +1,25 @@
 // Google-benchmark micro-benchmarks for the library's hot paths:
 // surrogate construction, deterministic clustering, assignment, exact
-// cost evaluation, sampling, and enclosing balls.
+// cost evaluation, multi-candidate (batch / swap-sweep) evaluation,
+// sampling, and enclosing balls.
+//
+// The custom main records provenance context into the JSON output
+// (git SHA via UKC_GIT_SHA — exported by bench/run_bench.sh — plus the
+// machine's hardware thread count and the dataset sizes exercised), so
+// the perf trajectory in BENCH_micro.json stays attributable across
+// PRs and machines.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <limits>
+#include <thread>
 
 #include "common/rng.h"
 #include "core/surrogates.h"
 #include "cost/assignment.h"
 #include "cost/expected_cost.h"
+#include "cost/parallel_evaluator.h"
 #include "exper/instances.h"
 #include "solver/enclosing_ball.h"
 #include "solver/geometric_median.h"
@@ -155,7 +165,9 @@ BENCHMARK(BM_UnassignedCostKdTree)
     ->Args({4000, 64});
 
 // Batched evaluation of many candidate center sets through one
-// evaluator (the local-search access pattern).
+// evaluator (the PR 1 serial local-search access pattern — the
+// single-threaded baseline the parallel/swap paths are measured
+// against).
 void BM_UnassignedCostBatch(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   auto dataset = MakeDataset(n);
@@ -175,7 +187,88 @@ void BM_UnassignedCostBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(center_sets.size()));
 }
-BENCHMARK(BM_UnassignedCostBatch)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_UnassignedCostBatch)->Arg(1000)->Arg(4000)->Arg(10000);
+
+// The same 16 candidate sets through the worker-pool batch path.
+void BM_ParallelUnassignedCostBatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  auto dataset = MakeDataset(n);
+  const auto sites = dataset.LocationSites();
+  auto seed = solver::Gonzalez(dataset.space(), sites, 8);
+  std::vector<std::vector<metric::SiteId>> center_sets;
+  for (size_t swap = 0; swap < 16; ++swap) {
+    auto centers = seed->centers;
+    centers[swap % centers.size()] = sites[(swap * 97) % sites.size()];
+    center_sets.push_back(std::move(centers));
+  }
+  cost::ParallelCandidateEvaluator::Options options;
+  options.threads = threads;
+  cost::ParallelCandidateEvaluator parallel(options);
+  for (auto _ : state) {
+    auto values = parallel.UnassignedCostBatch(dataset, center_sets);
+    benchmark::DoNotOptimize(values);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(center_sets.size()));
+}
+BENCHMARK(BM_ParallelUnassignedCostBatch)
+    ->Args({10000, 1})
+    ->Args({10000, 8})
+    ->Args({100000, 8});
+
+// One local-search round (k = 8 positions × 16 pool candidates = 128
+// swapped center sets), scored the PR 1 way: a full exact evaluation
+// per swap through one serial evaluator.
+void BM_SwapSweepSerial(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto dataset = MakeDataset(n);
+  const auto sites = dataset.LocationSites();
+  auto seed = solver::Gonzalez(dataset.space(), sites, 8);
+  std::vector<metric::SiteId> pool;
+  for (size_t i = 0; i < 16; ++i) pool.push_back(sites[(i * 977) % sites.size()]);
+  cost::ExpectedCostEvaluator evaluator;
+  for (auto _ : state) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t p = 0; p < seed->centers.size(); ++p) {
+      auto trial = seed->centers;
+      for (metric::SiteId candidate : pool) {
+        trial[p] = candidate;
+        best = std::min(best, *evaluator.UnassignedCost(dataset, trial));
+      }
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(8 * pool.size()));
+}
+BENCHMARK(BM_SwapSweepSerial)->Arg(10000);
+
+// The same round through ParallelCandidateEvaluator::SwapCostMatrix:
+// shared base tables + threshold snapshot, O(N + m log m) per swap,
+// sharded over the pool.
+void BM_SwapSweepBatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  auto dataset = MakeDataset(n);
+  const auto sites = dataset.LocationSites();
+  auto seed = solver::Gonzalez(dataset.space(), sites, 8);
+  std::vector<metric::SiteId> pool;
+  for (size_t i = 0; i < 16; ++i) pool.push_back(sites[(i * 977) % sites.size()]);
+  cost::ParallelCandidateEvaluator::Options options;
+  options.threads = threads;
+  cost::ParallelCandidateEvaluator parallel(options);
+  for (auto _ : state) {
+    auto values = parallel.SwapCostMatrix(dataset, seed->centers, pool);
+    benchmark::DoNotOptimize(values);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(8 * pool.size()));
+}
+BENCHMARK(BM_SwapSweepBatch)
+    ->Args({10000, 1})
+    ->Args({10000, 8})
+    ->Args({100000, 8});
 
 void BM_MonteCarloCost1k(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -257,4 +350,16 @@ BENCHMARK(BM_WeightedGeometricMedian)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace
 }  // namespace ukc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Provenance context for BENCH_micro.json (see file comment).
+  const char* git_sha = std::getenv("UKC_GIT_SHA");
+  benchmark::AddCustomContext("git_sha", git_sha != nullptr ? git_sha : "unknown");
+  benchmark::AddCustomContext(
+      "hardware_threads", std::to_string(std::thread::hardware_concurrency()));
+  benchmark::AddCustomContext("dataset_sizes", "1000,4000,10000,16000,100000");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,6 +20,9 @@ if [[ ! -d "$build" ]]; then
 fi
 cmake --build "$build" -j --target micro_bench
 
+# Provenance recorded into the JSON context (micro_bench main): the
+# commit the numbers were measured at, plus thread count / sizes.
+UKC_GIT_SHA="$(git -C "$root" rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 "$build/micro_bench" \
   --benchmark_out="$root/BENCH_micro.json" \
   --benchmark_out_format=json \

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/surrogates.h"
 #include "cost/expected_cost.h"
 #include "solver/geometric_median.h"
@@ -35,24 +36,24 @@ namespace {
 Result<BaselineResult> FinishWithED(const uncertain::UncertainDataset& dataset,
                                     cost::ExpectedCostEvaluator* evaluator,
                                     std::string name,
-                                    std::vector<SiteId> centers) {
+                                    std::vector<SiteId> centers, int threads) {
   BaselineResult result;
   result.name = std::move(name);
   result.centers = std::move(centers);
-  UKC_ASSIGN_OR_RETURN(result.assignment,
-                       cost::AssignExpectedDistance(dataset, result.centers));
+  UKC_ASSIGN_OR_RETURN(
+      result.assignment,
+      cost::AssignExpectedDistance(dataset, result.centers, threads));
   UKC_ASSIGN_OR_RETURN(result.expected_cost,
                        evaluator->AssignedCost(dataset, result.assignment));
   return result;
 }
 
-// The truncated surrogate of one point: drop the lowest-probability
-// locations until just before the removed mass would exceed delta,
-// renormalize, and take the 1-median of what is left.
-Result<SiteId> TruncatedMedianSurrogate(uncertain::UncertainDataset* dataset,
-                                        size_t i, double delta) {
-  const uncertain::UncertainPoint& p = dataset->point(i);
-  std::vector<uncertain::Location> kept(p.locations());
+// The highest-probability core of point i: drop the lowest-probability
+// locations until just before the removed mass would exceed delta.
+std::vector<uncertain::Location> TruncatedCore(
+    const uncertain::UncertainDataset& dataset, size_t i, double delta) {
+  const uncertain::LocationRange range = dataset.point(i).locations();
+  std::vector<uncertain::Location> kept(range.begin(), range.end());
   std::sort(kept.begin(), kept.end(),
             [](const uncertain::Location& a, const uncertain::Location& b) {
               return a.probability > b.probability;
@@ -62,34 +63,68 @@ Result<SiteId> TruncatedMedianSurrogate(uncertain::UncertainDataset* dataset,
     removed += kept.back().probability;
     kept.pop_back();
   }
+  return kept;
+}
 
+// The truncated-median surrogates of every point. The per-point medians
+// are computed in parallel (pure reads); Euclidean surrogates are
+// minted into the space serially afterwards, in point order.
+Result<std::vector<SiteId>> TruncatedMedianSurrogates(
+    uncertain::UncertainDataset* dataset, double delta, int threads) {
+  const size_t n = dataset->n();
+  ThreadPool pool(threads);
   if (dataset->is_euclidean()) {
     metric::EuclideanSpace* space = dataset->euclidean();
-    std::vector<geometry::Point> points;
-    std::vector<double> weights;
-    for (const uncertain::Location& loc : kept) {
-      points.push_back(space->point(loc.site));
-      weights.push_back(loc.probability);
+    std::vector<geometry::Point> medians(n);
+    std::vector<Status> statuses(n);
+    pool.ParallelFor(n, [&](int, size_t i) {
+      const auto kept = TruncatedCore(*dataset, i, delta);
+      std::vector<geometry::Point> points;
+      std::vector<double> weights;
+      points.reserve(kept.size());
+      weights.reserve(kept.size());
+      for (const uncertain::Location& loc : kept) {
+        points.push_back(space->point(loc.site));
+        weights.push_back(loc.probability);
+      }
+      auto median = solver::WeightedGeometricMedian(points, weights);
+      if (!median.ok()) {
+        statuses[i] = median.status();
+        return;
+      }
+      medians[i] = std::move(median->median);
+    });
+    for (Status& status : statuses) {
+      if (!status.ok()) return std::move(status);
     }
-    UKC_ASSIGN_OR_RETURN(solver::GeometricMedianResult median,
-                         solver::WeightedGeometricMedian(points, weights));
-    return space->AddPoint(std::move(median.median));
+    std::vector<SiteId> surrogates;
+    surrogates.reserve(n);
+    for (geometry::Point& median : medians) {
+      surrogates.push_back(space->AddPoint(std::move(median)));
+    }
+    return surrogates;
   }
-  // Finite metric: best own kept location by truncated expected distance.
+  // Finite metric: best own kept location by truncated expected
+  // distance; existing sites only, so fully parallel.
   const metric::MetricSpace& space = dataset->space();
-  SiteId best = kept[0].site;
-  double best_value = std::numeric_limits<double>::infinity();
-  for (const uncertain::Location& candidate : kept) {
-    double value = 0.0;
-    for (const uncertain::Location& loc : kept) {
-      value += loc.probability * space.Distance(loc.site, candidate.site);
+  std::vector<SiteId> surrogates(n, metric::kInvalidSite);
+  pool.ParallelFor(n, [&](int, size_t i) {
+    const auto kept = TruncatedCore(*dataset, i, delta);
+    SiteId best = kept[0].site;
+    double best_value = std::numeric_limits<double>::infinity();
+    for (const uncertain::Location& candidate : kept) {
+      double value = 0.0;
+      for (const uncertain::Location& loc : kept) {
+        value += loc.probability * space.Distance(loc.site, candidate.site);
+      }
+      if (value < best_value) {
+        best_value = value;
+        best = candidate.site;
+      }
     }
-    if (value < best_value) {
-      best_value = value;
-      best = candidate.site;
-    }
-  }
-  return best;
+    surrogates[i] = best;
+  });
+  return surrogates;
 }
 
 }  // namespace
@@ -112,11 +147,12 @@ Result<BaselineResult> RunBaseline(uncertain::UncertainDataset* dataset,
       UKC_ASSIGN_OR_RETURN(solver::KCenterSolution certain,
                            solver::Gonzalez(space, pool, options.k));
       return FinishWithED(*dataset, &evaluator, BaselineKindToString(kind),
-                          std::move(certain.centers));
+                          std::move(certain.centers), options.threads);
     }
     case BaselineKind::kModalLocation: {
       core::SurrogateOptions surrogate_options;
       surrogate_options.kind = core::SurrogateKind::kModal;
+      surrogate_options.threads = options.threads;
       UKC_ASSIGN_OR_RETURN(std::vector<SiteId> modal,
                            core::BuildSurrogates(dataset, surrogate_options));
       UKC_ASSIGN_OR_RETURN(solver::KCenterSolution certain,
@@ -138,25 +174,21 @@ Result<BaselineResult> RunBaseline(uncertain::UncertainDataset* dataset,
       rng.Shuffle(&shuffled);
       shuffled.resize(std::min<size_t>(options.k, shuffled.size()));
       return FinishWithED(*dataset, &evaluator, BaselineKindToString(kind),
-                          std::move(shuffled));
+                          std::move(shuffled), options.threads);
     }
     case BaselineKind::kTruncatedMedian: {
       if (!(options.truncation_delta >= 0.0) || options.truncation_delta >= 1.0) {
         return Status::InvalidArgument(
             "RunBaseline: truncation_delta must be in [0, 1)");
       }
-      std::vector<SiteId> surrogates;
-      surrogates.reserve(dataset->n());
-      for (size_t i = 0; i < dataset->n(); ++i) {
-        UKC_ASSIGN_OR_RETURN(
-            SiteId site,
-            TruncatedMedianSurrogate(dataset, i, options.truncation_delta));
-        surrogates.push_back(site);
-      }
+      UKC_ASSIGN_OR_RETURN(
+          std::vector<SiteId> surrogates,
+          TruncatedMedianSurrogates(dataset, options.truncation_delta,
+                                    options.threads));
       UKC_ASSIGN_OR_RETURN(solver::KCenterSolution certain,
                            solver::Gonzalez(space, surrogates, options.k));
       return FinishWithED(*dataset, &evaluator, BaselineKindToString(kind),
-                          std::move(certain.centers));
+                          std::move(certain.centers), options.threads);
     }
   }
   return Status::Internal("RunBaseline: unknown baseline kind");

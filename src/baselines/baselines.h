@@ -45,6 +45,10 @@ struct BaselineOptions {
   uint64_t seed = 5;
   /// Tail mass dropped by kTruncatedMedian.
   double truncation_delta = 0.25;
+  /// Workers sharding the per-point surrogate computation and the ED
+  /// assignment (<= 0 = hardware threads). Results do not depend on
+  /// this.
+  int threads = 1;
 };
 
 /// A baseline's output, mirroring the core pipeline's essentials.

@@ -1,0 +1,83 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ukc {
+
+int ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = HardwareThreads();
+  workers_.reserve(threads - 1);
+  for (int w = 1; w < threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  job_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunJob(int worker) {
+  const std::function<void(int, size_t)>& fn = *job_;
+  const size_t count = job_count_;
+  for (size_t index = next_.fetch_add(1, std::memory_order_relaxed);
+       index < count;
+       index = next_.fetch_add(1, std::memory_order_relaxed)) {
+    fn(worker, index);
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_ready_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+    }
+    RunJob(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (++finished_workers_ == workers_.size()) job_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(int, size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    // Inline: no synchronization, identical to a plain loop.
+    for (size_t index = 0; index < count; ++index) fn(0, index);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    UKC_CHECK(job_ == nullptr) << "ThreadPool jobs do not nest";
+    job_ = &fn;
+    job_count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    finished_workers_ = 0;
+    ++generation_;
+  }
+  job_ready_.notify_all();
+  RunJob(0);  // The calling thread is worker 0.
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_done_.wait(lock, [&] { return finished_workers_ == workers_.size(); });
+  job_ = nullptr;
+}
+
+}  // namespace ukc

@@ -189,7 +189,7 @@ Result<double> OneCenterObjectiveAt(const uncertain::UncertainDataset& dataset,
   }
   std::vector<cost::DiscreteDistribution> distributions(dataset.n());
   for (size_t i = 0; i < dataset.n(); ++i) {
-    const uncertain::UncertainPoint& p = dataset.point(i);
+    const uncertain::UncertainPointView p = dataset.point(i);
     distributions[i].reserve(p.num_locations());
     for (const uncertain::Location& loc : p.locations()) {
       distributions[i].emplace_back(space->DistanceToPoint(loc.site, q),

@@ -43,16 +43,18 @@ Result<double> KMeansVarianceFloor(const uncertain::UncertainDataset& dataset) {
   const size_t dim = space->dim();
   double total = 0.0;
   std::vector<double> mean(dim);
+  const metric::SiteId* sites = dataset.flat_sites().data();
+  const double* probabilities = dataset.flat_probabilities().data();
+  const size_t* offsets = dataset.offsets().data();
   for (size_t i = 0; i < dataset.n(); ++i) {
-    const uncertain::UncertainPoint& p = dataset.point(i);
     std::fill(mean.begin(), mean.end(), 0.0);
-    for (const uncertain::Location& loc : p.locations()) {
-      const double* coords = space->coords(loc.site);
-      for (size_t a = 0; a < dim; ++a) mean[a] += coords[a] * loc.probability;
+    for (size_t l = offsets[i]; l < offsets[i + 1]; ++l) {
+      const double* coords = space->coords(sites[l]);
+      for (size_t a = 0; a < dim; ++a) mean[a] += coords[a] * probabilities[l];
     }
-    for (const uncertain::Location& loc : p.locations()) {
-      total += loc.probability *
-               geometry::SquaredDistanceKernel(space->coords(loc.site),
+    for (size_t l = offsets[i]; l < offsets[i + 1]; ++l) {
+      total += probabilities[l] *
+               geometry::SquaredDistanceKernel(space->coords(sites[l]),
                                                mean.data(), dim);
     }
   }
@@ -75,31 +77,35 @@ Result<UncertainKMeansSolution> SolveUncertainKMeans(
     return Status::InvalidArgument("SolveUncertainKMeans: k must be >= 1");
   }
 
-  // Expected points (as free points; minted after clustering).
+  // Expected points, computed straight into one flat row-major buffer —
+  // no boxed Points anywhere between the arena and the Lloyd loops.
+  const size_t n = dataset->n();
   const size_t dim = space->dim();
-  std::vector<Point> expected;
-  expected.reserve(dataset->n());
-  for (size_t i = 0; i < dataset->n(); ++i) {
-    Point mean(dim);
-    for (const uncertain::Location& loc : dataset->point(i).locations()) {
-      const double* coords = space->coords(loc.site);
-      for (size_t a = 0; a < dim; ++a) mean[a] += coords[a] * loc.probability;
+  std::vector<double> expected(n * dim, 0.0);
+  const metric::SiteId* sites = dataset->flat_sites().data();
+  const double* probabilities = dataset->flat_probabilities().data();
+  const size_t* offsets = dataset->offsets().data();
+  for (size_t i = 0; i < n; ++i) {
+    double* mean = expected.data() + i * dim;
+    for (size_t l = offsets[i]; l < offsets[i + 1]; ++l) {
+      const double* coords = space->coords(sites[l]);
+      for (size_t a = 0; a < dim; ++a) mean[a] += coords[a] * probabilities[l];
     }
-    expected.push_back(std::move(mean));
   }
-  const std::vector<double> unit_weights(dataset->n(), 1.0);
-  UKC_ASSIGN_OR_RETURN(
-      solver::KMeansSolution certain,
-      solver::WeightedKMeans(expected, unit_weights, options.k, options.lloyd));
+  const std::vector<double> unit_weights(n, 1.0);
+  UKC_ASSIGN_OR_RETURN(solver::KMeansFlatSolution certain,
+                       solver::WeightedKMeansFlat(expected, n, dim,
+                                                  unit_weights, options.k,
+                                                  options.lloyd));
 
   UncertainKMeansSolution solution;
   solution.surrogate_objective = certain.objective;
-  solution.centers.reserve(certain.centers.size());
-  for (Point& center : certain.centers) {
-    solution.centers.push_back(space->AddPoint(std::move(center)));
+  solution.centers.reserve(options.k);
+  for (size_t c = 0; c < options.k; ++c) {
+    solution.centers.push_back(space->AddCoords(certain.centers.data() + c * dim));
   }
-  solution.assignment.resize(dataset->n());
-  for (size_t i = 0; i < dataset->n(); ++i) {
+  solution.assignment.resize(n);
+  for (size_t i = 0; i < n; ++i) {
     solution.assignment[i] = solution.centers[certain.cluster_of[i]];
   }
   UKC_ASSIGN_OR_RETURN(solution.variance_floor, KMeansVarianceFloor(*dataset));

@@ -21,7 +21,7 @@ double EvaluateLabeled(const uncertain::UncertainDataset& dataset,
                        const std::vector<size_t>& label) {
   std::vector<cost::DiscreteDistribution> distributions(dataset.n());
   for (size_t i = 0; i < dataset.n(); ++i) {
-    const uncertain::UncertainPoint& p = dataset.point(i);
+    const uncertain::UncertainPointView p = dataset.point(i);
     const double c = centers[label[i]];
     distributions[i].reserve(p.num_locations());
     for (const uncertain::Location& loc : p.locations()) {
@@ -38,7 +38,7 @@ std::vector<size_t> EDLabels(const uncertain::UncertainDataset& dataset,
                              const std::vector<double>& centers) {
   std::vector<size_t> label(dataset.n(), 0);
   for (size_t i = 0; i < dataset.n(); ++i) {
-    const uncertain::UncertainPoint& p = dataset.point(i);
+    const uncertain::UncertainPointView p = dataset.point(i);
     double best = std::numeric_limits<double>::infinity();
     for (size_t g = 0; g < centers.size(); ++g) {
       double expected = 0.0;

@@ -52,6 +52,11 @@ enum class OneCenterCandidates {
 struct SurrogateOptions {
   SurrogateKind kind = SurrogateKind::kExpectedPoint;
   OneCenterCandidates candidates = OneCenterCandidates::kAllSites;
+  /// Workers sharding the per-point surrogate computation (<= 0 =
+  /// hardware threads). Surrogates are computed in parallel but minted
+  /// into the space serially in point order, so the produced site ids
+  /// and coordinates do not depend on the thread count.
+  int threads = 1;
 };
 
 /// Computes one surrogate site per uncertain point. Euclidean surrogate

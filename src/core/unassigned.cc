@@ -5,6 +5,7 @@
 
 #include "common/strings.h"
 #include "cost/expected_cost.h"
+#include "cost/parallel_evaluator.h"
 #include "solver/brute_force.h"
 
 namespace ukc {
@@ -14,7 +15,7 @@ using metric::SiteId;
 
 Result<UnassignedSolution> ExactUnassignedTiny(
     const uncertain::UncertainDataset& dataset, size_t k,
-    const std::vector<SiteId>& candidates, uint64_t max_subsets) {
+    const std::vector<SiteId>& candidates, uint64_t max_subsets, int threads) {
   if (k == 0 || k > candidates.size()) {
     return Status::InvalidArgument(
         "ExactUnassignedTiny: need 1 <= k <= |candidates|");
@@ -30,16 +31,34 @@ Result<UnassignedSolution> ExactUnassignedTiny(
   std::vector<size_t> index(k);
   for (size_t i = 0; i < k; ++i) index[i] = i;
   std::vector<SiteId> centers(k);
-  // One evaluator scores every subset: the event buffer and CDF scratch
-  // are allocated once for the whole enumeration.
-  cost::ExpectedCostEvaluator evaluator;
+
+  // Subsets are enumerated into fixed-size chunks and scored through
+  // the batch path: per-worker evaluators amortize all exact-sweep
+  // scratch, and the argmin scan in enumeration order keeps the result
+  // independent of the thread count (strict < keeps the first minimum).
+  cost::ParallelCandidateEvaluator::Options parallel_options;
+  parallel_options.threads = threads;
+  cost::ParallelCandidateEvaluator parallel(parallel_options);
+  constexpr size_t kChunk = 1024;
+  std::vector<std::vector<SiteId>> chunk;
+  chunk.reserve(kChunk);
+  auto flush = [&]() -> Status {
+    if (chunk.empty()) return Status::OK();
+    UKC_ASSIGN_OR_RETURN(std::vector<double> values,
+                         parallel.UnassignedCostBatch(dataset, chunk));
+    for (size_t s = 0; s < chunk.size(); ++s) {
+      if (values[s] < best.expected_cost) {
+        best.expected_cost = values[s];
+        best.centers = chunk[s];
+      }
+    }
+    chunk.clear();
+    return Status::OK();
+  };
   while (true) {
     for (size_t i = 0; i < k; ++i) centers[i] = candidates[index[i]];
-    UKC_ASSIGN_OR_RETURN(double value, evaluator.UnassignedCost(dataset, centers));
-    if (value < best.expected_cost) {
-      best.expected_cost = value;
-      best.centers = centers;
-    }
+    chunk.push_back(centers);
+    if (chunk.size() == kChunk) UKC_RETURN_IF_ERROR(flush());
     size_t i = k;
     bool done = true;
     while (i-- > 0) {
@@ -52,6 +71,7 @@ Result<UnassignedSolution> ExactUnassignedTiny(
     }
     if (done) break;
   }
+  UKC_RETURN_IF_ERROR(flush());
   return best;
 }
 
@@ -86,31 +106,41 @@ Result<UnassignedSolution> LocalSearchUnassigned(
 
   UnassignedSolution solution;
   solution.centers = seed.centers;
-  // The swap search evaluates |centers| * |pool| candidate sets per
-  // round; one evaluator amortizes all exact-sweep scratch across them.
-  cost::ExpectedCostEvaluator evaluator;
+  // Every round scores all |centers| * |pool| one-center swaps through
+  // the swap-structure batch: O(N) per swap instead of O(N k), sharded
+  // over the worker pool. The kd path is disabled for the scalar
+  // evaluations too, so the running cost and the swap values come from
+  // identical (linear-path) arithmetic.
+  cost::ParallelCandidateEvaluator::Options parallel_options;
+  parallel_options.threads = options.threads;
+  parallel_options.evaluator.kdtree_cutover =
+      std::numeric_limits<size_t>::max();
+  cost::ParallelCandidateEvaluator parallel(parallel_options);
+  cost::ExpectedCostEvaluator::Options scalar_options;
+  scalar_options.kdtree_cutover = std::numeric_limits<size_t>::max();
+  cost::ExpectedCostEvaluator evaluator(scalar_options);
   UKC_ASSIGN_OR_RETURN(solution.expected_cost,
                        evaluator.UnassignedCost(*dataset, solution.centers));
 
   for (size_t round = 0; round < options.max_swaps; ++round) {
+    UKC_ASSIGN_OR_RETURN(
+        std::vector<double> values,
+        parallel.SwapCostMatrix(*dataset, solution.centers, pool));
+    // Deterministic argmin in (position, candidate) order — the same
+    // order the serial nested loops scanned.
     double best_value = solution.expected_cost;
     size_t best_position = solution.centers.size();
     SiteId best_replacement = metric::kInvalidSite;
-    std::vector<SiteId> trial = solution.centers;
     for (size_t position = 0; position < solution.centers.size(); ++position) {
-      const SiteId saved = trial[position];
-      for (SiteId candidate : pool) {
-        if (candidate == saved) continue;
-        trial[position] = candidate;
-        UKC_ASSIGN_OR_RETURN(double value,
-                             evaluator.UnassignedCost(*dataset, trial));
+      for (size_t c = 0; c < pool.size(); ++c) {
+        if (pool[c] == solution.centers[position]) continue;
+        const double value = values[position * pool.size() + c];
         if (value < best_value) {
           best_value = value;
           best_position = position;
-          best_replacement = candidate;
+          best_replacement = pool[c];
         }
       }
-      trial[position] = saved;
     }
     if (best_replacement == metric::kInvalidSite ||
         solution.expected_cost - best_value <

@@ -43,11 +43,13 @@ struct UnassignedSolution {
 };
 
 /// Exhaustive enumeration of k-subsets of `candidates` minimizing the
-/// exact unassigned cost. True optimum over the candidate set.
+/// exact unassigned cost. True optimum over the candidate set. Subsets
+/// are scored in chunks through the parallel batch path; the result is
+/// independent of `threads` (<= 0 = hardware threads).
 Result<UnassignedSolution> ExactUnassignedTiny(
     const uncertain::UncertainDataset& dataset, size_t k,
     const std::vector<metric::SiteId>& candidates,
-    uint64_t max_subsets = 2'000'000);
+    uint64_t max_subsets = 2'000'000, int threads = 1);
 
 /// Options for LocalSearchUnassigned.
 struct UnassignedSearchOptions {
@@ -56,6 +58,9 @@ struct UnassignedSearchOptions {
   /// plus the pipeline's surrogates.
   std::vector<metric::SiteId> candidates;
   size_t max_swaps = 200;
+  /// Workers scoring the swap candidates of each round (<= 0 =
+  /// hardware threads). The chosen swaps do not depend on this.
+  int threads = 1;
   /// Options for the seeding pipeline run.
   UncertainKCenterOptions pipeline;
 };

@@ -39,6 +39,7 @@ Result<UncertainKCenterSolution> SolveUncertainKCenter(
   SurrogateOptions surrogate_options;
   surrogate_options.kind = surrogate_kind;
   surrogate_options.candidates = options.one_center_candidates;
+  surrogate_options.threads = options.threads;
   UKC_ASSIGN_OR_RETURN(solution.surrogates,
                        BuildSurrogates(dataset, surrogate_options));
   solution.timings.surrogate_seconds = stopwatch.ElapsedSeconds();
@@ -61,7 +62,8 @@ Result<UncertainKCenterSolution> SolveUncertainKCenter(
   switch (options.rule) {
     case cost::AssignmentRule::kExpectedDistance: {
       UKC_ASSIGN_OR_RETURN(solution.assignment,
-                           cost::AssignExpectedDistance(*dataset, solution.centers));
+                           cost::AssignExpectedDistance(*dataset, solution.centers,
+                                                        options.threads));
       break;
     }
     case cost::AssignmentRule::kExpectedPoint: {
@@ -73,6 +75,7 @@ Result<UncertainKCenterSolution> SolveUncertainKCenter(
       } else {
         SurrogateOptions ep_options;
         ep_options.kind = SurrogateKind::kExpectedPoint;
+        ep_options.threads = options.threads;
         UKC_ASSIGN_OR_RETURN(expected_points,
                              BuildSurrogates(dataset, ep_options));
       }
@@ -89,6 +92,7 @@ Result<UncertainKCenterSolution> SolveUncertainKCenter(
         SurrogateOptions oc_options;
         oc_options.kind = SurrogateKind::kOneCenter;
         oc_options.candidates = options.one_center_candidates;
+        oc_options.threads = options.threads;
         UKC_ASSIGN_OR_RETURN(one_centers, BuildSurrogates(dataset, oc_options));
       }
       UKC_ASSIGN_OR_RETURN(

@@ -41,6 +41,9 @@ struct UncertainKCenterOptions {
   /// Also evaluate the unassigned cost E[max_i d(P̂_i, C)] (the min is
   /// taken inside the expectation). Costs one extra exact sweep.
   bool evaluate_unassigned = false;
+  /// Workers sharding the surrogate construction and the ED assignment
+  /// (<= 0 = hardware threads). The solution does not depend on this.
+  int threads = 1;
 };
 
 /// Timing breakdown of one pipeline run, in seconds.

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "metric/euclidean_space.h"
 
 namespace ukc {
@@ -23,31 +24,35 @@ std::string AssignmentRuleToString(AssignmentRule rule) {
 
 Result<Assignment> AssignExpectedDistance(
     const uncertain::UncertainDataset& dataset,
-    const std::vector<metric::SiteId>& centers) {
+    const std::vector<metric::SiteId>& centers, int threads) {
   if (centers.empty()) {
     return Status::InvalidArgument("AssignExpectedDistance: no centers");
   }
   Assignment assignment(dataset.n(), metric::kInvalidSite);
+  ThreadPool pool(threads);
   const metric::EuclideanSpace* euclidean = dataset.euclidean();
   if (euclidean != nullptr) {
     // Flat path: gather the center coordinates once, then the O(n z k)
     // triple loop runs entirely over contiguous memory with the
-    // dimension-specialized kernel — no virtual dispatch inside.
+    // dimension-specialized kernel — no virtual dispatch inside. The
+    // per-point argmins are independent, so they shard over the pool.
     const size_t dim = euclidean->dim();
     const metric::Norm norm = euclidean->norm();
     std::vector<double> center_coords;
     euclidean->GatherCoords(centers, &center_coords);
-    for (size_t i = 0; i < dataset.n(); ++i) {
-      const auto& locations = dataset.point(i).locations();
+    const metric::SiteId* sites = dataset.flat_sites().data();
+    const double* probabilities = dataset.flat_probabilities().data();
+    const size_t* offsets = dataset.offsets().data();
+    pool.ParallelFor(dataset.n(), [&](int, size_t i) {
       size_t best = 0;
       double best_value = std::numeric_limits<double>::infinity();
       for (size_t c = 0; c < centers.size(); ++c) {
         const double* center = center_coords.data() + c * dim;
         double value = 0.0;
-        for (const uncertain::Location& loc : locations) {
-          value += loc.probability *
-                   metric::NormDistanceKernel(
-                       norm, euclidean->coords(loc.site), center, dim);
+        for (size_t l = offsets[i]; l < offsets[i + 1]; ++l) {
+          value += probabilities[l] *
+                   metric::NormDistanceKernel(norm, euclidean->coords(sites[l]),
+                                              center, dim);
         }
         if (value < best_value) {
           best_value = value;
@@ -55,13 +60,13 @@ Result<Assignment> AssignExpectedDistance(
         }
       }
       assignment[i] = centers[best];
-    }
+    });
     return assignment;
   }
-  for (size_t i = 0; i < dataset.n(); ++i) {
+  pool.ParallelFor(dataset.n(), [&](int, size_t i) {
     assignment[i] =
         dataset.point(i).MinExpectedDistanceSite(dataset.space(), centers);
-  }
+  });
   return assignment;
 }
 

@@ -33,9 +33,12 @@ enum class AssignmentRule {
 std::string AssignmentRuleToString(AssignmentRule rule);
 
 /// ED rule: assigns each point to the center minimizing its expected
-/// distance. O(n z k) distance evaluations.
+/// distance. O(n z k) distance evaluations; the per-point argmins are
+/// independent and shard over `threads` workers (<= 0 = hardware
+/// threads) with a thread-count-independent result.
 Result<Assignment> AssignExpectedDistance(const uncertain::UncertainDataset& dataset,
-                                          const std::vector<metric::SiteId>& centers);
+                                          const std::vector<metric::SiteId>& centers,
+                                          int threads = 1);
 
 /// Surrogate rule (EP/OC): assigns point i to the center nearest to
 /// surrogates[i]. surrogates must have one site per uncertain point.

@@ -31,6 +31,29 @@ double FlatDistanceToSet(metric::Norm norm, const double* from,
 
 }  // namespace
 
+ExpectedCostEvaluator::ScratchGuard::ScratchGuard(
+    ExpectedCostEvaluator* evaluator)
+    : evaluator_(evaluator) {
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id expected{};  // No owner.
+  if (!evaluator_->owner_.compare_exchange_strong(
+          expected, self, std::memory_order_acquire) &&
+      expected != self) {
+    UKC_CHECK(false) << "ExpectedCostEvaluator used concurrently from two "
+                        "threads; it is mutable scratch — create one "
+                        "evaluator per thread (see "
+                        "cost::ParallelCandidateEvaluator)";
+  }
+  // Only the owning thread touches the depth counter.
+  ++evaluator_->owner_depth_;
+}
+
+ExpectedCostEvaluator::ScratchGuard::~ScratchGuard() {
+  if (--evaluator_->owner_depth_ == 0) {
+    evaluator_->owner_.store(std::thread::id(), std::memory_order_release);
+  }
+}
+
 namespace {
 
 // Maps a double to a uint64 whose unsigned order matches the double's
@@ -43,6 +66,45 @@ inline uint64_t OrderedBits(double v) {
 // Below this, std::sort's cache behavior beats the fixed radix overhead
 // (four 65536-entry histograms).
 constexpr size_t kRadixSortCutover = 2048;
+
+// Running P = Π_{F_i > 0} F_i over the sweep, as a mantissa/exponent
+// pair renormalized lazily when the mantissa leaves [2^-16, 2^16):
+// power-of-two scaling is exact, so lazy renormalization changes no
+// bits, and the pair cannot underflow the way a plain double product
+// over many small CDFs would. The band is kept narrow so that even a
+// pathological new/old ratio (old as small as ~1e-290 still satisfies
+// Build's p > 0) multiplies a mantissa ≤ 2^16 and stays finite. The
+// unclamped ratio keeps the telescoping exact even when round-off
+// pushes a final CDF past 1. All four sweep variants (full sort-sweep,
+// swap-base snapshot, the snapshot pre-application, and the tail
+// merge) share this.
+struct CdfProduct {
+  size_t zeros;  // Variables still at F_i = 0 (product reads as 0).
+  double mantissa = 1.0;
+  int exponent = 0;
+
+  explicit CdfProduct(size_t variables) : zeros(variables) {}
+
+  /// Folds one CDF step of a variable: old -> new (new > old >= 0).
+  void Apply(double old_cdf, double new_cdf) {
+    if (old_cdf == 0.0) {
+      --zeros;
+      mantissa *= new_cdf;
+    } else {
+      mantissa *= new_cdf / old_cdf;
+    }
+    if (mantissa < 0x1p-16 || mantissa >= 0x1p16) {
+      int shift;
+      mantissa = std::frexp(mantissa, &shift);
+      exponent += shift;
+    }
+  }
+
+  /// Π F_i, or 0 while some variable's CDF is still empty.
+  double Value() const {
+    return zeros > 0 ? 0.0 : std::ldexp(mantissa, exponent);
+  }
+};
 
 }  // namespace
 
@@ -96,15 +158,9 @@ double ExpectedCostEvaluator::SweepEvents(size_t num_variables) {
   SortEventsByValue();
   cdf_.assign(num_variables, 0.0);
 
-  // Sweep the value axis maintaining F_i (per-variable CDF), the number
-  // of variables still at F_i = 0, and P = Π_{F_i > 0} F_i. The product
-  // is kept as a frexp-normalized (mantissa, exponent) pair and updated
-  // multiplicatively by new/old per event: ~1 ulp of relative error per
-  // update and no transcendental calls, yet it cannot underflow the way
-  // a plain double product over many small CDFs would.
-  size_t zeros = num_variables;
-  double mantissa = 1.0;
-  int exponent = 0;
+  // Sweep the value axis maintaining F_i (per-variable CDF) and the
+  // running product P = Π_{F_i > 0} F_i (see CdfProduct).
+  CdfProduct product(num_variables);
   KahanSum expectation;
   double previous_cdf_product = 0.0;  // P(max <= previous value).
 
@@ -118,22 +174,11 @@ double ExpectedCostEvaluator::SweepEvents(size_t num_variables) {
       const double old_cdf = cdf_[event.index];
       const double new_cdf = old_cdf + event.probability;
       cdf_[event.index] = new_cdf;
-      // The unclamped ratio keeps the telescoping exact: dividing out
-      // old and multiplying in new leaves Π F_i consistent even when
-      // round-off pushes a final CDF slightly past 1.
-      if (old_cdf == 0.0) {
-        --zeros;
-        mantissa *= new_cdf;
-      } else {
-        mantissa *= new_cdf / old_cdf;
-      }
-      int shift;
-      mantissa = std::frexp(mantissa, &shift);
-      exponent += shift;
+      product.Apply(old_cdf, new_cdf);
       ++e;
     }
-    if (zeros == 0) {
-      const double cdf_product = std::ldexp(mantissa, exponent);
+    if (product.zeros == 0) {
+      const double cdf_product = product.Value();
       const double mass = cdf_product - previous_cdf_product;
       if (mass > 0.0) expectation.Add(value * mass);
       previous_cdf_product = cdf_product;
@@ -144,6 +189,7 @@ double ExpectedCostEvaluator::SweepEvents(size_t num_variables) {
 
 double ExpectedCostEvaluator::ExpectedMaxOfIndependent(
     std::span<const DiscreteDistribution> distributions) {
+  ScratchGuard guard(this);
   UKC_CHECK(!distributions.empty());
   const size_t n = distributions.size();
   size_t total = 0;
@@ -154,7 +200,7 @@ double ExpectedCostEvaluator::ExpectedMaxOfIndependent(
     UKC_CHECK(!distributions[i].empty());
     for (const auto& [value, probability] : distributions[i]) {
       UKC_CHECK_GT(probability, 0.0);
-      events_.push_back(Event{value, static_cast<uint32_t>(i), probability});
+      events_.push_back(Event{value, static_cast<uint32_t>(i), 0, probability});
     }
   }
   return SweepEvents(n);
@@ -162,6 +208,7 @@ double ExpectedCostEvaluator::ExpectedMaxOfIndependent(
 
 Result<double> ExpectedCostEvaluator::AssignedCost(
     const uncertain::UncertainDataset& dataset, const Assignment& assignment) {
+  ScratchGuard guard(this);
   if (assignment.size() != dataset.n()) {
     return Status::InvalidArgument(
         StrFormat("ExactAssignedCost: assignment covers %zu points, dataset "
@@ -178,6 +225,11 @@ Result<double> ExpectedCostEvaluator::AssignedCost(
   }
   if (dataset.n() == 0) return 0.0;
 
+  // Stream the flat location arrays: sites/probs are contiguous; only
+  // the per-point target changes at offset boundaries.
+  const metric::SiteId* sites = dataset.flat_sites().data();
+  const double* probabilities = dataset.flat_probabilities().data();
+  const size_t* offsets = dataset.offsets().data();
   events_.clear();
   events_.reserve(dataset.total_locations());
   const metric::EuclideanSpace* euclidean = dataset.euclidean();
@@ -187,18 +239,20 @@ Result<double> ExpectedCostEvaluator::AssignedCost(
     const metric::Norm norm = euclidean->norm();
     for (size_t i = 0; i < dataset.n(); ++i) {
       const double* target = euclidean->coords(assignment[i]);
-      for (const uncertain::Location& loc : dataset.point(i).locations()) {
+      for (size_t l = offsets[i]; l < offsets[i + 1]; ++l) {
         events_.push_back(Event{
-            metric::NormDistanceKernel(norm, euclidean->coords(loc.site),
+            metric::NormDistanceKernel(norm, euclidean->coords(sites[l]),
                                        target, dim),
-            static_cast<uint32_t>(i), loc.probability});
+            static_cast<uint32_t>(i), static_cast<uint32_t>(l),
+            probabilities[l]});
       }
     }
   } else {
     for (size_t i = 0; i < dataset.n(); ++i) {
-      for (const uncertain::Location& loc : dataset.point(i).locations()) {
-        events_.push_back(Event{space.Distance(loc.site, assignment[i]),
-                                static_cast<uint32_t>(i), loc.probability});
+      for (size_t l = offsets[i]; l < offsets[i + 1]; ++l) {
+        events_.push_back(Event{space.Distance(sites[l], assignment[i]),
+                                static_cast<uint32_t>(i),
+                                static_cast<uint32_t>(l), probabilities[l]});
       }
     }
   }
@@ -219,8 +273,12 @@ Status ExpectedCostEvaluator::FillUnassignedEvents(
     }
   }
 
+  const metric::SiteId* sites = dataset.flat_sites().data();
+  const double* probabilities = dataset.flat_probabilities().data();
+  const size_t* offsets = dataset.offsets().data();
+  const size_t total = dataset.total_locations();
   events_.clear();
-  events_.reserve(dataset.total_locations());
+  events_.reserve(total);
   const metric::EuclideanSpace* euclidean = dataset.euclidean();
   if (euclidean != nullptr && euclidean->norm() == metric::Norm::kL2 &&
       centers.size() >= options_.kdtree_cutover) {
@@ -239,13 +297,13 @@ Status ExpectedCostEvaluator::FillUnassignedEvents(
       tree_coords_ = center_coords_;
     }
     const geometry::KdTree& tree = *tree_;
-    for (size_t i = 0; i < dataset.n(); ++i) {
-      for (const uncertain::Location& loc : dataset.point(i).locations()) {
-        events_.push_back(Event{
-            std::sqrt(
-                tree.Nearest(euclidean->coords(loc.site)).squared_distance),
-            static_cast<uint32_t>(i), loc.probability});
-      }
+    size_t i = 0;
+    for (size_t l = 0; l < total; ++l) {
+      while (l >= offsets[i + 1]) ++i;
+      events_.push_back(Event{
+          std::sqrt(tree.Nearest(euclidean->coords(sites[l])).squared_distance),
+          static_cast<uint32_t>(i), static_cast<uint32_t>(l),
+          probabilities[l]});
     }
     return Status::OK();
   }
@@ -254,21 +312,23 @@ Status ExpectedCostEvaluator::FillUnassignedEvents(
     const size_t dim = euclidean->dim();
     const metric::Norm norm = euclidean->norm();
     euclidean->GatherCoords(centers, &center_coords_);
-    for (size_t i = 0; i < dataset.n(); ++i) {
-      for (const uncertain::Location& loc : dataset.point(i).locations()) {
-        events_.push_back(
-            Event{FlatDistanceToSet(norm, euclidean->coords(loc.site),
-                                    center_coords_.data(), centers.size(), dim),
-                  static_cast<uint32_t>(i), loc.probability});
-      }
+    size_t i = 0;
+    for (size_t l = 0; l < total; ++l) {
+      while (l >= offsets[i + 1]) ++i;
+      events_.push_back(
+          Event{FlatDistanceToSet(norm, euclidean->coords(sites[l]),
+                                  center_coords_.data(), centers.size(), dim),
+                static_cast<uint32_t>(i), static_cast<uint32_t>(l),
+                probabilities[l]});
     }
     return Status::OK();
   }
-  for (size_t i = 0; i < dataset.n(); ++i) {
-    for (const uncertain::Location& loc : dataset.point(i).locations()) {
-      events_.push_back(Event{space.DistanceToSet(loc.site, centers),
-                              static_cast<uint32_t>(i), loc.probability});
-    }
+  size_t i = 0;
+  for (size_t l = 0; l < total; ++l) {
+    while (l >= offsets[i + 1]) ++i;
+    events_.push_back(Event{space.DistanceToSet(sites[l], centers),
+                            static_cast<uint32_t>(i),
+                            static_cast<uint32_t>(l), probabilities[l]});
   }
   return Status::OK();
 }
@@ -276,6 +336,7 @@ Status ExpectedCostEvaluator::FillUnassignedEvents(
 Result<double> ExpectedCostEvaluator::UnassignedCost(
     const uncertain::UncertainDataset& dataset,
     const std::vector<metric::SiteId>& centers) {
+  ScratchGuard guard(this);
   UKC_RETURN_IF_ERROR(FillUnassignedEvents(dataset, centers));
   if (dataset.n() == 0) return 0.0;
   return SweepEvents(dataset.n());
@@ -284,6 +345,7 @@ Result<double> ExpectedCostEvaluator::UnassignedCost(
 Result<std::vector<double>> ExpectedCostEvaluator::UnassignedCostBatch(
     const uncertain::UncertainDataset& dataset,
     const std::vector<std::vector<metric::SiteId>>& center_sets) {
+  ScratchGuard guard(this);
   std::vector<double> values;
   values.reserve(center_sets.size());
   for (const auto& centers : center_sets) {
@@ -293,19 +355,270 @@ Result<std::vector<double>> ExpectedCostEvaluator::UnassignedCostBatch(
   return values;
 }
 
+Status ExpectedCostEvaluator::BuildSwapBase(
+    const uncertain::UncertainDataset& dataset,
+    std::span<const double> base_distances, std::span<const uint32_t> point_of,
+    SwapBase* out) {
+  ScratchGuard guard(this);
+  UKC_CHECK(out != nullptr);
+  const size_t total = dataset.total_locations();
+  if (base_distances.size() != total || point_of.size() != total) {
+    return Status::InvalidArgument(
+        "BuildSwapBase: table sizes must equal total_locations");
+  }
+  const size_t n = dataset.n();
+  const double* probabilities = dataset.flat_probabilities().data();
+  const size_t* offsets = dataset.offsets().data();
+
+  // Emission threshold: the largest per-point minimum base distance.
+  // Until the sweep passes it, some CDF is still 0 and Π F_i = 0.
+  std::vector<double>& first = out->snapshot_cdf;  // Reused below.
+  first.assign(n, std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t l = offsets[i]; l < offsets[i + 1]; ++l) {
+      first[i] = std::min(first[i], base_distances[l]);
+    }
+  }
+  double threshold = 0.0;
+  for (double f : first) threshold = std::max(threshold, f);
+  out->threshold = threshold;
+  out->bottleneck.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (first[i] >= threshold) out->bottleneck[i] = 1;
+  }
+
+  // Sorted (value, location) base event stream. The LSD radix is stable
+  // over the ascending location fill; the small-input std::sort spells
+  // the tiebreak out.
+  events_.clear();
+  events_.reserve(total);
+  for (size_t l = 0; l < total; ++l) {
+    events_.push_back(Event{base_distances[l], point_of[l],
+                            static_cast<uint32_t>(l), probabilities[l]});
+  }
+  if (events_.size() < kRadixSortCutover) {
+    std::sort(events_.begin(), events_.end(),
+              [](const Event& a, const Event& b) {
+                return a.value != b.value ? a.value < b.value
+                                          : a.location < b.location;
+              });
+  } else {
+    SortEventsByValue();
+  }
+  out->events.assign(events_.begin(), events_.end());
+
+  // Sweep snapshot just below the threshold: per-point CDFs, the zero
+  // count, and the running Π F_i mantissa/exponent. No mass can have
+  // been emitted yet (a bottleneck point is still at zero).
+  out->snapshot_cdf.assign(n, 0.0);
+  CdfProduct product(n);
+  size_t s = 0;
+  for (; s < total && out->events[s].value < threshold; ++s) {
+    const Event& event = out->events[s];
+    const double old_cdf = out->snapshot_cdf[event.index];
+    const double new_cdf = old_cdf + event.probability;
+    out->snapshot_cdf[event.index] = new_cdf;
+    product.Apply(old_cdf, new_cdf);
+  }
+  out->snapshot_index = s;
+  out->snapshot_zeros = product.zeros;
+  out->snapshot_mantissa = product.mantissa;
+  out->snapshot_exponent = product.exponent;
+  return Status::OK();
+}
+
+double ExpectedCostEvaluator::MergeSweepFrom(
+    const uncertain::UncertainDataset& dataset, const SwapBase& base,
+    size_t a_begin, std::span<const std::pair<double, uint32_t>> changed,
+    std::span<const uint32_t> point_of, size_t zeros, double mantissa,
+    int exponent) {
+  const double* probabilities = dataset.flat_probabilities().data();
+  const Event* events = base.events.data();
+  const size_t total = base.events.size();
+  CdfProduct product(0);
+  product.zeros = zeros;
+  product.mantissa = mantissa;
+  product.exponent = exponent;
+  KahanSum expectation;
+  double previous_cdf_product = 0.0;
+
+  const size_t changed_count = changed.size();
+  size_t a = a_begin;
+  size_t b = 0;
+  const auto skip_changed = [&] {
+    while (a < total && changed_stamp_[events[a].location] == stamp_) ++a;
+  };
+  // Single-pass merge: take the lexicographically smaller (value, l)
+  // head, apply it, and emit mass once the next head moves past the
+  // current value (the streams are nondecreasing, so "different" means
+  // "greater"). va/vb mirror the stream heads to keep the loop
+  // load-light; the base stream walk is sequential memory.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  skip_changed();
+  double va = a < total ? events[a].value : kInf;
+  double vb = b < changed_count ? changed[b].first : kInf;
+  while (a < total || b < changed_count) {
+    double value;
+    bool take_base;
+    if (va < vb) {
+      take_base = true;
+    } else if (vb < va) {
+      take_base = false;
+    } else {
+      take_base = b >= changed_count ||
+                  (a < total && events[a].location < changed[b].second);
+    }
+    if (take_base) {
+      value = va;
+      const Event& event = events[a];
+      const double old_cdf = cdf_[event.index];
+      const double new_cdf = old_cdf + event.probability;
+      cdf_[event.index] = new_cdf;
+      product.Apply(old_cdf, new_cdf);
+      ++a;
+      skip_changed();
+      va = a < total ? events[a].value : kInf;
+    } else {
+      value = vb;
+      const uint32_t l = changed[b].second;
+      const uint32_t i = point_of[l];
+      const double old_cdf = cdf_[i];
+      const double new_cdf = old_cdf + probabilities[l];
+      cdf_[i] = new_cdf;
+      product.Apply(old_cdf, new_cdf);
+      ++b;
+      vb = b < changed_count ? changed[b].first : kInf;
+    }
+    if (va != value && vb != value && product.zeros == 0) {
+      const double cdf_product = product.Value();
+      const double mass = cdf_product - previous_cdf_product;
+      if (mass > 0.0) expectation.Add(value * mass);
+      previous_cdf_product = cdf_product;
+    }
+  }
+  return expectation.Total();
+}
+
+Result<double> ExpectedCostEvaluator::UnassignedCostSwapPresorted(
+    const uncertain::UncertainDataset& dataset,
+    std::span<const double> base_distances, const SwapBase& base,
+    std::span<const uint32_t> point_of, metric::SiteId extra) {
+  ScratchGuard guard(this);
+  const metric::MetricSpace& space = dataset.space();
+  if (extra < 0 || extra >= space.num_sites()) {
+    return Status::InvalidArgument(
+        StrFormat("UnassignedCostSwapPresorted: center %d out of range", extra));
+  }
+  const size_t total = dataset.total_locations();
+  if (base_distances.size() != total || base.events.size() != total ||
+      point_of.size() != total || base.snapshot_cdf.size() != dataset.n()) {
+    return Status::InvalidArgument(
+        "UnassignedCostSwapPresorted: table sizes must match the dataset");
+  }
+  const metric::SiteId* sites = dataset.flat_sites().data();
+  const double* probabilities = dataset.flat_probabilities().data();
+
+  // The candidate's improved locations (d < base), stamped out of the
+  // base stream. A candidate that improves a *bottleneck* point below
+  // the threshold moves the emission start earlier than the snapshot,
+  // so it must take the full-merge fallback.
+  if (changed_stamp_.size() != total) changed_stamp_.assign(total, 0);
+  if (++stamp_ == 0) {  // Stamp wrapped: reset the mask once.
+    std::fill(changed_stamp_.begin(), changed_stamp_.end(), 0);
+    stamp_ = 1;
+  }
+  changed_.clear();
+  const double threshold = base.threshold;
+  bool fallback = false;
+  const auto consider = [&](double d, size_t l) {
+    changed_.emplace_back(d, static_cast<uint32_t>(l));
+    changed_stamp_[l] = stamp_;
+    if (d < threshold && base.bottleneck[point_of[l]]) fallback = true;
+  };
+  const metric::EuclideanSpace* euclidean = dataset.euclidean();
+  if (euclidean != nullptr && euclidean->norm() == metric::Norm::kL2) {
+    // L2: compare *squared* distances — the sqrt is monotone, so
+    // d² < b² decides d < b, and only the m winners pay a sqrt. (A
+    // rounding tie after sqrt just moves the event between the two
+    // streams; the applied (value, point, probability) multiset is the
+    // same.)
+    const size_t dim = euclidean->dim();
+    const double* target = euclidean->coords(extra);
+    for (size_t l = 0; l < total; ++l) {
+      const double dsq =
+          geometry::SquaredDistanceKernel(euclidean->coords(sites[l]), target, dim);
+      const double b = base_distances[l];
+      if (dsq < b * b) consider(std::sqrt(dsq), l);
+    }
+  } else if (euclidean != nullptr) {
+    const size_t dim = euclidean->dim();
+    const metric::Norm norm = euclidean->norm();
+    const double* target = euclidean->coords(extra);
+    for (size_t l = 0; l < total; ++l) {
+      const double d = metric::NormDistanceKernel(
+          norm, euclidean->coords(sites[l]), target, dim);
+      if (d < base_distances[l]) consider(d, l);
+    }
+  } else {
+    for (size_t l = 0; l < total; ++l) {
+      const double d = space.Distance(sites[l], extra);
+      if (d < base_distances[l]) consider(d, l);
+    }
+  }
+
+  const size_t num_variables = dataset.n();
+  if (fallback) {
+    // Full merge from scratch: every event replayed.
+    std::sort(changed_.begin(), changed_.end());
+    cdf_.assign(num_variables, 0.0);
+    return MergeSweepFrom(dataset, base, 0, changed_, point_of, num_variables,
+                          1.0, 0);
+  }
+
+  // Snapshot path. A changed location below the threshold only *moves*
+  // CDF mass that is already below it:
+  //   - old value also below (base[l] < threshold): the snapshot holds
+  //     the same mass at the old value — since no mass is emitted below
+  //     the threshold, only the accumulated CDFs matter, so nothing to
+  //     do (the order of additions differs by ~1 ulp from a full
+  //     replay);
+  //   - old value at/above the threshold: the mass newly drops below —
+  //     apply it on top of the snapshot state;
+  //   - new value at/above the threshold: a regular tail-merge event.
+  cdf_.assign(base.snapshot_cdf.begin(), base.snapshot_cdf.end());
+  CdfProduct product(0);
+  product.zeros = base.snapshot_zeros;
+  product.mantissa = base.snapshot_mantissa;
+  product.exponent = base.snapshot_exponent;
+  changed_tail_.clear();
+  for (const auto& [d, l] : changed_) {
+    if (d >= threshold) {
+      changed_tail_.emplace_back(d, l);
+      continue;
+    }
+    if (base_distances[l] >= threshold) {
+      const uint32_t i = point_of[l];
+      const double old_cdf = cdf_[i];
+      const double new_cdf = old_cdf + probabilities[l];
+      cdf_[i] = new_cdf;
+      product.Apply(old_cdf, new_cdf);
+    }
+  }
+  std::sort(changed_tail_.begin(), changed_tail_.end());
+  return MergeSweepFrom(dataset, base, base.snapshot_index, changed_tail_,
+                        point_of, product.zeros, product.mantissa,
+                        product.exponent);
+}
+
 template <typename DistanceOfLocation>
 void ExpectedCostEvaluator::FillDistanceTable(
     const uncertain::UncertainDataset& dataset, DistanceOfLocation distance) {
-  offsets_.resize(dataset.n() + 1);
-  distance_table_.clear();
-  distance_table_.reserve(dataset.total_locations());
-  for (size_t i = 0; i < dataset.n(); ++i) {
-    offsets_[i] = distance_table_.size();
-    for (const uncertain::Location& loc : dataset.point(i).locations()) {
-      distance_table_.push_back(distance(i, loc.site));
-    }
+  const metric::SiteId* sites = dataset.flat_sites().data();
+  const size_t total = dataset.total_locations();
+  distance_table_.resize(total);
+  for (size_t l = 0; l < total; ++l) {
+    distance_table_[l] = distance(sites[l]);
   }
-  offsets_[dataset.n()] = distance_table_.size();
 }
 
 Result<MonteCarloEstimate> ExpectedCostEvaluator::MonteCarloOverTable(
@@ -315,6 +628,7 @@ Result<MonteCarloEstimate> ExpectedCostEvaluator::MonteCarloOverTable(
   }
   const uncertain::RealizationSampler sampler(dataset);
   const size_t n = dataset.n();
+  const size_t* offsets = dataset.offsets().data();
 
   const auto run_chunk = [&](Rng* chunk_rng, int64_t chunk_samples,
                              RunningStats* stats) {
@@ -322,7 +636,7 @@ Result<MonteCarloEstimate> ExpectedCostEvaluator::MonteCarloOverTable(
       double worst = 0.0;
       for (size_t i = 0; i < n; ++i) {
         const size_t j = sampler.SamplePoint(*chunk_rng, i);
-        const double d = distance_table_[offsets_[i] + j];
+        const double d = distance_table_[offsets[i] + j];
         if (d > worst) worst = d;
       }
       stats->Add(worst);
@@ -366,6 +680,7 @@ Result<MonteCarloEstimate> ExpectedCostEvaluator::MonteCarloOverTable(
 Result<MonteCarloEstimate> ExpectedCostEvaluator::MonteCarloAssignedCost(
     const uncertain::UncertainDataset& dataset, const Assignment& assignment,
     int64_t samples, Rng& rng) {
+  ScratchGuard guard(this);
   if (assignment.size() != dataset.n()) {
     return Status::InvalidArgument("MonteCarloAssignedCost: size mismatch");
   }
@@ -377,15 +692,22 @@ Result<MonteCarloEstimate> ExpectedCostEvaluator::MonteCarloAssignedCost(
                     i, assignment[i]));
     }
   }
-  FillDistanceTable(dataset, [&](size_t i, metric::SiteId site) {
-    return space.Distance(site, assignment[i]);
-  });
+  // Assigned targets vary per point, so the fill walks offsets.
+  const metric::SiteId* sites = dataset.flat_sites().data();
+  const size_t* offsets = dataset.offsets().data();
+  distance_table_.resize(dataset.total_locations());
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    for (size_t l = offsets[i]; l < offsets[i + 1]; ++l) {
+      distance_table_[l] = space.Distance(sites[l], assignment[i]);
+    }
+  }
   return MonteCarloOverTable(dataset, samples, rng);
 }
 
 Result<MonteCarloEstimate> ExpectedCostEvaluator::MonteCarloUnassignedCost(
     const uncertain::UncertainDataset& dataset,
     const std::vector<metric::SiteId>& centers, int64_t samples, Rng& rng) {
+  ScratchGuard guard(this);
   if (centers.empty()) {
     return Status::InvalidArgument("MonteCarloUnassignedCost: no centers");
   }
@@ -396,7 +718,7 @@ Result<MonteCarloEstimate> ExpectedCostEvaluator::MonteCarloUnassignedCost(
           StrFormat("MonteCarloUnassignedCost: center %d out of range", c));
     }
   }
-  FillDistanceTable(dataset, [&](size_t, metric::SiteId site) {
+  FillDistanceTable(dataset, [&](metric::SiteId site) {
     return space.DistanceToSet(site, centers);
   });
   return MonteCarloOverTable(dataset, samples, rng);

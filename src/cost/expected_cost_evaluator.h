@@ -13,8 +13,9 @@
 //
 // The evaluator owns all of that state and amortizes it across calls:
 //   - one flat event buffer (value, variable, probability) reused by
-//     every evaluation — distances are written straight into it from the
-//     EuclideanSpace coordinate arena, no intermediate distributions;
+//     every evaluation — distances are written straight into it by
+//     streaming the dataset's flat site/probability arrays against the
+//     EuclideanSpace coordinate arena, no per-location indirection;
 //   - the per-variable CDF array for the sweep;
 //   - a kd-tree over the current center set, cached and only rebuilt
 //     when the centers actually change;
@@ -38,14 +39,20 @@
 // free functions in expected_cost.h delegate to a thread-local instance,
 // so one-off callers get the fast path too. An evaluator must not be
 // shared across threads concurrently (it is mutable scratch); create one
-// per thread instead.
+// per thread instead — cost::ParallelCandidateEvaluator does exactly
+// that to shard big batches over a worker pool. The contract is
+// enforced: every public evaluation entry point checks (via an atomic
+// owner mark) that no second thread is inside the same instance and
+// aborts with a CHECK failure on violation.
 
 #ifndef UKC_COST_EXPECTED_COST_EVALUATOR_H_
 #define UKC_COST_EXPECTED_COST_EVALUATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -89,6 +96,17 @@ struct MonteCarloEstimate {
 /// Reusable exact/Monte-Carlo expected-cost engine. See file comment.
 class ExpectedCostEvaluator {
  public:
+  /// An atom of probability mass: variable `index` takes `value` with
+  /// probability `probability`. `location` carries the flat location id
+  /// for the swap path (0 where unused). Public because
+  /// ParallelCandidateEvaluator shares presorted event streams.
+  struct Event {
+    double value;
+    uint32_t index;
+    uint32_t location;
+    double probability;
+  };
+
   struct Options {
     /// Centers >= this use the kd-tree path (Euclidean L2 spaces only).
     size_t kdtree_cutover = kDefaultKdTreeCutover;
@@ -118,6 +136,50 @@ class ExpectedCostEvaluator {
       const uncertain::UncertainDataset& dataset,
       const std::vector<std::vector<metric::SiteId>>& center_sets);
 
+  /// Precomputed read-only tables for the presorted swap path: the base
+  /// event stream sorted by (value, location), plus a sweep snapshot
+  /// taken just below the base *emission threshold*. No mass can be
+  /// emitted before every point's CDF is positive, i.e. below
+  /// threshold = max_i (min base distance of point i); on clustered
+  /// instances ~99% of events lie below it, so scoring a candidate
+  /// replays only the tail plus the candidate's own events.
+  struct SwapBase {
+    std::vector<Event> events;         // Sorted by (value, location).
+    std::vector<double> snapshot_cdf;  // Per-point CDF of events < threshold.
+    std::vector<uint8_t> bottleneck;   // first base value of point == threshold.
+    double threshold = 0.0;
+    size_t snapshot_index = 0;  // First event with value >= threshold.
+    size_t snapshot_zeros = 0;
+    double snapshot_mantissa = 1.0;
+    int snapshot_exponent = 0;
+  };
+
+  /// Builds the presorted base tables for UnassignedCostSwapPresorted
+  /// from base_distances[l] (distance of flat location l to the
+  /// unchanged centers) and point_of[l]. Uses this evaluator's radix
+  /// scratch; the result is shareable read-only across threads.
+  Status BuildSwapBase(const uncertain::UncertainDataset& dataset,
+                       std::span<const double> base_distances,
+                       std::span<const uint32_t> point_of, SwapBase* out);
+
+  /// Exact unassigned cost of a one-center swap — location l's distance
+  /// to the swapped set is min(base_distances[l], d(l, extra)) — scored
+  /// against tables built once by BuildSwapBase and shared across many
+  /// candidates. A candidate's events below the threshold merely shift
+  /// CDF mass that the snapshot already accounts for, so the call costs
+  /// one kernel distance per location plus a replay of the tail —
+  /// unless the candidate improves a bottleneck point below the
+  /// threshold (rare), which falls back to a full merge-sweep. Agrees
+  /// with a full evaluation of the swapped center set to rounding
+  /// (~1 ulp per event: identical value-axis order; only
+  /// tied/below-threshold events may apply in a different order); the
+  /// result is a pure function of the inputs, so it is identical no
+  /// matter which thread or evaluator runs it.
+  Result<double> UnassignedCostSwapPresorted(
+      const uncertain::UncertainDataset& dataset,
+      std::span<const double> base_distances, const SwapBase& base,
+      std::span<const uint32_t> point_of, metric::SiteId extra);
+
   /// Exact E[max_i X_i] for independent discrete X_i. O(N log N) in the
   /// total support size N. Reuses the evaluator's event/CDF scratch.
   double ExpectedMaxOfIndependent(
@@ -133,12 +195,18 @@ class ExpectedCostEvaluator {
       const std::vector<metric::SiteId>& centers, int64_t samples, Rng& rng);
 
  private:
-  // An atom of probability mass: variable `index` takes `value` with
-  // probability `probability`.
-  struct Event {
-    double value;
-    uint32_t index;
-    double probability;
+  // RAII enforcement of the one-thread-at-a-time contract: marks the
+  // evaluator owned by the calling thread for the duration of a public
+  // evaluation, CHECK-failing if another thread already holds it.
+  // Reentrant from the owning thread (batch entry points call the
+  // single-set ones).
+  class ScratchGuard {
+   public:
+    explicit ScratchGuard(ExpectedCostEvaluator* evaluator);
+    ~ScratchGuard();
+
+   private:
+    ExpectedCostEvaluator* evaluator_;
   };
 
   // Validates centers and fills events_ with one (distance, point,
@@ -155,9 +223,19 @@ class ExpectedCostEvaluator {
   // variables (resets cdf_).
   double SweepEvents(size_t num_variables);
 
-  // Fills distance_table_/offsets_ with d(location, target) for every
-  // location. `distance(i, site)` gives the distance for point i's
-  // location at `site`.
+  // Merge-sweeps base.events[a_begin..) (entries stamped in
+  // changed_stamp_ skipped) against `changed` (ascending (value, l)),
+  // starting from the given sweep state. cdf_ must already hold the
+  // matching per-point CDFs.
+  double MergeSweepFrom(const uncertain::UncertainDataset& dataset,
+                        const SwapBase& base, size_t a_begin,
+                        std::span<const std::pair<double, uint32_t>> changed,
+                        std::span<const uint32_t> point_of, size_t zeros,
+                        double mantissa, int exponent);
+
+  // Fills distance_table_ with distance(site) for every flat location,
+  // in flat-array order (one shared target set; per-point targets are
+  // filled inline by MonteCarloAssignedCost instead).
   template <typename DistanceOfLocation>
   void FillDistanceTable(const uncertain::UncertainDataset& dataset,
                          DistanceOfLocation distance);
@@ -168,11 +246,24 @@ class ExpectedCostEvaluator {
 
   Options options_;
 
+  // Concurrent-reuse detection (see ScratchGuard). The owner id is the
+  // thread currently evaluating; depth_ counts its nested entries.
+  std::atomic<std::thread::id> owner_{std::thread::id()};
+  int owner_depth_ = 0;
+
   // Exact-sweep scratch.
   std::vector<Event> events_;
   std::vector<Event> events_scratch_;   // Radix-sort ping-pong buffer.
   std::vector<uint32_t> radix_counts_;  // Radix-sort histograms.
   std::vector<double> cdf_;
+
+  // Presorted-swap scratch: the candidate's improved locations, the
+  // subset participating in the tail merge, and a version-stamped
+  // membership mask (avoids an O(N) clear per call).
+  std::vector<std::pair<double, uint32_t>> changed_;
+  std::vector<std::pair<double, uint32_t>> changed_tail_;
+  std::vector<uint32_t> changed_stamp_;
+  uint32_t stamp_ = 0;
 
   // Gathered center coordinates for flat linear scans.
   std::vector<double> center_coords_;
@@ -184,10 +275,10 @@ class ExpectedCostEvaluator {
   size_t tree_dim_ = 0;
   std::optional<geometry::KdTree> tree_;
 
-  // Monte-Carlo scratch: distance_table_[offsets_[i] + j] = distance of
-  // point i's j-th location to its target (assigned center / center set).
+  // Monte-Carlo scratch: distance_table_[l] = distance of flat location
+  // l to its target (assigned center / center set); the dataset's
+  // offsets array delimits the points.
   std::vector<double> distance_table_;
-  std::vector<size_t> offsets_;
 };
 
 }  // namespace cost

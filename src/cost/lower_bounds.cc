@@ -13,7 +13,7 @@ Result<double> PointExpectedDistanceFloor(
   if (i >= dataset.n()) {
     return Status::InvalidArgument("PointExpectedDistanceFloor: index out of range");
   }
-  const uncertain::UncertainPoint& p = dataset.point(i);
+  const uncertain::UncertainPointView p = dataset.point(i);
   const metric::EuclideanSpace* euclidean = dataset.euclidean();
   if (euclidean != nullptr) {
     // min over all of R^d: the weighted geometric median objective.

@@ -1,0 +1,191 @@
+#include "cost/parallel_evaluator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/strings.h"
+#include "metric/euclidean_space.h"
+
+namespace ukc {
+namespace cost {
+
+ParallelCandidateEvaluator::ParallelCandidateEvaluator()
+    : ParallelCandidateEvaluator(Options()) {}
+
+ParallelCandidateEvaluator::ParallelCandidateEvaluator(Options options)
+    : options_(options), pool_(options.threads) {
+  ExpectedCostEvaluator::Options worker_options = options_.evaluator;
+  worker_options.monte_carlo_threads = 1;  // The pool is the only fan-out.
+  evaluators_ = std::vector<ExpectedCostEvaluator>(pool_.num_threads());
+  for (ExpectedCostEvaluator& evaluator : evaluators_) {
+    evaluator.set_options(worker_options);
+  }
+}
+
+template <typename Fn>
+Status ParallelCandidateEvaluator::RunTasks(size_t count, const Fn& fn) {
+  std::vector<Status> statuses(count);
+  pool_.ParallelFor(count, [&](int worker, size_t index) {
+    statuses[index] = fn(worker, index);
+  });
+  for (Status& status : statuses) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> ParallelCandidateEvaluator::UnassignedCostBatch(
+    const uncertain::UncertainDataset& dataset,
+    const std::vector<std::vector<metric::SiteId>>& center_sets) {
+  std::vector<double> values(center_sets.size());
+  UKC_RETURN_IF_ERROR(RunTasks(
+      center_sets.size(), [&](int worker, size_t s) -> Status {
+        UKC_ASSIGN_OR_RETURN(
+            values[s], evaluators_[worker].UnassignedCost(dataset, center_sets[s]));
+        return Status::OK();
+      }));
+  return values;
+}
+
+Result<std::vector<double>> ParallelCandidateEvaluator::AssignedCostBatch(
+    const uncertain::UncertainDataset& dataset,
+    const std::vector<Assignment>& assignments) {
+  std::vector<double> values(assignments.size());
+  UKC_RETURN_IF_ERROR(RunTasks(
+      assignments.size(), [&](int worker, size_t a) -> Status {
+        UKC_ASSIGN_OR_RETURN(
+            values[a], evaluators_[worker].AssignedCost(dataset, assignments[a]));
+        return Status::OK();
+      }));
+  return values;
+}
+
+Result<std::vector<MonteCarloEstimate>>
+ParallelCandidateEvaluator::MonteCarloUnassignedCostBatch(
+    const uncertain::UncertainDataset& dataset,
+    const std::vector<std::vector<metric::SiteId>>& center_sets,
+    int64_t samples, Rng& rng) {
+  // Fork every candidate's stream up front on the calling thread, so
+  // the draw for candidate s is a pure function of (seed, s).
+  std::vector<Rng> rngs;
+  rngs.reserve(center_sets.size());
+  for (size_t s = 0; s < center_sets.size(); ++s) {
+    rngs.push_back(rng.Fork(static_cast<uint64_t>(s)));
+  }
+  std::vector<MonteCarloEstimate> estimates(center_sets.size());
+  UKC_RETURN_IF_ERROR(RunTasks(
+      center_sets.size(), [&](int worker, size_t s) -> Status {
+        UKC_ASSIGN_OR_RETURN(estimates[s],
+                             evaluators_[worker].MonteCarloUnassignedCost(
+                                 dataset, center_sets[s], samples, rngs[s]));
+        return Status::OK();
+      }));
+  return estimates;
+}
+
+Result<std::vector<double>> ParallelCandidateEvaluator::SwapCostMatrix(
+    const uncertain::UncertainDataset& dataset,
+    const std::vector<metric::SiteId>& centers,
+    const std::vector<metric::SiteId>& pool) {
+  if (centers.empty()) {
+    return Status::InvalidArgument("SwapCostMatrix: no centers");
+  }
+  if (pool.empty()) {
+    return Status::InvalidArgument("SwapCostMatrix: empty candidate pool");
+  }
+  const metric::MetricSpace& space = dataset.space();
+  for (metric::SiteId c : centers) {
+    if (c < 0 || c >= space.num_sites()) {
+      return Status::InvalidArgument(
+          StrFormat("SwapCostMatrix: center %d out of range", c));
+    }
+  }
+  const size_t k = centers.size();
+  const size_t total = dataset.total_locations();
+  const metric::SiteId* sites = dataset.flat_sites().data();
+  const metric::EuclideanSpace* euclidean = dataset.euclidean();
+
+  // 1. Distance of every location to every current center, one row per
+  // center (the rows parallelize independently).
+  center_distances_.resize(k * total);
+  pool_.ParallelFor(k, [&](int, size_t c) {
+    double* row = center_distances_.data() + c * total;
+    if (euclidean != nullptr) {
+      const size_t dim = euclidean->dim();
+      const metric::Norm norm = euclidean->norm();
+      const double* target = euclidean->coords(centers[c]);
+      for (size_t l = 0; l < total; ++l) {
+        row[l] = metric::NormDistanceKernel(norm, euclidean->coords(sites[l]),
+                                            target, dim);
+      }
+    } else {
+      for (size_t l = 0; l < total; ++l) {
+        row[l] = space.Distance(sites[l], centers[c]);
+      }
+    }
+  });
+
+  // 2. base_without_[p][l] = min over c != p of the distance rows,
+  // via a backward suffix pass plus a rolling forward prefix.
+  base_without_.resize(k * total);
+  suffix_min_.assign((k + 1) * total, std::numeric_limits<double>::infinity());
+  for (size_t p = k; p-- > 0;) {
+    const double* row = center_distances_.data() + p * total;
+    const double* next = suffix_min_.data() + (p + 1) * total;
+    double* out = suffix_min_.data() + p * total;
+    for (size_t l = 0; l < total; ++l) out[l] = std::min(row[l], next[l]);
+  }
+  {
+    std::vector<double> prefix(total, std::numeric_limits<double>::infinity());
+    for (size_t p = 0; p < k; ++p) {
+      const double* after = suffix_min_.data() + (p + 1) * total;
+      double* out = base_without_.data() + p * total;
+      for (size_t l = 0; l < total; ++l) {
+        out[l] = std::min(prefix[l], after[l]);
+      }
+      const double* row = center_distances_.data() + p * total;
+      for (size_t l = 0; l < total; ++l) {
+        prefix[l] = std::min(prefix[l], row[l]);
+      }
+    }
+  }
+
+  // 3. Presort every position's base distances into one sequential
+  // event stream, once, shared read-only by all of that position's
+  // candidates (the per-worker evaluators supply the radix scratch).
+  point_of_.resize(total);
+  const size_t* offsets = dataset.offsets().data();
+  for (size_t i = 0; i < dataset.n(); ++i) {
+    for (size_t l = offsets[i]; l < offsets[i + 1]; ++l) {
+      point_of_[l] = static_cast<uint32_t>(i);
+    }
+  }
+  swap_bases_.resize(k);
+  UKC_RETURN_IF_ERROR(RunTasks(k, [&](int worker, size_t p) -> Status {
+    return evaluators_[worker].BuildSwapBase(
+        dataset,
+        std::span<const double>(base_without_.data() + p * total, total),
+        point_of_, &swap_bases_[p]);
+  }));
+
+  // 4. One task per (position, candidate) pair; each costs one kernel
+  // distance per location plus the merge-sweep — no per-candidate sort
+  // of the base, only of the m locations the candidate improves.
+  std::vector<double> values(k * pool.size());
+  UKC_RETURN_IF_ERROR(RunTasks(
+      k * pool.size(), [&](int worker, size_t task) -> Status {
+        const size_t p = task / pool.size();
+        const size_t c = task % pool.size();
+        UKC_ASSIGN_OR_RETURN(
+            values[task],
+            evaluators_[worker].UnassignedCostSwapPresorted(
+                dataset,
+                std::span<const double>(base_without_.data() + p * total, total),
+                swap_bases_[p], point_of_, pool[c]));
+        return Status::OK();
+      }));
+  return values;
+}
+
+}  // namespace cost
+}  // namespace ukc

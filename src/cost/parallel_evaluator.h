@@ -1,0 +1,113 @@
+// ParallelCandidateEvaluator: shards "evaluate the expected cost of
+// many candidate solutions" over a persistent worker pool.
+//
+// ExpectedCostEvaluator is mutable scratch and must not be shared
+// across threads; this class owns one evaluator per worker plus a
+// common::ThreadPool and fans candidate center sets (or assignments, or
+// local-search swaps) out across them. Results are written by candidate
+// index into a preallocated buffer, so the output order — and, because
+// each candidate's evaluation is arithmetically identical no matter
+// which worker runs it, every output bit — is independent of the thread
+// count and of scheduling. threads = 1 degenerates to an inline serial
+// loop.
+//
+// The swap API is the local-search fast path: evaluating the k·|pool|
+// one-center swaps of a round naively costs O(k·|pool|·N·k); with the
+// per-position "distance to the other k-1 centers" tables built here it
+// is O(k·N·k + k·|pool|·N) — each swapped set costs one kernel distance
+// per location instead of k. min() is exact in floating point, so the
+// swap values are bitwise identical to full linear-path evaluations.
+
+#ifndef UKC_COST_PARALLEL_EVALUATOR_H_
+#define UKC_COST_PARALLEL_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "cost/expected_cost_evaluator.h"
+#include "uncertain/dataset.h"
+
+namespace ukc {
+namespace cost {
+
+/// Scores batches of candidate solutions in parallel with deterministic
+/// (thread-count independent) results. See file comment.
+class ParallelCandidateEvaluator {
+ public:
+  struct Options {
+    /// Worker count; <= 0 means ThreadPool::HardwareThreads().
+    int threads = 0;
+    /// Per-worker evaluator configuration. monte_carlo_threads is
+    /// forced to 1 — the pool is the only fan-out level.
+    ExpectedCostEvaluator::Options evaluator;
+  };
+
+  /// Default options: hardware thread count, default evaluator config.
+  ParallelCandidateEvaluator();
+  explicit ParallelCandidateEvaluator(Options options);
+
+  int threads() const { return pool_.num_threads(); }
+
+  /// Exact unassigned cost of every center set; values[s] corresponds
+  /// to center_sets[s].
+  Result<std::vector<double>> UnassignedCostBatch(
+      const uncertain::UncertainDataset& dataset,
+      const std::vector<std::vector<metric::SiteId>>& center_sets);
+
+  /// Exact assigned cost of every assignment; values[a] corresponds to
+  /// assignments[a].
+  Result<std::vector<double>> AssignedCostBatch(
+      const uncertain::UncertainDataset& dataset,
+      const std::vector<Assignment>& assignments);
+
+  /// Monte-Carlo unassigned estimates, one per center set. Candidate s
+  /// draws from rng.Fork(s) (forked serially up front), so the
+  /// estimates depend only on the seed — not on the thread count.
+  Result<std::vector<MonteCarloEstimate>> MonteCarloUnassignedCostBatch(
+      const uncertain::UncertainDataset& dataset,
+      const std::vector<std::vector<metric::SiteId>>& center_sets,
+      int64_t samples, Rng& rng);
+
+  /// Exact unassigned cost of every one-center swap of `centers`:
+  /// values[p * pool.size() + c] is the cost of centers with
+  /// centers[p] replaced by pool[c]. Per position the base distances
+  /// ("all centers but p") are built and presorted once; each candidate
+  /// then costs O(N + m log m) via the merge-sweep
+  /// (ExpectedCostEvaluator::UnassignedCostSwapPresorted) instead of a
+  /// fresh O(N log N) evaluation. Values agree with a full linear-path
+  /// evaluation of the swapped set to rounding (identical value order;
+  /// tied events may apply in a different order) and are bitwise
+  /// identical across thread counts. Scratch is O(k · total_locations).
+  Result<std::vector<double>> SwapCostMatrix(
+      const uncertain::UncertainDataset& dataset,
+      const std::vector<metric::SiteId>& centers,
+      const std::vector<metric::SiteId>& pool);
+
+ private:
+  // Runs fn(worker, index) over [0, count) on the pool, collecting one
+  // Status per index; returns the first error in index order.
+  template <typename Fn>
+  Status RunTasks(size_t count, const Fn& fn);
+
+  Options options_;
+  ThreadPool pool_;
+  // One per worker; vector never reallocates after construction (the
+  // evaluator is pinned by its atomic owner mark).
+  std::vector<ExpectedCostEvaluator> evaluators_;
+
+  // SwapCostMatrix scratch, reused across rounds: per-center distance
+  // rows, the per-position "all centers but p" base tables, their
+  // presorted event streams, and the location → point map.
+  std::vector<double> center_distances_;  // k rows of total_locations.
+  std::vector<double> suffix_min_;        // Rolling suffix mins.
+  std::vector<double> base_without_;      // k rows of total_locations.
+  std::vector<ExpectedCostEvaluator::SwapBase> swap_bases_;
+  std::vector<uint32_t> point_of_;        // Location → owning point.
+};
+
+}  // namespace cost
+}  // namespace ukc
+
+#endif  // UKC_COST_PARALLEL_EVALUATOR_H_

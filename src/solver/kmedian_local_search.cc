@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "solver/brute_force.h"
 
 namespace ukc {
@@ -72,24 +73,32 @@ Result<KMedianSolution> KMedianLocalSearch(
     const KMedianOptions& options) {
   UKC_RETURN_IF_ERROR(ValidateCostMatrix(cost, k));
   const size_t m = cost[0].size();
+  ThreadPool pool(options.threads);
 
   // Greedy start: repeatedly open the facility with the largest
-  // marginal gain.
+  // marginal gain. Candidate totals are computed in parallel by
+  // facility index; the argmin scans them in order afterwards, so the
+  // greedy choice is thread-count independent.
   std::vector<size_t> open;
   std::vector<double> best_cost(cost.size(),
                                 std::numeric_limits<double>::infinity());
   std::vector<bool> is_open(m, false);
+  std::vector<double> totals(m);
   for (size_t round = 0; round < k; ++round) {
-    size_t best_facility = m;
-    double best_total = std::numeric_limits<double>::infinity();
-    for (size_t f = 0; f < m; ++f) {
-      if (is_open[f]) continue;
+    pool.ParallelFor(m, [&](int, size_t f) {
+      if (is_open[f]) return;
       double total = 0.0;
       for (size_t i = 0; i < cost.size(); ++i) {
         total += std::min(best_cost[i], cost[i][f]);
       }
-      if (total < best_total) {
-        best_total = total;
+      totals[f] = total;
+    });
+    size_t best_facility = m;
+    double best_total = std::numeric_limits<double>::infinity();
+    for (size_t f = 0; f < m; ++f) {
+      if (is_open[f]) continue;
+      if (totals[f] < best_total) {
+        best_total = totals[f];
         best_facility = f;
       }
     }
@@ -104,15 +113,24 @@ Result<KMedianSolution> KMedianLocalSearch(
   KMedianSolution solution;
   Reassign(cost, open, &solution);
 
-  // Best-improvement single swaps.
+  // Best-improvement single swaps: each (closed facility, open slot)
+  // pair's total is an independent task; the argmin is again an
+  // ordered scan over the result matrix.
+  std::vector<double> swap_totals(k * m);
   for (size_t swaps = 0; swaps < options.max_swaps; ++swaps) {
+    pool.ParallelFor(k * m, [&](int, size_t task) {
+      const size_t oi = task / m;
+      const size_t in = task % m;
+      if (is_open[in]) return;
+      swap_totals[task] = SwapCost(cost, open, open[oi], in);
+    });
     double best_total = solution.total_cost;
     size_t best_out = m;
     size_t best_in = m;
     for (size_t oi = 0; oi < open.size(); ++oi) {
       for (size_t in = 0; in < m; ++in) {
         if (is_open[in]) continue;
-        const double total = SwapCost(cost, open, open[oi], in);
+        const double total = swap_totals[oi * m + in];
         if (total < best_total) {
           best_total = total;
           best_out = oi;

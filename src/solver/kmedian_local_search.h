@@ -24,6 +24,10 @@ struct KMedianOptions {
   /// Accept a swap only if it improves by this relative amount; the
   /// standard trick that bounds the number of iterations polynomially.
   double min_relative_improvement = 1e-9;
+  /// Workers sharding the greedy-start and swap scans (<= 0 = hardware
+  /// threads). The chosen facilities do not depend on this: candidate
+  /// totals are written by index and the argmin is an ordered scan.
+  int threads = 1;
 };
 
 /// Solution: which facilities (columns) are open, each client's

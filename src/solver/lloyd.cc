@@ -17,7 +17,7 @@ namespace {
 
 // k-means++ seeding: first center weighted by w, subsequent centers
 // weighted by w_i * D(p_i)^2. Appends k centers to `centers`.
-void SeedPlusPlus(const std::vector<double>& coords, size_t count, size_t dim,
+void SeedPlusPlus(const double* coords, size_t count, size_t dim,
                   const std::vector<double>& weights, size_t k, Rng& rng,
                   std::vector<double>* centers) {
   centers->clear();
@@ -25,15 +25,14 @@ void SeedPlusPlus(const std::vector<double>& coords, size_t count, size_t dim,
   std::vector<double> d2(count, std::numeric_limits<double>::infinity());
   std::vector<double> scores(count);
   size_t chosen = rng.Discrete(weights);
-  centers->insert(centers->end(), coords.data() + chosen * dim,
-                  coords.data() + (chosen + 1) * dim);
+  centers->insert(centers->end(), coords + chosen * dim,
+                  coords + (chosen + 1) * dim);
   while (centers->size() < k * dim) {
     const double* last = centers->data() + centers->size() - dim;
     double total = 0.0;
     for (size_t i = 0; i < count; ++i) {
       d2[i] = std::min(
-          d2[i], geometry::SquaredDistanceKernel(coords.data() + i * dim, last,
-                                                 dim));
+          d2[i], geometry::SquaredDistanceKernel(coords + i * dim, last, dim));
       scores[i] = weights[i] * d2[i];
       total += scores[i];
     }
@@ -43,18 +42,17 @@ void SeedPlusPlus(const std::vector<double>& coords, size_t count, size_t dim,
     } else {
       chosen = rng.Discrete(scores);
     }
-    centers->insert(centers->end(), coords.data() + chosen * dim,
-                    coords.data() + (chosen + 1) * dim);
+    centers->insert(centers->end(), coords + chosen * dim,
+                    coords + (chosen + 1) * dim);
   }
 }
 
-double AssignAll(const std::vector<double>& coords, size_t count, size_t dim,
-                 const std::vector<double>& weights,
-                 const std::vector<double>& centers, size_t k,
-                 std::vector<size_t>* cluster_of) {
+double AssignAll(const double* coords, size_t count, size_t dim,
+                 const double* weights, const std::vector<double>& centers,
+                 size_t k, std::vector<size_t>* cluster_of) {
   double objective = 0.0;
   for (size_t i = 0; i < count; ++i) {
-    const double* p = coords.data() + i * dim;
+    const double* p = coords + i * dim;
     size_t best = 0;
     double best_d2 = std::numeric_limits<double>::infinity();
     for (size_t c = 0; c < k; ++c) {
@@ -73,31 +71,30 @@ double AssignAll(const std::vector<double>& coords, size_t count, size_t dim,
 
 }  // namespace
 
-Result<KMeansSolution> WeightedKMeans(const std::vector<Point>& points,
-                                      const std::vector<double>& weights,
-                                      size_t k, const KMeansOptions& options) {
-  if (points.empty()) {
+Result<KMeansFlatSolution> WeightedKMeansFlat(std::span<const double> flat,
+                                              size_t count, size_t dim,
+                                              std::span<const double> weight_span,
+                                              size_t k,
+                                              const KMeansOptions& options) {
+  if (count == 0) {
     return Status::InvalidArgument("WeightedKMeans: no points");
   }
-  if (points.size() != weights.size()) {
+  if (dim == 0 || flat.size() != count * dim) {
+    return Status::InvalidArgument(
+        "WeightedKMeans: coords must hold count rows of dim");
+  }
+  if (count != weight_span.size()) {
     return Status::InvalidArgument("WeightedKMeans: points/weights mismatch");
   }
   if (k == 0) return Status::InvalidArgument("WeightedKMeans: k must be >= 1");
-  const size_t dim = points[0].dim();
-  std::vector<double> coords;
-  coords.reserve(points.size() * dim);
-  for (const Point& p : points) {
-    if (p.dim() != dim) {
-      return Status::InvalidArgument("WeightedKMeans: mixed dimensions");
-    }
-    coords.insert(coords.end(), p.coords().begin(), p.coords().end());
-  }
-  for (double w : weights) {
+  for (double w : weight_span) {
     if (!(w > 0.0)) {
       return Status::InvalidArgument("WeightedKMeans: weights must be positive");
     }
   }
-  const size_t count = points.size();
+  const double* coords = flat.data();
+  // Rng::Discrete wants a vector; the weights are the one copied input.
+  const std::vector<double> weights(weight_span.begin(), weight_span.end());
 
   Rng rng(options.seed);
   // Flat working state for the best run and the current run.
@@ -116,14 +113,14 @@ Result<KMeansSolution> WeightedKMeans(const std::vector<Point>& points,
     SeedPlusPlus(coords, count, dim, weights, k, rng, &centers);
     std::fill(cluster_of.begin(), cluster_of.end(), 0);
     double objective =
-        AssignAll(coords, count, dim, weights, centers, k, &cluster_of);
+        AssignAll(coords, count, dim, weights.data(), centers, k, &cluster_of);
     size_t iterations = 0;
     for (; iterations < options.max_iterations; ++iterations) {
       // Recenter: weighted centroid per cluster.
       sums.assign(k * dim, 0.0);
       mass.assign(k, 0.0);
       for (size_t i = 0; i < count; ++i) {
-        const double* p = coords.data() + i * dim;
+        const double* p = coords + i * dim;
         double* sum = sums.data() + cluster_of[i] * dim;
         for (size_t a = 0; a < dim; ++a) sum[a] += p[a] * weights[i];
         mass[cluster_of[i]] += weights[i];
@@ -138,7 +135,7 @@ Result<KMeansSolution> WeightedKMeans(const std::vector<Point>& points,
         // Empty clusters keep their center in place.
       }
       const double next =
-          AssignAll(coords, count, dim, weights, centers, k, &cluster_of);
+          AssignAll(coords, count, dim, weights.data(), centers, k, &cluster_of);
       const double improvement = objective - next;
       objective = next;
       if (improvement <
@@ -154,14 +151,40 @@ Result<KMeansSolution> WeightedKMeans(const std::vector<Point>& points,
     }
   }
 
-  KMeansSolution best;
+  KMeansFlatSolution best;
   best.objective = best_objective;
   best.iterations = best_iterations;
   best.cluster_of = std::move(best_cluster_of);
+  best.centers = std::move(best_centers);
+  return best;
+}
+
+Result<KMeansSolution> WeightedKMeans(const std::vector<Point>& points,
+                                      const std::vector<double>& weights,
+                                      size_t k, const KMeansOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("WeightedKMeans: no points");
+  }
+  const size_t dim = points[0].dim();
+  std::vector<double> coords;
+  coords.reserve(points.size() * dim);
+  for (const Point& p : points) {
+    if (p.dim() != dim) {
+      return Status::InvalidArgument("WeightedKMeans: mixed dimensions");
+    }
+    coords.insert(coords.end(), p.coords().begin(), p.coords().end());
+  }
+  UKC_ASSIGN_OR_RETURN(
+      KMeansFlatSolution flat,
+      WeightedKMeansFlat(coords, points.size(), dim, weights, k, options));
+  KMeansSolution best;
+  best.objective = flat.objective;
+  best.iterations = flat.iterations;
+  best.cluster_of = std::move(flat.cluster_of);
   best.centers.reserve(k);
   for (size_t c = 0; c < k; ++c) {
     best.centers.push_back(
-        geometry::PointView(best_centers.data() + c * dim, dim).ToPoint());
+        geometry::PointView(flat.centers.data() + c * dim, dim).ToPoint());
   }
   return best;
 }

@@ -6,6 +6,7 @@
 #define UKC_SOLVER_LLOYD_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -35,10 +36,31 @@ struct KMeansSolution {
   size_t iterations = 0;
 };
 
-/// Minimizes Σ_i w_i ||p_i - c_{a(i)}||² over centers and assignment.
-/// Weights must be positive; k >= 1. When k >= #distinct points the
-/// objective reaches 0. Lloyd converges to a local optimum; k-means++
-/// seeding gives the usual O(log k) expected-quality guarantee.
+/// Flat-buffer output: centers as one row-major k × dim block. The
+/// no-boxing twin of KMeansSolution — callers holding a coordinate
+/// arena (core/kmeans.cc) mint the rows directly via AddCoords.
+struct KMeansFlatSolution {
+  std::vector<double> centers;  // k rows of dim.
+  std::vector<size_t> cluster_of;
+  double objective = 0.0;
+  size_t iterations = 0;
+};
+
+/// Minimizes Σ_i w_i ||p_i - c_{a(i)}||² over centers and assignment,
+/// entirely over flat row-major buffers: coords holds `count` rows of
+/// `dim`. Weights must be positive; k >= 1. When k >= #distinct points
+/// the objective reaches 0. Lloyd converges to a local optimum;
+/// k-means++ seeding gives the usual O(log k) expected-quality
+/// guarantee.
+Result<KMeansFlatSolution> WeightedKMeansFlat(std::span<const double> coords,
+                                              size_t count, size_t dim,
+                                              std::span<const double> weights,
+                                              size_t k,
+                                              const KMeansOptions& options = {});
+
+/// Boxed-Point boundary wrapper over WeightedKMeansFlat. Prefer the
+/// flat entry point in pipelines; this exists for callers that already
+/// hold geometry::Point vectors (tests, examples).
 Result<KMeansSolution> WeightedKMeans(const std::vector<geometry::Point>& points,
                                       const std::vector<double>& weights,
                                       size_t k, const KMeansOptions& options = {});

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/thread_pool.h"
 #include "solver/enclosing_ball.h"
 
 namespace ukc {
@@ -11,22 +12,28 @@ namespace solver {
 namespace {
 
 // Partitions sites by nearest center; returns cluster membership lists
-// aligned with `centers`.
+// aligned with `centers`. The per-site nearest-center scans shard over
+// the pool into a label array; the membership lists are then built
+// serially in site order, so the clusters are thread-count independent.
 std::vector<std::vector<metric::SiteId>> AssignClusters(
     const metric::MetricSpace& space, const std::vector<metric::SiteId>& sites,
-    const std::vector<metric::SiteId>& centers) {
-  std::vector<std::vector<metric::SiteId>> clusters(centers.size());
-  for (metric::SiteId s : sites) {
+    const std::vector<metric::SiteId>& centers, ThreadPool& pool) {
+  std::vector<size_t> label(sites.size(), 0);
+  pool.ParallelFor(sites.size(), [&](int, size_t s) {
     size_t best = 0;
     double best_distance = std::numeric_limits<double>::infinity();
     for (size_t c = 0; c < centers.size(); ++c) {
-      const double d = space.Distance(s, centers[c]);
+      const double d = space.Distance(sites[s], centers[c]);
       if (d < best_distance) {
         best_distance = d;
         best = c;
       }
     }
-    clusters[best].push_back(s);
+    label[s] = best;
+  });
+  std::vector<std::vector<metric::SiteId>> clusters(centers.size());
+  for (size_t s = 0; s < sites.size(); ++s) {
+    clusters[label[s]].push_back(sites[s]);
   }
   return clusters;
 }
@@ -68,6 +75,7 @@ Result<KCenterSolution> RefineKCenter(metric::MetricSpace* space,
   }
   auto* euclidean = dynamic_cast<metric::EuclideanSpace*>(space);
   Rng rng(options.seed);
+  ThreadPool pool(options.threads);
 
   KCenterSolution best = seed;
   best.radius = CoveringRadius(*space, sites, best.centers);
@@ -75,24 +83,55 @@ Result<KCenterSolution> RefineKCenter(metric::MetricSpace* space,
 
   std::vector<metric::SiteId> centers = best.centers;
   for (size_t round = 0; round < options.max_rounds; ++round) {
-    const auto clusters = AssignClusters(*space, sites, centers);
-    std::vector<metric::SiteId> next;
-    next.reserve(centers.size());
-    for (size_t c = 0; c < clusters.size(); ++c) {
-      if (clusters[c].empty()) {
-        next.push_back(centers[c]);  // Keep an idle center in place.
-        continue;
-      }
+    const auto clusters = AssignClusters(*space, sites, centers, pool);
+
+    // Recenter every non-empty cluster in parallel. The computation is
+    // pure (Welzl balls / discrete 1-centers); Euclidean centers are
+    // minted into the space serially afterwards, in cluster order, so
+    // site ids are deterministic. Each cluster's Welzl shuffle uses an
+    // rng forked by (round, cluster), not a shared sequential stream.
+    const size_t num_clusters = clusters.size();
+    std::vector<Ball> balls(euclidean != nullptr ? num_clusters : 0);
+    std::vector<metric::SiteId> discrete(euclidean == nullptr ? num_clusters
+                                                              : 0);
+    std::vector<Status> statuses(num_clusters);
+    Rng round_rng = rng.Fork(round);
+    std::vector<Rng> cluster_rngs;
+    cluster_rngs.reserve(num_clusters);
+    for (size_t c = 0; c < num_clusters; ++c) {
+      cluster_rngs.push_back(round_rng.Fork(c));
+    }
+    pool.ParallelFor(num_clusters, [&](int, size_t c) {
+      if (clusters[c].empty()) return;
       if (euclidean != nullptr) {
         std::vector<geometry::Point> members;
         members.reserve(clusters[c].size());
         for (metric::SiteId s : clusters[c]) {
           members.push_back(euclidean->point(s));
         }
-        UKC_ASSIGN_OR_RETURN(Ball ball, WelzlMinBall(members, rng));
-        next.push_back(euclidean->AddPoint(ball.center));
+        auto ball = WelzlMinBall(members, cluster_rngs[c]);
+        if (!ball.ok()) {
+          statuses[c] = ball.status();
+          return;
+        }
+        balls[c] = std::move(ball).value();
       } else {
-        next.push_back(DiscreteOneCenter(*space, clusters[c]));
+        discrete[c] = DiscreteOneCenter(*space, clusters[c]);
+      }
+    });
+    for (Status& status : statuses) {
+      if (!status.ok()) return std::move(status);
+    }
+
+    std::vector<metric::SiteId> next;
+    next.reserve(centers.size());
+    for (size_t c = 0; c < num_clusters; ++c) {
+      if (clusters[c].empty()) {
+        next.push_back(centers[c]);  // Keep an idle center in place.
+      } else if (euclidean != nullptr) {
+        next.push_back(euclidean->AddPoint(balls[c].center));
+      } else {
+        next.push_back(discrete[c]);
       }
     }
     const double radius = CoveringRadius(*space, sites, next);

@@ -24,6 +24,11 @@ struct RefineOptions {
   /// amount.
   double min_relative_improvement = 1e-9;
   uint64_t seed = 23;  // Drives Welzl shuffles.
+  /// Workers sharding the per-site assignment and per-cluster
+  /// recentering (<= 0 = hardware threads). Each cluster's Welzl
+  /// shuffle draws from an rng forked by (round, cluster), so the
+  /// result does not depend on the thread count.
+  int threads = 1;
 };
 
 /// Refines `seed` over `sites`. `space` must be the space the seed was

@@ -27,33 +27,31 @@ Result<UncertainDataset> UncertainDataset::Build(
       }
     }
   }
-  return UncertainDataset(std::move(space), std::move(points));
+  return UncertainDataset(std::move(space), points);
 }
 
 UncertainDataset::UncertainDataset(std::shared_ptr<metric::MetricSpace> space,
-                                   std::vector<UncertainPoint> points)
-    : space_(std::move(space)), points_(std::move(points)) {
+                                   const std::vector<UncertainPoint>& points)
+    : space_(std::move(space)) {
   euclidean_ = dynamic_cast<metric::EuclideanSpace*>(space_.get());
-}
-
-size_t UncertainDataset::max_locations() const {
-  size_t z = 0;
-  for (const auto& p : points_) z = std::max(z, p.num_locations());
-  return z;
-}
-
-size_t UncertainDataset::total_locations() const {
   size_t total = 0;
-  for (const auto& p : points_) total += p.num_locations();
-  return total;
+  for (const UncertainPoint& p : points) total += p.num_locations();
+  sites_.reserve(total);
+  probabilities_.reserve(total);
+  offsets_.reserve(points.size() + 1);
+  offsets_.push_back(0);
+  for (const UncertainPoint& p : points) {
+    for (const Location& loc : p.locations()) {
+      sites_.push_back(loc.site);
+      probabilities_.push_back(loc.probability);
+    }
+    offsets_.push_back(sites_.size());
+    max_locations_ = std::max(max_locations_, p.num_locations());
+  }
 }
 
 std::vector<metric::SiteId> UncertainDataset::LocationSites() const {
-  std::vector<metric::SiteId> sites;
-  sites.reserve(total_locations());
-  for (const auto& p : points_) {
-    for (const Location& loc : p.locations()) sites.push_back(loc.site);
-  }
+  std::vector<metric::SiteId> sites(sites_.begin(), sites_.end());
   std::sort(sites.begin(), sites.end());
   sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
   return sites;
@@ -61,8 +59,8 @@ std::vector<metric::SiteId> UncertainDataset::LocationSites() const {
 
 double UncertainDataset::MaxSupportDiameter() const {
   double worst = 0.0;
-  for (const auto& p : points_) {
-    worst = std::max(worst, p.SupportDiameter(*space_));
+  for (size_t i = 0; i < n(); ++i) {
+    worst = std::max(worst, point(i).SupportDiameter(*space_));
   }
   return worst;
 }

@@ -42,7 +42,7 @@ Status SaveDataset(const UncertainDataset& dataset, std::ostream& os) {
   os << "n " << dataset.n() << "\n";
   os.precision(17);
   for (size_t i = 0; i < dataset.n(); ++i) {
-    const UncertainPoint& p = dataset.point(i);
+    const UncertainPointView p = dataset.point(i);
     os << "point " << p.num_locations() << "\n";
     for (const Location& loc : p.locations()) {
       os << loc.probability;

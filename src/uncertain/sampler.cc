@@ -5,14 +5,15 @@ namespace uncertain {
 
 RealizationSampler::RealizationSampler(const UncertainDataset& dataset)
     : dataset_(dataset) {
+  // Stream the flat probability array: each point's weights are the
+  // contiguous slice [offsets[i], offsets[i+1]).
+  const std::span<const double> probabilities = dataset.flat_probabilities();
+  const std::span<const size_t> offsets = dataset.offsets();
   tables_.reserve(dataset.n());
+  std::vector<double> weights;
   for (size_t i = 0; i < dataset.n(); ++i) {
-    const UncertainPoint& p = dataset.point(i);
-    std::vector<double> weights;
-    weights.reserve(p.num_locations());
-    for (const Location& loc : p.locations()) {
-      weights.push_back(loc.probability);
-    }
+    weights.assign(probabilities.begin() + offsets[i],
+                   probabilities.begin() + offsets[i + 1]);
     auto table = AliasTable::Build(weights);
     // Dataset points are validated at Build() time, so this cannot fail.
     UKC_CHECK(table.ok()) << table.status();

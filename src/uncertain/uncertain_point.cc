@@ -10,6 +10,60 @@
 namespace ukc {
 namespace uncertain {
 
+Location UncertainPointView::ModalLocation() const {
+  size_t best = 0;
+  for (size_t j = 1; j < count_; ++j) {
+    if (probabilities_[j] > probabilities_[best]) best = j;
+  }
+  return Location{sites_[best], probabilities_[best]};
+}
+
+double UncertainPointView::ExpectedDistanceTo(const metric::MetricSpace& space,
+                                              metric::SiteId q) const {
+  double total = 0.0;
+  for (size_t j = 0; j < count_; ++j) {
+    total += probabilities_[j] * space.Distance(sites_[j], q);
+  }
+  return total;
+}
+
+metric::SiteId UncertainPointView::MinExpectedDistanceSite(
+    const metric::MetricSpace& space,
+    const std::vector<metric::SiteId>& candidates, double* min_expected) const {
+  metric::SiteId best = metric::kInvalidSite;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (metric::SiteId c : candidates) {
+    const double value = ExpectedDistanceTo(space, c);
+    if (value < best_value) {
+      best_value = value;
+      best = c;
+    }
+  }
+  if (min_expected != nullptr) *min_expected = best_value;
+  return best;
+}
+
+double UncertainPointView::SupportDiameter(
+    const metric::MetricSpace& space) const {
+  double worst = 0.0;
+  for (size_t a = 0; a < count_; ++a) {
+    for (size_t b = a + 1; b < count_; ++b) {
+      worst = std::max(worst, space.Distance(sites_[a], sites_[b]));
+    }
+  }
+  return worst;
+}
+
+std::string UncertainPointView::ToString() const {
+  std::string out = "{";
+  for (size_t j = 0; j < count_; ++j) {
+    if (j > 0) out += ", ";
+    out += StrFormat("site %d: %.4g", sites_[j], probabilities_[j]);
+  }
+  out += "}";
+  return out;
+}
+
 Result<UncertainPoint> UncertainPoint::Build(std::vector<Location> locations) {
   if (locations.empty()) {
     return Status::InvalidArgument("UncertainPoint: no locations");
@@ -37,72 +91,20 @@ Result<UncertainPoint> UncertainPoint::Build(std::vector<Location> locations) {
     return Status::InvalidArgument(
         StrFormat("UncertainPoint: probabilities sum to %.12g, want 1", total));
   }
-  std::vector<Location> clean;
-  clean.reserve(merged.size());
+  std::vector<metric::SiteId> sites;
+  std::vector<double> probabilities;
+  sites.reserve(merged.size());
+  probabilities.reserve(merged.size());
   for (const auto& [site, prob] : merged) {
-    clean.push_back(Location{site, prob});
+    sites.push_back(site);
+    probabilities.push_back(prob);
   }
-  return UncertainPoint(std::move(clean));
+  return UncertainPoint(std::move(sites), std::move(probabilities));
 }
 
 UncertainPoint UncertainPoint::Certain(metric::SiteId site) {
   UKC_CHECK_GE(site, 0);
-  return UncertainPoint({Location{site, 1.0}});
-}
-
-const Location& UncertainPoint::ModalLocation() const {
-  size_t best = 0;
-  for (size_t j = 1; j < locations_.size(); ++j) {
-    if (locations_[j].probability > locations_[best].probability) best = j;
-  }
-  return locations_[best];
-}
-
-double UncertainPoint::ExpectedDistanceTo(const metric::MetricSpace& space,
-                                          metric::SiteId q) const {
-  double total = 0.0;
-  for (const Location& loc : locations_) {
-    total += loc.probability * space.Distance(loc.site, q);
-  }
-  return total;
-}
-
-metric::SiteId UncertainPoint::MinExpectedDistanceSite(
-    const metric::MetricSpace& space,
-    const std::vector<metric::SiteId>& candidates, double* min_expected) const {
-  metric::SiteId best = metric::kInvalidSite;
-  double best_value = std::numeric_limits<double>::infinity();
-  for (metric::SiteId c : candidates) {
-    const double value = ExpectedDistanceTo(space, c);
-    if (value < best_value) {
-      best_value = value;
-      best = c;
-    }
-  }
-  if (min_expected != nullptr) *min_expected = best_value;
-  return best;
-}
-
-double UncertainPoint::SupportDiameter(const metric::MetricSpace& space) const {
-  double worst = 0.0;
-  for (size_t a = 0; a < locations_.size(); ++a) {
-    for (size_t b = a + 1; b < locations_.size(); ++b) {
-      worst = std::max(worst,
-                       space.Distance(locations_[a].site, locations_[b].site));
-    }
-  }
-  return worst;
-}
-
-std::string UncertainPoint::ToString() const {
-  std::string out = "{";
-  for (size_t j = 0; j < locations_.size(); ++j) {
-    if (j > 0) out += ", ";
-    out += StrFormat("site %d: %.4g", locations_[j].site,
-                     locations_[j].probability);
-  }
-  out += "}";
-  return out;
+  return UncertainPoint({site}, {1.0});
 }
 
 }  // namespace uncertain

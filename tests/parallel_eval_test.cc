@@ -1,0 +1,341 @@
+// Determinism tests for the parallel candidate-evaluation pipeline:
+// batch results must be *bitwise* identical to serial results for every
+// thread count, for both the exact and Monte-Carlo paths. Each
+// candidate's evaluation is arithmetically identical no matter which
+// worker runs it (per-worker evaluators are pure scratch; Monte-Carlo
+// streams are forked by candidate index), so EXPECT_EQ on doubles is
+// the right assertion — any tolerance would hide a scheduling leak.
+//
+// Also covers the ThreadPool itself (full coverage of the index space,
+// worker ids in range) and the thread-count invariance of the routed
+// consumers (unassigned local search, k-median local search, refine).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/unassigned.h"
+#include "cost/expected_cost_evaluator.h"
+#include "cost/parallel_evaluator.h"
+#include "exper/instances.h"
+#include "solver/gonzalez.h"
+#include "solver/kmedian_local_search.h"
+#include "solver/refine.h"
+
+namespace ukc {
+namespace {
+
+using metric::SiteId;
+
+const int kThreadCounts[] = {1, 2, 8};
+
+uncertain::UncertainDataset MakeDataset(size_t n, uint64_t seed,
+                                        exper::Family family =
+                                            exper::Family::kClustered) {
+  exper::InstanceSpec spec;
+  spec.family = family;
+  spec.n = n;
+  spec.z = 3;
+  spec.dim = 2;
+  spec.k = 4;
+  spec.seed = seed;
+  return std::move(exper::MakeInstance(spec)).value();
+}
+
+// Some candidate center sets around a Gonzalez seed, local-search style.
+std::vector<std::vector<SiteId>> MakeCenterSets(
+    const uncertain::UncertainDataset& dataset, size_t count) {
+  const auto sites = dataset.LocationSites();
+  auto seed = solver::Gonzalez(dataset.space(), sites, 4);
+  std::vector<std::vector<SiteId>> center_sets;
+  for (size_t s = 0; s < count; ++s) {
+    auto centers = seed->centers;
+    centers[s % centers.size()] = sites[(s * 131) % sites.size()];
+    center_sets.push_back(std::move(centers));
+  }
+  return center_sets;
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    constexpr size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    std::atomic<bool> worker_in_range{true};
+    pool.ParallelFor(kCount, [&](int worker, size_t index) {
+      if (worker < 0 || worker >= threads) worker_in_range = false;
+      hits[index].fetch_add(1);
+    });
+    EXPECT_TRUE(worker_in_range.load());
+    for (size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs) {
+  ThreadPool pool(4);
+  for (int job = 0; job < 20; ++job) {
+    std::atomic<size_t> total{0};
+    pool.ParallelFor(100, [&](int, size_t index) { total += index; });
+    EXPECT_EQ(total.load(), 100u * 99 / 2);
+  }
+  pool.ParallelFor(0, [](int, size_t) { FAIL(); });  // Empty job is a no-op.
+}
+
+TEST(ParallelEvaluatorTest, ExactBatchBitwiseMatchesSerial) {
+  const auto dataset = MakeDataset(150, 7);
+  const auto center_sets = MakeCenterSets(dataset, 24);
+
+  cost::ExpectedCostEvaluator serial;
+  std::vector<double> reference;
+  for (const auto& centers : center_sets) {
+    reference.push_back(*serial.UnassignedCost(dataset, centers));
+  }
+
+  for (int threads : kThreadCounts) {
+    cost::ParallelCandidateEvaluator::Options options;
+    options.threads = threads;
+    cost::ParallelCandidateEvaluator parallel(options);
+    auto values = parallel.UnassignedCostBatch(dataset, center_sets);
+    ASSERT_TRUE(values.ok()) << values.status();
+    ASSERT_EQ(values->size(), reference.size());
+    for (size_t s = 0; s < reference.size(); ++s) {
+      EXPECT_EQ((*values)[s], reference[s])
+          << "threads=" << threads << " set=" << s;
+    }
+  }
+}
+
+TEST(ParallelEvaluatorTest, AssignedBatchBitwiseMatchesSerial) {
+  const auto dataset = MakeDataset(120, 9);
+  const auto sites = dataset.LocationSites();
+  std::vector<cost::Assignment> assignments;
+  for (uint64_t variant = 0; variant < 12; ++variant) {
+    cost::Assignment assignment(dataset.n());
+    for (size_t i = 0; i < dataset.n(); ++i) {
+      assignment[i] = sites[(i * 7 + variant * 13) % sites.size()];
+    }
+    assignments.push_back(std::move(assignment));
+  }
+
+  cost::ExpectedCostEvaluator serial;
+  std::vector<double> reference;
+  for (const auto& assignment : assignments) {
+    reference.push_back(*serial.AssignedCost(dataset, assignment));
+  }
+
+  for (int threads : kThreadCounts) {
+    cost::ParallelCandidateEvaluator::Options options;
+    options.threads = threads;
+    cost::ParallelCandidateEvaluator parallel(options);
+    auto values = parallel.AssignedCostBatch(dataset, assignments);
+    ASSERT_TRUE(values.ok()) << values.status();
+    for (size_t a = 0; a < reference.size(); ++a) {
+      EXPECT_EQ((*values)[a], reference[a])
+          << "threads=" << threads << " assignment=" << a;
+    }
+  }
+}
+
+TEST(ParallelEvaluatorTest, MonteCarloBatchIsThreadCountInvariant) {
+  const auto dataset = MakeDataset(60, 11);
+  const auto center_sets = MakeCenterSets(dataset, 8);
+  constexpr int64_t kSamples = 5000;
+
+  std::vector<cost::MonteCarloEstimate> reference;
+  for (int threads : kThreadCounts) {
+    cost::ParallelCandidateEvaluator::Options options;
+    options.threads = threads;
+    cost::ParallelCandidateEvaluator parallel(options);
+    Rng rng(123);  // Fresh identical stream per thread count.
+    auto estimates = parallel.MonteCarloUnassignedCostBatch(dataset, center_sets,
+                                                            kSamples, rng);
+    ASSERT_TRUE(estimates.ok()) << estimates.status();
+    if (reference.empty()) {
+      reference = *estimates;
+      // Sanity: the estimates agree with the exact sweep.
+      cost::ExpectedCostEvaluator exact;
+      for (size_t s = 0; s < center_sets.size(); ++s) {
+        const double truth = *exact.UnassignedCost(dataset, center_sets[s]);
+        EXPECT_NEAR(reference[s].mean, truth,
+                    6.0 * reference[s].std_error + 1e-9);
+      }
+      continue;
+    }
+    for (size_t s = 0; s < reference.size(); ++s) {
+      EXPECT_EQ((*estimates)[s].mean, reference[s].mean)
+          << "threads=" << threads << " set=" << s;
+      EXPECT_EQ((*estimates)[s].std_error, reference[s].std_error);
+      EXPECT_EQ((*estimates)[s].samples, reference[s].samples);
+    }
+  }
+}
+
+TEST(ParallelEvaluatorTest, SwapCostMatrixMatchesFullEvaluation) {
+  for (exper::Family family :
+       {exper::Family::kClustered, exper::Family::kGridGraph}) {
+    const auto dataset = MakeDataset(80, 13, family);
+    const auto sites = dataset.LocationSites();
+    auto seed = solver::Gonzalez(dataset.space(), sites, 4);
+    const std::vector<SiteId>& centers = seed->centers;
+    std::vector<SiteId> pool(sites.begin(),
+                             sites.begin() + std::min<size_t>(10, sites.size()));
+
+    // Reference: full linear-path evaluation of every swapped set. The
+    // merge-sweep enumerates the same events in the same value order,
+    // but events *tied on value* (common in the grid-graph metric) may
+    // apply in a different order, so the comparison is to rounding, not
+    // bitwise. Across thread counts the swap path is bitwise identical
+    // — asserted below against the threads=1 matrix.
+    cost::ExpectedCostEvaluator::Options linear_options;
+    linear_options.kdtree_cutover = std::numeric_limits<size_t>::max();
+    cost::ExpectedCostEvaluator serial(linear_options);
+    std::vector<double> reference;
+    for (size_t p = 0; p < centers.size(); ++p) {
+      for (SiteId candidate : pool) {
+        std::vector<SiteId> trial = centers;
+        trial[p] = candidate;
+        reference.push_back(*serial.UnassignedCost(dataset, trial));
+      }
+    }
+
+    std::vector<double> single_threaded;
+    for (int threads : kThreadCounts) {
+      cost::ParallelCandidateEvaluator::Options options;
+      options.threads = threads;
+      cost::ParallelCandidateEvaluator parallel(options);
+      auto values = parallel.SwapCostMatrix(dataset, centers, pool);
+      ASSERT_TRUE(values.ok()) << values.status();
+      ASSERT_EQ(values->size(), reference.size());
+      for (size_t v = 0; v < reference.size(); ++v) {
+        EXPECT_NEAR((*values)[v], reference[v],
+                    1e-12 * (1.0 + std::abs(reference[v])))
+            << "threads=" << threads << " swap=" << v;
+      }
+      if (single_threaded.empty()) {
+        single_threaded = *values;
+        continue;
+      }
+      for (size_t v = 0; v < single_threaded.size(); ++v) {
+        EXPECT_EQ((*values)[v], single_threaded[v])
+            << "threads=" << threads << " swap=" << v;
+      }
+    }
+  }
+}
+
+TEST(ParallelEvaluatorTest, PropagatesErrors) {
+  const auto dataset = MakeDataset(20, 17);
+  cost::ParallelCandidateEvaluator parallel;
+  std::vector<std::vector<SiteId>> center_sets = {{0}, {-1}, {0}};
+  EXPECT_FALSE(parallel.UnassignedCostBatch(dataset, center_sets).ok());
+  EXPECT_FALSE(parallel.SwapCostMatrix(dataset, {}, {0}).ok());
+  EXPECT_FALSE(parallel.SwapCostMatrix(dataset, {0}, {}).ok());
+}
+
+TEST(ConsumerDeterminismTest, LocalSearchUnassignedIsThreadCountInvariant) {
+  std::vector<SiteId> reference_centers;
+  double reference_cost = 0.0;
+  size_t reference_swaps = 0;
+  for (int threads : kThreadCounts) {
+    auto dataset = MakeDataset(60, 19);
+    core::UnassignedSearchOptions options;
+    options.k = 3;
+    options.max_swaps = 10;
+    options.threads = threads;
+    auto solution = core::LocalSearchUnassigned(&dataset, options);
+    ASSERT_TRUE(solution.ok()) << solution.status();
+    if (threads == 1) {
+      reference_centers = solution->centers;
+      reference_cost = solution->expected_cost;
+      reference_swaps = solution->swaps;
+      continue;
+    }
+    EXPECT_EQ(solution->centers, reference_centers) << "threads=" << threads;
+    EXPECT_EQ(solution->expected_cost, reference_cost);
+    EXPECT_EQ(solution->swaps, reference_swaps);
+  }
+}
+
+TEST(ConsumerDeterminismTest, ExactUnassignedTinyIsThreadCountInvariant) {
+  const auto dataset = MakeDataset(25, 21);
+  const auto sites = dataset.LocationSites();
+  std::vector<SiteId> candidates(sites.begin(),
+                                 sites.begin() + std::min<size_t>(9, sites.size()));
+  std::vector<SiteId> reference_centers;
+  double reference_cost = 0.0;
+  for (int threads : kThreadCounts) {
+    auto solution =
+        core::ExactUnassignedTiny(dataset, 3, candidates, 2'000'000, threads);
+    ASSERT_TRUE(solution.ok()) << solution.status();
+    if (threads == 1) {
+      reference_centers = solution->centers;
+      reference_cost = solution->expected_cost;
+      continue;
+    }
+    EXPECT_EQ(solution->centers, reference_centers) << "threads=" << threads;
+    EXPECT_EQ(solution->expected_cost, reference_cost);
+  }
+}
+
+TEST(ConsumerDeterminismTest, KMedianLocalSearchIsThreadCountInvariant) {
+  Rng rng(31);
+  const size_t clients = 40;
+  const size_t facilities = 25;
+  std::vector<std::vector<double>> cost(clients);
+  for (auto& row : cost) {
+    row.reserve(facilities);
+    for (size_t f = 0; f < facilities; ++f) {
+      row.push_back(rng.UniformDouble(0.0, 10.0));
+    }
+  }
+  std::vector<size_t> reference_facilities;
+  double reference_cost = 0.0;
+  for (int threads : kThreadCounts) {
+    solver::KMedianOptions options;
+    options.threads = threads;
+    auto solution = solver::KMedianLocalSearch(cost, 5, options);
+    ASSERT_TRUE(solution.ok()) << solution.status();
+    if (threads == 1) {
+      reference_facilities = solution->facilities;
+      reference_cost = solution->total_cost;
+      continue;
+    }
+    EXPECT_EQ(solution->facilities, reference_facilities)
+        << "threads=" << threads;
+    EXPECT_EQ(solution->total_cost, reference_cost);
+  }
+}
+
+TEST(ConsumerDeterminismTest, RefineKCenterIsThreadCountInvariant) {
+  std::vector<SiteId> reference_centers;
+  double reference_radius = 0.0;
+  for (int threads : kThreadCounts) {
+    auto dataset = MakeDataset(80, 23);
+    const auto sites = dataset.LocationSites();
+    auto seed = solver::Gonzalez(dataset.space(), sites, 4);
+    ASSERT_TRUE(seed.ok());
+    solver::RefineOptions options;
+    options.threads = threads;
+    auto refined = solver::RefineKCenter(dataset.shared_space().get(), sites,
+                                         *seed, options);
+    ASSERT_TRUE(refined.ok()) << refined.status();
+    EXPECT_LE(refined->radius, seed->radius + 1e-12);
+    if (threads == 1) {
+      reference_centers = refined->centers;
+      reference_radius = refined->radius;
+      continue;
+    }
+    EXPECT_EQ(refined->centers, reference_centers) << "threads=" << threads;
+    EXPECT_EQ(refined->radius, reference_radius);
+  }
+}
+
+}  // namespace
+}  // namespace ukc

@@ -201,8 +201,8 @@ TEST(IoTest, SaveLoadRoundTrip) {
   EXPECT_EQ(loaded_space->dim(), 2u);
   // Exact coordinate and probability round trip (17 significant digits).
   for (size_t i = 0; i < original.n(); ++i) {
-    const UncertainPoint& p0 = original.point(i);
-    const UncertainPoint& p1 = loaded->point(i);
+    const UncertainPointView p0 = original.point(i);
+    const UncertainPointView p1 = loaded->point(i);
     ASSERT_EQ(p0.num_locations(), p1.num_locations());
     for (size_t j = 0; j < p0.num_locations(); ++j) {
       EXPECT_DOUBLE_EQ(p0.probability(j), p1.probability(j));
