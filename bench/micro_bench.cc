@@ -15,7 +15,9 @@
 #include <limits>
 #include <thread>
 
+#include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/surrogates.h"
 #include "cost/assignment.h"
 #include "cost/expected_cost.h"
@@ -24,6 +26,8 @@
 #include "solver/enclosing_ball.h"
 #include "solver/geometric_median.h"
 #include "solver/gonzalez.h"
+#include "stream/ingest.h"
+#include "stream/pipeline.h"
 #include "uncertain/sampler.h"
 
 namespace ukc {
@@ -270,6 +274,121 @@ BENCHMARK(BM_SwapSweepBatch)
     ->Args({10000, 8})
     ->Args({100000, 8});
 
+// A deterministic synthetic uncertain-point stream (8 planted cluster
+// homes, z = 4 locations per point, each point a pure function of its
+// index) that is generated on the fly: nothing of size n is ever
+// resident, so the stream benches exercise the true out-of-core path
+// at n = 10^6 without an O(n) setup allocation.
+stream::BatchSourceFactory SyntheticStreamFactory(size_t n, size_t chunk_size,
+                                                  uint64_t seed = 977) {
+  return [n, chunk_size, seed]() -> Result<stream::BatchSource> {
+    auto index = std::make_shared<size_t>(0);
+    return stream::MakeProducerBatchSource(
+        2,
+        [n, seed, index](std::vector<double>* coords,
+                         std::vector<double>* probabilities) {
+          if (*index >= n) return false;
+          Rng point_rng = Rng(seed).Fork(*index);
+          const size_t cluster = *index % 8;
+          const double cx = 10.0 * static_cast<double>(cluster % 4);
+          const double cy = 10.0 * static_cast<double>(cluster / 4);
+          const double hx = cx + point_rng.Gaussian(0.0, 1.0);
+          const double hy = cy + point_rng.Gaussian(0.0, 1.0);
+          for (int l = 0; l < 4; ++l) {
+            coords->push_back(hx + point_rng.Gaussian(0.0, 0.4));
+            coords->push_back(hy + point_rng.Gaussian(0.0, 0.4));
+            probabilities->push_back(0.25);
+          }
+          ++*index;
+          return true;
+        },
+        chunk_size);
+  };
+}
+
+// Pass 1 of the streaming pipeline alone: chunked ingestion into the
+// sharded coreset. The coreset_bytes counter demonstrates the
+// memory-independence claim — it stays flat as n grows 10x.
+void BM_StreamIngest(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto factory = SyntheticStreamFactory(n, 8192);
+  ThreadPool pool(1);
+  stream::IngestOptions options;
+  options.chunk_size = 8192;
+  options.coreset.max_cells = 4096;
+  size_t coreset_bytes = 0;
+  for (auto _ : state) {
+    auto source = factory();
+    UKC_CHECK(source.ok()) << source.status();
+    auto coreset = stream::BuildCoresetFromSource(2, *source, options, &pool);
+    UKC_CHECK(coreset.ok()) << coreset.status();
+    coreset_bytes = coreset->ApproxMemoryBytes();
+    benchmark::DoNotOptimize(coreset);
+  }
+  state.counters["coreset_bytes"] = static_cast<double>(coreset_bytes);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StreamIngest)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+// Reducing two shard coresets (the merge-tree edge): built once from
+// disjoint halves of a 10^5-point stream, merged per iteration.
+void BM_CoresetMerge(benchmark::State& state) {
+  const size_t max_cells = static_cast<size_t>(state.range(0));
+  const size_t n = 100000;
+  ThreadPool pool(1);
+  stream::IngestOptions options;
+  options.chunk_size = 8192;
+  options.coreset.max_cells = max_cells;
+  // Each side is a full stream under a different seed, so the merge
+  // sees two genuinely distinct cell tables.
+  auto build_side = [&](uint64_t seed) {
+    auto factory = SyntheticStreamFactory(n, 8192, seed);
+    auto source = factory();
+    UKC_CHECK(source.ok()) << source.status();
+    auto coreset = stream::BuildCoresetFromSource(2, *source, options, &pool);
+    UKC_CHECK(coreset.ok()) << coreset.status();
+    return std::move(*coreset);
+  };
+  const stream::StreamingCoreset left = build_side(977);
+  const stream::StreamingCoreset right = build_side(1977);
+  for (auto _ : state) {
+    stream::StreamingCoreset merged = left;
+    auto status = merged.MergeFrom(right);
+    benchmark::DoNotOptimize(status);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(left.num_cells()));
+}
+BENCHMARK(BM_CoresetMerge)->Arg(1024)->Arg(4096);
+
+// The full out-of-core pipeline (ingest + solve on coreset + verified
+// full-data pass) at the n = 10^6 scaling point.
+void BM_StreamingPipeline(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  stream::StreamingOptions options;
+  options.k = 8;
+  options.threads = 1;
+  options.ingest.chunk_size = 8192;
+  options.ingest.coreset.max_cells = 4096;
+  stream::StreamingUncertainKCenter solver(options);
+  double upper = 0.0;
+  size_t coreset_bytes = 0;
+  for (auto _ : state) {
+    auto solution = solver.SolveSource(2, SyntheticStreamFactory(n, 8192));
+    UKC_CHECK(solution.ok()) << solution.status();
+    upper = solution->verified_upper;
+    coreset_bytes = solution->coreset_memory_bytes;
+    benchmark::DoNotOptimize(solution);
+  }
+  state.counters["verified_upper"] = upper;
+  state.counters["coreset_bytes"] = static_cast<double>(coreset_bytes);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StreamingPipeline)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_MonteCarloCost1k(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   auto dataset = MakeDataset(n);
@@ -356,7 +475,8 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("git_sha", git_sha != nullptr ? git_sha : "unknown");
   benchmark::AddCustomContext(
       "hardware_threads", std::to_string(std::thread::hardware_concurrency()));
-  benchmark::AddCustomContext("dataset_sizes", "1000,4000,10000,16000,100000");
+  benchmark::AddCustomContext("dataset_sizes",
+                              "1000,4000,10000,16000,100000,1000000");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -15,7 +15,21 @@
 //   --solver     gonzalez | hochbaum-shmoys | gonzalez-refined | exact
 //   --unassigned also evaluate the unassigned objective
 //   --mc         Monte-Carlo cross-check samples (0 = off)
+//   --threads    worker threads for the parallel stages
+//
+// Streaming (out-of-core) mode:
+//   --stream         run the chunked coreset pipeline (stream/) instead
+//                    of materializing the instance; with --input the
+//                    file is read twice and never loaded whole
+//   --chunk-size     points per ingested chunk
+//   --shards         shard coresets built concurrently (0 = threads)
+//   --max-cells      coreset size target
+//   --base-cell-width level-0 grid width (raise for large coordinates)
+//   --verify-buckets resolution of the verified-cost bracket
+//
+//   build/examples/ukc_cli --input=data.ukc --k=8 --stream --chunk-size=8192
 
+#include <cmath>
 #include <iostream>
 
 #include "common/flags.h"
@@ -23,6 +37,7 @@
 #include "core/uncertain_kcenter.h"
 #include "cost/expected_cost.h"
 #include "exper/instances.h"
+#include "stream/pipeline.h"
 #include "uncertain/io.h"
 
 namespace {
@@ -30,6 +45,48 @@ namespace {
 int Fail(const ukc::Status& status) {
   std::cerr << "error: " << status << "\n";
   return 1;
+}
+
+// Shared flag parsers, so the stream and direct paths cannot drift.
+ukc::Result<ukc::exper::Family> ParseFamily(const std::string& name) {
+  if (name == "uniform") return ukc::exper::Family::kUniform;
+  if (name == "clustered") return ukc::exper::Family::kClustered;
+  if (name == "outlier") return ukc::exper::Family::kOutlier;
+  if (name == "line") return ukc::exper::Family::kLine;
+  return ukc::Status::InvalidArgument("unknown family " + name);
+}
+
+ukc::Result<ukc::exper::InstanceSpec> BuildSpec(const std::string& family,
+                                                int64_t n, int64_t z,
+                                                int64_t dim, int64_t k,
+                                                double spread, int64_t seed) {
+  ukc::exper::InstanceSpec spec;
+  UKC_ASSIGN_OR_RETURN(spec.family, ParseFamily(family));
+  spec.n = static_cast<size_t>(n);
+  spec.z = static_cast<size_t>(z);
+  spec.dim = static_cast<size_t>(dim);
+  spec.k = static_cast<size_t>(k);
+  spec.spread = spread;
+  spec.seed = static_cast<uint64_t>(seed);
+  return spec;
+}
+
+ukc::Result<ukc::solver::CertainSolverKind> ParseSolver(const std::string& name,
+                                                        bool allow_exact) {
+  if (name == "gonzalez") return ukc::solver::CertainSolverKind::kGonzalez;
+  if (name == "hochbaum-shmoys") {
+    return ukc::solver::CertainSolverKind::kHochbaumShmoys;
+  }
+  if (name == "gonzalez-refined") {
+    return ukc::solver::CertainSolverKind::kGonzalezRefined;
+  }
+  if (name == "exact") {
+    if (allow_exact) return ukc::solver::CertainSolverKind::kExact;
+    return ukc::Status::InvalidArgument(
+        "the exact solver is not supported in --stream mode (the coreset can "
+        "hold thousands of cells)");
+  }
+  return ukc::Status::InvalidArgument("unknown solver " + name);
 }
 
 }  // namespace
@@ -48,6 +105,13 @@ int main(int argc, char** argv) {
   std::string solver_name = "gonzalez";
   bool unassigned = false;
   int64_t mc = 0;
+  int64_t threads = 1;
+  bool stream = false;
+  int64_t chunk_size = 4096;
+  int64_t shards = 0;
+  int64_t max_cells = 4096;
+  double base_cell_width = 1e-9;
+  int64_t verify_buckets = 4096;
 
   ukc::FlagParser flags;
   flags.AddString("input", &input, "dataset file (ukc text format)");
@@ -66,9 +130,104 @@ int main(int argc, char** argv) {
                   "gonzalez|hochbaum-shmoys|gonzalez-refined|exact");
   flags.AddBool("unassigned", &unassigned, "also evaluate unassigned cost");
   flags.AddInt("mc", &mc, "Monte-Carlo cross-check samples (0 = off)");
+  flags.AddInt("threads", &threads, "worker threads (<= 0 = hardware)");
+  flags.AddBool("stream", &stream, "run the chunked streaming pipeline");
+  flags.AddInt("chunk-size", &chunk_size, "streaming: points per chunk");
+  flags.AddInt("shards", &shards, "streaming: shard coresets (0 = threads)");
+  flags.AddInt("max-cells", &max_cells, "streaming: coreset size target");
+  flags.AddDouble("base-cell-width", &base_cell_width,
+                  "streaming: level-0 grid cell width (supports coordinate "
+                  "magnitudes up to ~1.76e13 x this)");
+  flags.AddInt("verify-buckets", &verify_buckets,
+               "streaming: verified-cost bracket resolution");
   if (auto status = flags.Parse(argc, argv); !status.ok()) {
     std::cerr << status << "\n" << flags.Usage("ukc_cli");
     return 1;
+  }
+
+  // Streaming mode: the file path never materializes the dataset; the
+  // generated path materializes it once and streams it through the same
+  // chunked pipeline (which then also reports the exact cost).
+  if (stream) {
+    // Reject configurations the streaming pipeline does not honor —
+    // silently falling back would misreport what was computed.
+    if (rule != "ED") {
+      return Fail(ukc::Status::InvalidArgument(
+          "--stream supports only --rule=ED (points are re-assigned by "
+          "expected distance during the verification pass)"));
+    }
+    if (surrogate != "auto" && surrogate != "expected-point") {
+      return Fail(ukc::Status::InvalidArgument(
+          "--stream summarizes points by their expected-point surrogate; "
+          "--surrogate=" + surrogate + " is not supported"));
+    }
+    if (unassigned || mc > 0) {
+      return Fail(ukc::Status::InvalidArgument(
+          "--unassigned and --mc are not supported in --stream mode"));
+    }
+    if (k <= 0 || chunk_size <= 0 || max_cells <= 0 || verify_buckets <= 0 ||
+        shards < 0 || shards > 65536 || !(base_cell_width > 0.0)) {
+      return Fail(ukc::Status::InvalidArgument(
+          "--stream needs k, chunk-size, max-cells, verify-buckets >= 1, "
+          "shards in [0, 65536] and base-cell-width > 0"));
+    }
+    ukc::stream::StreamingOptions options;
+    options.k = static_cast<size_t>(k);
+    options.threads = static_cast<int>(threads);
+    options.ingest.chunk_size = static_cast<size_t>(chunk_size);
+    options.ingest.shards = static_cast<int>(shards);
+    options.ingest.coreset.max_cells = static_cast<size_t>(max_cells);
+    options.ingest.coreset.base_cell_width = base_cell_width;
+    options.verify_buckets = static_cast<size_t>(verify_buckets);
+    auto solver_kind = ParseSolver(solver_name, /*allow_exact=*/false);
+    if (!solver_kind.ok()) return Fail(solver_kind.status());
+    options.certain.kind = *solver_kind;
+    ukc::stream::StreamingUncertainKCenter solver(options);
+    ukc::Result<ukc::stream::StreamingSolution> solution =
+        ukc::Status::Internal("unset");
+    ukc::Result<ukc::uncertain::UncertainDataset> materialized =
+        ukc::Status::Internal("unset");
+    if (!input.empty()) {
+      solution = solver.SolveFile(input);
+    } else {
+      auto spec = BuildSpec(generate, n, z, dim, k, spread, seed);
+      if (!spec.ok()) return Fail(spec.status());
+      materialized = ukc::exper::MakeInstance(*spec);
+      if (!materialized.ok()) return Fail(materialized.status());
+      solution = solver.SolveDataset(&materialized.value());
+    }
+    if (!solution.ok()) return Fail(solution.status());
+
+    ukc::TablePrinter report({"metric", "value"});
+    // The pipeline clamps k to the coreset size; surface it when fewer
+    // centers were solved than requested.
+    report.AddRowValues("k (effective)", static_cast<double>(solution->k));
+    report.AddRowValues("points ingested",
+                        static_cast<double>(solution->ingest_stats.points));
+    report.AddRowValues("chunks", static_cast<double>(
+                                      solution->ingest_stats.batches));
+    report.AddRowValues("coreset cells",
+                        static_cast<double>(solution->coreset_cells));
+    report.AddRowValues("coreset level",
+                        static_cast<double>(solution->coreset_level));
+    report.AddRowValues("coreset error bound", solution->coreset_error_bound);
+    report.AddRowValues("coreset memory (KiB)",
+                        static_cast<double>(solution->coreset_memory_bytes) /
+                            1024.0);
+    report.AddRowValues("solve cost (on coreset)", solution->coreset_cost);
+    report.AddRowValues("verified cost lower", solution->verified_lower);
+    report.AddRowValues("verified cost upper", solution->verified_upper);
+    report.AddRowValues("max expected distance",
+                        solution->max_expected_distance);
+    if (!std::isnan(solution->verified_exact)) {
+      report.AddRowValues("verified cost (exact evaluator)",
+                          solution->verified_exact);
+    }
+    report.AddRowValues("ingest ms", solution->timings.ingest_seconds * 1e3);
+    report.AddRowValues("solve ms", solution->timings.solve_seconds * 1e3);
+    report.AddRowValues("verify ms", solution->timings.verify_seconds * 1e3);
+    report.Print(std::cout);
+    return 0;
   }
 
   // Materialize the dataset.
@@ -77,25 +236,9 @@ int main(int argc, char** argv) {
   if (!input.empty()) {
     dataset = ukc::uncertain::LoadDatasetFromFile(input);
   } else {
-    ukc::exper::InstanceSpec spec;
-    if (generate == "uniform") {
-      spec.family = ukc::exper::Family::kUniform;
-    } else if (generate == "clustered") {
-      spec.family = ukc::exper::Family::kClustered;
-    } else if (generate == "outlier") {
-      spec.family = ukc::exper::Family::kOutlier;
-    } else if (generate == "line") {
-      spec.family = ukc::exper::Family::kLine;
-    } else {
-      return Fail(ukc::Status::InvalidArgument("unknown family " + generate));
-    }
-    spec.n = static_cast<size_t>(n);
-    spec.z = static_cast<size_t>(z);
-    spec.dim = static_cast<size_t>(dim);
-    spec.k = static_cast<size_t>(k);
-    spec.spread = spread;
-    spec.seed = static_cast<uint64_t>(seed);
-    dataset = ukc::exper::MakeInstance(spec);
+    auto spec = BuildSpec(generate, n, z, dim, k, spread, seed);
+    if (!spec.ok()) return Fail(spec.status());
+    dataset = ukc::exper::MakeInstance(*spec);
   }
   if (!dataset.ok()) return Fail(dataset.status());
   std::cout << "Instance: " << dataset->ToString() << "\n";
@@ -104,6 +247,7 @@ int main(int argc, char** argv) {
   ukc::core::UncertainKCenterOptions options;
   options.k = static_cast<size_t>(k);
   options.evaluate_unassigned = unassigned;
+  options.threads = static_cast<int>(threads);
   if (rule == "ED") {
     options.rule = ukc::cost::AssignmentRule::kExpectedDistance;
   } else if (rule == "EP") {
@@ -122,17 +266,9 @@ int main(int argc, char** argv) {
   } else if (surrogate != "auto") {
     return Fail(ukc::Status::InvalidArgument("unknown surrogate " + surrogate));
   }
-  if (solver_name == "gonzalez") {
-    options.certain.kind = ukc::solver::CertainSolverKind::kGonzalez;
-  } else if (solver_name == "hochbaum-shmoys") {
-    options.certain.kind = ukc::solver::CertainSolverKind::kHochbaumShmoys;
-  } else if (solver_name == "gonzalez-refined") {
-    options.certain.kind = ukc::solver::CertainSolverKind::kGonzalezRefined;
-  } else if (solver_name == "exact") {
-    options.certain.kind = ukc::solver::CertainSolverKind::kExact;
-  } else {
-    return Fail(ukc::Status::InvalidArgument("unknown solver " + solver_name));
-  }
+  auto solver_kind = ParseSolver(solver_name, /*allow_exact=*/true);
+  if (!solver_kind.ok()) return Fail(solver_kind.status());
+  options.certain.kind = *solver_kind;
 
   auto solution = ukc::core::SolveUncertainKCenter(&dataset.value(), options);
   if (!solution.ok()) return Fail(solution.status());

@@ -36,13 +36,14 @@ namespace {
 Result<BaselineResult> FinishWithED(const uncertain::UncertainDataset& dataset,
                                     cost::ExpectedCostEvaluator* evaluator,
                                     std::string name,
-                                    std::vector<SiteId> centers, int threads) {
+                                    std::vector<SiteId> centers, int threads,
+                                    ThreadPool* shared_pool) {
   BaselineResult result;
   result.name = std::move(name);
   result.centers = std::move(centers);
-  UKC_ASSIGN_OR_RETURN(
-      result.assignment,
-      cost::AssignExpectedDistance(dataset, result.centers, threads));
+  UKC_ASSIGN_OR_RETURN(result.assignment,
+                       cost::AssignExpectedDistance(dataset, result.centers,
+                                                    threads, shared_pool));
   UKC_ASSIGN_OR_RETURN(result.expected_cost,
                        evaluator->AssignedCost(dataset, result.assignment));
   return result;
@@ -70,14 +71,15 @@ std::vector<uncertain::Location> TruncatedCore(
 // are computed in parallel (pure reads); Euclidean surrogates are
 // minted into the space serially afterwards, in point order.
 Result<std::vector<SiteId>> TruncatedMedianSurrogates(
-    uncertain::UncertainDataset* dataset, double delta, int threads) {
+    uncertain::UncertainDataset* dataset, double delta, int threads,
+    ThreadPool* shared_pool) {
   const size_t n = dataset->n();
-  ThreadPool pool(threads);
+  ScopedPool pool(shared_pool, threads);
   if (dataset->is_euclidean()) {
     metric::EuclideanSpace* space = dataset->euclidean();
     std::vector<geometry::Point> medians(n);
     std::vector<Status> statuses(n);
-    pool.ParallelFor(n, [&](int, size_t i) {
+    pool->ParallelFor(n, [&](int, size_t i) {
       const auto kept = TruncatedCore(*dataset, i, delta);
       std::vector<geometry::Point> points;
       std::vector<double> weights;
@@ -108,7 +110,7 @@ Result<std::vector<SiteId>> TruncatedMedianSurrogates(
   // distance; existing sites only, so fully parallel.
   const metric::MetricSpace& space = dataset->space();
   std::vector<SiteId> surrogates(n, metric::kInvalidSite);
-  pool.ParallelFor(n, [&](int, size_t i) {
+  pool->ParallelFor(n, [&](int, size_t i) {
     const auto kept = TruncatedCore(*dataset, i, delta);
     SiteId best = kept[0].site;
     double best_value = std::numeric_limits<double>::infinity();
@@ -147,12 +149,14 @@ Result<BaselineResult> RunBaseline(uncertain::UncertainDataset* dataset,
       UKC_ASSIGN_OR_RETURN(solver::KCenterSolution certain,
                            solver::Gonzalez(space, pool, options.k));
       return FinishWithED(*dataset, &evaluator, BaselineKindToString(kind),
-                          std::move(certain.centers), options.threads);
+                          std::move(certain.centers), options.threads,
+                          options.pool);
     }
     case BaselineKind::kModalLocation: {
       core::SurrogateOptions surrogate_options;
       surrogate_options.kind = core::SurrogateKind::kModal;
       surrogate_options.threads = options.threads;
+      surrogate_options.pool = options.pool;
       UKC_ASSIGN_OR_RETURN(std::vector<SiteId> modal,
                            core::BuildSurrogates(dataset, surrogate_options));
       UKC_ASSIGN_OR_RETURN(solver::KCenterSolution certain,
@@ -174,7 +178,7 @@ Result<BaselineResult> RunBaseline(uncertain::UncertainDataset* dataset,
       rng.Shuffle(&shuffled);
       shuffled.resize(std::min<size_t>(options.k, shuffled.size()));
       return FinishWithED(*dataset, &evaluator, BaselineKindToString(kind),
-                          std::move(shuffled), options.threads);
+                          std::move(shuffled), options.threads, options.pool);
     }
     case BaselineKind::kTruncatedMedian: {
       if (!(options.truncation_delta >= 0.0) || options.truncation_delta >= 1.0) {
@@ -184,11 +188,12 @@ Result<BaselineResult> RunBaseline(uncertain::UncertainDataset* dataset,
       UKC_ASSIGN_OR_RETURN(
           std::vector<SiteId> surrogates,
           TruncatedMedianSurrogates(dataset, options.truncation_delta,
-                                    options.threads));
+                                    options.threads, options.pool));
       UKC_ASSIGN_OR_RETURN(solver::KCenterSolution certain,
                            solver::Gonzalez(space, surrogates, options.k));
       return FinishWithED(*dataset, &evaluator, BaselineKindToString(kind),
-                          std::move(certain.centers), options.threads);
+                          std::move(certain.centers), options.threads,
+                          options.pool);
     }
   }
   return Status::Internal("RunBaseline: unknown baseline kind");

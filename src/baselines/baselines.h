@@ -19,6 +19,9 @@
 #include "uncertain/dataset.h"
 
 namespace ukc {
+
+class ThreadPool;
+
 namespace baselines {
 
 /// Which baseline to run.
@@ -49,6 +52,9 @@ struct BaselineOptions {
   /// assignment (<= 0 = hardware threads). Results do not depend on
   /// this.
   int threads = 1;
+  /// Borrowed shared worker pool; when set, `threads` is ignored and no
+  /// private pool is constructed (see ScopedPool in common/thread_pool.h).
+  ThreadPool* pool = nullptr;
 };
 
 /// A baseline's output, mirroring the core pipeline's essentials.

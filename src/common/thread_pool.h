@@ -29,6 +29,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -77,6 +78,33 @@ class ThreadPool {
   // cursor — has moved past it.
   size_t finished_workers_ = 0;
   bool stopping_ = false;
+};
+
+/// Borrow-or-own resolver for the `ThreadPool* pool` hook carried by
+/// the option structs (SurrogateOptions, RefineOptions, ...): when the
+/// caller supplies a shared pool it is borrowed as-is (its thread count
+/// wins and `threads` is ignored), otherwise a private pool of
+/// `threads` workers is constructed for the duration of the call. This
+/// is how a pipeline pays the worker spawn cost once instead of once
+/// per stage. The same nesting rule as ThreadPool applies: a shared
+/// pool must not be used from inside one of its own ParallelFor jobs.
+class ScopedPool {
+ public:
+  ScopedPool(ThreadPool* shared, int threads)
+      : owned_(shared == nullptr ? std::make_unique<ThreadPool>(threads)
+                                 : nullptr),
+        pool_(shared != nullptr ? shared : owned_.get()) {}
+
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+  ThreadPool& operator*() const { return *pool_; }
+  ThreadPool* operator->() const { return pool_; }
+  ThreadPool* get() const { return pool_; }
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* pool_;
 };
 
 }  // namespace ukc

@@ -102,7 +102,7 @@ Result<std::vector<SiteId>> BuildSurrogates(uncertain::UncertainDataset* dataset
     return Status::FailedPrecondition(
         "expected-point surrogate requires a Euclidean space");
   }
-  ThreadPool pool(options.threads);
+  ScopedPool pool(options.pool, options.threads);
 
   // Euclidean surrogates are new points: compute every point's
   // coordinates in parallel (pure reads of the arena), then mint them
@@ -118,9 +118,9 @@ Result<std::vector<SiteId>> BuildSurrogates(uncertain::UncertainDataset* dataset
     std::vector<Status> statuses(n);
     // Weiszfeld gather scratch, one pair per worker, reused across all
     // of that worker's points.
-    std::vector<std::vector<double>> coord_scratch(pool.num_threads());
-    std::vector<std::vector<double>> weight_scratch(pool.num_threads());
-    pool.ParallelFor(n, [&](int worker, size_t i) {
+    std::vector<std::vector<double>> coord_scratch(pool->num_threads());
+    std::vector<std::vector<double>> weight_scratch(pool->num_threads());
+    pool->ParallelFor(n, [&](int worker, size_t i) {
       double* out = surrogate_coords.data() + i * dim;
       if (options.kind == SurrogateKind::kExpectedPoint) {
         ExpectedPointCoords(*dataset, *euclidean, i, out);
@@ -144,7 +144,7 @@ Result<std::vector<SiteId>> BuildSurrogates(uncertain::UncertainDataset* dataset
 
   // Finite-metric / modal surrogates are existing sites: fully parallel.
   std::vector<SiteId> surrogates(n, metric::kInvalidSite);
-  pool.ParallelFor(n, [&](int, size_t i) {
+  pool->ParallelFor(n, [&](int, size_t i) {
     switch (options.kind) {
       case SurrogateKind::kOneCenter:
         surrogates[i] = FiniteOneCenterSite(*dataset, i, options.candidates);

@@ -21,6 +21,9 @@
 #include "uncertain/dataset.h"
 
 namespace ukc {
+
+class ThreadPool;
+
 namespace core {
 
 /// Which certain point stands in for each uncertain point.
@@ -57,6 +60,9 @@ struct SurrogateOptions {
   /// into the space serially in point order, so the produced site ids
   /// and coordinates do not depend on the thread count.
   int threads = 1;
+  /// Borrowed shared worker pool; when set, `threads` is ignored and no
+  /// private pool is constructed (see ScopedPool in common/thread_pool.h).
+  ThreadPool* pool = nullptr;
 };
 
 /// Computes one surrogate site per uncertain point. Euclidean surrogate

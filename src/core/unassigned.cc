@@ -85,9 +85,11 @@ Result<UnassignedSolution> LocalSearchUnassigned(
     return Status::InvalidArgument("LocalSearchUnassigned: k must be >= 1");
   }
 
-  // Seed with the paper's pipeline under the given configuration.
+  // Seed with the paper's pipeline under the given configuration,
+  // sharing the caller's worker pool unless the pipeline brings its own.
   UncertainKCenterOptions pipeline_options = options.pipeline;
   pipeline_options.k = options.k;
+  if (pipeline_options.pool == nullptr) pipeline_options.pool = options.pool;
   if (!dataset->is_euclidean() &&
       pipeline_options.rule == cost::AssignmentRule::kExpectedPoint) {
     pipeline_options.rule = cost::AssignmentRule::kOneCenter;
@@ -113,6 +115,7 @@ Result<UnassignedSolution> LocalSearchUnassigned(
   // identical (linear-path) arithmetic.
   cost::ParallelCandidateEvaluator::Options parallel_options;
   parallel_options.threads = options.threads;
+  parallel_options.pool = options.pool;
   parallel_options.evaluator.kdtree_cutover =
       std::numeric_limits<size_t>::max();
   cost::ParallelCandidateEvaluator parallel(parallel_options);

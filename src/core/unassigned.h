@@ -61,6 +61,10 @@ struct UnassignedSearchOptions {
   /// Workers scoring the swap candidates of each round (<= 0 =
   /// hardware threads). The chosen swaps do not depend on this.
   int threads = 1;
+  /// Borrowed shared worker pool; when set, `threads` is ignored and no
+  /// private pool is constructed (see ScopedPool in common/thread_pool.h).
+  /// Also forwarded to the seeding pipeline unless it sets its own.
+  ThreadPool* pool = nullptr;
   /// Options for the seeding pipeline run.
   UncertainKCenterOptions pipeline;
 };

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "cost/expected_cost.h"
 
 namespace ukc {
@@ -34,23 +35,32 @@ Result<UncertainKCenterSolution> SolveUncertainKCenter(
   UncertainKCenterSolution solution;
   solution.unassigned_cost = std::nan("");
 
+  // One worker pool for the whole run: borrowed from the caller when
+  // options.pool is set, otherwise constructed once here and shared by
+  // the surrogate and assignment stages (threads = 1 stays a zero-cost
+  // inline pool).
+  ScopedPool pool(options.pool, options.threads);
+
   // 1. Surrogates.
   Stopwatch stopwatch;
   SurrogateOptions surrogate_options;
   surrogate_options.kind = surrogate_kind;
   surrogate_options.candidates = options.one_center_candidates;
-  surrogate_options.threads = options.threads;
+  surrogate_options.pool = pool.get();
   UKC_ASSIGN_OR_RETURN(solution.surrogates,
                        BuildSurrogates(dataset, surrogate_options));
   solution.timings.surrogate_seconds = stopwatch.ElapsedSeconds();
 
-  // 2. Deterministic k-center on the surrogates.
+  // 2. Deterministic k-center on the surrogates, sharing the run's
+  // pool with solvers that parallelize (gonzalez-refined).
   stopwatch.Reset();
   metric::MetricSpace* space = dataset->shared_space().get();
+  solver::CertainSolverOptions certain_options = options.certain;
+  if (certain_options.pool == nullptr) certain_options.pool = pool.get();
   UKC_ASSIGN_OR_RETURN(
       solver::KCenterSolution certain,
       solver::SolveCertainKCenter(space, solution.surrogates, options.k,
-                                  options.certain));
+                                  certain_options));
   solution.centers = certain.centers;
   solution.certain_radius = certain.radius;
   solution.certain_algorithm = certain.algorithm;
@@ -61,9 +71,10 @@ Result<UncertainKCenterSolution> SolveUncertainKCenter(
   stopwatch.Reset();
   switch (options.rule) {
     case cost::AssignmentRule::kExpectedDistance: {
-      UKC_ASSIGN_OR_RETURN(solution.assignment,
-                           cost::AssignExpectedDistance(*dataset, solution.centers,
-                                                        options.threads));
+      UKC_ASSIGN_OR_RETURN(
+          solution.assignment,
+          cost::AssignExpectedDistance(*dataset, solution.centers,
+                                       options.threads, pool.get()));
       break;
     }
     case cost::AssignmentRule::kExpectedPoint: {
@@ -75,7 +86,7 @@ Result<UncertainKCenterSolution> SolveUncertainKCenter(
       } else {
         SurrogateOptions ep_options;
         ep_options.kind = SurrogateKind::kExpectedPoint;
-        ep_options.threads = options.threads;
+        ep_options.pool = pool.get();
         UKC_ASSIGN_OR_RETURN(expected_points,
                              BuildSurrogates(dataset, ep_options));
       }
@@ -92,7 +103,7 @@ Result<UncertainKCenterSolution> SolveUncertainKCenter(
         SurrogateOptions oc_options;
         oc_options.kind = SurrogateKind::kOneCenter;
         oc_options.candidates = options.one_center_candidates;
-        oc_options.threads = options.threads;
+        oc_options.pool = pool.get();
         UKC_ASSIGN_OR_RETURN(one_centers, BuildSurrogates(dataset, oc_options));
       }
       UKC_ASSIGN_OR_RETURN(

@@ -24,6 +24,9 @@
 #include "uncertain/dataset.h"
 
 namespace ukc {
+
+class ThreadPool;
+
 namespace core {
 
 /// Configuration of the pipeline.
@@ -44,6 +47,11 @@ struct UncertainKCenterOptions {
   /// Workers sharding the surrogate construction and the ED assignment
   /// (<= 0 = hardware threads). The solution does not depend on this.
   int threads = 1;
+  /// Borrowed shared worker pool. When set, `threads` is ignored and
+  /// every stage of the run (surrogates, assignment) shares this pool
+  /// instead of constructing private ones — the hook the streaming
+  /// pipeline (stream/pipeline.h) uses to pay worker spawn once.
+  ThreadPool* pool = nullptr;
 };
 
 /// Timing breakdown of one pipeline run, in seconds.

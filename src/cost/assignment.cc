@@ -24,12 +24,13 @@ std::string AssignmentRuleToString(AssignmentRule rule) {
 
 Result<Assignment> AssignExpectedDistance(
     const uncertain::UncertainDataset& dataset,
-    const std::vector<metric::SiteId>& centers, int threads) {
+    const std::vector<metric::SiteId>& centers, int threads,
+    ThreadPool* shared_pool) {
   if (centers.empty()) {
     return Status::InvalidArgument("AssignExpectedDistance: no centers");
   }
   Assignment assignment(dataset.n(), metric::kInvalidSite);
-  ThreadPool pool(threads);
+  ScopedPool pool(shared_pool, threads);
   const metric::EuclideanSpace* euclidean = dataset.euclidean();
   if (euclidean != nullptr) {
     // Flat path: gather the center coordinates once, then the O(n z k)
@@ -43,7 +44,7 @@ Result<Assignment> AssignExpectedDistance(
     const metric::SiteId* sites = dataset.flat_sites().data();
     const double* probabilities = dataset.flat_probabilities().data();
     const size_t* offsets = dataset.offsets().data();
-    pool.ParallelFor(dataset.n(), [&](int, size_t i) {
+    pool->ParallelFor(dataset.n(), [&](int, size_t i) {
       size_t best = 0;
       double best_value = std::numeric_limits<double>::infinity();
       for (size_t c = 0; c < centers.size(); ++c) {
@@ -63,7 +64,7 @@ Result<Assignment> AssignExpectedDistance(
     });
     return assignment;
   }
-  pool.ParallelFor(dataset.n(), [&](int, size_t i) {
+  pool->ParallelFor(dataset.n(), [&](int, size_t i) {
     assignment[i] =
         dataset.point(i).MinExpectedDistanceSite(dataset.space(), centers);
   });

@@ -17,6 +17,9 @@
 #include "uncertain/dataset.h"
 
 namespace ukc {
+
+class ThreadPool;
+
 namespace cost {
 
 /// assignment[i] = the center site serving uncertain point i.
@@ -35,10 +38,13 @@ std::string AssignmentRuleToString(AssignmentRule rule);
 /// ED rule: assigns each point to the center minimizing its expected
 /// distance. O(n z k) distance evaluations; the per-point argmins are
 /// independent and shard over `threads` workers (<= 0 = hardware
-/// threads) with a thread-count-independent result.
+/// threads) with a thread-count-independent result. When `pool` is set
+/// it is borrowed instead of constructing a private pool and `threads`
+/// is ignored (see ScopedPool in common/thread_pool.h).
 Result<Assignment> AssignExpectedDistance(const uncertain::UncertainDataset& dataset,
                                           const std::vector<metric::SiteId>& centers,
-                                          int threads = 1);
+                                          int threads = 1,
+                                          ThreadPool* pool = nullptr);
 
 /// Surrogate rule (EP/OC): assigns point i to the center nearest to
 /// surrogates[i]. surrogates must have one site per uncertain point.

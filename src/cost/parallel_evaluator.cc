@@ -13,10 +13,10 @@ ParallelCandidateEvaluator::ParallelCandidateEvaluator()
     : ParallelCandidateEvaluator(Options()) {}
 
 ParallelCandidateEvaluator::ParallelCandidateEvaluator(Options options)
-    : options_(options), pool_(options.threads) {
+    : options_(options), pool_(options.pool, options.threads) {
   ExpectedCostEvaluator::Options worker_options = options_.evaluator;
   worker_options.monte_carlo_threads = 1;  // The pool is the only fan-out.
-  evaluators_ = std::vector<ExpectedCostEvaluator>(pool_.num_threads());
+  evaluators_ = std::vector<ExpectedCostEvaluator>(pool_->num_threads());
   for (ExpectedCostEvaluator& evaluator : evaluators_) {
     evaluator.set_options(worker_options);
   }
@@ -25,7 +25,7 @@ ParallelCandidateEvaluator::ParallelCandidateEvaluator(Options options)
 template <typename Fn>
 Status ParallelCandidateEvaluator::RunTasks(size_t count, const Fn& fn) {
   std::vector<Status> statuses(count);
-  pool_.ParallelFor(count, [&](int worker, size_t index) {
+  pool_->ParallelFor(count, [&](int worker, size_t index) {
     statuses[index] = fn(worker, index);
   });
   for (Status& status : statuses) {
@@ -108,7 +108,7 @@ Result<std::vector<double>> ParallelCandidateEvaluator::SwapCostMatrix(
   // 1. Distance of every location to every current center, one row per
   // center (the rows parallelize independently).
   center_distances_.resize(k * total);
-  pool_.ParallelFor(k, [&](int, size_t c) {
+  pool_->ParallelFor(k, [&](int, size_t c) {
     double* row = center_distances_.data() + c * total;
     if (euclidean != nullptr) {
       const size_t dim = euclidean->dim();

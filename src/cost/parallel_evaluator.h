@@ -39,6 +39,10 @@ class ParallelCandidateEvaluator {
   struct Options {
     /// Worker count; <= 0 means ThreadPool::HardwareThreads().
     int threads = 0;
+    /// Borrowed shared worker pool; when set, `threads` is ignored and
+    /// no private pool is constructed (see ScopedPool). The evaluator
+    /// sizes one worker evaluator per pool thread.
+    ThreadPool* pool = nullptr;
     /// Per-worker evaluator configuration. monte_carlo_threads is
     /// forced to 1 — the pool is the only fan-out level.
     ExpectedCostEvaluator::Options evaluator;
@@ -48,7 +52,7 @@ class ParallelCandidateEvaluator {
   ParallelCandidateEvaluator();
   explicit ParallelCandidateEvaluator(Options options);
 
-  int threads() const { return pool_.num_threads(); }
+  int threads() const { return pool_->num_threads(); }
 
   /// Exact unassigned cost of every center set; values[s] corresponds
   /// to center_sets[s].
@@ -92,7 +96,7 @@ class ParallelCandidateEvaluator {
   Status RunTasks(size_t count, const Fn& fn);
 
   Options options_;
-  ThreadPool pool_;
+  ScopedPool pool_;  // Owns a private pool unless Options::pool is set.
   // One per worker; vector never reallocates after construction (the
   // evaluator is pinned by its atomic owner mark).
   std::vector<ExpectedCostEvaluator> evaluators_;

@@ -45,6 +45,7 @@ Result<KCenterSolution> SolveCertainKCenter(
       UKC_ASSIGN_OR_RETURN(KCenterSolution seed, Gonzalez(*space, sites, k));
       RefineOptions refine_options;
       refine_options.seed = options.seed;
+      refine_options.pool = options.pool;
       return RefineKCenter(space, sites, seed, refine_options);
     }
     case CertainSolverKind::kExact: {

@@ -14,6 +14,9 @@
 #include "solver/types.h"
 
 namespace ukc {
+
+class ThreadPool;
+
 namespace solver {
 
 /// Available deterministic k-center algorithms.
@@ -46,6 +49,10 @@ struct CertainSolverOptions {
   double epsilon = 0.25;
   /// Budget caps forwarded to the exact solvers.
   uint64_t max_enumerations = 20'000'000;
+  /// Borrowed shared worker pool, forwarded to the solvers that
+  /// parallelize (currently kGonzalezRefined's refinement rounds).
+  /// Null = each such solver constructs its own (see ScopedPool).
+  ThreadPool* pool = nullptr;
 };
 
 /// Runs the selected algorithm on `sites` within `space`. The space is

@@ -73,7 +73,7 @@ Result<KMedianSolution> KMedianLocalSearch(
     const KMedianOptions& options) {
   UKC_RETURN_IF_ERROR(ValidateCostMatrix(cost, k));
   const size_t m = cost[0].size();
-  ThreadPool pool(options.threads);
+  ScopedPool pool(options.pool, options.threads);
 
   // Greedy start: repeatedly open the facility with the largest
   // marginal gain. Candidate totals are computed in parallel by
@@ -85,7 +85,7 @@ Result<KMedianSolution> KMedianLocalSearch(
   std::vector<bool> is_open(m, false);
   std::vector<double> totals(m);
   for (size_t round = 0; round < k; ++round) {
-    pool.ParallelFor(m, [&](int, size_t f) {
+    pool->ParallelFor(m, [&](int, size_t f) {
       if (is_open[f]) return;
       double total = 0.0;
       for (size_t i = 0; i < cost.size(); ++i) {
@@ -118,7 +118,7 @@ Result<KMedianSolution> KMedianLocalSearch(
   // ordered scan over the result matrix.
   std::vector<double> swap_totals(k * m);
   for (size_t swaps = 0; swaps < options.max_swaps; ++swaps) {
-    pool.ParallelFor(k * m, [&](int, size_t task) {
+    pool->ParallelFor(k * m, [&](int, size_t task) {
       const size_t oi = task / m;
       const size_t in = task % m;
       if (is_open[in]) return;

@@ -14,6 +14,9 @@
 #include "common/result.h"
 
 namespace ukc {
+
+class ThreadPool;
+
 namespace solver {
 
 /// Options for KMedianLocalSearch.
@@ -28,6 +31,9 @@ struct KMedianOptions {
   /// threads). The chosen facilities do not depend on this: candidate
   /// totals are written by index and the argmin is an ordered scan.
   int threads = 1;
+  /// Borrowed shared worker pool; when set, `threads` is ignored and no
+  /// private pool is constructed (see ScopedPool in common/thread_pool.h).
+  ThreadPool* pool = nullptr;
 };
 
 /// Solution: which facilities (columns) are open, each client's

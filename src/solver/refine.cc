@@ -75,7 +75,7 @@ Result<KCenterSolution> RefineKCenter(metric::MetricSpace* space,
   }
   auto* euclidean = dynamic_cast<metric::EuclideanSpace*>(space);
   Rng rng(options.seed);
-  ThreadPool pool(options.threads);
+  ScopedPool pool(options.pool, options.threads);
 
   KCenterSolution best = seed;
   best.radius = CoveringRadius(*space, sites, best.centers);
@@ -83,7 +83,7 @@ Result<KCenterSolution> RefineKCenter(metric::MetricSpace* space,
 
   std::vector<metric::SiteId> centers = best.centers;
   for (size_t round = 0; round < options.max_rounds; ++round) {
-    const auto clusters = AssignClusters(*space, sites, centers, pool);
+    const auto clusters = AssignClusters(*space, sites, centers, *pool);
 
     // Recenter every non-empty cluster in parallel. The computation is
     // pure (Welzl balls / discrete 1-centers); Euclidean centers are
@@ -101,7 +101,7 @@ Result<KCenterSolution> RefineKCenter(metric::MetricSpace* space,
     for (size_t c = 0; c < num_clusters; ++c) {
       cluster_rngs.push_back(round_rng.Fork(c));
     }
-    pool.ParallelFor(num_clusters, [&](int, size_t c) {
+    pool->ParallelFor(num_clusters, [&](int, size_t c) {
       if (clusters[c].empty()) return;
       if (euclidean != nullptr) {
         std::vector<geometry::Point> members;

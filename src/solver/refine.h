@@ -15,6 +15,9 @@
 #include "solver/types.h"
 
 namespace ukc {
+
+class ThreadPool;
+
 namespace solver {
 
 /// Options for RefineKCenter.
@@ -29,6 +32,9 @@ struct RefineOptions {
   /// shuffle draws from an rng forked by (round, cluster), so the
   /// result does not depend on the thread count.
   int threads = 1;
+  /// Borrowed shared worker pool; when set, `threads` is ignored and no
+  /// private pool is constructed (see ScopedPool in common/thread_pool.h).
+  ThreadPool* pool = nullptr;
 };
 
 /// Refines `seed` over `sites`. `space` must be the space the seed was

@@ -1,0 +1,201 @@
+#include "stream/coreset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace ukc {
+namespace stream {
+
+namespace {
+
+// Levels beyond this collapse every representable key to {-1, 0}: no
+// further doubling can help, so the reduction loop stops here.
+constexpr int kMaxLevel = 62;
+
+// Cap on |coord / base_cell_width|: 2^44. Well below int64 overflow,
+// and chosen so the floating-point division's absolute error stays
+// under 2^44 · eps ≈ 2e-3 — two same-cell points are then within
+// (1 + 2·2e-3) cell widths per axis, which the diameter() slack of
+// 1e-2 absorbs rigorously. (At larger quotients the ulp of the
+// quotient exceeds the slack and the cell-diameter invariant would
+// silently break.)
+constexpr double kMaxBaseKeyMagnitude = 17592186044416.0;  // 2^44
+
+}  // namespace
+
+size_t StreamingCoreset::KeyHash::operator()(const Key& key) const {
+  // splitmix64-style combine; the key is a handful of int64s.
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ key.size();
+  for (int64_t v : key) {
+    uint64_t x = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ull + h;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    h = x ^ (x >> 31);
+  }
+  return static_cast<size_t>(h);
+}
+
+StreamingCoreset::StreamingCoreset(size_t dim, metric::Norm norm,
+                                   CoresetOptions options)
+    : dim_(dim), norm_(norm), options_(options), key_scratch_(dim, 0) {
+  UKC_CHECK(dim_ > 0) << "StreamingCoreset: dim must be >= 1";
+  UKC_CHECK(options_.max_cells > 0)
+      << "StreamingCoreset: max_cells must be >= 1";
+  UKC_CHECK(options_.base_cell_width > 0.0)
+      << "StreamingCoreset: base_cell_width must be > 0";
+}
+
+double StreamingCoreset::cell_width() const {
+  return std::ldexp(options_.base_cell_width, level_);
+}
+
+double StreamingCoreset::diameter() const {
+  const double width = cell_width();
+  double factor = 1.0;
+  switch (norm_) {
+    case metric::Norm::kL2:
+      factor = std::sqrt(static_cast<double>(dim_));
+      break;
+    case metric::Norm::kL1:
+      factor = static_cast<double>(dim_);
+      break;
+    case metric::Norm::kLInf:
+      factor = 1.0;
+      break;
+  }
+  // The 1e-2 relative slack rigorously absorbs the floating-point
+  // x / width quotient: with |x / base_cell_width| capped at 2^44
+  // (kMaxBaseKeyMagnitude), two members of one cell are within
+  // (1 + 2·2^44·eps) < 1.004 widths per axis.
+  return width * factor * (1.0 + 1e-2);
+}
+
+double StreamingCoreset::max_spread() const {
+  double spread = 0.0;
+  for (const auto& [key, state] : cells_) {
+    spread = std::max(spread, state.max_spread);
+  }
+  return spread;
+}
+
+double StreamingCoreset::error_bound() const { return diameter() + max_spread(); }
+
+size_t StreamingCoreset::ApproxMemoryBytes() const {
+  // Key + state + representative per cell, plus the table's buckets.
+  const size_t per_cell = dim_ * (sizeof(int64_t) + sizeof(double)) +
+                          sizeof(CellState) + sizeof(void*);
+  return cells_.size() * per_cell + cells_.bucket_count() * sizeof(void*);
+}
+
+Status StreamingCoreset::Add(uint64_t index, const double* expected_coords,
+                             double spread) {
+  // The base-level key is the only floating-point step of the whole
+  // structure; every later level is an exact arithmetic shift of it.
+  for (size_t a = 0; a < dim_; ++a) {
+    const double q =
+        std::floor(expected_coords[a] / options_.base_cell_width);
+    if (!(q >= -kMaxBaseKeyMagnitude && q <= kMaxBaseKeyMagnitude)) {
+      return Status::InvalidArgument(StrFormat(
+          "StreamingCoreset: coordinate %.6g overflows the level-0 grid; "
+          "raise CoresetOptions::base_cell_width",
+          expected_coords[a]));
+    }
+    // C++20 guarantees arithmetic (floor) shift for signed operands, so
+    // this matches floor division by 2^level exactly, including for
+    // negative keys.
+    key_scratch_[a] = static_cast<int64_t>(q) >> level_;
+  }
+  auto [it, inserted] = cells_.try_emplace(key_scratch_);
+  CellState& cell = it->second;
+  if (inserted || index < cell.min_index) {
+    cell.min_index = index;
+    cell.representative.assign(expected_coords, expected_coords + dim_);
+  }
+  cell.count += 1;
+  cell.max_spread = std::max(cell.max_spread, spread);
+  ++num_points_;
+  ReduceToCapacity();
+  return Status::OK();
+}
+
+void StreamingCoreset::Absorb(CellMap* cells, Key key, CellState state) {
+  auto [it, inserted] = cells->try_emplace(std::move(key));
+  CellState& cell = it->second;
+  if (inserted) {
+    cell = std::move(state);
+    return;
+  }
+  // All folds are commutative and exact, so the merged cell does not
+  // depend on the order its parts arrive in.
+  if (state.min_index < cell.min_index) {
+    cell.min_index = state.min_index;
+    cell.representative = std::move(state.representative);
+  }
+  cell.count += state.count;
+  cell.max_spread = std::max(cell.max_spread, state.max_spread);
+}
+
+void StreamingCoreset::CoarsenToLevel(int level) {
+  UKC_DCHECK(level > level_);
+  const int shift = level - level_;
+  CellMap coarser;
+  coarser.reserve(cells_.size());
+  for (auto& [key, state] : cells_) {
+    Key shifted(dim_);
+    for (size_t a = 0; a < dim_; ++a) shifted[a] = key[a] >> shift;
+    Absorb(&coarser, std::move(shifted), std::move(state));
+  }
+  cells_ = std::move(coarser);
+  level_ = level;
+}
+
+void StreamingCoreset::ReduceToCapacity() {
+  while (cells_.size() > options_.max_cells && level_ < kMaxLevel) {
+    CoarsenToLevel(level_ + 1);
+  }
+}
+
+Status StreamingCoreset::MergeFrom(const StreamingCoreset& other) {
+  if (other.dim_ != dim_ || other.norm_ != norm_ ||
+      other.options_.base_cell_width != options_.base_cell_width ||
+      other.options_.max_cells != options_.max_cells) {
+    return Status::InvalidArgument(
+        "StreamingCoreset::MergeFrom: incompatible coreset configuration");
+  }
+  if (other.level_ > level_) CoarsenToLevel(other.level_);
+  const int shift = level_ - other.level_;
+  for (const auto& [key, state] : other.cells_) {
+    Key shifted(dim_);
+    for (size_t a = 0; a < dim_; ++a) shifted[a] = key[a] >> shift;
+    Absorb(&cells_, std::move(shifted), state);
+  }
+  num_points_ += other.num_points_;
+  ReduceToCapacity();
+  return Status::OK();
+}
+
+std::vector<StreamingCoreset::Cell> StreamingCoreset::ExtractCells() const {
+  std::vector<Cell> cells;
+  cells.reserve(cells_.size());
+  for (const auto& [key, state] : cells_) {
+    Cell cell;
+    cell.min_index = state.min_index;
+    cell.count = state.count;
+    cell.max_spread = state.max_spread;
+    cell.representative = state.representative;
+    cells.push_back(std::move(cell));
+  }
+  // min_index is unique (one owner point per cell), so this order — and
+  // therefore everything solved on the extracted coreset — is
+  // independent of the hash table's iteration order.
+  std::sort(cells.begin(), cells.end(),
+            [](const Cell& a, const Cell& b) { return a.min_index < b.min_index; });
+  return cells;
+}
+
+}  // namespace stream
+}  // namespace ukc

@@ -1,0 +1,155 @@
+// A mergeable weighted coreset for uncertain k-center over expected-
+// point surrogates — the summary object of the out-of-core ingestion
+// layer.
+//
+// Each uncertain point P_i is summarized by its expected point P̄_i
+// (the paper's Euclidean surrogate, core/surrogates.h) plus a
+// dispersion scalar spread_i = max_j d(P_ij, P̄_i). The coreset is a
+// doubling *grid* cover over these summaries: at level L every point
+// falls into the axis-aligned cell of width base_cell_width·2^L that
+// contains P̄_i, and all points of a cell collapse into one weighted
+// cell record. When the number of occupied cells exceeds max_cells the
+// level is doubled (cells merge pairwise per axis) until it fits.
+//
+// Why a grid cover instead of a greedy Gonzalez cover: cell membership
+// is a pure function of the coordinates — it does not depend on the
+// order points arrive, on how the stream was chunked, or on which
+// shard processed which chunk. Combined with cell aggregates that are
+// all commutative and exact (integer count, min of indices, max of
+// spreads, representative owned by the minimum-index member), the
+// extracted coreset is BITWISE identical for every (threads, shards,
+// chunk size) configuration; a greedy cover cannot offer that, because
+// its cell set depends on insertion order. Integer cell keys are
+// computed once at the base level and coarsened by exact arithmetic
+// shifts, so a point inserted directly at level L lands in exactly the
+// cell its level-0 key coarsens into.
+//
+// Approximation contract (any norm; diameter() is the cell diameter at
+// the final level): for every point i with cell representative r_i and
+// any center set C,
+//
+//   | E[d(P̂_i, C)] − d(r_i, C) | <= diameter() + spread_i,
+//
+// because d(P̄_i, r_i) <= diameter() (same cell) and
+// |E[d(P̂_i, C)] − d(P̄_i, C)| <= E[d(P̂_i, P̄_i)] <= spread_i (norm
+// convexity, the paper's Lemma 3.1 direction). Hence solving k-center
+// on the cell representatives with an α-approximate certain solver is
+// within α·OPT + (α+1)·error_bound() of the full-data optimum.
+
+#ifndef UKC_STREAM_CORESET_H_
+#define UKC_STREAM_CORESET_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "metric/euclidean_space.h"
+
+namespace ukc {
+namespace stream {
+
+/// Configuration of the doubling-grid coreset.
+struct CoresetOptions {
+  /// Target number of cells: the level doubles while more cells than
+  /// this are occupied. (In dimensions where one doubling cannot go
+  /// below 2^dim cells, the level cap wins and the target may be
+  /// exceeded; irrelevant for the d <= 8 instances this repo runs.)
+  size_t max_cells = 1024;
+  /// Width of a level-0 grid cell. Coordinates must satisfy
+  /// |x| / base_cell_width < 2^44 or Add fails (the cap keeps the
+  /// floating-point cell assignment within the diameter() slack); the
+  /// default supports coordinate magnitudes up to ~1.7e4 — raise the
+  /// width for larger domains.
+  double base_cell_width = 1e-9;
+};
+
+/// The mergeable streaming summary. See file comment for invariants.
+class StreamingCoreset {
+ public:
+  /// One extracted coreset cell.
+  struct Cell {
+    /// Smallest stream index among the members (the deterministic owner
+    /// of the representative).
+    uint64_t min_index = 0;
+    /// Number of member uncertain points (the cell's weight; exact).
+    uint64_t count = 0;
+    /// max over members of spread_i.
+    double max_spread = 0.0;
+    /// Expected-point coordinates of the min_index member (dim values).
+    std::vector<double> representative;
+  };
+
+  StreamingCoreset(size_t dim, metric::Norm norm, CoresetOptions options);
+
+  /// Absorbs one summarized uncertain point. `expected_coords` has
+  /// dim() entries; `spread` = max location distance to the expected
+  /// point. Indices must be unique across the stream but may arrive in
+  /// any order.
+  Status Add(uint64_t index, const double* expected_coords, double spread);
+
+  /// Merges another shard's coreset into this one (same dim / norm /
+  /// base_cell_width / max_cells required). Associative and
+  /// commutative up to bitwise equality of the extracted cells.
+  Status MergeFrom(const StreamingCoreset& other);
+
+  size_t dim() const { return dim_; }
+  metric::Norm norm() const { return norm_; }
+  int level() const { return level_; }
+  size_t num_cells() const { return cells_.size(); }
+  uint64_t num_points() const { return num_points_; }
+
+  /// Current cell width (base_cell_width · 2^level).
+  double cell_width() const;
+  /// Upper bound on the distance between any two points of one cell
+  /// under the configured norm (includes a 1e-2 relative slack that
+  /// rigorously absorbs the floating-point cell assignment under the
+  /// 2^44 key-magnitude cap).
+  double diameter() const;
+  /// max over cells of max_spread (0 when empty).
+  double max_spread() const;
+  /// diameter() + max_spread(): the additive error of evaluating any
+  /// center set on representatives instead of the full data.
+  double error_bound() const;
+
+  /// Resident bytes of the cell table (representatives included) —
+  /// bounded by max_cells, never by the number of points ingested.
+  size_t ApproxMemoryBytes() const;
+
+  /// The cells sorted by min_index (a deterministic, configuration-
+  /// independent order).
+  std::vector<Cell> ExtractCells() const;
+
+ private:
+  struct CellState {
+    uint64_t min_index = 0;
+    uint64_t count = 0;
+    double max_spread = 0.0;
+    std::vector<double> representative;
+  };
+  using Key = std::vector<int64_t>;
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+  using CellMap = std::unordered_map<Key, CellState, KeyHash>;
+
+  // Folds `state` into the cell at `key` (commutative, exact).
+  static void Absorb(CellMap* cells, Key key, CellState state);
+  // Rebuilds the table with every key shifted to `level` (> level_).
+  void CoarsenToLevel(int level);
+  // Doubles the level until the cell target (or the level cap) is met.
+  void ReduceToCapacity();
+
+  size_t dim_;
+  metric::Norm norm_;
+  CoresetOptions options_;
+  int level_ = 0;
+  uint64_t num_points_ = 0;
+  CellMap cells_;
+  Key key_scratch_;
+};
+
+}  // namespace stream
+}  // namespace ukc
+
+#endif  // UKC_STREAM_CORESET_H_

@@ -1,0 +1,311 @@
+#include "stream/ingest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/strings.h"
+#include "uncertain/io.h"
+
+namespace ukc {
+namespace stream {
+
+Status ValidateBatch(const uncertain::UncertainPointBatch& batch, size_t dim) {
+  if (batch.dim != dim) {
+    return Status::InvalidArgument(
+        StrFormat("ingest: batch dim %zu != stream dim %zu", batch.dim, dim));
+  }
+  if (batch.offsets.empty() || batch.offsets.front() != 0 ||
+      batch.offsets.back() != batch.probabilities.size() ||
+      batch.coords.size() != batch.probabilities.size() * dim) {
+    return Status::InvalidArgument("ingest: inconsistent batch layout");
+  }
+  // Every point needs at least one location (strictly increasing
+  // offsets) — a zero-location point has no expected point and would
+  // read out of bounds downstream.
+  for (size_t i = 0; i + 1 < batch.offsets.size(); ++i) {
+    if (batch.offsets[i] >= batch.offsets[i + 1]) {
+      return Status::InvalidArgument(StrFormat(
+          "ingest: batch point %zu is empty or offsets are non-monotone", i));
+    }
+  }
+  return Status::OK();
+}
+
+double SummarizeBatchPoint(const uncertain::UncertainPointBatch& batch,
+                           size_t i, double* expected) {
+  const size_t dim = batch.dim;
+  std::fill(expected, expected + dim, 0.0);
+  const size_t begin = batch.offsets[i];
+  const size_t end = batch.offsets[i + 1];
+  for (size_t l = begin; l < end; ++l) {
+    const double* coords = batch.location_coords(l);
+    const double p = batch.probabilities[l];
+    for (size_t a = 0; a < dim; ++a) expected[a] += coords[a] * p;
+  }
+  double spread = 0.0;
+  for (size_t l = begin; l < end; ++l) {
+    spread = std::max(spread,
+                      metric::NormDistanceKernel(
+                          batch.norm, batch.location_coords(l), expected, dim));
+  }
+  return spread;
+}
+
+Result<BatchSource> MakeDatasetBatchSource(
+    const uncertain::UncertainDataset* dataset, size_t chunk_size) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("MakeDatasetBatchSource: null dataset");
+  }
+  if (chunk_size == 0) {
+    return Status::InvalidArgument("MakeDatasetBatchSource: chunk_size >= 1");
+  }
+  const metric::EuclideanSpace* space = dataset->euclidean();
+  if (space == nullptr) {
+    return Status::FailedPrecondition(
+        "MakeDatasetBatchSource: streaming requires a Euclidean dataset");
+  }
+  auto cursor = std::make_shared<size_t>(0);
+  return BatchSource([dataset, space, chunk_size,
+                      cursor](uncertain::UncertainPointBatch* batch)
+                         -> Result<bool> {
+    const size_t n = dataset->n();
+    if (*cursor >= n) return false;
+    const size_t begin = *cursor;
+    const size_t end = std::min(n, begin + chunk_size);
+    const size_t dim = space->dim();
+    batch->Clear();
+    batch->dim = dim;
+    batch->norm = space->norm();
+    batch->start_index = begin;
+    batch->offsets.push_back(0);
+    const metric::SiteId* sites = dataset->flat_sites().data();
+    const double* probabilities = dataset->flat_probabilities().data();
+    const size_t* offsets = dataset->offsets().data();
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t l = offsets[i]; l < offsets[i + 1]; ++l) {
+        const double* coords = space->coords(sites[l]);
+        batch->coords.insert(batch->coords.end(), coords, coords + dim);
+        batch->probabilities.push_back(probabilities[l]);
+      }
+      batch->offsets.push_back(batch->probabilities.size());
+    }
+    *cursor = end;
+    return true;
+  });
+}
+
+Result<BatchSource> MakeFileBatchSource(const std::string& path,
+                                        size_t chunk_size) {
+  if (chunk_size == 0) {
+    return Status::InvalidArgument("MakeFileBatchSource: chunk_size >= 1");
+  }
+  UKC_ASSIGN_OR_RETURN(uncertain::DatasetReader reader,
+                       uncertain::DatasetReader::Open(path));
+  auto shared = std::make_shared<uncertain::DatasetReader>(std::move(reader));
+  return BatchSource(
+      [shared, chunk_size](uncertain::UncertainPointBatch* batch)
+          -> Result<bool> {
+        UKC_ASSIGN_OR_RETURN(size_t produced,
+                             shared->ReadChunk(chunk_size, batch));
+        return produced > 0;
+      });
+}
+
+Result<BatchSource> MakeProducerBatchSource(size_t dim, PointProducer next,
+                                            size_t chunk_size,
+                                            metric::Norm norm) {
+  if (dim == 0) {
+    return Status::InvalidArgument("MakeProducerBatchSource: dim >= 1");
+  }
+  if (chunk_size == 0) {
+    return Status::InvalidArgument("MakeProducerBatchSource: chunk_size >= 1");
+  }
+  if (next == nullptr) {
+    return Status::InvalidArgument("MakeProducerBatchSource: null producer");
+  }
+  struct State {
+    PointProducer next;
+    uint64_t index = 0;
+    bool drained = false;
+    std::vector<double> coords;
+    std::vector<double> probabilities;
+  };
+  auto state = std::make_shared<State>();
+  state->next = std::move(next);
+  return BatchSource([state, dim, chunk_size, norm](
+                         uncertain::UncertainPointBatch* batch) -> Result<bool> {
+    if (state->drained) return false;
+    batch->Clear();
+    batch->dim = dim;
+    batch->norm = norm;
+    batch->start_index = state->index;
+    batch->offsets.push_back(0);
+    for (size_t i = 0; i < chunk_size; ++i) {
+      state->coords.clear();
+      state->probabilities.clear();
+      if (!state->next(&state->coords, &state->probabilities)) {
+        state->drained = true;
+        break;
+      }
+      if (state->probabilities.empty() ||
+          state->coords.size() != state->probabilities.size() * dim) {
+        return Status::InvalidArgument(StrFormat(
+            "producer batch source: point %llu emitted %zu coords for %zu "
+            "probabilities (dim %zu)",
+            static_cast<unsigned long long>(state->index),
+            state->coords.size(), state->probabilities.size(), dim));
+      }
+      // The same distribution invariant every other entry point
+      // enforces (UncertainPoint::Build, DatasetReader::ReadChunk); a
+      // producer that breaks it would silently void the verified
+      // bracket's rigor.
+      double total_probability = 0.0;
+      for (double p : state->probabilities) {
+        if (!(p > 0.0)) {
+          return Status::InvalidArgument(StrFormat(
+              "producer batch source: point %llu has a non-positive "
+              "probability",
+              static_cast<unsigned long long>(state->index)));
+        }
+        total_probability += p;
+      }
+      if (std::abs(total_probability - 1.0) >
+          uncertain::UncertainPoint::kProbabilityTolerance) {
+        return Status::InvalidArgument(StrFormat(
+            "producer batch source: point %llu probabilities sum to %.12f",
+            static_cast<unsigned long long>(state->index), total_probability));
+      }
+      batch->coords.insert(batch->coords.end(), state->coords.begin(),
+                           state->coords.end());
+      batch->probabilities.insert(batch->probabilities.end(),
+                                  state->probabilities.begin(),
+                                  state->probabilities.end());
+      batch->offsets.push_back(batch->probabilities.size());
+      ++state->index;
+    }
+    return batch->n() > 0;
+  });
+}
+
+BatchSourceFactory DatasetBatchFactory(const uncertain::UncertainDataset* dataset,
+                                       size_t chunk_size) {
+  return [dataset, chunk_size]() -> Result<BatchSource> {
+    return MakeDatasetBatchSource(dataset, chunk_size);
+  };
+}
+
+BatchSourceFactory FileBatchFactory(const std::string& path, size_t chunk_size) {
+  return [path, chunk_size]() -> Result<BatchSource> {
+    return MakeFileBatchSource(path, chunk_size);
+  };
+}
+
+Result<StreamingCoreset> BuildCoresetFromSource(size_t dim,
+                                                const BatchSource& source,
+                                                const IngestOptions& options,
+                                                ThreadPool* pool,
+                                                IngestStats* stats) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("BuildCoresetFromSource: null source");
+  }
+  if (pool == nullptr) {
+    return Status::InvalidArgument("BuildCoresetFromSource: null pool");
+  }
+  if (dim == 0 || options.coreset.max_cells == 0 ||
+      !(options.coreset.base_cell_width > 0.0)) {
+    return Status::InvalidArgument(
+        "BuildCoresetFromSource: dim and max_cells must be >= 1 and "
+        "base_cell_width > 0");
+  }
+  const size_t shards = options.shards <= 0
+                            ? static_cast<size_t>(pool->num_threads())
+                            : static_cast<size_t>(options.shards);
+
+  // Shard coresets are constructed on the first batch, when the
+  // stream's norm is known.
+  std::vector<StreamingCoreset> shard_sets;
+  IngestStats counters;
+  metric::Norm stream_norm = metric::Norm::kL2;
+
+  std::vector<uncertain::UncertainPointBatch> group(shards);
+  std::vector<Status> statuses(shards);
+  bool done = false;
+  while (!done) {
+    // Serial phase: pull up to `shards` batches off the source.
+    size_t loaded = 0;
+    while (loaded < shards) {
+      UKC_ASSIGN_OR_RETURN(bool more, source(&group[loaded]));
+      if (!more) {
+        done = true;
+        break;
+      }
+      UKC_RETURN_IF_ERROR(ValidateBatch(group[loaded], dim));
+      // The coreset's geometry (diameter, error bound) is stated under
+      // one norm; a source that switches norms mid-stream would
+      // silently invalidate it.
+      if (counters.batches == 0) {
+        stream_norm = group[loaded].norm;
+      } else if (group[loaded].norm != stream_norm) {
+        return Status::InvalidArgument(
+            "BuildCoresetFromSource: batch norm changed mid-stream");
+      }
+      counters.points += group[loaded].n();
+      counters.locations += group[loaded].num_locations();
+      counters.batches += 1;
+      ++loaded;
+    }
+    if (loaded == 0) break;
+    if (shard_sets.empty()) {
+      shard_sets.reserve(shards);
+      for (size_t s = 0; s < shards; ++s) {
+        shard_sets.emplace_back(dim, stream_norm, options.coreset);
+      }
+    }
+    // Parallel phase: batch g of this group feeds shard g. Every group
+    // before the final one is full, so shard s consumes exactly the
+    // batches s, s + shards, s + 2·shards, ... in stream order, and
+    // workers never contend on a shard.
+    pool->ParallelFor(loaded, [&](int, size_t g) {
+      const size_t shard = g;
+      const uncertain::UncertainPointBatch& batch = group[g];
+      std::vector<double> expected(dim);
+      Status status;
+      for (size_t i = 0; i < batch.n() && status.ok(); ++i) {
+        const double spread = SummarizeBatchPoint(batch, i, expected.data());
+        status = shard_sets[shard].Add(batch.start_index + i, expected.data(),
+                                       spread);
+      }
+      statuses[g] = std::move(status);
+    });
+    for (size_t g = 0; g < loaded; ++g) {
+      if (!statuses[g].ok()) return std::move(statuses[g]);
+    }
+  }
+  if (shard_sets.empty()) {
+    return Status::InvalidArgument("BuildCoresetFromSource: empty stream");
+  }
+
+  // Ordered binary merge tree: at stride s, shard i absorbs shard i+s
+  // for every i divisible by 2s. Pairs are disjoint, so each round is
+  // one ParallelFor.
+  for (size_t stride = 1; stride < shards; stride *= 2) {
+    std::vector<size_t> left;
+    for (size_t i = 0; i + stride < shards; i += 2 * stride) left.push_back(i);
+    if (left.empty()) continue;
+    std::vector<Status> merge_statuses(left.size());
+    pool->ParallelFor(left.size(), [&](int, size_t p) {
+      merge_statuses[p] =
+          shard_sets[left[p]].MergeFrom(shard_sets[left[p] + stride]);
+    });
+    for (Status& status : merge_statuses) {
+      if (!status.ok()) return std::move(status);
+    }
+  }
+  if (stats != nullptr) *stats = counters;
+  return std::move(shard_sets[0]);
+}
+
+}  // namespace stream
+}  // namespace ukc

@@ -1,0 +1,119 @@
+// Chunked ingestion: turns a stream of uncertain points — an in-memory
+// dataset, a dataset file (uncertain/io.h DatasetReader), or any
+// caller-supplied producer — into a StreamingCoreset without ever
+// holding more than shards · chunk_size points in memory.
+//
+// Sharding discipline: batches are read serially (I/O is the one
+// serial resource), collected into groups of at most `shards` batches,
+// and each group is processed by one ThreadPool::ParallelFor — batch g
+// of group r feeds shard (r·shards + g) mod shards, so no two workers
+// ever touch one shard and each shard sees its subsequence of batches
+// in stream order. The shard coresets are then reduced by an ordered
+// binary merge tree (stride 1, 2, 4, ... — disjoint pairs merge in
+// parallel). None of this is needed for determinism — the grid coreset
+// is bitwise partition-invariant by construction (stream/coreset.h) —
+// but it keeps the layer on the same determinism discipline as
+// ParallelCandidateEvaluator, so the invariance never rests on a
+// single component's guarantee.
+
+#ifndef UKC_STREAM_INGEST_H_
+#define UKC_STREAM_INGEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "stream/coreset.h"
+#include "uncertain/chunk.h"
+#include "uncertain/dataset.h"
+
+namespace ukc {
+namespace stream {
+
+/// Pull-style producer of batches: fills *batch with the next chunk of
+/// the stream and returns true, or returns false at the clean end of
+/// the stream. Implementations must set batch->start_index to the
+/// stream index of the batch's first point.
+using BatchSource =
+    std::function<Result<bool>(uncertain::UncertainPointBatch* batch)>;
+
+/// Re-startable stream: every call opens an independent pass over the
+/// same data from the beginning (the streaming pipeline reads the data
+/// twice — coreset build, then verification).
+using BatchSourceFactory = std::function<Result<BatchSource>()>;
+
+/// Chunks an in-memory dataset (Euclidean only; coordinates are
+/// gathered out of the space's arena). The dataset must outlive the
+/// source.
+Result<BatchSource> MakeDatasetBatchSource(
+    const uncertain::UncertainDataset* dataset, size_t chunk_size);
+
+/// Streams a dataset file via uncertain::DatasetReader; one chunk of
+/// the file is resident at a time.
+Result<BatchSource> MakeFileBatchSource(const std::string& path,
+                                        size_t chunk_size);
+
+/// Adapts a per-point callback producer: `next` appends one point's
+/// locations (dim doubles per location into *coords, one probability
+/// each into *probabilities; both pre-cleared) and returns true, or
+/// returns false when the stream ends. Each point's probabilities must
+/// be positive and sum to 1 (the same invariant every other entry
+/// point enforces). `norm` declares the metric the coordinates live
+/// under; it stamps every batch and must match across the stream.
+using PointProducer = std::function<bool(std::vector<double>* coords,
+                                         std::vector<double>* probabilities)>;
+Result<BatchSource> MakeProducerBatchSource(size_t dim, PointProducer next,
+                                            size_t chunk_size,
+                                            metric::Norm norm = metric::Norm::kL2);
+
+/// Factory conveniences for the two re-startable stream kinds.
+BatchSourceFactory DatasetBatchFactory(const uncertain::UncertainDataset* dataset,
+                                       size_t chunk_size);
+BatchSourceFactory FileBatchFactory(const std::string& path, size_t chunk_size);
+
+/// Configuration of the sharded coreset build.
+struct IngestOptions {
+  /// Points per batch. Consumed by the Make*BatchSource factories (and
+  /// the pipeline, which builds sources from it); BuildCoresetFromSource
+  /// itself takes whatever batch size its source emits.
+  size_t chunk_size = 4096;
+  /// Shard coresets built concurrently; <= 0 = the pool's thread count.
+  int shards = 0;
+  CoresetOptions coreset;
+};
+
+/// Counters of one ingestion run.
+struct IngestStats {
+  uint64_t points = 0;
+  uint64_t locations = 0;
+  uint64_t batches = 0;
+};
+
+/// Drains `source` through shard coresets on `pool` and reduces them
+/// into the returned coreset. The result is bitwise identical for
+/// every (pool size, shards, chunk_size) configuration.
+Result<StreamingCoreset> BuildCoresetFromSource(size_t dim,
+                                                const BatchSource& source,
+                                                const IngestOptions& options,
+                                                ThreadPool* pool,
+                                                IngestStats* stats = nullptr);
+
+/// Summarizes one batch point for the coreset: writes the expected
+/// point of batch point `i` into expected[0..dim) and returns
+/// spread_i = max location distance to it. (The verification pass does
+/// not use this — it works with per-location distances to the chosen
+/// centers, not the surrogate summary.)
+double SummarizeBatchPoint(const uncertain::UncertainPointBatch& batch,
+                           size_t i, double* expected);
+
+/// Structural validation applied to every ingested batch (dimension,
+/// CSR consistency, no empty points). The pipeline's verification pass
+/// applies the same gate to its second read of the stream.
+Status ValidateBatch(const uncertain::UncertainPointBatch& batch, size_t dim);
+
+}  // namespace stream
+}  // namespace ukc
+
+#endif  // UKC_STREAM_INGEST_H_

@@ -1,0 +1,392 @@
+#include "stream/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "cost/expected_cost_evaluator.h"
+#include "uncertain/io.h"
+
+namespace ukc {
+namespace stream {
+
+namespace {
+
+// Fixed-point scale of the log-CDF grid: 24 fractional bits keep the
+// per-point quantization at 2^-24 nats while bounding the grid sums by
+// ~64 · 2^24 · n — overflow-free for any realistic stream (n < ~8e9).
+constexpr double kLogScale = 16777216.0;  // 2^24
+constexpr double kInvLogScale = 1.0 / kLogScale;
+// log F below this is folded into the zero counter (floor grid) or
+// clamped (ceil grid): e^-64 is far below the double-sum resolution of
+// the integrand.
+constexpr double kLogClamp = -64.0;
+
+// Per-worker accumulator of the verification pass. Every field merges
+// commutatively and exactly (integer adds, double max), so the reduced
+// grid does not depend on which worker saw which point.
+struct VerifyGrid {
+  std::vector<int64_t> s_floor;  // Range-add diff of floor-quantized logs.
+  std::vector<int64_t> s_ceil;   // Same, ceil-quantized.
+  std::vector<int64_t> z_floor;  // Diff of "product is zero" counters.
+  std::vector<int64_t> z_ceil;
+  double max_expected = 0.0;
+  double max_location = 0.0;
+  uint64_t points = 0;
+
+  explicit VerifyGrid(size_t buckets)
+      : s_floor(buckets + 2, 0),
+        s_ceil(buckets + 2, 0),
+        z_floor(buckets + 2, 0),
+        z_ceil(buckets + 2, 0) {}
+
+  void MergeFrom(const VerifyGrid& other) {
+    for (size_t b = 0; b < s_floor.size(); ++b) {
+      s_floor[b] += other.s_floor[b];
+      s_ceil[b] += other.s_ceil[b];
+      z_floor[b] += other.z_floor[b];
+      z_ceil[b] += other.z_ceil[b];
+    }
+    max_expected = std::max(max_expected, other.max_expected);
+    max_location = std::max(max_location, other.max_location);
+    points += other.points;
+  }
+};
+
+struct VerifyOutcome {
+  double lower = 0.0;
+  double upper = 0.0;
+  double max_expected = 0.0;
+  uint64_t points = 0;
+};
+
+// Folds one point of `batch` into `grid`: ED-assigns it to the nearest
+// center in expectation, then range-adds its distance-CDF log onto the
+// grid. `scratch` holds (distance, location) sort pairs.
+void AccumulatePoint(const uncertain::UncertainPointBatch& batch, size_t i,
+                     const std::vector<double>& center_coords, size_t k,
+                     double grid_top, size_t buckets, VerifyGrid* grid,
+                     std::vector<std::pair<double, size_t>>* scratch) {
+  const size_t dim = batch.dim;
+  const metric::Norm norm = batch.norm;
+  const size_t begin = batch.offsets[i];
+  const size_t end = batch.offsets[i + 1];
+
+  // ED rule, bit-matching cost::AssignExpectedDistance: per-center
+  // expected distance accumulated in location order, strict < argmin.
+  size_t best = 0;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < k; ++c) {
+    const double* center = center_coords.data() + c * dim;
+    double value = 0.0;
+    for (size_t l = begin; l < end; ++l) {
+      value += batch.probabilities[l] *
+               metric::NormDistanceKernel(norm, batch.location_coords(l),
+                                          center, dim);
+    }
+    if (value < best_value) {
+      best_value = value;
+      best = c;
+    }
+  }
+  grid->max_expected = std::max(grid->max_expected, best_value);
+  grid->points += 1;
+
+  // Distances to the assigned center, sorted ascending ((d, l) pairs:
+  // a strict total order, so ties cannot reorder across runs).
+  const double* assigned = center_coords.data() + best * dim;
+  scratch->clear();
+  for (size_t l = begin; l < end; ++l) {
+    const double d = metric::NormDistanceKernel(
+        norm, batch.location_coords(l), assigned, dim);
+    grid->max_location = std::max(grid->max_location, d);
+    scratch->emplace_back(d, l);
+  }
+  std::sort(scratch->begin(), scratch->end());
+
+  if (grid_top <= 0.0) return;  // Degenerate stream: every distance 0.
+  const double dt = grid_top / static_cast<double>(buckets);
+
+  // The point's CDF F(t) is a step function with one step per
+  // location; on grid indices [seg_begin, seg_end) its value is the
+  // cumulative probability so far. log F is range-added in fixed
+  // point; F = 0 and log F < kLogClamp regions go to the zero
+  // counters (floor grid) / the clamp (ceil grid), keeping
+  //   G_floor <= Π F_i <= G_ceil
+  // pointwise.
+  auto bucket_of = [&](double d) -> size_t {
+    if (d <= 0.0) return 0;
+    const double b = std::ceil(d / dt);
+    if (b >= static_cast<double>(buckets)) return buckets;
+    return static_cast<size_t>(b);
+  };
+  // F = 0 before the first location's distance.
+  const size_t first = bucket_of((*scratch)[0].first);
+  if (first > 0) {
+    grid->z_floor[0] += 1;
+    grid->z_floor[first] -= 1;
+    grid->z_ceil[0] += 1;
+    grid->z_ceil[first] -= 1;
+  }
+  double cumulative = 0.0;
+  const size_t z = scratch->size();
+  for (size_t m = 0; m < z; ++m) {
+    cumulative += batch.probabilities[(*scratch)[m].second];
+    if (m + 1 == z) break;  // Final segment: F = 1 exactly, log = 0.
+    const size_t seg_begin = bucket_of((*scratch)[m].first);
+    const size_t seg_end = bucket_of((*scratch)[m + 1].first);
+    if (seg_begin >= seg_end) continue;
+    const double lf = std::min(std::log(cumulative), 0.0);
+    if (lf < kLogClamp) {
+      grid->z_floor[seg_begin] += 1;
+      grid->z_floor[seg_end] -= 1;
+      const int64_t qc = static_cast<int64_t>(kLogClamp * kLogScale);
+      grid->s_ceil[seg_begin] += qc;
+      grid->s_ceil[seg_end] -= qc;
+    } else {
+      const int64_t qf = static_cast<int64_t>(std::floor(lf * kLogScale));
+      const int64_t qc = static_cast<int64_t>(std::ceil(lf * kLogScale));
+      grid->s_floor[seg_begin] += qf;
+      grid->s_floor[seg_end] -= qf;
+      grid->s_ceil[seg_begin] += qc;
+      grid->s_ceil[seg_end] -= qc;
+    }
+  }
+}
+
+// Integrates the reduced grid into the [lower, upper] bracket:
+//   upper uses the left bucket endpoint of the underestimated product,
+//   lower the right endpoint of the overestimated product — both sides
+//   of Ecost = ∫ (1 − Π_i F_i(t)) dt for the monotone integrand.
+VerifyOutcome IntegrateGrid(const VerifyGrid& grid, double grid_top,
+                            size_t buckets) {
+  VerifyOutcome outcome;
+  outcome.max_expected = grid.max_expected;
+  outcome.points = grid.points;
+  if (grid_top <= 0.0) return outcome;
+  const double dt = grid_top / static_cast<double>(buckets);
+  int64_t sf = 0, sc = 0, zf = 0, zc = 0;
+  double lower = 0.0, upper = 0.0;
+  for (size_t b = 0; b <= buckets; ++b) {
+    sf += grid.s_floor[b];
+    sc += grid.s_ceil[b];
+    zf += grid.z_floor[b];
+    zc += grid.z_ceil[b];
+    const double g_floor =
+        zf > 0 ? 0.0 : std::exp(static_cast<double>(sf) * kInvLogScale);
+    const double g_ceil =
+        zc > 0 ? 0.0 : std::exp(static_cast<double>(sc) * kInvLogScale);
+    if (b < buckets) upper += dt * (1.0 - g_floor);
+    if (b > 0) lower += dt * (1.0 - g_ceil);
+  }
+  outcome.lower = lower;
+  outcome.upper = upper;
+  return outcome;
+}
+
+// The verification pass: drains a fresh source, sharding each batch's
+// points over the pool into per-worker grids, then reduces and
+// integrates.
+Result<VerifyOutcome> VerifyPass(size_t dim, metric::Norm norm,
+                                 const BatchSource& source,
+                                 const std::vector<double>& center_coords,
+                                 size_t k, double grid_top, size_t buckets,
+                                 ThreadPool* pool) {
+  std::vector<VerifyGrid> grids(pool->num_threads(), VerifyGrid(buckets));
+  std::vector<std::vector<std::pair<double, size_t>>> scratch(
+      pool->num_threads());
+  uncertain::UncertainPointBatch batch;
+  while (true) {
+    UKC_ASSIGN_OR_RETURN(bool more, source(&batch));
+    if (!more) break;
+    UKC_RETURN_IF_ERROR(ValidateBatch(batch, dim));
+    if (batch.norm != norm) {
+      return Status::InvalidArgument(
+          "VerifyPass: batch norm differs from the ingested stream's");
+    }
+    pool->ParallelFor(batch.n(), [&](int worker, size_t i) {
+      AccumulatePoint(batch, i, center_coords, k, grid_top, buckets,
+                      &grids[worker], &scratch[worker]);
+    });
+  }
+  for (size_t w = 1; w < grids.size(); ++w) grids[0].MergeFrom(grids[w]);
+  if (grids[0].max_location > grid_top) {
+    return Status::Internal(
+        StrFormat("VerifyPass: location distance %.17g exceeds the certified "
+                  "grid top %.17g — coreset bound violated",
+                  grids[0].max_location, grid_top));
+  }
+  return IntegrateGrid(grids[0], grid_top, buckets);
+}
+
+}  // namespace
+
+Result<StreamingSolution> StreamingUncertainKCenter::SolveSource(
+    size_t dim, const BatchSourceFactory& factory) {
+  ScopedPool pool(options_.pool, options_.threads);
+  return Solve(dim, factory, pool.get());
+}
+
+Result<StreamingSolution> StreamingUncertainKCenter::SolveFile(
+    const std::string& path) {
+  // Open once up front for the header (dimension + early validation).
+  UKC_ASSIGN_OR_RETURN(uncertain::DatasetReader reader,
+                       uncertain::DatasetReader::Open(path));
+  const size_t dim = reader.dim();
+  ScopedPool pool(options_.pool, options_.threads);
+  return Solve(dim, FileBatchFactory(path, options_.ingest.chunk_size),
+               pool.get());
+}
+
+Result<StreamingSolution> StreamingUncertainKCenter::SolveDataset(
+    uncertain::UncertainDataset* dataset) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("SolveDataset: null dataset");
+  }
+  metric::EuclideanSpace* space = dataset->euclidean();
+  if (space == nullptr) {
+    return Status::FailedPrecondition(
+        "SolveDataset: streaming requires a Euclidean dataset");
+  }
+  ScopedPool pool(options_.pool, options_.threads);
+  UKC_ASSIGN_OR_RETURN(
+      StreamingSolution solution,
+      Solve(space->dim(),
+            DatasetBatchFactory(dataset, options_.ingest.chunk_size),
+            pool.get()));
+
+  // The materialized dataset allows the exact evaluator cost on top of
+  // the streaming bracket: mint the centers into the space, ED-assign,
+  // evaluate.
+  std::vector<metric::SiteId> center_ids;
+  center_ids.reserve(solution.k);
+  for (size_t c = 0; c < solution.k; ++c) {
+    center_ids.push_back(
+        space->AddCoords(solution.center_coords.data() + c * solution.dim));
+  }
+  UKC_ASSIGN_OR_RETURN(cost::Assignment assignment,
+                       cost::AssignExpectedDistance(*dataset, center_ids,
+                                                    options_.threads,
+                                                    pool.get()));
+  cost::ExpectedCostEvaluator evaluator;
+  UKC_ASSIGN_OR_RETURN(solution.verified_exact,
+                       evaluator.AssignedCost(*dataset, assignment));
+  return solution;
+}
+
+Result<StreamingSolution> StreamingUncertainKCenter::Solve(
+    size_t dim, const BatchSourceFactory& factory, ThreadPool* pool) {
+  if (dim == 0) {
+    return Status::InvalidArgument(
+        "StreamingUncertainKCenter: dim must be >= 1");
+  }
+  if (options_.k == 0) {
+    return Status::InvalidArgument("StreamingUncertainKCenter: k must be >= 1");
+  }
+  if (options_.verify && options_.verify_buckets == 0) {
+    return Status::InvalidArgument(
+        "StreamingUncertainKCenter: verify_buckets must be >= 1");
+  }
+  StreamingSolution solution;
+  solution.dim = dim;
+  Stopwatch stopwatch;
+
+  // Pass 1: sharded coreset build.
+  UKC_ASSIGN_OR_RETURN(BatchSource source, factory());
+  UKC_ASSIGN_OR_RETURN(
+      StreamingCoreset coreset,
+      BuildCoresetFromSource(dim, source, options_.ingest, pool,
+                             &solution.ingest_stats));
+  const std::vector<StreamingCoreset::Cell> cells = coreset.ExtractCells();
+  solution.coreset_cells = cells.size();
+  solution.coreset_level = coreset.level();
+  solution.coreset_diameter = coreset.diameter();
+  solution.coreset_max_spread = coreset.max_spread();
+  solution.coreset_error_bound = coreset.error_bound();
+  solution.coreset_memory_bytes = coreset.ApproxMemoryBytes();
+  solution.timings.ingest_seconds = stopwatch.ElapsedSeconds();
+
+  // Solve on the coreset instance through the existing pipeline. Cell
+  // representatives are certain points; their weights do not enter the
+  // max objective, so the instance is the unweighted representative
+  // set. The run shares this pipeline's worker pool via the options
+  // hook.
+  stopwatch.Reset();
+  solution.k = std::min(options_.k, cells.size());
+  auto coreset_space =
+      std::make_shared<metric::EuclideanSpace>(dim, coreset.norm());
+  std::vector<uncertain::UncertainPoint> coreset_points;
+  coreset_points.reserve(cells.size());
+  for (const StreamingCoreset::Cell& cell : cells) {
+    const metric::SiteId site =
+        coreset_space->AddCoords(cell.representative.data());
+    coreset_points.push_back(uncertain::UncertainPoint::Certain(site));
+  }
+  UKC_ASSIGN_OR_RETURN(
+      uncertain::UncertainDataset coreset_dataset,
+      uncertain::UncertainDataset::Build(coreset_space,
+                                         std::move(coreset_points)));
+  core::UncertainKCenterOptions solve_options;
+  solve_options.k = solution.k;
+  solve_options.rule = cost::AssignmentRule::kExpectedDistance;
+  solve_options.certain = options_.certain;
+  solve_options.pool = pool;
+  UKC_ASSIGN_OR_RETURN(
+      core::UncertainKCenterSolution coreset_solution,
+      core::SolveUncertainKCenter(&coreset_dataset, solve_options));
+  solution.coreset_cost = coreset_solution.expected_cost;
+  solution.coreset_radius = coreset_solution.certain_radius;
+  solution.center_coords.resize(solution.k * dim);
+  for (size_t c = 0; c < solution.k; ++c) {
+    const double* coords = coreset_space->coords(coreset_solution.centers[c]);
+    std::copy(coords, coords + dim, solution.center_coords.data() + c * dim);
+  }
+  solution.timings.solve_seconds = stopwatch.ElapsedSeconds();
+
+  if (!options_.verify) return solution;
+
+  // Pass 2: verification. The grid top is certified from the coreset
+  // alone: every location of every point sits within
+  //   d(rep, nearest center) + diameter + 2 · spread
+  // of its ED-assigned center (stream/coreset.h contract plus norm
+  // convexity), so the integrand vanishes above it.
+  stopwatch.Reset();
+  double rep_radius = 0.0;
+  for (const StreamingCoreset::Cell& cell : cells) {
+    double nearest = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < solution.k; ++c) {
+      nearest = std::min(
+          nearest, metric::NormDistanceKernel(
+                       coreset.norm(), cell.representative.data(),
+                       solution.center_coords.data() + c * dim, dim));
+    }
+    rep_radius = std::max(rep_radius, nearest);
+  }
+  const double grid_top =
+      (rep_radius + coreset.diameter() + 2.0 * coreset.max_spread()) *
+      (1.0 + 1e-9);
+  UKC_ASSIGN_OR_RETURN(BatchSource verify_source, factory());
+  UKC_ASSIGN_OR_RETURN(
+      VerifyOutcome outcome,
+      VerifyPass(dim, coreset.norm(), verify_source, solution.center_coords,
+                 solution.k, grid_top, options_.verify_buckets, pool));
+  if (outcome.points != solution.ingest_stats.points) {
+    return Status::Internal(StrFormat(
+        "StreamingUncertainKCenter: verification saw %llu points, ingest saw "
+        "%llu — the source factory must replay the same stream",
+        static_cast<unsigned long long>(outcome.points),
+        static_cast<unsigned long long>(solution.ingest_stats.points)));
+  }
+  solution.verified_lower = outcome.lower;
+  solution.verified_upper = outcome.upper;
+  solution.max_expected_distance = outcome.max_expected;
+  solution.timings.verify_seconds = stopwatch.ElapsedSeconds();
+  return solution;
+}
+
+}  // namespace stream
+}  // namespace ukc

@@ -1,0 +1,64 @@
+// A flat, space-free batch of Euclidean uncertain points — the unit of
+// chunked ingestion.
+//
+// Unlike UncertainDataset, a batch does not reference a metric space:
+// location coordinates are stored inline (location-major, `dim` doubles
+// per location), so a producer can emit batches without minting sites
+// into any arena and a consumer can stream a file larger than RAM one
+// batch at a time. The CSR layout mirrors the dataset's flat storage:
+// locations of point i occupy [offsets[i], offsets[i+1]).
+
+#ifndef UKC_UNCERTAIN_CHUNK_H_
+#define UKC_UNCERTAIN_CHUNK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "metric/euclidean_space.h"
+
+namespace ukc {
+namespace uncertain {
+
+/// One chunk of a (possibly unbounded) stream of uncertain points.
+struct UncertainPointBatch {
+  /// Ambient dimension of the coordinates; fixed across a stream.
+  size_t dim = 0;
+  /// Norm the coordinates are measured under.
+  metric::Norm norm = metric::Norm::kL2;
+  /// Global index of the first point of this batch within the stream.
+  uint64_t start_index = 0;
+  /// CSR offsets into coords/probabilities: n() + 1 entries, first 0.
+  std::vector<size_t> offsets;
+  /// Location coordinates, location-major (`dim` doubles each).
+  std::vector<double> coords;
+  /// Location probabilities, parallel to the location axis of coords.
+  std::vector<double> probabilities;
+
+  size_t n() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  size_t num_locations() const { return probabilities.size(); }
+
+  /// Locations of point i (batch-local index).
+  size_t locations_of(size_t i) const {
+    UKC_DCHECK_LT(i + 1, offsets.size());
+    return offsets[i + 1] - offsets[i];
+  }
+  const double* location_coords(size_t l) const {
+    UKC_DCHECK_LT(l, probabilities.size());
+    return coords.data() + l * dim;
+  }
+
+  /// Resets to an empty batch (keeps dim/norm and the capacity).
+  void Clear() {
+    start_index = 0;
+    offsets.clear();
+    coords.clear();
+    probabilities.clear();
+  }
+};
+
+}  // namespace uncertain
+}  // namespace ukc
+
+#endif  // UKC_UNCERTAIN_CHUNK_H_

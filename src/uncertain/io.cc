@@ -1,5 +1,6 @@
 #include "uncertain/io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -29,6 +30,85 @@ bool NextLine(std::istream& is, std::istringstream* line) {
   return false;
 }
 
+Status ParseNorm(const std::string& name, metric::Norm* out) {
+  if (name == "L2") {
+    *out = metric::Norm::kL2;
+  } else if (name == "L1") {
+    *out = metric::Norm::kL1;
+  } else if (name == "LInf") {
+    *out = metric::Norm::kLInf;
+  } else {
+    return Status::InvalidArgument("ukc-dataset: unknown norm " + name);
+  }
+  return Status::OK();
+}
+
+// Parses the "ukc-dataset <version> / dim <d> / [norm <name>] / n
+// <count>" header — the shared front of LoadDataset and DatasetReader.
+// The norm line is optional (files written before it was recorded are
+// L2), which keeps the version stable.
+Status ParseHeader(std::istream& is, size_t* dim, metric::Norm* norm,
+                   size_t* n) {
+  std::istringstream line;
+  if (!NextLine(is, &line)) {
+    return Status::InvalidArgument("ukc-dataset: empty input");
+  }
+  std::string magic;
+  int version = 0;
+  line >> magic >> version;
+  if (magic != kMagic || version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("ukc-dataset: bad header '%s %d'", magic.c_str(), version));
+  }
+  auto read_keyed_size = [&](const char* key, size_t* out) -> Status {
+    if (!NextLine(is, &line)) {
+      return Status::InvalidArgument(
+          StrFormat("ukc-dataset: missing '%s'", key));
+    }
+    std::string word;
+    long long value = -1;
+    line >> word >> value;
+    if (word != key || value < 0 || line.fail()) {
+      return Status::InvalidArgument(
+          StrFormat("ukc-dataset: expected '%s <count>', got '%s'", key,
+                    line.str().c_str()));
+    }
+    *out = static_cast<size_t>(value);
+    return Status::OK();
+  };
+  UKC_RETURN_IF_ERROR(read_keyed_size("dim", dim));
+  // Either "norm <name>" followed by "n <count>", or "n <count>" alone.
+  *norm = metric::Norm::kL2;
+  if (!NextLine(is, &line)) {
+    return Status::InvalidArgument("ukc-dataset: missing 'n'");
+  }
+  std::string word;
+  line >> word;
+  if (word == "norm") {
+    std::string name;
+    line >> name;
+    if (line.fail()) {
+      return Status::InvalidArgument("ukc-dataset: malformed norm line");
+    }
+    UKC_RETURN_IF_ERROR(ParseNorm(name, norm));
+    UKC_RETURN_IF_ERROR(read_keyed_size("n", n));
+  } else {
+    long long value = -1;
+    line >> value;
+    if (word != "n" || value < 0 || line.fail()) {
+      return Status::InvalidArgument(
+          StrFormat("ukc-dataset: expected 'n <count>', got '%s'",
+                    line.str().c_str()));
+    }
+    *n = static_cast<size_t>(value);
+  }
+  if (*dim == 0) {
+    return Status::InvalidArgument("ukc-dataset: dim must be >= 1");
+  }
+  if (*n == 0) return Status::InvalidArgument("ukc-dataset: n must be >= 1");
+  return Status::OK();
+}
+
 }  // namespace
 
 Status SaveDataset(const UncertainDataset& dataset, std::ostream& os) {
@@ -39,6 +119,12 @@ Status SaveDataset(const UncertainDataset& dataset, std::ostream& os) {
   }
   os << kMagic << " " << kVersion << "\n";
   os << "dim " << space->dim() << "\n";
+  // L2 files omit the norm line and stay byte-compatible with readers
+  // that predate it; non-L2 files were silently reloaded as L2 before
+  // the line existed, so a hard parse error there is strictly better.
+  if (space->norm() != metric::Norm::kL2) {
+    os << "norm " << metric::NormToString(space->norm()) << "\n";
+  }
   os << "n " << dataset.n() << "\n";
   os.precision(17);
   for (size_t i = 0; i < dataset.n(); ++i) {
@@ -65,76 +151,32 @@ Status SaveDatasetToFile(const UncertainDataset& dataset,
 }
 
 Result<UncertainDataset> LoadDataset(std::istream& is) {
-  std::istringstream line;
-  if (!NextLine(is, &line)) {
-    return Status::InvalidArgument("LoadDataset: empty input");
-  }
-  std::string magic;
-  int version = 0;
-  line >> magic >> version;
-  if (magic != kMagic || version != kVersion) {
-    return Status::InvalidArgument(
-        StrFormat("LoadDataset: bad header '%s %d'", magic.c_str(), version));
-  }
-
-  auto read_keyed_size = [&](const char* key, size_t* out) -> Status {
-    if (!NextLine(is, &line)) {
-      return Status::InvalidArgument(StrFormat("LoadDataset: missing '%s'", key));
-    }
-    std::string word;
-    long long value = -1;
-    line >> word >> value;
-    if (word != key || value < 0 || line.fail()) {
-      return Status::InvalidArgument(
-          StrFormat("LoadDataset: expected '%s <count>', got '%s'", key,
-                    line.str().c_str()));
-    }
-    *out = static_cast<size_t>(value);
-    return Status::OK();
-  };
-
-  size_t dim = 0;
-  size_t n = 0;
-  UKC_RETURN_IF_ERROR(read_keyed_size("dim", &dim));
-  UKC_RETURN_IF_ERROR(read_keyed_size("n", &n));
-  if (dim == 0) return Status::InvalidArgument("LoadDataset: dim must be >= 1");
-  if (n == 0) return Status::InvalidArgument("LoadDataset: n must be >= 1");
-
-  auto space = std::make_shared<metric::EuclideanSpace>(dim);
+  // One parser for the format: pull chunks off the streaming reader
+  // and materialize them (one fresh site per location line, exactly as
+  // the chunked path sees them).
+  UKC_ASSIGN_OR_RETURN(DatasetReader reader, DatasetReader::FromStream(is));
+  auto space =
+      std::make_shared<metric::EuclideanSpace>(reader.dim(), reader.norm());
   std::vector<UncertainPoint> points;
-  points.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    size_t z = 0;
-    UKC_RETURN_IF_ERROR(read_keyed_size("point", &z));
-    if (z == 0) {
-      return Status::InvalidArgument(
-          StrFormat("LoadDataset: point %zu has no locations", i));
-    }
-    std::vector<Location> locations;
-    locations.reserve(z);
-    for (size_t j = 0; j < z; ++j) {
-      if (!NextLine(is, &line)) {
-        return Status::InvalidArgument(
-            StrFormat("LoadDataset: truncated at point %zu location %zu", i, j));
+  points.reserve(reader.num_points());
+  UncertainPointBatch batch;
+  while (true) {
+    UKC_ASSIGN_OR_RETURN(size_t produced, reader.ReadChunk(4096, &batch));
+    if (produced == 0) break;
+    for (size_t i = 0; i < batch.n(); ++i) {
+      std::vector<Location> locations;
+      locations.reserve(batch.locations_of(i));
+      for (size_t l = batch.offsets[i]; l < batch.offsets[i + 1]; ++l) {
+        locations.push_back(Location{space->AddCoords(batch.location_coords(l)),
+                                     batch.probabilities[l]});
       }
-      double probability = 0.0;
-      line >> probability;
-      std::vector<double> coords(dim, 0.0);
-      for (size_t a = 0; a < dim; ++a) line >> coords[a];
-      if (line.fail()) {
-        return Status::InvalidArgument(
-            StrFormat("LoadDataset: malformed location line for point %zu: '%s'",
-                      i, line.str().c_str()));
+      auto point = UncertainPoint::Build(std::move(locations));
+      if (!point.ok()) {
+        return point.status().WithPrefix(
+            StrFormat("LoadDataset: point %zu", batch.start_index + i));
       }
-      const metric::SiteId site =
-          space->AddPoint(geometry::Point(std::move(coords)));
-      locations.push_back(Location{site, probability});
+      points.push_back(std::move(point).value());
     }
-    auto point = UncertainPoint::Build(std::move(locations));
-    if (!point.ok()) {
-      return point.status().WithPrefix(StrFormat("LoadDataset: point %zu", i));
-    }
-    points.push_back(std::move(point).value());
   }
   return UncertainDataset::Build(std::move(space), std::move(points));
 }
@@ -145,6 +187,91 @@ Result<UncertainDataset> LoadDatasetFromFile(const std::string& path) {
     return Status::NotFound("LoadDatasetFromFile: cannot open " + path);
   }
   return LoadDataset(file);
+}
+
+Result<DatasetReader> DatasetReader::Open(const std::string& path) {
+  DatasetReader reader;
+  reader.file_.open(path);
+  if (!reader.file_.is_open()) {
+    return Status::NotFound("DatasetReader: cannot open " + path);
+  }
+  UKC_RETURN_IF_ERROR(
+      ParseHeader(reader.file_, &reader.dim_, &reader.norm_, &reader.n_));
+  return reader;
+}
+
+Result<DatasetReader> DatasetReader::FromStream(std::istream& is) {
+  DatasetReader reader;
+  reader.borrowed_ = &is;
+  UKC_RETURN_IF_ERROR(ParseHeader(is, &reader.dim_, &reader.norm_, &reader.n_));
+  return reader;
+}
+
+Result<size_t> DatasetReader::ReadChunk(size_t max_points,
+                                        UncertainPointBatch* batch) {
+  if (batch == nullptr) {
+    return Status::InvalidArgument("ReadChunk: null batch");
+  }
+  if (max_points == 0) {
+    return Status::InvalidArgument("ReadChunk: max_points must be >= 1");
+  }
+  batch->Clear();
+  batch->dim = dim_;
+  batch->norm = norm_;
+  batch->start_index = read_;
+  batch->offsets.push_back(0);
+
+  std::istringstream line;
+  size_t produced = 0;
+  while (produced < max_points && read_ < n_) {
+    if (!NextLine(in(), &line)) {
+      return Status::InvalidArgument(
+          StrFormat("ReadChunk: truncated after %zu of %zu points", read_, n_));
+    }
+    std::string word;
+    long long z = -1;
+    line >> word >> z;
+    if (word != "point" || z <= 0 || line.fail()) {
+      return Status::InvalidArgument(
+          StrFormat("ReadChunk: expected 'point <z>' for point %zu, got '%s'",
+                    read_, line.str().c_str()));
+    }
+    double total_probability = 0.0;
+    for (long long j = 0; j < z; ++j) {
+      if (!NextLine(in(), &line)) {
+        return Status::InvalidArgument(
+            StrFormat("ReadChunk: truncated at point %zu location %lld", read_,
+                      j));
+      }
+      double probability = 0.0;
+      line >> probability;
+      const size_t base = batch->coords.size();
+      batch->coords.resize(base + dim_);
+      for (size_t a = 0; a < dim_; ++a) line >> batch->coords[base + a];
+      if (line.fail()) {
+        return Status::InvalidArgument(
+            StrFormat("ReadChunk: malformed location line for point %zu: '%s'",
+                      read_, line.str().c_str()));
+      }
+      if (!(probability > 0.0)) {
+        return Status::InvalidArgument(StrFormat(
+            "ReadChunk: point %zu has a non-positive location probability",
+            read_));
+      }
+      batch->probabilities.push_back(probability);
+      total_probability += probability;
+    }
+    if (std::abs(total_probability - 1.0) >
+        UncertainPoint::kProbabilityTolerance) {
+      return Status::InvalidArgument(
+          StrFormat("ReadChunk: point %zu probabilities sum to %.12f", read_,
+                    total_probability));
+    }
+    batch->offsets.push_back(batch->probabilities.size());
+    ++read_;
+    ++produced;
+  }
+  return produced;
 }
 
 }  // namespace uncertain

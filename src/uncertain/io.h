@@ -15,10 +15,12 @@
 #ifndef UKC_UNCERTAIN_IO_H_
 #define UKC_UNCERTAIN_IO_H_
 
+#include <fstream>
 #include <iosfwd>
 #include <string>
 
 #include "common/result.h"
+#include "uncertain/chunk.h"
 #include "uncertain/dataset.h"
 
 namespace ukc {
@@ -36,6 +38,58 @@ Result<UncertainDataset> LoadDataset(std::istream& is);
 
 /// Convenience: load from a file path.
 Result<UncertainDataset> LoadDatasetFromFile(const std::string& path);
+
+/// Streams a dataset written by SaveDataset chunk by chunk, without
+/// materializing the whole input: Open/FromStream parse the header,
+/// each ReadChunk call parses the next `max_points` point records into
+/// a flat UncertainPointBatch (coordinates inline — no space, no site
+/// minting). Peak memory is one chunk, independent of n. This is the
+/// single parser of the format: the ingestion path of the streaming
+/// coreset layer (stream/ingest.h) pulls chunks directly, and
+/// LoadDataset materializes a dataset from the same chunks.
+class DatasetReader {
+ public:
+  /// Opens `path` (owning the file handle) and parses the header.
+  static Result<DatasetReader> Open(const std::string& path);
+
+  /// Parses the header off a borrowed stream, which must outlive the
+  /// reader.
+  static Result<DatasetReader> FromStream(std::istream& is);
+
+  DatasetReader(DatasetReader&&) = default;
+  DatasetReader& operator=(DatasetReader&&) = default;
+
+  /// Ambient dimension declared by the header.
+  size_t dim() const { return dim_; }
+  /// Norm declared by the header (L2 for files predating the norm
+  /// line).
+  metric::Norm norm() const { return norm_; }
+  /// Total point count declared by the header.
+  size_t num_points() const { return n_; }
+  /// Points consumed by ReadChunk calls so far.
+  size_t num_read() const { return read_; }
+
+  /// Replaces *batch with the next <= max_points points (max_points >=
+  /// 1). Returns the number of points read: 0 exactly at the clean end
+  /// of the stream, an error on malformed or truncated input. The
+  /// batch's start_index is the stream index of its first point.
+  Result<size_t> ReadChunk(size_t max_points, UncertainPointBatch* batch);
+
+ private:
+  DatasetReader() = default;
+
+  // The input is either the owned file or a borrowed stream; in() hides
+  // which, keeping the default move semantics valid (the borrowed
+  // pointer never aims at a member).
+  std::istream& in() { return borrowed_ != nullptr ? *borrowed_ : file_; }
+
+  std::ifstream file_;
+  std::istream* borrowed_ = nullptr;
+  size_t dim_ = 0;
+  metric::Norm norm_ = metric::Norm::kL2;
+  size_t n_ = 0;
+  size_t read_ = 0;
+};
 
 }  // namespace uncertain
 }  // namespace ukc

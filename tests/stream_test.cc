@@ -1,0 +1,502 @@
+// Tests for the streaming subsystem (stream/): the chunked dataset
+// reader, the mergeable doubling-grid coreset, the sharded ingestion
+// layer, and the StreamingUncertainKCenter facade.
+//
+// The two load-bearing claims are asserted the hard way:
+//  * bitwise determinism — the extracted coreset, the chosen centers,
+//    and every reported cost are EXPECT_EQ-identical (no tolerance)
+//    across threads ∈ {1, 2, 8} × chunk sizes × shard counts;
+//  * the approximation bound — with the Gonzalez solver (factor 2) the
+//    streamed solution's exact cost obeys
+//      Ecost_stream <= 2 · Ecost_direct + 2 · coreset.error_bound(),
+//    the guarantee derived in stream/coreset.h, and the verification
+//    bracket [lower, upper] contains the exact evaluator cost.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/unassigned.h"
+#include "core/uncertain_kcenter.h"
+#include "exper/instances.h"
+#include "stream/coreset.h"
+#include "stream/ingest.h"
+#include "stream/pipeline.h"
+#include "uncertain/io.h"
+
+namespace ukc {
+namespace {
+
+using metric::SiteId;
+
+const int kThreadCounts[] = {1, 2, 8};
+const size_t kChunkSizes[] = {1, 7, 64, 4096};
+const int kShardCounts[] = {1, 3, 8};
+
+uncertain::UncertainDataset MakeDataset(size_t n, uint64_t seed,
+                                        size_t z = 3, double spread = 0.5) {
+  exper::InstanceSpec spec;
+  spec.family = exper::Family::kClustered;
+  spec.n = n;
+  spec.z = z;
+  spec.dim = 2;
+  spec.k = 4;
+  spec.spread = spread;
+  spec.seed = seed;
+  return std::move(exper::MakeInstance(spec)).value();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// --- Chunked reader ---------------------------------------------------------
+
+TEST(DatasetReaderTest, ChunkedRoundTripMatchesFlatLoad) {
+  auto dataset = MakeDataset(37, 5);
+  const std::string path = TempPath("roundtrip.ukc");
+  ASSERT_TRUE(uncertain::SaveDatasetToFile(dataset, path).ok());
+
+  const metric::EuclideanSpace* space = dataset.euclidean();
+  const size_t dim = space->dim();
+  for (size_t chunk_size : {size_t{1}, size_t{5}, size_t{64}}) {
+    auto reader = uncertain::DatasetReader::Open(path);
+    ASSERT_TRUE(reader.ok()) << reader.status();
+    EXPECT_EQ(reader->dim(), dim);
+    EXPECT_EQ(reader->num_points(), dataset.n());
+
+    // Reassemble the stream and compare to the dataset's flat arrays.
+    std::vector<double> coords;
+    std::vector<double> probabilities;
+    std::vector<size_t> locations_per_point;
+    uncertain::UncertainPointBatch batch;
+    uint64_t expected_start = 0;
+    while (true) {
+      auto produced = reader->ReadChunk(chunk_size, &batch);
+      ASSERT_TRUE(produced.ok()) << produced.status();
+      if (*produced == 0) break;
+      EXPECT_EQ(batch.start_index, expected_start);
+      EXPECT_EQ(batch.n(), *produced);
+      expected_start += *produced;
+      coords.insert(coords.end(), batch.coords.begin(), batch.coords.end());
+      probabilities.insert(probabilities.end(), batch.probabilities.begin(),
+                           batch.probabilities.end());
+      for (size_t i = 0; i < batch.n(); ++i) {
+        locations_per_point.push_back(batch.locations_of(i));
+      }
+    }
+    EXPECT_EQ(reader->num_read(), dataset.n());
+    ASSERT_EQ(locations_per_point.size(), dataset.n());
+    ASSERT_EQ(probabilities.size(), dataset.total_locations());
+
+    size_t l = 0;
+    for (size_t i = 0; i < dataset.n(); ++i) {
+      EXPECT_EQ(locations_per_point[i], dataset.num_locations(i));
+      const auto view = dataset.point(i);
+      for (size_t j = 0; j < view.num_locations(); ++j, ++l) {
+        EXPECT_EQ(probabilities[l], view.probability(j));
+        const double* site_coords = space->coords(view.site(j));
+        for (size_t a = 0; a < dim; ++a) {
+          // The writer emits 17 significant digits, so text round-trips
+          // reproduce every bit.
+          EXPECT_EQ(coords[l * dim + a], site_coords[a]);
+        }
+      }
+    }
+  }
+}
+
+TEST(DatasetReaderTest, NormRoundTripsThroughTheHeader) {
+  // An L1 dataset must come back as L1 — both through LoadDataset and
+  // through the chunked reader — so the streaming bracket is computed
+  // under the metric the data was written in.
+  auto space = std::make_shared<metric::EuclideanSpace>(2, metric::Norm::kL1);
+  std::vector<uncertain::UncertainPoint> points;
+  for (int i = 0; i < 5; ++i) {
+    const metric::SiteId site = space->AddPoint(
+        geometry::Point{static_cast<double>(i), static_cast<double>(-i)});
+    points.push_back(uncertain::UncertainPoint::Certain(site));
+  }
+  auto dataset =
+      std::move(uncertain::UncertainDataset::Build(space, std::move(points)))
+          .value();
+  const std::string path = TempPath("l1.ukc");
+  ASSERT_TRUE(uncertain::SaveDatasetToFile(dataset, path).ok());
+
+  auto reader = uncertain::DatasetReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->norm(), metric::Norm::kL1);
+
+  auto loaded = uncertain::LoadDatasetFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->euclidean()->norm(), metric::Norm::kL1);
+
+  // Files written before the norm line default to L2.
+  std::ofstream legacy(TempPath("legacy.ukc"));
+  legacy << "ukc-dataset 1\ndim 1\nn 1\npoint 1\n1.0 0.5\n";
+  legacy.close();
+  auto legacy_reader = uncertain::DatasetReader::Open(TempPath("legacy.ukc"));
+  ASSERT_TRUE(legacy_reader.ok()) << legacy_reader.status();
+  EXPECT_EQ(legacy_reader->norm(), metric::Norm::kL2);
+}
+
+TEST(DatasetReaderTest, RejectsTruncatedFile) {
+  auto dataset = MakeDataset(10, 6);
+  const std::string full = TempPath("full.ukc");
+  ASSERT_TRUE(uncertain::SaveDatasetToFile(dataset, full).ok());
+  std::ifstream in(full);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::string cut = TempPath("cut.ukc");
+  std::ofstream(cut) << text.substr(0, text.size() * 2 / 3);
+
+  auto reader = uncertain::DatasetReader::Open(cut);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  uncertain::UncertainPointBatch batch;
+  Status error = Status::OK();
+  while (true) {
+    auto produced = reader->ReadChunk(4, &batch);
+    if (!produced.ok()) {
+      error = produced.status();
+      break;
+    }
+    if (*produced == 0) break;
+  }
+  EXPECT_FALSE(error.ok());
+}
+
+// --- Coreset ----------------------------------------------------------------
+
+TEST(StreamingCoresetTest, CapacityAndExtractionInvariants) {
+  auto dataset = MakeDataset(1000, 7);
+  stream::IngestOptions options;
+  options.chunk_size = 128;
+  options.coreset.max_cells = 64;
+  ThreadPool pool(1);
+  auto source = stream::MakeDatasetBatchSource(&dataset, options.chunk_size);
+  ASSERT_TRUE(source.ok());
+  stream::IngestStats stats;
+  auto coreset =
+      stream::BuildCoresetFromSource(2, *source, options, &pool, &stats);
+  ASSERT_TRUE(coreset.ok()) << coreset.status();
+
+  EXPECT_LE(coreset->num_cells(), options.coreset.max_cells);
+  EXPECT_EQ(coreset->num_points(), dataset.n());
+  EXPECT_EQ(stats.points, dataset.n());
+  EXPECT_EQ(stats.locations, dataset.total_locations());
+  EXPECT_GT(coreset->diameter(), 0.0);
+  EXPECT_GE(coreset->error_bound(), coreset->max_spread());
+
+  const auto cells = coreset->ExtractCells();
+  ASSERT_EQ(cells.size(), coreset->num_cells());
+  uint64_t members = 0;
+  for (size_t c = 0; c < cells.size(); ++c) {
+    members += cells[c].count;
+    EXPECT_EQ(cells[c].representative.size(), 2u);
+    if (c > 0) EXPECT_LT(cells[c - 1].min_index, cells[c].min_index);
+  }
+  EXPECT_EQ(members, dataset.n());
+}
+
+TEST(StreamingCoresetTest, BitwisePartitionInvariance) {
+  auto dataset = MakeDataset(500, 11);
+  stream::CoresetOptions coreset_options;
+  coreset_options.max_cells = 128;
+
+  // Baseline: one shard, one thread, one chunk size.
+  auto build = [&](int threads, size_t chunk_size, int shards) {
+    ThreadPool pool(threads);
+    stream::IngestOptions options;
+    options.chunk_size = chunk_size;
+    options.shards = shards;
+    options.coreset = coreset_options;
+    auto source = stream::MakeDatasetBatchSource(&dataset, chunk_size);
+    EXPECT_TRUE(source.ok());
+    auto coreset = stream::BuildCoresetFromSource(2, *source, options, &pool);
+    EXPECT_TRUE(coreset.ok()) << coreset.status();
+    return std::move(*coreset);
+  };
+  const stream::StreamingCoreset baseline = build(1, 500, 1);
+  const auto baseline_cells = baseline.ExtractCells();
+  ASSERT_GT(baseline_cells.size(), 1u);
+
+  for (int threads : kThreadCounts) {
+    for (size_t chunk_size : kChunkSizes) {
+      for (int shards : kShardCounts) {
+        const stream::StreamingCoreset coreset =
+            build(threads, chunk_size, shards);
+        SCOPED_TRACE(::testing::Message() << "threads=" << threads
+                                          << " chunk=" << chunk_size
+                                          << " shards=" << shards);
+        EXPECT_EQ(coreset.level(), baseline.level());
+        const auto cells = coreset.ExtractCells();
+        ASSERT_EQ(cells.size(), baseline_cells.size());
+        for (size_t c = 0; c < cells.size(); ++c) {
+          EXPECT_EQ(cells[c].min_index, baseline_cells[c].min_index);
+          EXPECT_EQ(cells[c].count, baseline_cells[c].count);
+          EXPECT_EQ(cells[c].max_spread, baseline_cells[c].max_spread);
+          EXPECT_EQ(cells[c].representative, baseline_cells[c].representative);
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamingCoresetTest, MemoryBoundedByCellsNotInput) {
+  stream::CoresetOptions coreset_options;
+  coreset_options.max_cells = 256;
+  // A generous fixed budget for 256 cells in 2-d — the point is that it
+  // does not move when n grows 10x.
+  const size_t kBudget = 256 * 1024;
+  for (size_t n : {size_t{2000}, size_t{20000}}) {
+    auto dataset = MakeDataset(n, 13);
+    ThreadPool pool(1);
+    stream::IngestOptions options;
+    options.chunk_size = 512;
+    options.coreset = coreset_options;
+    auto source = stream::MakeDatasetBatchSource(&dataset, options.chunk_size);
+    ASSERT_TRUE(source.ok());
+    auto coreset = stream::BuildCoresetFromSource(2, *source, options, &pool);
+    ASSERT_TRUE(coreset.ok());
+    EXPECT_LE(coreset->num_cells(), coreset_options.max_cells);
+    EXPECT_LE(coreset->ApproxMemoryBytes(), kBudget) << "n=" << n;
+  }
+}
+
+// --- Streaming pipeline -----------------------------------------------------
+
+stream::StreamingOptions PipelineOptions(int threads, size_t chunk_size,
+                                         int shards) {
+  stream::StreamingOptions options;
+  options.k = 4;
+  options.threads = threads;
+  options.ingest.chunk_size = chunk_size;
+  options.ingest.shards = shards;
+  options.ingest.coreset.max_cells = 512;
+  return options;
+}
+
+TEST(StreamingPipelineTest, BitwiseDeterminismAcrossConfigurations) {
+  auto dataset = MakeDataset(800, 17);
+  stream::StreamingUncertainKCenter baseline_solver(PipelineOptions(1, 800, 1));
+  auto baseline = baseline_solver.SolveDataset(&dataset);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  ASSERT_EQ(baseline->k, 4u);
+  ASSERT_FALSE(std::isnan(baseline->verified_lower));
+
+  for (int threads : kThreadCounts) {
+    for (size_t chunk_size : kChunkSizes) {
+      for (int shards : kShardCounts) {
+        SCOPED_TRACE(::testing::Message() << "threads=" << threads
+                                          << " chunk=" << chunk_size
+                                          << " shards=" << shards);
+        stream::StreamingUncertainKCenter solver(
+            PipelineOptions(threads, chunk_size, shards));
+        auto solution = solver.SolveDataset(&dataset);
+        ASSERT_TRUE(solution.ok()) << solution.status();
+        EXPECT_EQ(solution->center_coords, baseline->center_coords);
+        EXPECT_EQ(solution->coreset_cells, baseline->coreset_cells);
+        EXPECT_EQ(solution->coreset_cost, baseline->coreset_cost);
+        EXPECT_EQ(solution->coreset_radius, baseline->coreset_radius);
+        EXPECT_EQ(solution->verified_lower, baseline->verified_lower);
+        EXPECT_EQ(solution->verified_upper, baseline->verified_upper);
+        EXPECT_EQ(solution->max_expected_distance,
+                  baseline->max_expected_distance);
+        EXPECT_EQ(solution->verified_exact, baseline->verified_exact);
+      }
+    }
+  }
+}
+
+TEST(StreamingPipelineTest, BracketContainsExactCostAndIsTight) {
+  auto dataset = MakeDataset(600, 19);
+  stream::StreamingUncertainKCenter solver(PipelineOptions(2, 97, 3));
+  auto solution = solver.SolveDataset(&dataset);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+
+  ASSERT_FALSE(std::isnan(solution->verified_exact));
+  // The bracket is rigorous up to double-rounding of the final sums.
+  const double slack = 1e-9 * (1.0 + solution->verified_upper);
+  EXPECT_LE(solution->verified_lower, solution->verified_exact + slack);
+  EXPECT_GE(solution->verified_upper, solution->verified_exact - slack);
+  // max-of-expectations lower-bounds the expected max.
+  EXPECT_LE(solution->max_expected_distance,
+            solution->verified_exact + slack);
+  // Grid resolution: the bracket is no wider than a few grid cells.
+  EXPECT_LT(solution->verified_upper - solution->verified_lower,
+            0.05 * solution->verified_upper + 1e-9);
+}
+
+TEST(StreamingPipelineTest, ApproximationBoundAgainstDirectSolve) {
+  for (uint64_t seed : {23u, 29u, 31u}) {
+    auto dataset = MakeDataset(600, seed, /*z=*/3, /*spread=*/0.3);
+
+    core::UncertainKCenterOptions direct_options;
+    direct_options.k = 4;
+    auto direct = core::SolveUncertainKCenter(&dataset, direct_options);
+    ASSERT_TRUE(direct.ok()) << direct.status();
+
+    stream::StreamingOptions stream_options = PipelineOptions(2, 128, 2);
+    stream_options.ingest.coreset.max_cells = 1024;
+    stream::StreamingUncertainKCenter solver(stream_options);
+    auto solution = solver.SolveDataset(&dataset);
+    ASSERT_TRUE(solution.ok()) << solution.status();
+
+    // The guarantee from stream/coreset.h with the factor-2 Gonzalez
+    // solver: Ecost_stream <= 2 Ecost_direct + 2 (diameter + spread).
+    const double bound = 2.0 * direct->expected_cost +
+                         2.0 * solution->coreset_error_bound + 1e-9;
+    EXPECT_LE(solution->verified_exact, bound) << "seed=" << seed;
+    EXPECT_LE(solution->verified_upper,
+              bound + (solution->verified_upper - solution->verified_lower))
+        << "seed=" << seed;
+  }
+}
+
+TEST(StreamingPipelineTest, FileAndDatasetPathsAgreeBitwise) {
+  auto dataset = MakeDataset(300, 37);
+  const std::string path = TempPath("stream_solve.ukc");
+  ASSERT_TRUE(uncertain::SaveDatasetToFile(dataset, path).ok());
+
+  stream::StreamingUncertainKCenter solver(PipelineOptions(2, 64, 2));
+  auto from_file = solver.SolveFile(path);
+  ASSERT_TRUE(from_file.ok()) << from_file.status();
+  auto from_dataset = solver.SolveDataset(&dataset);
+  ASSERT_TRUE(from_dataset.ok()) << from_dataset.status();
+
+  EXPECT_EQ(from_file->center_coords, from_dataset->center_coords);
+  EXPECT_EQ(from_file->coreset_cells, from_dataset->coreset_cells);
+  EXPECT_EQ(from_file->verified_lower, from_dataset->verified_lower);
+  EXPECT_EQ(from_file->verified_upper, from_dataset->verified_upper);
+  // Only the dataset path can report the exact evaluator cost.
+  EXPECT_TRUE(std::isnan(from_file->verified_exact));
+  EXPECT_FALSE(std::isnan(from_dataset->verified_exact));
+}
+
+TEST(StreamingPipelineTest, ProducerSourceMatchesDataset) {
+  // A deterministic synthetic stream: point i is a 2-location uncertain
+  // point derived from Rng::Fork(i), emitted twice (once per pass)
+  // through the producer adapter.
+  const size_t n = 400;
+  const size_t dim = 2;
+  auto make_factory = [&]() -> stream::BatchSourceFactory {
+    return [n]() -> Result<stream::BatchSource> {
+      auto index = std::make_shared<size_t>(0);
+      return stream::MakeProducerBatchSource(
+          2,
+          [n, index](std::vector<double>* coords,
+                     std::vector<double>* probabilities) {
+            if (*index >= n) return false;
+            Rng rng(1234);
+            Rng point_rng = rng.Fork(*index);
+            const double cx = point_rng.UniformDouble(0.0, 10.0);
+            const double cy = point_rng.UniformDouble(0.0, 10.0);
+            for (int l = 0; l < 2; ++l) {
+              coords->push_back(cx + point_rng.Gaussian(0.0, 0.2));
+              coords->push_back(cy + point_rng.Gaussian(0.0, 0.2));
+            }
+            probabilities->push_back(0.25);
+            probabilities->push_back(0.75);
+            ++*index;
+            return true;
+          },
+          64);
+    };
+  };
+
+  // The same points as a materialized dataset.
+  auto factory = make_factory();
+  auto space = std::make_shared<metric::EuclideanSpace>(dim);
+  std::vector<uncertain::UncertainPoint> points;
+  {
+    auto one_pass = factory();
+    ASSERT_TRUE(one_pass.ok());
+    uncertain::UncertainPointBatch batch;
+    while (true) {
+      auto more = (*one_pass)(&batch);
+      ASSERT_TRUE(more.ok());
+      if (!*more) break;
+      for (size_t i = 0; i < batch.n(); ++i) {
+        std::vector<uncertain::Location> locations;
+        for (size_t l = batch.offsets[i]; l < batch.offsets[i + 1]; ++l) {
+          locations.push_back(uncertain::Location{
+              space->AddCoords(batch.location_coords(l)),
+              batch.probabilities[l]});
+        }
+        points.push_back(
+            std::move(uncertain::UncertainPoint::Build(std::move(locations)))
+                .value());
+      }
+    }
+  }
+  auto dataset =
+      std::move(uncertain::UncertainDataset::Build(space, std::move(points)))
+          .value();
+  ASSERT_EQ(dataset.n(), n);
+
+  stream::StreamingOptions options = PipelineOptions(2, 64, 2);
+  options.k = 3;
+  stream::StreamingUncertainKCenter solver(options);
+  auto via_producer = solver.SolveSource(dim, make_factory());
+  ASSERT_TRUE(via_producer.ok()) << via_producer.status();
+  auto via_dataset = solver.SolveDataset(&dataset);
+  ASSERT_TRUE(via_dataset.ok()) << via_dataset.status();
+
+  EXPECT_EQ(via_producer->center_coords, via_dataset->center_coords);
+  EXPECT_EQ(via_producer->verified_lower, via_dataset->verified_lower);
+  EXPECT_EQ(via_producer->verified_upper, via_dataset->verified_upper);
+  EXPECT_EQ(via_producer->ingest_stats.points, n);
+}
+
+// --- Shared-pool plumbing ---------------------------------------------------
+
+TEST(SharedPoolTest, PipelineMatchesPrivatePools) {
+  auto dataset_private = MakeDataset(250, 41);
+  auto dataset_shared = MakeDataset(250, 41);
+
+  core::UncertainKCenterOptions options;
+  options.k = 3;
+  options.threads = 2;
+  auto with_private = core::SolveUncertainKCenter(&dataset_private, options);
+  ASSERT_TRUE(with_private.ok());
+
+  ThreadPool pool(2);
+  options.pool = &pool;
+  auto with_shared = core::SolveUncertainKCenter(&dataset_shared, options);
+  ASSERT_TRUE(with_shared.ok());
+
+  EXPECT_EQ(with_private->centers, with_shared->centers);
+  EXPECT_EQ(with_private->surrogates, with_shared->surrogates);
+  EXPECT_EQ(with_private->expected_cost, with_shared->expected_cost);
+  EXPECT_EQ(with_private->assignment, with_shared->assignment);
+}
+
+TEST(SharedPoolTest, LocalSearchMatchesPrivatePools) {
+  auto dataset_private = MakeDataset(120, 43);
+  auto dataset_shared = MakeDataset(120, 43);
+
+  core::UnassignedSearchOptions options;
+  options.k = 3;
+  options.threads = 2;
+  options.max_swaps = 4;
+  auto with_private = core::LocalSearchUnassigned(&dataset_private, options);
+  ASSERT_TRUE(with_private.ok());
+
+  ThreadPool pool(2);
+  options.pool = &pool;
+  auto with_shared = core::LocalSearchUnassigned(&dataset_shared, options);
+  ASSERT_TRUE(with_shared.ok());
+
+  EXPECT_EQ(with_private->centers, with_shared->centers);
+  EXPECT_EQ(with_private->expected_cost, with_shared->expected_cost);
+  EXPECT_EQ(with_private->swaps, with_shared->swaps);
+}
+
+}  // namespace
+}  // namespace ukc
