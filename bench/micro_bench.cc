@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/surrogates.h"
+#include "core/unassigned.h"
 #include "cost/assignment.h"
 #include "cost/expected_cost.h"
 #include "cost/parallel_evaluator.h"
@@ -248,9 +249,12 @@ void BM_SwapSweepSerial(benchmark::State& state) {
 }
 BENCHMARK(BM_SwapSweepSerial)->Arg(10000);
 
-// The same round through ParallelCandidateEvaluator::SwapCostMatrix:
-// shared base tables + threshold snapshot, O(N + m log m) per swap,
-// sharded over the pool.
+// The same round through ParallelCandidateEvaluator::SwapCostMatrix
+// with the default (incremental) engine: the centers do not change
+// between iterations, so after the first iteration every base table
+// rolls over — this measures the steady-state cost of re-scoring a
+// round. The from-scratch trajectory costs are in
+// BM_SwapSweepRebuildRounds / BM_SwapSweepIncremental below.
 void BM_SwapSweepBatch(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const int threads = static_cast<int>(state.range(1));
@@ -273,6 +277,86 @@ BENCHMARK(BM_SwapSweepBatch)
     ->Args({10000, 1})
     ->Args({10000, 8})
     ->Args({100000, 8});
+
+// A ≥3-round local-search trajectory through SwapCostMatrix: round r's
+// accepted argmin swap feeds round r+1 — the access pattern of
+// LocalSearchUnassigned. Run once with the incremental engine off (the
+// PR 2 batch path: full table rebuild + full O(N) candidate scans every
+// round) and once with it on (k−1 distance rows and the untouched base
+// tables roll over; candidates scan only kd-surviving locations).
+void SwapSweepRounds(benchmark::State& state, bool incremental) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  constexpr size_t kRounds = 3;
+  auto dataset = MakeDataset(n);
+  const auto sites = dataset.LocationSites();
+  auto seed = solver::Gonzalez(dataset.space(), sites, 8);
+  std::vector<metric::SiteId> pool;
+  for (size_t i = 0; i < 16; ++i) pool.push_back(sites[(i * 977) % sites.size()]);
+  cost::ParallelCandidateEvaluator::Options options;
+  options.threads = 1;
+  options.incremental_rollover = incremental;
+  options.kd_prune = incremental;
+  cost::ParallelCandidateEvaluator parallel(options);
+  for (auto _ : state) {
+    auto centers = seed->centers;
+    for (size_t round = 0; round < kRounds; ++round) {
+      auto values = parallel.SwapCostMatrix(dataset, centers, pool);
+      UKC_CHECK(values.ok()) << values.status();
+      // Accept the (position, candidate) argmin over non-identity swaps.
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_position = 0;
+      metric::SiteId best_candidate = centers[0];
+      for (size_t p = 0; p < centers.size(); ++p) {
+        for (size_t c = 0; c < pool.size(); ++c) {
+          if (pool[c] == centers[p]) continue;
+          const double value = (*values)[p * pool.size() + c];
+          if (value < best) {
+            best = value;
+            best_position = p;
+            best_candidate = pool[c];
+          }
+        }
+      }
+      centers[best_position] = best_candidate;
+    }
+    benchmark::DoNotOptimize(centers);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kRounds * 8 * pool.size()));
+}
+
+void BM_SwapSweepRebuildRounds(benchmark::State& state) {
+  SwapSweepRounds(state, /*incremental=*/false);
+}
+BENCHMARK(BM_SwapSweepRebuildRounds)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_SwapSweepIncremental(benchmark::State& state) {
+  SwapSweepRounds(state, /*incremental=*/true);
+}
+BENCHMARK(BM_SwapSweepIncremental)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// Exhaustive subset optimization with worker-sharded enumeration
+// (ranked unranking; C(16, 4) = 1820 exact sweeps per iteration).
+void BM_TinyEnumerate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto dataset = MakeDataset(n);
+  const auto sites = dataset.LocationSites();
+  std::vector<metric::SiteId> candidates;
+  for (size_t i = 0; i < 16; ++i) {
+    candidates.push_back(sites[(i * 977) % sites.size()]);
+  }
+  for (auto _ : state) {
+    auto solution =
+        core::ExactUnassignedTiny(dataset, 4, candidates, 2'000'000, 1);
+    UKC_CHECK(solution.ok()) << solution.status();
+    benchmark::DoNotOptimize(solution);
+  }
+  state.SetItemsProcessed(state.iterations() * 1820);
+}
+BENCHMARK(BM_TinyEnumerate)->Arg(200)->Unit(benchmark::kMillisecond);
 
 // A deterministic synthetic uncertain-point stream (8 planted cluster
 // homes, z = 4 locations per point, each point a pure function of its

@@ -57,15 +57,8 @@ Status ForEachSubset(const std::vector<SiteId>& candidates, size_t k,
   while (true) {
     for (size_t i = 0; i < k; ++i) centers[i] = candidates[index[i]];
     UKC_RETURN_IF_ERROR(visit(centers));
-    // Advance the combination odometer.
-    size_t i = k;
-    while (i-- > 0) {
-      if (index[i] + (k - i) < candidates.size()) {
-        ++index[i];
-        for (size_t j = i + 1; j < k; ++j) index[j] = index[j - 1] + 1;
-        break;
-      }
-      if (i == 0) return Status::OK();
+    if (!solver::NextCombination(&index, candidates.size())) {
+      return Status::OK();
     }
   }
 }

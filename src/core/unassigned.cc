@@ -15,7 +15,8 @@ using metric::SiteId;
 
 Result<UnassignedSolution> ExactUnassignedTiny(
     const uncertain::UncertainDataset& dataset, size_t k,
-    const std::vector<SiteId>& candidates, uint64_t max_subsets, int threads) {
+    const std::vector<SiteId>& candidates, uint64_t max_subsets, int threads,
+    ThreadPool* pool) {
   if (k == 0 || k > candidates.size()) {
     return Status::InvalidArgument(
         "ExactUnassignedTiny: need 1 <= k <= |candidates|");
@@ -26,52 +27,61 @@ Result<UnassignedSolution> ExactUnassignedTiny(
         StrFormat("ExactUnassignedTiny: %llu subsets exceeds the cap",
                   static_cast<unsigned long long>(subsets)));
   }
-  UnassignedSolution best;
-  best.expected_cost = std::numeric_limits<double>::infinity();
-  std::vector<size_t> index(k);
-  for (size_t i = 0; i < k; ++i) index[i] = i;
-  std::vector<SiteId> centers(k);
 
-  // Subsets are enumerated into fixed-size chunks and scored through
-  // the batch path: per-worker evaluators amortize all exact-sweep
-  // scratch, and the argmin scan in enumeration order keeps the result
-  // independent of the thread count (strict < keeps the first minimum).
+  // The enumeration shards over the pool: task t covers the contiguous
+  // rank range [t·kRanksPerTask, ...), unranks its start once and walks
+  // the odometer from there — no serial enumerator feeds the workers,
+  // and each task is a pure function of its index. Each task keeps its
+  // first strict minimum; the tasks are then reduced in rank order with
+  // the same strict <, which reproduces a serial first-minimum scan
+  // exactly (ties resolve to the lowest rank).
   cost::ParallelCandidateEvaluator::Options parallel_options;
   parallel_options.threads = threads;
+  parallel_options.pool = pool;
   cost::ParallelCandidateEvaluator parallel(parallel_options);
-  constexpr size_t kChunk = 1024;
-  std::vector<std::vector<SiteId>> chunk;
-  chunk.reserve(kChunk);
-  auto flush = [&]() -> Status {
-    if (chunk.empty()) return Status::OK();
-    UKC_ASSIGN_OR_RETURN(std::vector<double> values,
-                         parallel.UnassignedCostBatch(dataset, chunk));
-    for (size_t s = 0; s < chunk.size(); ++s) {
-      if (values[s] < best.expected_cost) {
-        best.expected_cost = values[s];
-        best.centers = chunk[s];
-      }
-    }
-    chunk.clear();
-    return Status::OK();
+  constexpr uint64_t kRanksPerTask = 256;
+  const size_t tasks = static_cast<size_t>((subsets + kRanksPerTask - 1) /
+                                           kRanksPerTask);
+  struct TaskBest {
+    double value = std::numeric_limits<double>::infinity();
+    uint64_t rank = 0;
   };
-  while (true) {
-    for (size_t i = 0; i < k; ++i) centers[i] = candidates[index[i]];
-    chunk.push_back(centers);
-    if (chunk.size() == kChunk) UKC_RETURN_IF_ERROR(flush());
-    size_t i = k;
-    bool done = true;
-    while (i-- > 0) {
-      if (index[i] + (k - i) < candidates.size()) {
-        ++index[i];
-        for (size_t j = i + 1; j < k; ++j) index[j] = index[j - 1] + 1;
-        done = false;
-        break;
-      }
+  std::vector<TaskBest> bests(tasks);
+  UKC_RETURN_IF_ERROR(parallel.ForEachTask(
+      tasks, [&](cost::ExpectedCostEvaluator& evaluator, size_t t) -> Status {
+        const uint64_t begin = static_cast<uint64_t>(t) * kRanksPerTask;
+        const uint64_t end = std::min(subsets, begin + kRanksPerTask);
+        std::vector<size_t> index;
+        solver::CombinationFromRank(begin, candidates.size(), k, &index);
+        std::vector<SiteId> centers(k);
+        for (uint64_t rank = begin; rank < end; ++rank) {
+          for (size_t i = 0; i < k; ++i) centers[i] = candidates[index[i]];
+          UKC_ASSIGN_OR_RETURN(double value,
+                               evaluator.UnassignedCost(dataset, centers));
+          if (value < bests[t].value) {
+            bests[t].value = value;
+            bests[t].rank = rank;
+          }
+          if (rank + 1 < end) {
+            UKC_CHECK(solver::NextCombination(&index, candidates.size()));
+          }
+        }
+        return Status::OK();
+      }));
+
+  UnassignedSolution best;
+  best.expected_cost = std::numeric_limits<double>::infinity();
+  uint64_t best_rank = 0;
+  for (const TaskBest& task : bests) {
+    if (task.value < best.expected_cost) {
+      best.expected_cost = task.value;
+      best_rank = task.rank;
     }
-    if (done) break;
   }
-  UKC_RETURN_IF_ERROR(flush());
+  std::vector<size_t> index;
+  solver::CombinationFromRank(best_rank, candidates.size(), k, &index);
+  best.centers.resize(k);
+  for (size_t i = 0; i < k; ++i) best.centers[i] = candidates[index[i]];
   return best;
 }
 
@@ -116,6 +126,8 @@ Result<UnassignedSolution> LocalSearchUnassigned(
   cost::ParallelCandidateEvaluator::Options parallel_options;
   parallel_options.threads = options.threads;
   parallel_options.pool = options.pool;
+  parallel_options.incremental_rollover = !options.reference_swap_paths;
+  parallel_options.kd_prune = !options.reference_swap_paths;
   parallel_options.evaluator.kdtree_cutover =
       std::numeric_limits<size_t>::max();
   cost::ParallelCandidateEvaluator parallel(parallel_options);

@@ -43,13 +43,21 @@ struct UnassignedSolution {
 };
 
 /// Exhaustive enumeration of k-subsets of `candidates` minimizing the
-/// exact unassigned cost. True optimum over the candidate set. Subsets
-/// are scored in chunks through the parallel batch path; the result is
-/// independent of `threads` (<= 0 = hardware threads).
+/// exact unassigned cost. True optimum over the candidate set. The
+/// enumeration itself shards over the worker pool: each task unranks
+/// the start of its contiguous rank range (solver::CombinationFromRank)
+/// and advances the combination odometer locally, so no serial
+/// enumerator feeds the workers. Per-task minima are reduced in rank
+/// order with a strict <, so the selected subset — including on cost
+/// ties, where the lexicographically first subset wins — and the
+/// returned cost are bitwise independent of `threads` (<= 0 = hardware
+/// threads) and identical to a serial scan. `pool`, when set, is
+/// borrowed and `threads` is ignored (see ScopedPool).
 Result<UnassignedSolution> ExactUnassignedTiny(
     const uncertain::UncertainDataset& dataset, size_t k,
     const std::vector<metric::SiteId>& candidates,
-    uint64_t max_subsets = 2'000'000, int threads = 1);
+    uint64_t max_subsets = 2'000'000, int threads = 1,
+    ThreadPool* pool = nullptr);
 
 /// Options for LocalSearchUnassigned.
 struct UnassignedSearchOptions {
@@ -65,6 +73,12 @@ struct UnassignedSearchOptions {
   /// private pool is constructed (see ScopedPool in common/thread_pool.h).
   /// Also forwarded to the seeding pipeline unless it sets its own.
   ThreadPool* pool = nullptr;
+  /// Score swap rounds through the reference paths (full table rebuild
+  /// every round, full O(N) candidate scans) instead of the incremental
+  /// rollover + kd-pruned engine. The trajectory is bitwise identical
+  /// either way (tests/incremental_sweep_test.cc asserts it); this knob
+  /// exists for those assertions and for benchmarking the engine.
+  bool reference_swap_paths = false;
   /// Options for the seeding pipeline run.
   UncertainKCenterOptions pipeline;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <thread>
 
@@ -366,26 +367,7 @@ Status ExpectedCostEvaluator::BuildSwapBase(
     return Status::InvalidArgument(
         "BuildSwapBase: table sizes must equal total_locations");
   }
-  const size_t n = dataset.n();
   const double* probabilities = dataset.flat_probabilities().data();
-  const size_t* offsets = dataset.offsets().data();
-
-  // Emission threshold: the largest per-point minimum base distance.
-  // Until the sweep passes it, some CDF is still 0 and Π F_i = 0.
-  std::vector<double>& first = out->snapshot_cdf;  // Reused below.
-  first.assign(n, std::numeric_limits<double>::infinity());
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t l = offsets[i]; l < offsets[i + 1]; ++l) {
-      first[i] = std::min(first[i], base_distances[l]);
-    }
-  }
-  double threshold = 0.0;
-  for (double f : first) threshold = std::max(threshold, f);
-  out->threshold = threshold;
-  out->bottleneck.assign(n, 0);
-  for (size_t i = 0; i < n; ++i) {
-    if (first[i] >= threshold) out->bottleneck[i] = 1;
-  }
 
   // Sorted (value, location) base event stream. The LSD radix is stable
   // over the ascending location fill; the small-input std::sort spells
@@ -406,25 +388,183 @@ Status ExpectedCostEvaluator::BuildSwapBase(
     SortEventsByValue();
   }
   out->events.assign(events_.begin(), events_.end());
+  FinishSwapBase(dataset, base_distances, out);
+  return Status::OK();
+}
 
-  // Sweep snapshot just below the threshold: per-point CDFs, the zero
-  // count, and the running Π F_i mantissa/exponent. No mass can have
-  // been emitted yet (a bottleneck point is still at zero).
-  out->snapshot_cdf.assign(n, 0.0);
+Status ExpectedCostEvaluator::PatchSwapBase(
+    const uncertain::UncertainDataset& dataset,
+    std::span<const double> old_base, std::span<const double> new_base,
+    std::span<const uint32_t> point_of, SwapBase* out) {
+  ScratchGuard guard(this);
+  UKC_CHECK(out != nullptr);
+  const size_t total = dataset.total_locations();
+  if (old_base.size() != total || new_base.size() != total ||
+      point_of.size() != total || out->events.size() != total) {
+    return Status::InvalidArgument(
+        "PatchSwapBase: table sizes must equal total_locations");
+  }
+  const double* probabilities = dataset.flat_probabilities().data();
+
+  // Replacement entries, in ascending location order, then sorted into
+  // the exact (value, location) order the full sort produces; the stamp
+  // mask marks their locations for the compaction pass.
+  BeginChangedCollection(dataset);
+  for (size_t l = 0; l < total; ++l) {
+    if (old_base[l] != new_base[l]) {
+      changed_.emplace_back(new_base[l], static_cast<uint32_t>(l));
+      changed_stamp_[l] = stamp_;
+    }
+  }
+  if (changed_.size() > total / 8) {
+    // Patching beats the radix rebuild only while the edit is sparse:
+    // sorting the replacements is O(changed log changed) against the
+    // radix's O(N). Past ~N/8 the rebuild wins — take it.
+    return BuildSwapBase(dataset, new_base, point_of, out);
+  }
+  std::sort(changed_.begin(), changed_.end());
+
+  // One merge pass: surviving old entries (already in order) against
+  // the sorted replacements.
+  events_.clear();
+  events_.reserve(total);
+  for (const Event& event : out->events) {
+    if (changed_stamp_[event.location] != stamp_) events_.push_back(event);
+  }
+  events_scratch_.resize(total);
+  size_t a = 0;  // events_ (kept).
+  size_t b = 0;  // changed_ (replacements).
+  for (size_t slot = 0; slot < total; ++slot) {
+    const bool take_kept =
+        b >= changed_.size() ||
+        (a < events_.size() &&
+         (events_[a].value != changed_[b].first
+              ? events_[a].value < changed_[b].first
+              : events_[a].location < changed_[b].second));
+    if (take_kept) {
+      events_scratch_[slot] = events_[a++];
+    } else {
+      const uint32_t l = changed_[b].second;
+      events_scratch_[slot] = Event{changed_[b].first, point_of[l], l,
+                                    probabilities[l]};
+      ++b;
+    }
+  }
+  out->events.assign(events_scratch_.begin(), events_scratch_.end());
+  FinishSwapBase(dataset, new_base, out);
+  return Status::OK();
+}
+
+void ExpectedCostEvaluator::FinishSwapBase(
+    const uncertain::UncertainDataset& dataset,
+    std::span<const double> base_distances, SwapBase* out) {
+  const size_t n = dataset.n();
+  const size_t total = dataset.total_locations();
+  const size_t* offsets = dataset.offsets().data();
+
+  // Per-point minimum base distance (the value axis of the ladder).
+  // swap_first_/swap_order_/cdf_ are member scratch — this runs once
+  // per stale table per round, so no per-call allocations.
+  std::vector<double>& first = swap_first_;
+  first.assign(n, std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t l = offsets[i]; l < offsets[i + 1]; ++l) {
+      first[i] = std::min(first[i], base_distances[l]);
+    }
+  }
+
+  // Rung 0: the SECOND-largest per-point minimum. Until the sweep
+  // passes the largest, some CDF is still 0 and Π F_i = 0 — and the
+  // second-largest stays a valid merge start unless a candidate
+  // improves every flagged point below it. The deeper rungs descend
+  // through upper quantiles of the per-point minima to the median:
+  // a candidate that covers the whole bottleneck cluster lands on the
+  // rung just below the worst point it does NOT improve, replaying only
+  // the events above it.
+  // Rung ranks in the descending order statistics of the minima,
+  // selected by an nth_element chain over shrinking prefixes (deepest
+  // rank first) — O(n) total, no full sort.
+  const double quantiles[kSwapLadderRungs] = {0.0,  0.02, 0.04, 0.08,
+                                              0.16, 0.32, 0.50};
+  size_t ranks[kSwapLadderRungs];
+  ranks[0] = n > 1 ? 1 : 0;  // Second largest.
+  for (size_t level = 1; level < kSwapLadderRungs; ++level) {
+    size_t rank = static_cast<size_t>(quantiles[level] *
+                                      static_cast<double>(n));
+    if (rank >= n) rank = n - 1;
+    ranks[level] = std::max(rank, ranks[level - 1]);
+  }
+  std::vector<double>& order = swap_order_;
+  order.assign(first.begin(), first.end());
+  size_t prefix = n;
+  size_t positioned = n;  // No rank positioned yet.
+  for (size_t level = kSwapLadderRungs; level-- > 0;) {
+    const size_t rank = ranks[level];
+    if (rank != positioned) {
+      std::nth_element(order.begin(), order.begin() + rank,
+                       order.begin() + prefix, std::greater<double>());
+      positioned = rank;
+      prefix = rank + 1;
+    }
+    out->levels[level].threshold = order[rank];
+  }
+  for (size_t level = 1; level < kSwapLadderRungs; ++level) {
+    out->levels[level].threshold = std::min(out->levels[level].threshold,
+                                            out->levels[level - 1].threshold);
+  }
+  out->threshold = out->levels[0].threshold;
+
+  const double deepest = out->levels[kSwapLadderRungs - 1].threshold;
+  out->bottleneck.assign(n, 0);
+  out->bottleneck_count = 0;
+  out->deep_points.clear();
+  out->deep_first.clear();
+  for (size_t i = 0; i < n; ++i) {
+    if (first[i] >= out->levels[0].threshold) {
+      out->bottleneck[i] = 1;
+      ++out->bottleneck_count;
+    }
+    if (first[i] >= deepest) {
+      out->deep_points.push_back(static_cast<uint32_t>(i));
+      out->deep_first.push_back(first[i]);
+    }
+  }
+
+  // One prefix sweep capturing every rung's state just below its
+  // threshold: per-point CDFs, the zero count, and the running Π F_i
+  // mantissa/exponent. (No mass emission is tracked — each rung is only
+  // consulted when nothing can have been emitted below it.)
+  std::vector<double>& cdf = cdf_;
+  cdf.assign(n, 0.0);
   CdfProduct product(n);
+  const auto capture = [&](int level, size_t index) {
+    SwapBase::Snapshot& snapshot = out->levels[level];
+    snapshot.index = index;
+    snapshot.zeros = product.zeros;
+    snapshot.mantissa = product.mantissa;
+    snapshot.exponent = product.exponent;
+    snapshot.cdf.assign(cdf.begin(), cdf.end());
+  };
+  int next_level = kSwapLadderRungs - 1;  // Lowest threshold crossed first.
   size_t s = 0;
-  for (; s < total && out->events[s].value < threshold; ++s) {
+  for (; s < total; ++s) {
     const Event& event = out->events[s];
-    const double old_cdf = out->snapshot_cdf[event.index];
+    while (next_level >= 0 &&
+           event.value >= out->levels[next_level].threshold) {
+      capture(next_level, s);
+      --next_level;
+    }
+    if (next_level < 0) break;  // Everything from here on is tail.
+    const double old_cdf = cdf[event.index];
     const double new_cdf = old_cdf + event.probability;
-    out->snapshot_cdf[event.index] = new_cdf;
+    cdf[event.index] = new_cdf;
     product.Apply(old_cdf, new_cdf);
   }
-  out->snapshot_index = s;
-  out->snapshot_zeros = product.zeros;
-  out->snapshot_mantissa = product.mantissa;
-  out->snapshot_exponent = product.exponent;
-  return Status::OK();
+  // Rungs the stream never reached see the whole applied prefix.
+  while (next_level >= 0) {
+    capture(next_level, s);
+    --next_level;
+  }
 }
 
 double ExpectedCostEvaluator::MergeSweepFrom(
@@ -499,6 +639,58 @@ double ExpectedCostEvaluator::MergeSweepFrom(
   return expectation.Total();
 }
 
+namespace {
+
+// The one improved-location scan shared by every collection pass:
+// calls consider(d, l) for each flat location l with d(l, extra) <
+// base_distances[l], restricted to base_distances[l] >= gate (pass
+// -infinity for an ungated scan). L2 compares *squared* distances — the
+// sqrt is monotone, so d² < b² decides d < b, and only the winners pay
+// a sqrt (a rounding tie after sqrt just moves the event between the
+// base and changed streams; the applied (value, point, probability)
+// multiset is the same). The gate runs before the kernel, so on gated
+// passes most locations skip the distance entirely.
+template <typename Consider>
+void ScanImproved(const uncertain::UncertainDataset& dataset,
+                  std::span<const double> base_distances, metric::SiteId extra,
+                  double gate, Consider&& consider) {
+  const size_t total = dataset.total_locations();
+  const metric::SiteId* sites = dataset.flat_sites().data();
+  const metric::EuclideanSpace* euclidean = dataset.euclidean();
+  if (euclidean != nullptr && euclidean->norm() == metric::Norm::kL2) {
+    const size_t dim = euclidean->dim();
+    const double* target = euclidean->coords(extra);
+    for (size_t l = 0; l < total; ++l) {
+      const double b = base_distances[l];
+      if (b < gate) continue;
+      const double dsq =
+          geometry::SquaredDistanceKernel(euclidean->coords(sites[l]), target, dim);
+      if (dsq < b * b) consider(std::sqrt(dsq), l);
+    }
+  } else if (euclidean != nullptr) {
+    const size_t dim = euclidean->dim();
+    const metric::Norm norm = euclidean->norm();
+    const double* target = euclidean->coords(extra);
+    for (size_t l = 0; l < total; ++l) {
+      const double b = base_distances[l];
+      if (b < gate) continue;
+      const double d = metric::NormDistanceKernel(
+          norm, euclidean->coords(sites[l]), target, dim);
+      if (d < b) consider(d, l);
+    }
+  } else {
+    const metric::MetricSpace& space = dataset.space();
+    for (size_t l = 0; l < total; ++l) {
+      const double b = base_distances[l];
+      if (b < gate) continue;
+      const double d = space.Distance(sites[l], extra);
+      if (d < b) consider(d, l);
+    }
+  }
+}
+
+}  // namespace
+
 Result<double> ExpectedCostEvaluator::UnassignedCostSwapPresorted(
     const uncertain::UncertainDataset& dataset,
     std::span<const double> base_distances, const SwapBase& base,
@@ -511,72 +703,242 @@ Result<double> ExpectedCostEvaluator::UnassignedCostSwapPresorted(
   }
   const size_t total = dataset.total_locations();
   if (base_distances.size() != total || base.events.size() != total ||
-      point_of.size() != total || base.snapshot_cdf.size() != dataset.n()) {
+      point_of.size() != total || base.levels[0].cdf.size() != dataset.n()) {
     return Status::InvalidArgument(
         "UnassignedCostSwapPresorted: table sizes must match the dataset");
   }
-  const metric::SiteId* sites = dataset.flat_sites().data();
-  const double* probabilities = dataset.flat_probabilities().data();
-
-  // The candidate's improved locations (d < base), stamped out of the
-  // base stream. A candidate that improves a *bottleneck* point below
-  // the threshold moves the emission start earlier than the snapshot,
-  // so it must take the full-merge fallback.
-  if (changed_stamp_.size() != total) changed_stamp_.assign(total, 0);
-  if (++stamp_ == 0) {  // Stamp wrapped: reset the mask once.
-    std::fill(changed_stamp_.begin(), changed_stamp_.end(), 0);
-    stamp_ = 1;
-  }
-  changed_.clear();
+  // The candidate's *relevant* improved locations (d < base, restricted
+  // to base >= threshold — an improvement entirely below the snapshot
+  // threshold only moves CDF mass the snapshot already accounts for),
+  // stamped out of the base stream. A candidate that improves EVERY
+  // flagged bottleneck point below the threshold moves the emission
+  // start earlier than the snapshot, so it must take the full-merge
+  // fallback over the complete improved set.
+  BeginChangedCollection(dataset);
   const double threshold = base.threshold;
-  bool fallback = false;
+  size_t bottleneck_hits = 0;
   const auto consider = [&](double d, size_t l) {
     changed_.emplace_back(d, static_cast<uint32_t>(l));
     changed_stamp_[l] = stamp_;
-    if (d < threshold && base.bottleneck[point_of[l]]) fallback = true;
+    if (d < threshold) {
+      const uint32_t i = point_of[l];
+      if (base.bottleneck[i] && point_stamp_[i] != stamp_) {
+        point_stamp_[i] = stamp_;
+        ++bottleneck_hits;
+      }
+    }
   };
+  ScanImproved(dataset, base_distances, extra, threshold, consider);
+
+  const SwapBase::Snapshot* level = &base.levels[0];
+  if (bottleneck_hits == base.bottleneck_count) {
+    level = EscalateAndCollect(dataset, base, point_of, base_distances, extra);
+  }
+  return ScoreSwapFromChanged(dataset, base, point_of, base_distances, level);
+}
+
+void ExpectedCostEvaluator::BeginChangedCollection(
+    const uncertain::UncertainDataset& dataset) {
+  const size_t total = dataset.total_locations();
+  if (changed_stamp_.size() != total) changed_stamp_.assign(total, 0);
+  if (point_stamp_.size() != dataset.n()) {
+    point_stamp_.assign(dataset.n(), 0);
+    point_min_.assign(dataset.n(), 0.0);
+  }
+  if (++stamp_ == 0) {  // Stamp wrapped: reset the masks once.
+    std::fill(changed_stamp_.begin(), changed_stamp_.end(), 0);
+    std::fill(point_stamp_.begin(), point_stamp_.end(), 0);
+    stamp_ = 1;
+  }
+  changed_.clear();
+}
+
+const ExpectedCostEvaluator::SwapBase::Snapshot*
+ExpectedCostEvaluator::EscalateAndCollect(
+    const uncertain::UncertainDataset& dataset, const SwapBase& base,
+    std::span<const uint32_t> point_of, std::span<const double> base_distances,
+    metric::SiteId extra) {
+  // One gated pass at the deepest rung: collect every improvement of a
+  // location with base >= median threshold (a superset of what any rung
+  // >= it replays — entries below the chosen rung are skipped by the
+  // scoring loop), tracking each point's improved minimum service.
+  BeginChangedCollection(dataset);
+  const double gate = base.levels[kSwapLadderRungs - 1].threshold;
+  ScanImproved(dataset, base_distances, extra, gate, [&](double d, size_t l) {
+    changed_.emplace_back(d, static_cast<uint32_t>(l));
+    changed_stamp_[l] = stamp_;
+    const uint32_t i = point_of[l];
+    if (point_stamp_[i] != stamp_) {
+      point_stamp_[i] = stamp_;
+      point_min_[i] = d;
+    } else if (d < point_min_[i]) {
+      point_min_[i] = d;
+    }
+  });
+
+  // Every location of a deep point (min base >= gate) has base >= gate,
+  // so the gated pass saw ALL its improvements — its new first service
+  // is exact, and the max over deep points lower-bounds the swapped
+  // configuration's emission start. (Non-deep points sit below the gate
+  // and cannot raise the max past it.)
+  double start = 0.0;
+  for (size_t j = 0; j < base.deep_points.size(); ++j) {
+    const uint32_t i = base.deep_points[j];
+    double new_first = base.deep_first[j];
+    if (point_stamp_[i] == stamp_ && point_min_[i] < new_first) {
+      new_first = point_min_[i];
+    }
+    start = std::max(start, new_first);
+  }
+  for (size_t level = 1; level < kSwapLadderRungs; ++level) {
+    if (base.levels[level].threshold <= start) return &base.levels[level];
+  }
+  CollectAllImproved(dataset, base_distances, extra);
+  return nullptr;
+}
+
+void ExpectedCostEvaluator::CollectAllImproved(
+    const uncertain::UncertainDataset& dataset,
+    std::span<const double> base_distances, metric::SiteId extra) {
+  BeginChangedCollection(dataset);
+  ScanImproved(dataset, base_distances, extra,
+               -std::numeric_limits<double>::infinity(),
+               [&](double d, size_t l) {
+                 changed_.emplace_back(d, static_cast<uint32_t>(l));
+                 changed_stamp_[l] = stamp_;
+               });
+}
+
+Result<double> ExpectedCostEvaluator::UnassignedCostSwapPruned(
+    const uncertain::UncertainDataset& dataset,
+    std::span<const double> base_distances, const SwapBase& base,
+    std::span<const uint32_t> point_of, metric::SiteId extra,
+    const geometry::BoundedKdTree& tree, std::span<const double> subtree_max) {
+  ScratchGuard guard(this);
   const metric::EuclideanSpace* euclidean = dataset.euclidean();
-  if (euclidean != nullptr && euclidean->norm() == metric::Norm::kL2) {
-    // L2: compare *squared* distances — the sqrt is monotone, so
-    // d² < b² decides d < b, and only the m winners pay a sqrt. (A
-    // rounding tie after sqrt just moves the event between the two
-    // streams; the applied (value, point, probability) multiset is the
-    // same.)
-    const size_t dim = euclidean->dim();
-    const double* target = euclidean->coords(extra);
-    for (size_t l = 0; l < total; ++l) {
-      const double dsq =
-          geometry::SquaredDistanceKernel(euclidean->coords(sites[l]), target, dim);
-      const double b = base_distances[l];
-      if (dsq < b * b) consider(std::sqrt(dsq), l);
+  if (euclidean == nullptr) {
+    return Status::FailedPrecondition(
+        "UnassignedCostSwapPruned: requires a Euclidean dataset");
+  }
+  if (extra < 0 || extra >= dataset.space().num_sites()) {
+    return Status::InvalidArgument(
+        StrFormat("UnassignedCostSwapPruned: center %d out of range", extra));
+  }
+  const size_t total = dataset.total_locations();
+  if (base_distances.size() != total || base.events.size() != total ||
+      point_of.size() != total || base.levels[0].cdf.size() != dataset.n() ||
+      tree.size() != total || subtree_max.size() != total) {
+    return Status::InvalidArgument(
+        "UnassignedCostSwapPruned: table sizes must match the dataset");
+  }
+  const size_t dim = euclidean->dim();
+  const metric::Norm norm = euclidean->norm();
+  const double* target = euclidean->coords(extra);
+
+  BeginChangedCollection(dataset);
+  const double threshold = base.threshold;
+  size_t bottleneck_hits = 0;
+  const auto consider = [&](double d, size_t l) {
+    changed_.emplace_back(d, static_cast<uint32_t>(l));
+    changed_stamp_[l] = stamp_;
+    if (d < threshold) {
+      const uint32_t i = point_of[l];
+      if (base.bottleneck[i] && point_stamp_[i] != stamp_) {
+        point_stamp_[i] = stamp_;
+        ++bottleneck_hits;
+      }
     }
-  } else if (euclidean != nullptr) {
-    const size_t dim = euclidean->dim();
-    const metric::Norm norm = euclidean->norm();
-    const double* target = euclidean->coords(extra);
-    for (size_t l = 0; l < total; ++l) {
-      const double d = metric::NormDistanceKernel(
-          norm, euclidean->coords(sites[l]), target, dim);
-      if (d < base_distances[l]) consider(d, l);
-    }
+  };
+
+  // Pruning slack: the per-axis-excess box bound and the squared
+  // maximum are each within ~1e-15 relative of their real values, so a
+  // 1e-9 deflation can never prune a subtree holding a location that
+  // passes the exact per-location test below — it only re-visits a few
+  // boundary nodes. The subtree maxima are *masked* (0 where the base
+  // distance sits below the threshold), so whole subtrees of
+  // can-never-qualify locations prune immediately; the per-location
+  // test applies the same base >= threshold gate as the full scan.
+  constexpr double kSlack = 1.0 - 1e-9;
+  if (norm == metric::Norm::kL2) {
+    // Same arithmetic as the full scan: squared kernel, dsq < b² test,
+    // sqrt only for the winners.
+    tree.Traverse(
+        subtree_max,
+        [&](const double* lo, const double* hi, double node_max) {
+          double bound = 0.0;
+          for (size_t a = 0; a < dim; ++a) {
+            const double x = target[a];
+            const double e = x < lo[a] ? lo[a] - x : (x > hi[a] ? x - hi[a] : 0.0);
+            bound += e * e;
+          }
+          return bound * kSlack >= node_max * node_max;
+        },
+        [&](uint32_t l, const double* coords) {
+          const double b = base_distances[l];
+          if (b < threshold) return;
+          const double dsq = geometry::SquaredDistanceKernel(coords, target, dim);
+          if (dsq < b * b) consider(std::sqrt(dsq), l);
+        });
   } else {
-    for (size_t l = 0; l < total; ++l) {
-      const double d = space.Distance(sites[l], extra);
-      if (d < base_distances[l]) consider(d, l);
-    }
+    tree.Traverse(
+        subtree_max,
+        [&](const double* lo, const double* hi, double node_max) {
+          double bound = 0.0;
+          for (size_t a = 0; a < dim; ++a) {
+            const double x = target[a];
+            const double e = x < lo[a] ? lo[a] - x : (x > hi[a] ? x - hi[a] : 0.0);
+            if (norm == metric::Norm::kL1) {
+              bound += e;
+            } else {
+              bound = std::max(bound, e);
+            }
+          }
+          return bound * kSlack >= node_max;
+        },
+        [&](uint32_t l, const double* coords) {
+          const double b = base_distances[l];
+          if (b < threshold) return;
+          const double d = metric::NormDistanceKernel(norm, coords, target, dim);
+          if (d < b) consider(d, l);
+        });
   }
 
+  // The tree yields locations in traversal order; the full scan
+  // collects them in ascending location order, and the snapshot path's
+  // CDF additions follow collection order — re-sort so every downstream
+  // addition happens in the exact same sequence (bitwise parity).
+  std::sort(changed_.begin(), changed_.end(),
+            [](const std::pair<double, uint32_t>& a,
+               const std::pair<double, uint32_t>& b) {
+              return a.second < b.second;
+            });
+  const SwapBase::Snapshot* level = &base.levels[0];
+  if (bottleneck_hits == base.bottleneck_count) {
+    // The escalation re-collects with a plain gated scan in both entry
+    // points, so a kd-detected escalation is bitwise identical to a
+    // full-scan-detected one.
+    level = EscalateAndCollect(dataset, base, point_of, base_distances, extra);
+  }
+  return ScoreSwapFromChanged(dataset, base, point_of, base_distances, level);
+}
+
+Result<double> ExpectedCostEvaluator::ScoreSwapFromChanged(
+    const uncertain::UncertainDataset& dataset, const SwapBase& base,
+    std::span<const uint32_t> point_of, std::span<const double> base_distances,
+    const SwapBase::Snapshot* level) {
+  const double* probabilities = dataset.flat_probabilities().data();
   const size_t num_variables = dataset.n();
-  if (fallback) {
-    // Full merge from scratch: every event replayed.
+  if (level == nullptr) {
+    // Full merge from scratch: every event replayed (changed_ holds the
+    // complete improved set).
     std::sort(changed_.begin(), changed_.end());
     cdf_.assign(num_variables, 0.0);
     return MergeSweepFrom(dataset, base, 0, changed_, point_of, num_variables,
                           1.0, 0);
   }
 
-  // Snapshot path. A changed location below the threshold only *moves*
-  // CDF mass that is already below it:
+  // Snapshot path against rung `level`. A changed location below the
+  // rung's threshold only *moves* CDF mass that is already below it:
   //   - old value also below (base[l] < threshold): the snapshot holds
   //     the same mass at the old value — since no mass is emitted below
   //     the threshold, only the accumulated CDFs matter, so nothing to
@@ -585,12 +947,27 @@ Result<double> ExpectedCostEvaluator::UnassignedCostSwapPresorted(
   //   - old value at/above the threshold: the mass newly drops below —
   //     apply it on top of the snapshot state;
   //   - new value at/above the threshold: a regular tail-merge event.
-  cdf_.assign(base.snapshot_cdf.begin(), base.snapshot_cdf.end());
+  const double threshold = level->threshold;
+  cdf_.assign(level->cdf.begin(), level->cdf.end());
   CdfProduct product(0);
-  product.zeros = base.snapshot_zeros;
-  product.mantissa = base.snapshot_mantissa;
-  product.exponent = base.snapshot_exponent;
+  product.zeros = level->zeros;
+  product.mantissa = level->mantissa;
+  product.exponent = level->exponent;
   changed_tail_.clear();
+  // changed_ is in ascending location order, so a point's entries are
+  // consecutive: mass newly dropping below the threshold is accumulated
+  // per point-run and folded into the product once per point instead of
+  // once per event (the expensive part of Apply is the division).
+  uint32_t run_point = 0;
+  double run_delta = 0.0;
+  const auto flush_run = [&] {
+    if (run_delta == 0.0) return;
+    const double old_cdf = cdf_[run_point];
+    const double new_cdf = old_cdf + run_delta;
+    cdf_[run_point] = new_cdf;
+    product.Apply(old_cdf, new_cdf);
+    run_delta = 0.0;
+  };
   for (const auto& [d, l] : changed_) {
     if (d >= threshold) {
       changed_tail_.emplace_back(d, l);
@@ -598,14 +975,14 @@ Result<double> ExpectedCostEvaluator::UnassignedCostSwapPresorted(
     }
     if (base_distances[l] >= threshold) {
       const uint32_t i = point_of[l];
-      const double old_cdf = cdf_[i];
-      const double new_cdf = old_cdf + probabilities[l];
-      cdf_[i] = new_cdf;
-      product.Apply(old_cdf, new_cdf);
+      if (i != run_point) flush_run();
+      run_point = i;
+      run_delta += probabilities[l];
     }
   }
+  flush_run();
   std::sort(changed_tail_.begin(), changed_tail_.end());
-  return MergeSweepFrom(dataset, base, base.snapshot_index, changed_tail_,
+  return MergeSweepFrom(dataset, base, level->index, changed_tail_,
                         point_of, product.zeros, product.mantissa,
                         product.exponent);
 }

@@ -59,6 +59,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "cost/assignment.h"
+#include "geometry/bounded_kdtree.h"
 #include "geometry/kdtree.h"
 #include "uncertain/dataset.h"
 
@@ -137,21 +138,60 @@ class ExpectedCostEvaluator {
       const std::vector<std::vector<metric::SiteId>>& center_sets);
 
   /// Precomputed read-only tables for the presorted swap path: the base
-  /// event stream sorted by (value, location), plus a sweep snapshot
-  /// taken just below the base *emission threshold*. No mass can be
-  /// emitted before every point's CDF is positive, i.e. below
-  /// threshold = max_i (min base distance of point i); on clustered
-  /// instances ~99% of events lie below it, so scoring a candidate
-  /// replays only the tail plus the candidate's own events.
+  /// event stream sorted by (value, location), plus a LADDER of sweep
+  /// snapshots. A snapshot at threshold T is a valid merge start for a
+  /// candidate as long as no mass can be emitted below T in the swapped
+  /// configuration — i.e. as long as some point's first CDF-positive
+  /// value stays >= T. Relative to such a snapshot, an improved
+  /// location with both its old and new distance below T merely moves
+  /// CDF mass the snapshot already accounts for, so a candidate only
+  /// replays (a) its improvements of locations with base distance >= T
+  /// and (b) the base event tail above T.
+  ///
+  /// The ladder's rung 0 sits at the second-largest per-point minimum
+  /// base distance (valid unless a candidate improves every flagged
+  /// bottleneck point — the common case, with a tiny ~O(m) replay); the
+  /// deeper rungs descend through upper quantiles of the per-point
+  /// minima down to the median. A candidate that kills rung 0 (it
+  /// covers the current bottleneck region — exactly the improving swaps
+  /// local search hunts) escalates: one gated re-collection computes
+  /// each deep point's improved service, lower-bounding the new
+  /// emission start, and the highest still-valid rung scores it with a
+  /// partial replay. Only a candidate that improves essentially half
+  /// the points below the median rung pays the full merge.
+  static constexpr size_t kSwapLadderRungs = 7;
+
   struct SwapBase {
-    std::vector<Event> events;         // Sorted by (value, location).
-    std::vector<double> snapshot_cdf;  // Per-point CDF of events < threshold.
-    std::vector<uint8_t> bottleneck;   // first base value of point == threshold.
+    /// One rung: the sweep state just below `threshold`.
+    struct Snapshot {
+      double threshold = 0.0;
+      size_t index = 0;  // First event with value >= threshold.
+      size_t zeros = 0;
+      double mantissa = 1.0;
+      int exponent = 0;
+      std::vector<double> cdf;  // Per-point CDF of events < threshold.
+    };
+
+    std::vector<Event> events;  // Sorted by (value, location).
+    /// Rungs in decreasing threshold order: [0] the second-largest
+    /// per-point min, then descending quantiles of the per-point
+    /// minima, ending at the median.
+    Snapshot levels[kSwapLadderRungs];
+    std::vector<uint8_t> bottleneck;  // Point's min base >= levels[0].
+    size_t bottleneck_count = 0;      // Number of flagged points.
+    /// Points whose min base distance >= the deepest rung's threshold
+    /// (the escalation pass re-derives their service from these), with
+    /// the minima themselves parallel in deep_first.
+    std::vector<uint32_t> deep_points;
+    std::vector<double> deep_first;
+    /// Collection gate of the fast path == levels[0].threshold.
     double threshold = 0.0;
-    size_t snapshot_index = 0;  // First event with value >= threshold.
-    size_t snapshot_zeros = 0;
-    double snapshot_mantissa = 1.0;
-    int snapshot_exponent = 0;
+    /// Round stamp managed by the owner (ParallelCandidateEvaluator's
+    /// incremental rollover): a table may only be consulted when its
+    /// epoch equals the owner's current round epoch — the CHECK that
+    /// makes a stale rolled-over table a crash instead of a wrong
+    /// answer.
+    uint64_t epoch = 0;
   };
 
   /// Builds the presorted base tables for UnassignedCostSwapPresorted
@@ -160,6 +200,20 @@ class ExpectedCostEvaluator {
   /// scratch; the result is shareable read-only across threads.
   Status BuildSwapBase(const uncertain::UncertainDataset& dataset,
                        std::span<const double> base_distances,
+                       std::span<const uint32_t> point_of, SwapBase* out);
+
+  /// Rebuilds `out` — previously built against old_base — for new_base
+  /// by PATCHING the sorted stream: entries of locations whose base
+  /// value changed are dropped in one compaction pass and re-merged at
+  /// their new values, then the ladder snapshots are re-swept. Bitwise
+  /// identical to BuildSwapBase(new_base, ...) (the stream is re-formed
+  /// in the exact (value, location) order the full sort produces) at
+  /// O(N + changed·log changed) instead of a fresh radix sort — the
+  /// incremental-rollover path for the k−1 base tables a one-center
+  /// swap perturbs.
+  Status PatchSwapBase(const uncertain::UncertainDataset& dataset,
+                       std::span<const double> old_base,
+                       std::span<const double> new_base,
                        std::span<const uint32_t> point_of, SwapBase* out);
 
   /// Exact unassigned cost of a one-center swap — location l's distance
@@ -179,6 +233,26 @@ class ExpectedCostEvaluator {
       const uncertain::UncertainDataset& dataset,
       std::span<const double> base_distances, const SwapBase& base,
       std::span<const uint32_t> point_of, metric::SiteId extra);
+
+  /// UnassignedCostSwapPresorted with the candidate's O(N) distance
+  /// pass replaced by a pruned walk of `tree` (a BoundedKdTree over the
+  /// flat *locations*, in flat order): `subtree_max[slot]` must hold
+  /// the subtree maximum of base_distances (FillSubtreeMax), so a
+  /// subtree whose bounding box is farther from the candidate than its
+  /// maximum base distance is skipped whole — only the ~m locations the
+  /// candidate can possibly improve are visited. Every visited location
+  /// is re-tested with the exact same kernel + comparison as the full
+  /// scan and the collected set is re-sorted into the scan's location
+  /// order, so the result is BITWISE identical to
+  /// UnassignedCostSwapPresorted (the pruning predicate carries a
+  /// 1e-9 relative slack that dwarfs the bounding-box arithmetic's
+  /// ~1e-15 rounding, so no qualifying location can ever be pruned).
+  /// Euclidean datasets only.
+  Result<double> UnassignedCostSwapPruned(
+      const uncertain::UncertainDataset& dataset,
+      std::span<const double> base_distances, const SwapBase& base,
+      std::span<const uint32_t> point_of, metric::SiteId extra,
+      const geometry::BoundedKdTree& tree, std::span<const double> subtree_max);
 
   /// Exact E[max_i X_i] for independent discrete X_i. O(N log N) in the
   /// total support size N. Reuses the evaluator's event/CDF scratch.
@@ -223,6 +297,48 @@ class ExpectedCostEvaluator {
   // variables (resets cdf_).
   double SweepEvents(size_t num_variables);
 
+  // Resets changed_ and advances the stamp masks for a new candidate's
+  // collection pass.
+  void BeginChangedCollection(const uncertain::UncertainDataset& dataset);
+
+  // The shared back half of BuildSwapBase/PatchSwapBase: derives the
+  // rung thresholds, bottleneck flags, and ladder snapshots from
+  // base_distances and the already-sorted out->events.
+  void FinishSwapBase(const uncertain::UncertainDataset& dataset,
+                      std::span<const double> base_distances,
+                      SwapBase* out);
+
+  // Fills changed_ with EVERY improved location (d < base, no
+  // threshold gate) — the collection the full-merge fallback needs.
+  // Shared by the full-scan and kd-pruned entry points so a fallback is
+  // bitwise identical no matter which path detected it.
+  void CollectAllImproved(const uncertain::UncertainDataset& dataset,
+                          std::span<const double> base_distances,
+                          metric::SiteId extra);
+
+  // The escalation pass after level 0 is invalidated: one gated
+  // re-collection at the deepest rung's threshold, a lower bound on the
+  // candidate's new emission start from the deep points' improved
+  // service, and the highest still-valid rung as the scoring level —
+  // or nullptr when only the full merge remains (in which case
+  // changed_ is re-collected in full). Shared verbatim by the
+  // full-scan and kd-pruned entry points.
+  const SwapBase::Snapshot* EscalateAndCollect(
+      const uncertain::UncertainDataset& dataset, const SwapBase& base,
+      std::span<const uint32_t> point_of,
+      std::span<const double> base_distances, metric::SiteId extra);
+
+  // Scores a swap from the collected changed_ set (the shared tail of
+  // the full-scan and kd-pruned collection paths): the replay against
+  // ladder rung `level`, or — when level is nullptr — the full
+  // merge-from-scratch over the complete improved set. changed_ must
+  // be in ascending location order and stamped into changed_stamp_.
+  Result<double> ScoreSwapFromChanged(const uncertain::UncertainDataset& dataset,
+                                      const SwapBase& base,
+                                      std::span<const uint32_t> point_of,
+                                      std::span<const double> base_distances,
+                                      const SwapBase::Snapshot* level);
+
   // Merge-sweeps base.events[a_begin..) (entries stamped in
   // changed_stamp_ skipped) against `changed` (ascending (value, l)),
   // starting from the given sweep state. cdf_ must already hold the
@@ -258,12 +374,21 @@ class ExpectedCostEvaluator {
   std::vector<double> cdf_;
 
   // Presorted-swap scratch: the candidate's improved locations, the
-  // subset participating in the tail merge, and a version-stamped
-  // membership mask (avoids an O(N) clear per call).
+  // subset participating in the tail merge, and version-stamped
+  // membership masks — per location, and per point for the
+  // bottleneck-hit count (avoids an O(N) clear per call).
   std::vector<std::pair<double, uint32_t>> changed_;
   std::vector<std::pair<double, uint32_t>> changed_tail_;
   std::vector<uint32_t> changed_stamp_;
+  std::vector<uint32_t> point_stamp_;
+  std::vector<double> point_min_;  // Stamped per-point improved minimum.
   uint32_t stamp_ = 0;
+
+  // FinishSwapBase scratch: per-point minima and their order-statistic
+  // workspace (one stale table per position per round — no per-call
+  // allocations).
+  std::vector<double> swap_first_;
+  std::vector<double> swap_order_;
 
   // Gathered center coordinates for flat linear scans.
   std::vector<double> center_coords_;

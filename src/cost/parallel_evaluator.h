@@ -17,16 +17,42 @@
 // is O(k·N·k + k·|pool|·N) — each swapped set costs one kernel distance
 // per location instead of k. min() is exact in floating point, so the
 // swap values are bitwise identical to full linear-path evaluations.
+//
+// On top of that, SwapCostMatrix is an *incremental engine* across
+// local-search rounds (Euclidean datasets):
+//   - Rollover: local search replaces one center per round, so of the k
+//     per-center distance rows only the replaced one is recomputed; the
+//     per-position base tables (prefix/suffix mins, presorted event
+//     streams, sweep snapshots) are rebuilt only where the new row
+//     actually changed them bitwise — the swapped position's own table
+//     (which excludes the replaced center) always survives. Validity is
+//     enforced, not assumed: the cached tables are keyed by a
+//     fingerprint of the dataset's location data plus the exact center
+//     coordinates, and every table carries an epoch that is CHECKed at
+//     consultation time, so a stale table is a crash, never a wrong
+//     answer.
+//   - kd-pruned candidate scans: a BoundedKdTree over the *locations*
+//     with per-position subtree bounds of the base distances lets each
+//     candidate visit only the ~m locations it can possibly improve,
+//     instead of all N (ExpectedCostEvaluator::UnassignedCostSwapPruned).
+// Both paths are bitwise identical to the full rebuild + full O(N)
+// scan, which remain available via Options as the reference path
+// (asserted by tests/incremental_sweep_test.cc across thread counts,
+// dimensions, and multi-round trajectories).
 
 #ifndef UKC_COST_PARALLEL_EVALUATOR_H_
 #define UKC_COST_PARALLEL_EVALUATOR_H_
 
+#include <cstdint>
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "cost/expected_cost_evaluator.h"
+#include "geometry/bounded_kdtree.h"
 #include "uncertain/dataset.h"
 
 namespace ukc {
@@ -46,6 +72,15 @@ class ParallelCandidateEvaluator {
     /// Per-worker evaluator configuration. monte_carlo_threads is
     /// forced to 1 — the pool is the only fan-out level.
     ExpectedCostEvaluator::Options evaluator;
+    /// Roll SwapCostMatrix base tables across calls when the dataset is
+    /// unchanged and at most one center differs (bitwise identical to a
+    /// full rebuild; Euclidean datasets only). Off = the reference
+    /// full-rebuild path.
+    bool incremental_rollover = true;
+    /// Prune each swap candidate's distance pass with the location
+    /// kd-tree (bitwise identical to the full O(N) scan; Euclidean
+    /// datasets only). Off = the reference full-scan path.
+    bool kd_prune = true;
   };
 
   /// Default options: hardware thread count, default evaluator config.
@@ -89,6 +124,18 @@ class ParallelCandidateEvaluator {
       const std::vector<metric::SiteId>& centers,
       const std::vector<metric::SiteId>& pool);
 
+  /// Generic sharding hook: runs fn(evaluator, task) for every task in
+  /// [0, count) over the worker pool, handing each invocation the
+  /// calling worker's private ExpectedCostEvaluator. Statuses are
+  /// collected per task and the first error in *task order* is
+  /// returned, so error reporting is thread-count independent. fn must
+  /// make each task a pure function of its index (write results by
+  /// index, reduce afterwards in fixed order) — this is how
+  /// core::ExactUnassignedTiny shards subset enumeration itself via
+  /// ranked unranking instead of feeding a serially enumerated batch.
+  Status ForEachTask(size_t count,
+                     const std::function<Status(ExpectedCostEvaluator&, size_t)>& fn);
+
  private:
   // Runs fn(worker, index) over [0, count) on the pool, collecting one
   // Status per index; returns the first error in index order.
@@ -109,6 +156,27 @@ class ParallelCandidateEvaluator {
   std::vector<double> base_without_;      // k rows of total_locations.
   std::vector<ExpectedCostEvaluator::SwapBase> swap_bases_;
   std::vector<uint32_t> point_of_;        // Location → owning point.
+
+  // Incremental-rollover state. The cached rows/tables describe the
+  // instance identified by swap_fingerprint_ (a content hash of the
+  // dataset's location data — NOT the dataset's address, which a
+  // rebuilt dataset could reuse) evaluated at cached_centers_ with the
+  // exact coordinates in cached_center_coords_; anything that fails to
+  // match is rebuilt. swap_epoch_ advances every SwapCostMatrix call
+  // and every table's epoch must equal it at consultation (CHECK).
+  uint64_t swap_epoch_ = 0;
+  std::optional<uint64_t> swap_fingerprint_;
+  std::vector<metric::SiteId> cached_centers_;
+  std::vector<double> cached_center_coords_;  // k rows of dim.
+  std::vector<double> base_prev_;             // Last round's base_without_.
+  bool base_prev_valid_ = false;
+
+  // kd-pruned scan state: the location tree (rebuilt only when the
+  // fingerprint changes) and per-position subtree maxima of the base
+  // distances (k rows of total_locations slots, refreshed with the
+  // corresponding swap base).
+  std::optional<geometry::BoundedKdTree> location_tree_;
+  std::vector<double> node_base_max_;
 };
 
 }  // namespace cost

@@ -1,0 +1,101 @@
+#include "geometry/bounded_kdtree.h"
+
+#include <algorithm>
+
+#include "geometry/kdtree.h"
+
+namespace ukc {
+namespace geometry {
+
+Result<BoundedKdTree> BoundedKdTree::BuildFlat(std::vector<double> coords,
+                                               size_t dim) {
+  if (dim == 0) {
+    return Status::InvalidArgument("BoundedKdTree: zero-dimensional points");
+  }
+  if (coords.empty()) {
+    return Status::InvalidArgument("BoundedKdTree: no points");
+  }
+  if (coords.size() % dim != 0) {
+    return Status::InvalidArgument("BoundedKdTree: coords not a multiple of dim");
+  }
+  const size_t count = coords.size() / dim;
+
+  BoundedKdTree tree;
+  tree.dim_ = dim;
+  std::vector<uint32_t> order(count);
+  for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
+  internal::ImplicitMedianLayout(&order, coords.data(), dim, 0, count, 0);
+
+  // Gather the input coordinates into tree order.
+  tree.coords_.resize(coords.size());
+  for (size_t slot = 0; slot < count; ++slot) {
+    const double* src = coords.data() + static_cast<size_t>(order[slot]) * dim;
+    double* dst = tree.coords_.data() + slot * dim;
+    for (size_t a = 0; a < dim; ++a) dst[a] = src[a];
+  }
+  tree.index_ = std::move(order);
+
+  // Subtree bounding boxes, bottom-up: each node's box is its own point
+  // widened by both children's boxes. Children precede their parent in
+  // the recursion, so one post-order pass suffices.
+  tree.box_lo_.resize(coords.size());
+  tree.box_hi_.resize(coords.size());
+  struct BoxBuilder {
+    BoundedKdTree* tree;
+    void Run(size_t begin, size_t end) {
+      if (begin >= end) return;
+      const size_t dim = tree->dim_;
+      const size_t mid = begin + (end - begin) / 2;
+      double* lo = tree->box_lo_.data() + mid * dim;
+      double* hi = tree->box_hi_.data() + mid * dim;
+      const double* own = tree->coords_.data() + mid * dim;
+      for (size_t a = 0; a < dim; ++a) lo[a] = hi[a] = own[a];
+      const auto widen = [&](size_t child_begin, size_t child_end) {
+        if (child_begin >= child_end) return;
+        Run(child_begin, child_end);
+        const size_t child =
+            child_begin + (child_end - child_begin) / 2;
+        const double* clo = tree->box_lo_.data() + child * dim;
+        const double* chi = tree->box_hi_.data() + child * dim;
+        for (size_t a = 0; a < dim; ++a) {
+          lo[a] = std::min(lo[a], clo[a]);
+          hi[a] = std::max(hi[a], chi[a]);
+        }
+      };
+      widen(begin, mid);
+      widen(mid + 1, end);
+    }
+  };
+  BoxBuilder{&tree}.Run(0, count);
+  return tree;
+}
+
+double BoundedKdTree::FillSubtreeMaxRecursive(
+    size_t begin, size_t end, std::span<const double> value_of,
+    std::span<double> subtree_max, double mask_below) const {
+  const size_t mid = begin + (end - begin) / 2;
+  double value = value_of[index_[mid]];
+  if (value < mask_below) value = 0.0;
+  if (begin < mid) {
+    value = std::max(value, FillSubtreeMaxRecursive(begin, mid, value_of,
+                                                    subtree_max, mask_below));
+  }
+  if (mid + 1 < end) {
+    value = std::max(value, FillSubtreeMaxRecursive(mid + 1, end, value_of,
+                                                    subtree_max, mask_below));
+  }
+  subtree_max[mid] = value;
+  return value;
+}
+
+void BoundedKdTree::FillSubtreeMax(std::span<const double> value_of,
+                                   std::span<double> subtree_max,
+                                   double mask_below) const {
+  UKC_CHECK_EQ(value_of.size(), index_.size());
+  UKC_CHECK_EQ(subtree_max.size(), index_.size());
+  if (index_.empty()) return;
+  FillSubtreeMaxRecursive(0, index_.size(), value_of, subtree_max, mask_below);
+}
+
+}  // namespace geometry
+}  // namespace ukc

@@ -1,0 +1,128 @@
+// Static kd-tree with per-node bounding boxes and caller-supplied
+// per-node value bounds, for "find every point that beats its own
+// threshold" queries.
+//
+// geometry::KdTree answers nearest-neighbor queries, where one global
+// incumbent prunes the search. The swap-sweep candidate scan needs a
+// different query: given a per-location threshold array base[l], visit
+// every location l with d(l, q) < base[l]. No single incumbent exists —
+// each location carries its own bound — so pruning needs, per subtree,
+// the *maximum* threshold of the locations inside it: a subtree whose
+// bounding box is farther from q than that maximum cannot contain any
+// qualifying location and is skipped whole.
+//
+// The tree stores the reordered flat coordinates in the same implicit
+// median layout as KdTree (subtree [begin, end) rooted at the middle
+// slot, axis = depth % d) plus one bounding box per slot, computed once
+// at build. The threshold maxima change per query family (the swap
+// engine keeps one array per center position, refreshed when that
+// position's base table changes), so they are computed on demand by
+// FillSubtreeMax into a caller-owned array and passed back into
+// Traverse. Traversal order is a pure function of (tree, maxima,
+// pruning predicate), independent of threads or timing.
+
+#ifndef UKC_GEOMETRY_BOUNDED_KDTREE_H_
+#define UKC_GEOMETRY_BOUNDED_KDTREE_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/result.h"
+
+namespace ukc {
+namespace geometry {
+
+/// Immutable kd-tree over flat points with per-node boxes. Build once,
+/// query with per-query subtree bounds. See file comment.
+class BoundedKdTree {
+ public:
+  /// Builds from a flat row-major coordinate buffer (count =
+  /// coords.size() / dim points).
+  static Result<BoundedKdTree> BuildFlat(std::vector<double> coords, size_t dim);
+
+  /// Number of indexed points.
+  size_t size() const { return index_.size(); }
+
+  /// Dimension of the indexed points.
+  size_t dim() const { return dim_; }
+
+  /// Fills subtree_max[slot] = max over the subtree rooted at `slot` of
+  /// the masked value (value_of[original index], or 0 where it is below
+  /// `mask_below` — a point that can never qualify should not inflate
+  /// its ancestors' bounds). `value_of` is indexed by construction
+  /// order (as passed to BuildFlat), `subtree_max` by tree slot; both
+  /// must have size() entries. O(n).
+  void FillSubtreeMax(std::span<const double> value_of,
+                      std::span<double> subtree_max,
+                      double mask_below =
+                          -std::numeric_limits<double>::infinity()) const;
+
+  /// Depth-first visit of every point whose subtree survives pruning:
+  /// prune(box_lo, box_hi, subtree_max[slot]) is called once per
+  /// reached node with the node's subtree bounding box (dim() doubles
+  /// each) and its subtree bound — returning true skips the whole
+  /// subtree; otherwise visit(original_index, point_coords) runs for
+  /// the node's own point and both children are descended. `prune`
+  /// must be conservative (never true for a subtree containing a point
+  /// the caller wants); `visit` re-tests each reached point exactly, so
+  /// over-visiting affects time only, never the result.
+  template <typename Prune, typename Visit>
+  void Traverse(std::span<const double> subtree_max, Prune&& prune,
+                Visit&& visit) const {
+    UKC_DCHECK_EQ(subtree_max.size(), index_.size());
+    TraverseRecursive(0, index_.size(), subtree_max, prune, visit);
+  }
+
+ private:
+  BoundedKdTree() = default;
+
+  double FillSubtreeMaxRecursive(size_t begin, size_t end,
+                                 std::span<const double> value_of,
+                                 std::span<double> subtree_max,
+                                 double mask_below) const;
+
+  // Subtrees of at most this many points are scanned linearly instead
+  // of descended: the implicit median layout stores every subtree's
+  // coordinates contiguously, so a surviving leaf range streams like a
+  // flat array — the traversal stays bandwidth-friendly instead of
+  // chasing one cache line per point.
+  static constexpr size_t kLeafSize = 16;
+
+  template <typename Prune, typename Visit>
+  void TraverseRecursive(size_t begin, size_t end,
+                         std::span<const double> subtree_max, Prune& prune,
+                         Visit& visit) const {
+    if (begin >= end) return;
+    const size_t mid = begin + (end - begin) / 2;
+    if (prune(box_lo_.data() + mid * dim_, box_hi_.data() + mid * dim_,
+              subtree_max[mid])) {
+      return;
+    }
+    if (end - begin <= kLeafSize) {
+      for (size_t slot = begin; slot < end; ++slot) {
+        visit(index_[slot], coords_.data() + slot * dim_);
+      }
+      return;
+    }
+    visit(index_[mid], coords_.data() + mid * dim_);
+    TraverseRecursive(begin, mid, subtree_max, prune, visit);
+    TraverseRecursive(mid + 1, end, subtree_max, prune, visit);
+  }
+
+  // coords_[slot * dim_ ..] holds the point at tree slot `slot`;
+  // index_[slot] is its construction index; box_lo_/box_hi_ bound the
+  // subtree rooted at `slot`.
+  std::vector<double> coords_;
+  std::vector<double> box_lo_;
+  std::vector<double> box_hi_;
+  std::vector<uint32_t> index_;
+  size_t dim_ = 0;
+};
+
+}  // namespace geometry
+}  // namespace ukc
+
+#endif  // UKC_GEOMETRY_BOUNDED_KDTREE_H_

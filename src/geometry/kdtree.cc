@@ -6,13 +6,10 @@
 namespace ukc {
 namespace geometry {
 
-namespace {
+namespace internal {
 
-// Arranges order[begin, end) into implicit median layout: the median
-// along axis depth % dim lands at the middle slot, then both halves are
-// arranged recursively. After this, slot s of the segment IS node s.
-void LayoutRecursive(std::vector<uint32_t>* order, const double* coords,
-                     size_t dim, size_t begin, size_t end, size_t depth) {
+void ImplicitMedianLayout(std::vector<uint32_t>* order, const double* coords,
+                          size_t dim, size_t begin, size_t end, size_t depth) {
   if (end - begin <= 1) return;
   const size_t axis = depth % dim;
   const size_t median = begin + (end - begin) / 2;
@@ -20,11 +17,11 @@ void LayoutRecursive(std::vector<uint32_t>* order, const double* coords,
                    order->begin() + end, [&](uint32_t a, uint32_t b) {
                      return coords[a * dim + axis] < coords[b * dim + axis];
                    });
-  LayoutRecursive(order, coords, dim, begin, median, depth + 1);
-  LayoutRecursive(order, coords, dim, median + 1, end, depth + 1);
+  ImplicitMedianLayout(order, coords, dim, begin, median, depth + 1);
+  ImplicitMedianLayout(order, coords, dim, median + 1, end, depth + 1);
 }
 
-}  // namespace
+}  // namespace internal
 
 Result<KdTree> KdTree::Build(const std::vector<Point>& points) {
   if (points.empty()) {
@@ -61,7 +58,7 @@ Result<KdTree> KdTree::BuildFlat(std::vector<double> coords, size_t dim) {
   tree.dim_ = dim;
   std::vector<uint32_t> order(count);
   for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
-  LayoutRecursive(&order, coords.data(), dim, 0, count, 0);
+  internal::ImplicitMedianLayout(&order, coords.data(), dim, 0, count, 0);
 
   // Gather the input coordinates into tree order.
   tree.coords_.resize(coords.size());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.h"
 #include "common/strings.h"
 
 namespace ukc {
@@ -21,6 +22,41 @@ uint64_t BinomialCount(uint64_t m, uint64_t k) {
     result = result * numerator / i;
   }
   return result;
+}
+
+void CombinationFromRank(uint64_t rank, uint64_t m, uint64_t k,
+                         std::vector<size_t>* out) {
+  UKC_CHECK(out != nullptr);
+  UKC_CHECK(k >= 1 && k <= m);
+  UKC_CHECK_LT(rank, BinomialCount(m, k));
+  out->resize(k);
+  // Position i takes the smallest value a (above the previous position)
+  // whose block of C(m-1-a, k-1-i) completions still contains `rank`.
+  uint64_t a = 0;
+  for (uint64_t i = 0; i < k; ++i) {
+    while (true) {
+      const uint64_t block = BinomialCount(m - 1 - a, k - 1 - i);
+      if (rank < block) break;
+      rank -= block;
+      ++a;
+    }
+    (*out)[i] = static_cast<size_t>(a);
+    ++a;
+  }
+}
+
+bool NextCombination(std::vector<size_t>* index, size_t m) {
+  std::vector<size_t>& idx = *index;
+  const size_t k = idx.size();
+  size_t i = k;
+  while (i-- > 0) {
+    if (idx[i] + (k - i) < m) {
+      ++idx[i];
+      for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
 }
 
 namespace {

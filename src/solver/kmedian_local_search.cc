@@ -51,20 +51,57 @@ void Reassign(const std::vector<std::vector<double>>& cost,
   }
 }
 
-// Total cost of `open` with facility `out` replaced by `in`.
-double SwapCost(const std::vector<std::vector<double>>& cost,
-                const std::vector<size_t>& open, size_t out, size_t in) {
-  double total = 0.0;
-  for (size_t i = 0; i < cost.size(); ++i) {
-    double best = cost[i][in];
-    for (size_t f : open) {
-      if (f == out) continue;
-      best = std::min(best, cost[i][f]);
+// Per-client nearest and second-nearest open facility, the incremental
+// structure behind the swap scan: evaluating "open with `out` replaced
+// by `in`" needs, per client, min(cost[i][in], nearest open facility
+// other than `out`) — which is best1 unless out IS the client's best1,
+// in which case it is best2. min over a set is exact in floating point,
+// so the totals are bitwise identical to the direct rescan of all k
+// open facilities, at O(n) per swap instead of O(n·k). Rebuilt in
+// O(n·k) after every accepted swap (one swap is accepted per round, so
+// the round cost drops from O(k·m·n·k) to O(k·m·n + n·k)).
+struct NearestOpenTables {
+  std::vector<size_t> best1;  // First argmin in open-vector order.
+  std::vector<double> best1_value;
+  std::vector<double> best2_value;  // Min over open minus best1.
+
+  void Rebuild(const std::vector<std::vector<double>>& cost,
+               const std::vector<size_t>& open) {
+    const size_t n = cost.size();
+    best1.resize(n);
+    best1_value.resize(n);
+    best2_value.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      size_t b1 = open[0];
+      double v1 = cost[i][open[0]];
+      double v2 = std::numeric_limits<double>::infinity();
+      for (size_t j = 1; j < open.size(); ++j) {
+        const double v = cost[i][open[j]];
+        if (v < v1) {
+          v2 = v1;
+          v1 = v;
+          b1 = open[j];
+        } else {
+          v2 = std::min(v2, v);
+        }
+      }
+      best1[i] = b1;
+      best1_value[i] = v1;
+      best2_value[i] = v2;
     }
-    total += best;
   }
-  return total;
-}
+
+  // Total cost of `open` with facility `out` replaced by `in`.
+  double SwapCost(const std::vector<std::vector<double>>& cost, size_t out,
+                  size_t in) const {
+    double total = 0.0;
+    for (size_t i = 0; i < cost.size(); ++i) {
+      const double alternative = best1[i] == out ? best2_value[i] : best1_value[i];
+      total += std::min(cost[i][in], alternative);
+    }
+    return total;
+  }
+};
 
 }  // namespace
 
@@ -115,14 +152,18 @@ Result<KMedianSolution> KMedianLocalSearch(
 
   // Best-improvement single swaps: each (closed facility, open slot)
   // pair's total is an independent task; the argmin is again an
-  // ordered scan over the result matrix.
+  // ordered scan over the result matrix. The nearest/second-nearest
+  // tables make each task O(n) instead of O(n·k) and are rebuilt once
+  // per accepted swap — bitwise identical totals (see NearestOpenTables).
   std::vector<double> swap_totals(k * m);
+  NearestOpenTables nearest;
   for (size_t swaps = 0; swaps < options.max_swaps; ++swaps) {
+    nearest.Rebuild(cost, open);
     pool->ParallelFor(k * m, [&](int, size_t task) {
       const size_t oi = task / m;
       const size_t in = task % m;
       if (is_open[in]) return;
-      swap_totals[task] = SwapCost(cost, open, open[oi], in);
+      swap_totals[task] = nearest.SwapCost(cost, open[oi], in);
     });
     double best_total = solution.total_cost;
     size_t best_out = m;
@@ -174,18 +215,7 @@ Result<KMedianSolution> KMedianExact(const std::vector<std::vector<double>>& cos
       candidate.facilities = open;
       best = std::move(candidate);
     }
-    // Advance the combination odometer.
-    size_t i = k;
-    bool done = true;
-    while (i-- > 0) {
-      if (index[i] + (k - i) < m) {
-        ++index[i];
-        for (size_t j = i + 1; j < k; ++j) index[j] = index[j - 1] + 1;
-        done = false;
-        break;
-      }
-    }
-    if (done) break;
+    if (!NextCombination(&index, m)) break;
   }
   return best;
 }

@@ -157,26 +157,14 @@ Result<BatchSource> MakeProducerBatchSource(size_t dim, PointProducer next,
             static_cast<unsigned long long>(state->index),
             state->coords.size(), state->probabilities.size(), dim));
       }
-      // The same distribution invariant every other entry point
-      // enforces (UncertainPoint::Build, DatasetReader::ReadChunk); a
-      // producer that breaks it would silently void the verified
-      // bracket's rigor.
-      double total_probability = 0.0;
-      for (double p : state->probabilities) {
-        if (!(p > 0.0)) {
-          return Status::InvalidArgument(StrFormat(
-              "producer batch source: point %llu has a non-positive "
-              "probability",
-              static_cast<unsigned long long>(state->index)));
-        }
-        total_probability += p;
-      }
-      if (std::abs(total_probability - 1.0) >
-          uncertain::UncertainPoint::kProbabilityTolerance) {
-        return Status::InvalidArgument(StrFormat(
-            "producer batch source: point %llu probabilities sum to %.12f",
-            static_cast<unsigned long long>(state->index), total_probability));
-      }
+      // The same distribution invariant — via the same helper — as
+      // UncertainPoint::Build and DatasetReader::ReadChunk; a producer
+      // that broke it would silently void the verified bracket's rigor.
+      UKC_RETURN_IF_ERROR(
+          uncertain::ValidateDistribution(state->probabilities)
+              .WithPrefix(StrFormat(
+                  "producer batch source: point %llu",
+                  static_cast<unsigned long long>(state->index))));
       batch->coords.insert(batch->coords.end(), state->coords.begin(),
                            state->coords.end());
       batch->probabilities.insert(batch->probabilities.end(),
@@ -198,6 +186,33 @@ BatchSourceFactory DatasetBatchFactory(const uncertain::UncertainDataset* datase
 
 BatchSourceFactory FileBatchFactory(const std::string& path, size_t chunk_size) {
   return [path, chunk_size]() -> Result<BatchSource> {
+    return MakeFileBatchSource(path, chunk_size);
+  };
+}
+
+BatchSourceFactory SeededFileBatchFactory(uncertain::DatasetReader&& probe,
+                                          const std::string& path,
+                                          size_t chunk_size) {
+  auto seeded =
+      std::make_shared<uncertain::DatasetReader>(std::move(probe));
+  auto used = std::make_shared<bool>(false);
+  return [seeded, used, path, chunk_size]() -> Result<BatchSource> {
+    if (chunk_size == 0) {
+      return Status::InvalidArgument("SeededFileBatchFactory: chunk_size >= 1");
+    }
+    if (!*used) {
+      // Pass 1 consumes the probe reader — its header is already
+      // parsed, so the file is opened and header-scanned exactly once
+      // for probe + first pass combined.
+      *used = true;
+      return BatchSource(
+          [seeded, chunk_size](uncertain::UncertainPointBatch* batch)
+              -> Result<bool> {
+            UKC_ASSIGN_OR_RETURN(size_t produced,
+                                 seeded->ReadChunk(chunk_size, batch));
+            return produced > 0;
+          });
+    }
     return MakeFileBatchSource(path, chunk_size);
   };
 }

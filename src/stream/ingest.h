@@ -28,6 +28,7 @@
 #include "stream/coreset.h"
 #include "uncertain/chunk.h"
 #include "uncertain/dataset.h"
+#include "uncertain/io.h"
 
 namespace ukc {
 namespace stream {
@@ -72,6 +73,16 @@ Result<BatchSource> MakeProducerBatchSource(size_t dim, PointProducer next,
 BatchSourceFactory DatasetBatchFactory(const uncertain::UncertainDataset* dataset,
                                        size_t chunk_size);
 BatchSourceFactory FileBatchFactory(const std::string& path, size_t chunk_size);
+
+/// FileBatchFactory that hands an already-open reader to its FIRST
+/// source: callers that probe the header up front (SolveFile reads the
+/// dimension before building its pipeline) seed pass 1 with the probe
+/// reader instead of reopening and re-parsing the header; passes after
+/// the first reopen `path` as usual. The probe must be freshly opened
+/// (no chunks consumed).
+BatchSourceFactory SeededFileBatchFactory(uncertain::DatasetReader&& probe,
+                                          const std::string& path,
+                                          size_t chunk_size);
 
 /// Configuration of the sharded coreset build.
 struct IngestOptions {

@@ -233,12 +233,17 @@ Result<StreamingSolution> StreamingUncertainKCenter::SolveSource(
 
 Result<StreamingSolution> StreamingUncertainKCenter::SolveFile(
     const std::string& path) {
-  // Open once up front for the header (dimension + early validation).
+  // Open once up front for the header (dimension + early validation);
+  // the probe reader then seeds pass 1 of the pipeline, so the header
+  // is parsed once for probe + ingest combined and only the
+  // verification pass reopens the file.
   UKC_ASSIGN_OR_RETURN(uncertain::DatasetReader reader,
                        uncertain::DatasetReader::Open(path));
   const size_t dim = reader.dim();
   ScopedPool pool(options_.pool, options_.threads);
-  return Solve(dim, FileBatchFactory(path, options_.ingest.chunk_size),
+  return Solve(dim,
+               SeededFileBatchFactory(std::move(reader), path,
+                                      options_.ingest.chunk_size),
                pool.get());
 }
 

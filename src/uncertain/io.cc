@@ -1,6 +1,7 @@
 #include "uncertain/io.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -236,37 +237,42 @@ Result<size_t> DatasetReader::ReadChunk(size_t max_points,
           StrFormat("ReadChunk: expected 'point <z>' for point %zu, got '%s'",
                     read_, line.str().c_str()));
     }
-    double total_probability = 0.0;
+    const size_t point_begin = batch->probabilities.size();
     for (long long j = 0; j < z; ++j) {
       if (!NextLine(in(), &line)) {
         return Status::InvalidArgument(
             StrFormat("ReadChunk: truncated at point %zu location %lld", read_,
                       j));
       }
-      double probability = 0.0;
-      line >> probability;
+      // The probability token goes through strtod, not operator>>:
+      // istreams refuse "nan", but a NaN probability must reach the
+      // shared ValidateDistribution below so every entry point rejects
+      // it with the same error.
+      std::string probability_token;
+      line >> probability_token;
+      char* token_end = nullptr;
+      const double probability =
+          std::strtod(probability_token.c_str(), &token_end);
+      const bool probability_parsed =
+          !probability_token.empty() &&
+          token_end == probability_token.c_str() + probability_token.size();
       const size_t base = batch->coords.size();
       batch->coords.resize(base + dim_);
       for (size_t a = 0; a < dim_; ++a) line >> batch->coords[base + a];
-      if (line.fail()) {
+      if (!probability_parsed || line.fail()) {
         return Status::InvalidArgument(
             StrFormat("ReadChunk: malformed location line for point %zu: '%s'",
                       read_, line.str().c_str()));
       }
-      if (!(probability > 0.0)) {
-        return Status::InvalidArgument(StrFormat(
-            "ReadChunk: point %zu has a non-positive location probability",
-            read_));
-      }
       batch->probabilities.push_back(probability);
-      total_probability += probability;
     }
-    if (std::abs(total_probability - 1.0) >
-        UncertainPoint::kProbabilityTolerance) {
-      return Status::InvalidArgument(
-          StrFormat("ReadChunk: point %zu probabilities sum to %.12f", read_,
-                    total_probability));
-    }
+    // The shared invariant, via the same helper as UncertainPoint::Build
+    // and the producer source — identical rejects, identical messages.
+    UKC_RETURN_IF_ERROR(
+        ValidateDistribution(
+            std::span<const double>(batch->probabilities.data() + point_begin,
+                                    batch->probabilities.size() - point_begin))
+            .WithPrefix(StrFormat("ReadChunk: point %zu", read_)));
     batch->offsets.push_back(batch->probabilities.size());
     ++read_;
     ++produced;

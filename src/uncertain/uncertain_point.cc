@@ -10,6 +10,28 @@
 namespace ukc {
 namespace uncertain {
 
+Status ValidateDistribution(std::span<const double> probabilities) {
+  if (probabilities.empty()) {
+    return Status::InvalidArgument("distribution has no locations");
+  }
+  double total = 0.0;
+  for (size_t j = 0; j < probabilities.size(); ++j) {
+    const double p = probabilities[j];
+    if (!(p > 0.0) || std::isinf(p)) {
+      return Status::InvalidArgument(
+          StrFormat("location %zu has probability %g; probabilities must be "
+                    "positive and finite",
+                    j, p));
+    }
+    total += p;
+  }
+  if (std::abs(total - 1.0) > UncertainPoint::kProbabilityTolerance) {
+    return Status::InvalidArgument(
+        StrFormat("probabilities sum to %.12g, want 1", total));
+  }
+  return Status::OK();
+}
+
 Location UncertainPointView::ModalLocation() const {
   size_t best = 0;
   for (size_t j = 1; j < count_; ++j) {
@@ -68,28 +90,22 @@ Result<UncertainPoint> UncertainPoint::Build(std::vector<Location> locations) {
   if (locations.empty()) {
     return Status::InvalidArgument("UncertainPoint: no locations");
   }
-  // Merge duplicate sites, validating as we go.
-  std::map<metric::SiteId, double> merged;
-  double total = 0.0;
+  std::vector<double> raw_probabilities;
+  raw_probabilities.reserve(locations.size());
   for (size_t j = 0; j < locations.size(); ++j) {
-    const Location& loc = locations[j];
-    if (loc.site < 0) {
+    if (locations[j].site < 0) {
       return Status::InvalidArgument(
           StrFormat("UncertainPoint: location %zu has invalid site %d", j,
-                    loc.site));
+                    locations[j].site));
     }
-    if (!(loc.probability > 0.0) || std::isinf(loc.probability)) {
-      return Status::InvalidArgument(
-          StrFormat("UncertainPoint: location %zu has probability %g; "
-                    "probabilities must be positive and finite",
-                    j, loc.probability));
-    }
-    merged[loc.site] += loc.probability;
-    total += loc.probability;
+    raw_probabilities.push_back(locations[j].probability);
   }
-  if (std::abs(total - 1.0) > kProbabilityTolerance) {
-    return Status::InvalidArgument(
-        StrFormat("UncertainPoint: probabilities sum to %.12g, want 1", total));
+  UKC_RETURN_IF_ERROR(
+      ValidateDistribution(raw_probabilities).WithPrefix("UncertainPoint"));
+  // Merge duplicate sites.
+  std::map<metric::SiteId, double> merged;
+  for (const Location& loc : locations) {
+    merged[loc.site] += loc.probability;
   }
   std::vector<metric::SiteId> sites;
   std::vector<double> probabilities;

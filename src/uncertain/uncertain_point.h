@@ -30,6 +30,17 @@ struct Location {
   double probability = 0.0;
 };
 
+/// The shared per-point distribution invariant enforced by every
+/// ingestion entry point (UncertainPoint::Build, the chunked
+/// uncertain::DatasetReader, and stream::MakeProducerBatchSource):
+/// at least one location, every probability positive and finite (NaN
+/// and ±inf both fail), and the total within
+/// UncertainPoint::kProbabilityTolerance of 1. Callers add their own
+/// provenance via Status::WithPrefix; the core message is produced
+/// here, once, so the entry points cannot drift apart in what they
+/// accept or how they report it.
+Status ValidateDistribution(std::span<const double> probabilities);
+
 /// Iterates Location values zipped on the fly from a pair of parallel
 /// (site, probability) arrays. Self-contained: it copies the raw
 /// pointers, so it stays valid after the view that produced it is gone

@@ -379,6 +379,60 @@ TEST(StreamingPipelineTest, FileAndDatasetPathsAgreeBitwise) {
   EXPECT_FALSE(std::isnan(from_dataset->verified_exact));
 }
 
+// Regression for the SolveFile double header-parse: the header probe's
+// reader must seed pass 1 instead of the factory reopening the file.
+// Deleting the file right after the probe is the open-counting proof on
+// POSIX: the already-open reader keeps working (so the first factory
+// call consumed the probe — one open, one header parse for probe +
+// pass 1 combined), while any *further* pass must reopen and fails
+// NotFound.
+TEST(StreamingPipelineTest, SeededFileFactoryReusesProbeReader) {
+  const auto dataset = MakeDataset(50, 41);
+  const std::string path = TempPath("stream_seeded.ukc");
+  ASSERT_TRUE(uncertain::SaveDatasetToFile(dataset, path).ok());
+
+  auto probe = uncertain::DatasetReader::Open(path);
+  ASSERT_TRUE(probe.ok()) << probe.status();
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+
+  auto factory =
+      stream::SeededFileBatchFactory(std::move(*probe), path, 16);
+  auto first = factory();
+  ASSERT_TRUE(first.ok()) << first.status();
+  uncertain::UncertainPointBatch batch;
+  size_t points = 0;
+  while (true) {
+    auto more = (*first)(&batch);
+    ASSERT_TRUE(more.ok()) << more.status();
+    if (!*more) break;
+    points += batch.n();
+  }
+  EXPECT_EQ(points, dataset.n());  // Full pass off the probe reader.
+
+  auto second = factory();
+  EXPECT_FALSE(second.ok());  // Later passes reopen the (gone) file.
+}
+
+// Read accounting of the pipeline: with verification off the stream is
+// opened exactly once; with it on, exactly twice. (SolveFile's pass 1
+// additionally rides the probe reader — see the test above.)
+TEST(StreamingPipelineTest, SolveOpensTheStreamOncePerPass) {
+  auto dataset = MakeDataset(200, 43);
+  for (bool verify : {false, true}) {
+    stream::StreamingOptions options = PipelineOptions(1, 64, 1);
+    options.verify = verify;
+    stream::StreamingUncertainKCenter solver(options);
+    size_t factory_calls = 0;
+    auto factory = [&]() -> Result<stream::BatchSource> {
+      ++factory_calls;
+      return stream::MakeDatasetBatchSource(&dataset, 64);
+    };
+    auto solution = solver.SolveSource(2, factory);
+    ASSERT_TRUE(solution.ok()) << solution.status();
+    EXPECT_EQ(factory_calls, verify ? 2u : 1u);
+  }
+}
+
 TEST(StreamingPipelineTest, ProducerSourceMatchesDataset) {
   // A deterministic synthetic stream: point i is a 2-location uncertain
   // point derived from Rng::Fork(i), emitted twice (once per pass)

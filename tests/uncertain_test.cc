@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <sstream>
 
 #include "common/rng.h"
+#include "common/strings.h"
 #include "metric/euclidean_space.h"
 #include "metric/matrix_space.h"
+#include "stream/ingest.h"
 #include "uncertain/dataset.h"
 #include "uncertain/io.h"
 #include "uncertain/sampler.h"
@@ -247,6 +250,97 @@ TEST(IoTest, SaveRejectsNonEuclidean) {
   ASSERT_TRUE(dataset.ok());
   std::stringstream buffer;
   EXPECT_FALSE(SaveDataset(*dataset, buffer).ok());
+}
+
+// --- Shared distribution validation -----------------------------------------
+//
+// Every ingestion entry point — UncertainPoint::Build, the chunked
+// DatasetReader, and the streaming producer source — routes the
+// per-point distribution invariant through one ValidateDistribution
+// helper. These tests prove the contract: the same malformed input
+// (p <= 0, Σp off, NaN) is rejected by all three with the *same* core
+// message (each adds only its provenance prefix), so the entry points
+// cannot drift apart.
+
+// Runs one probability vector through each entry point and returns the
+// three statuses (Build, ReadChunk, producer source), in that order.
+std::vector<Status> StatusesFromAllEntryPoints(
+    const std::vector<double>& probabilities) {
+  std::vector<Status> statuses;
+
+  // 1. UncertainPoint::Build, one distinct site per location.
+  std::vector<Location> locations;
+  for (size_t j = 0; j < probabilities.size(); ++j) {
+    locations.push_back(Location{static_cast<SiteId>(j), probabilities[j]});
+  }
+  statuses.push_back(UncertainPoint::Build(std::move(locations)).status());
+
+  // 2. DatasetReader::ReadChunk, from a serialized 1-d text stream.
+  std::string text = StrFormat("ukc-dataset 1\ndim 1\nn 1\npoint %zu\n",
+                               probabilities.size());
+  for (size_t j = 0; j < probabilities.size(); ++j) {
+    text += StrFormat("%.17g %zu\n", probabilities[j], j);
+  }
+  std::istringstream stream(text);
+  auto reader = DatasetReader::FromStream(stream);
+  if (!reader.ok()) {
+    statuses.push_back(reader.status());
+  } else {
+    UncertainPointBatch batch;
+    statuses.push_back(reader->ReadChunk(16, &batch).status());
+  }
+
+  // 3. stream::MakeProducerBatchSource, one emitted point.
+  bool emitted = false;
+  auto source = stream::MakeProducerBatchSource(
+      1,
+      [&](std::vector<double>* coords, std::vector<double>* probs) {
+        if (emitted) return false;
+        emitted = true;
+        for (size_t j = 0; j < probabilities.size(); ++j) {
+          coords->push_back(static_cast<double>(j));
+          probs->push_back(probabilities[j]);
+        }
+        return true;
+      },
+      16);
+  UKC_CHECK(source.ok());
+  UncertainPointBatch batch;
+  statuses.push_back((*source)(&batch).status());
+  return statuses;
+}
+
+TEST(DistributionValidationTest, EntryPointsShareAcceptance) {
+  for (const Status& status :
+       StatusesFromAllEntryPoints({0.25, 0.25, 0.5})) {
+    EXPECT_TRUE(status.ok()) << status;
+  }
+}
+
+TEST(DistributionValidationTest, EntryPointsRejectIdentically) {
+  const std::vector<std::vector<double>> malformed = {
+      {0.5, -0.5},                                        // Negative.
+      {0.5, 0.0, 0.5},                                    // Zero.
+      {0.3, 0.3},                                         // Σp off.
+      {0.5, std::numeric_limits<double>::quiet_NaN()},    // NaN.
+      {0.5, std::numeric_limits<double>::infinity()},     // Infinite.
+  };
+  for (const auto& probabilities : malformed) {
+    // The core message every entry point must end with.
+    const Status core = ValidateDistribution(probabilities);
+    ASSERT_FALSE(core.ok());
+    const std::vector<Status> statuses =
+        StatusesFromAllEntryPoints(probabilities);
+    ASSERT_EQ(statuses.size(), 3u);
+    for (size_t entry = 0; entry < statuses.size(); ++entry) {
+      ASSERT_FALSE(statuses[entry].ok())
+          << "entry point " << entry << " accepted a malformed distribution";
+      EXPECT_TRUE(statuses[entry].message().ends_with(core.message()))
+          << "entry point " << entry << " drifted: got '"
+          << statuses[entry].message() << "', core is '" << core.message()
+          << "'";
+    }
+  }
 }
 
 }  // namespace
