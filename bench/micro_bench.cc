@@ -121,6 +121,51 @@ void BM_ExactExpectedCost(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactExpectedCost)->Arg(1000)->Arg(4000)->Arg(10000)->Arg(16000);
 
+// The single exact sweep at scale: the serial reference
+// (Options::parallel_sweep = false — the pre-PR-5 sort-sweep) vs the
+// segmented engine (parallel radix + per-variable CDF trajectories +
+// ordered serial combine). On this 1-CPU container the parallel run
+// measures the engine's algorithmic effect (cache-friendly combine, no
+// divides in the dependent chain); wall-clock thread scaling needs a
+// many-core box. Outputs are bitwise identical either way
+// (tests/parallel_sweep_test.cc).
+void ExactSweepAtScale(benchmark::State& state, bool parallel) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto dataset = MakeDataset(n);
+  const auto sites = dataset.LocationSites();
+  auto centers = solver::Gonzalez(dataset.space(), sites, 8);
+  ThreadPool pool(parallel ? 0 : 1);
+  cost::ExpectedCostEvaluator::Options options;
+  options.parallel_sweep = parallel;
+  options.sweep_pool = parallel ? &pool : nullptr;
+  cost::ExpectedCostEvaluator evaluator(options);
+  for (auto _ : state) {
+    auto value = evaluator.UnassignedCost(dataset, centers->centers);
+    UKC_CHECK(value.ok()) << value.status();
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dataset.total_locations()));
+}
+
+void BM_ExactSweepSerial(benchmark::State& state) {
+  ExactSweepAtScale(state, /*parallel=*/false);
+}
+BENCHMARK(BM_ExactSweepSerial)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactSweepParallel(benchmark::State& state) {
+  ExactSweepAtScale(state, /*parallel=*/true);
+}
+BENCHMARK(BM_ExactSweepParallel)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
 // The kd-tree cutover study behind cost::kDefaultKdTreeCutover: the
 // unassigned cost over k centers with the kd path forced off (linear
 // flat scan) and forced on (tree). The default cutover is the k where
@@ -357,6 +402,70 @@ void BM_TinyEnumerate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1820);
 }
 BENCHMARK(BM_TinyEnumerate)->Arg(200)->Unit(benchmark::kMillisecond);
+
+// The compacted snapshot ladder on a local-search trajectory at
+// n = 10^5, k = 8: wall time plus the resident ladder bytes (snapshot
+// CDFs — the storage the compaction shrinks 7n -> 2n doubles per
+// table), total swap-base bytes, and the escalation / replayed-event
+// counters that price the rare intermediate-rung re-derivations.
+void SwapLadderRounds(benchmark::State& state, bool compact) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  constexpr size_t kRounds = 2;
+  auto dataset = MakeDataset(n);
+  const auto sites = dataset.LocationSites();
+  auto seed = solver::Gonzalez(dataset.space(), sites, 8);
+  std::vector<metric::SiteId> pool;
+  for (size_t i = 0; i < 16; ++i) pool.push_back(sites[(i * 977) % sites.size()]);
+  cost::ParallelCandidateEvaluator::Options options;
+  options.threads = 1;
+  options.evaluator.compact_swap_ladder = compact;
+  cost::ParallelCandidateEvaluator parallel(options);
+  for (auto _ : state) {
+    auto centers = seed->centers;
+    for (size_t round = 0; round < kRounds; ++round) {
+      auto values = parallel.SwapCostMatrix(dataset, centers, pool);
+      UKC_CHECK(values.ok()) << values.status();
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_position = 0;
+      metric::SiteId best_candidate = centers[0];
+      for (size_t p = 0; p < centers.size(); ++p) {
+        for (size_t c = 0; c < pool.size(); ++c) {
+          if (pool[c] == centers[p]) continue;
+          const double value = (*values)[p * pool.size() + c];
+          if (value < best) {
+            best = value;
+            best_position = p;
+            best_candidate = pool[c];
+          }
+        }
+      }
+      centers[best_position] = best_candidate;
+    }
+    benchmark::DoNotOptimize(centers);
+  }
+  state.counters["ladder_bytes"] =
+      static_cast<double>(parallel.SwapLadderBytes());
+  state.counters["swap_base_bytes"] =
+      static_cast<double>(parallel.SwapBaseMemoryBytes());
+  state.counters["escalations"] =
+      static_cast<double>(parallel.LadderEscalations()) /
+      static_cast<double>(state.iterations());
+  state.counters["replayed_events"] =
+      static_cast<double>(parallel.LadderReplayedEvents()) /
+      static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kRounds * 8 * pool.size()));
+}
+
+void BM_SwapLadderCompact(benchmark::State& state) {
+  SwapLadderRounds(state, /*compact=*/true);
+}
+BENCHMARK(BM_SwapLadderCompact)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_SwapLadderFull(benchmark::State& state) {
+  SwapLadderRounds(state, /*compact=*/false);
+}
+BENCHMARK(BM_SwapLadderFull)->Arg(100000)->Unit(benchmark::kMillisecond);
 
 // A deterministic synthetic uncertain-point stream (8 planted cluster
 // homes, z = 4 locations per point, each point a pure function of its

@@ -133,6 +133,9 @@ Result<UnassignedSolution> LocalSearchUnassigned(
   cost::ParallelCandidateEvaluator parallel(parallel_options);
   cost::ExpectedCostEvaluator::Options scalar_options;
   scalar_options.kdtree_cutover = std::numeric_limits<size_t>::max();
+  // The scalar seed evaluation runs at top level, so its segmented
+  // sweep may borrow the caller's pool (never re-entered from a job).
+  scalar_options.sweep_pool = options.pool;
   cost::ExpectedCostEvaluator evaluator(scalar_options);
   UKC_ASSIGN_OR_RETURN(solution.expected_cost,
                        evaluator.UnassignedCost(*dataset, solution.centers));

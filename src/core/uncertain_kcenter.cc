@@ -115,9 +115,11 @@ Result<UncertainKCenterSolution> SolveUncertainKCenter(
   solution.timings.assignment_seconds = stopwatch.ElapsedSeconds();
 
   // 4. Exact evaluation (one evaluator shares scratch across both
-  // objectives).
+  // objectives; its segmented sweep borrows the run's shared pool).
   stopwatch.Reset();
-  cost::ExpectedCostEvaluator evaluator;
+  cost::ExpectedCostEvaluator::Options evaluator_options;
+  evaluator_options.sweep_pool = pool.get();
+  cost::ExpectedCostEvaluator evaluator(evaluator_options);
   UKC_ASSIGN_OR_RETURN(solution.expected_cost,
                        evaluator.AssignedCost(*dataset, solution.assignment));
   if (options.evaluate_unassigned) {

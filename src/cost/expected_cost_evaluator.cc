@@ -89,11 +89,20 @@ struct CdfProduct {
   /// Folds one CDF step of a variable: old -> new (new > old >= 0).
   void Apply(double old_cdf, double new_cdf) {
     if (old_cdf == 0.0) {
-      --zeros;
-      mantissa *= new_cdf;
+      ApplyRatio(/*from_zero=*/true, new_cdf);
     } else {
-      mantissa *= new_cdf / old_cdf;
+      ApplyRatio(/*from_zero=*/false, new_cdf / old_cdf);
     }
+  }
+
+  /// The primitive Apply reduces to, shared with the segmented sweep's
+  /// combine (which precomputes the ratios in parallel): one multiply
+  /// plus the lazy renormalization. Keeping both paths on this exact
+  /// arithmetic is what makes the segmented sweep bitwise identical to
+  /// the serial scan.
+  void ApplyRatio(bool from_zero, double ratio) {
+    if (from_zero) --zeros;
+    mantissa *= ratio;
     if (mantissa < 0x1p-16 || mantissa >= 0x1p16) {
       int shift;
       mantissa = std::frexp(mantissa, &shift);
@@ -112,8 +121,15 @@ struct CdfProduct {
 void ExpectedCostEvaluator::SortEventsByValue() {
   const size_t count = events_.size();
   if (count < kRadixSortCutover) {
+    // The (value, location) tiebreak spells out what the stable radix
+    // below does implicitly (every fill writes ascending locations), so
+    // the two regimes — and the segmented engine's parallel radix —
+    // produce one permutation.
     std::sort(events_.begin(), events_.end(),
-              [](const Event& a, const Event& b) { return a.value < b.value; });
+              [](const Event& a, const Event& b) {
+                return a.value != b.value ? a.value < b.value
+                                          : a.location < b.location;
+              });
     return;
   }
   // LSD radix, 4 passes of 16 bits over the order-preserving key. One
@@ -154,8 +170,192 @@ void ExpectedCostEvaluator::SortEventsByValue() {
   if (swapped) events_.swap(events_scratch_);
 }
 
-double ExpectedCostEvaluator::SweepEvents(size_t num_variables) {
+void ExpectedCostEvaluator::RadixSortEventsByValue(ThreadPool* pool,
+                                                   bool track_positions) {
+  const size_t count = events_.size();
+  if (track_positions) {
+    perm_.resize(count);
+    for (size_t i = 0; i < count; ++i) perm_[i] = static_cast<uint32_t>(i);
+    perm_scratch_.resize(count);
+  }
+  if (count <= 1) return;
+  constexpr int kPasses = 4;
+  constexpr size_t kBuckets = 65536;
+  const size_t shards =
+      pool != nullptr ? static_cast<size_t>(pool->num_threads()) : 1;
+  events_scratch_.resize(count);
+  const auto run_phase = [&](const auto& fn) {
+    if (pool != nullptr && shards > 1) {
+      pool->ParallelFor(shards, [&fn](int, size_t s) { fn(s); });
+    } else {
+      for (size_t s = 0; s < shards; ++s) fn(s);
+    }
+  };
+  const auto shard_begin = [&](size_t s) { return count * s / shards; };
+
+  // Per-shard histograms of every pass over the initial arrangement.
+  // The per-pass TOTALS are arrangement-invariant (they only count
+  // digits), so the skip decision below stays valid across scatters;
+  // the per-shard splits go stale after the first scatter and are
+  // recomputed per remaining pass.
+  shard_counts_.assign(shards * kPasses * kBuckets, 0);
+  run_phase([&](size_t s) {
+    uint32_t* counts = shard_counts_.data() + s * kPasses * kBuckets;
+    const size_t end = shard_begin(s + 1);
+    for (size_t i = shard_begin(s); i < end; ++i) {
+      const uint64_t key = OrderedBits(events_[i].value);
+      for (int p = 0; p < kPasses; ++p) {
+        ++counts[p * kBuckets + ((key >> (16 * p)) & 0xFFFF)];
+      }
+    }
+  });
+  radix_counts_.assign(kPasses * kBuckets, 0);
+  for (size_t s = 0; s < shards; ++s) {
+    const uint32_t* counts = shard_counts_.data() + s * kPasses * kBuckets;
+    for (size_t b = 0; b < kPasses * kBuckets; ++b) radix_counts_[b] += counts[b];
+  }
+
+  Event* src = events_.data();
+  Event* dst = events_scratch_.data();
+  uint32_t* psrc = track_positions ? perm_.data() : nullptr;
+  uint32_t* pdst = track_positions ? perm_scratch_.data() : nullptr;
+  bool swapped = false;
+  bool scattered = false;
+  for (int p = 0; p < kPasses; ++p) {
+    const uint32_t* total = radix_counts_.data() + p * kBuckets;
+    const uint64_t first_digit = (OrderedBits(src[0].value) >> (16 * p)) & 0xFFFF;
+    if (total[first_digit] == count) continue;  // All keys share this digit.
+    if (scattered && shards > 1) {
+      run_phase([&](size_t s) {
+        uint32_t* counts = shard_counts_.data() + (s * kPasses + p) * kBuckets;
+        std::fill(counts, counts + kBuckets, 0);
+        const size_t end = shard_begin(s + 1);
+        for (size_t i = shard_begin(s); i < end; ++i) {
+          ++counts[(OrderedBits(src[i].value) >> (16 * p)) & 0xFFFF];
+        }
+      });
+    }
+    // Exact serial prefix over the combined histograms in (bucket,
+    // shard) order: shard s's slice of bucket b starts after every
+    // smaller bucket and after shards < s within b — precisely where
+    // the serial stable scatter would have put those elements, so the
+    // parallel result is bitwise identical at every shard count.
+    uint32_t running = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      for (size_t s = 0; s < shards; ++s) {
+        uint32_t* slot = shard_counts_.data() + (s * kPasses + p) * kBuckets + b;
+        const uint32_t c = *slot;
+        *slot = running;
+        running += c;
+      }
+    }
+    run_phase([&](size_t s) {
+      uint32_t* off = shard_counts_.data() + (s * kPasses + p) * kBuckets;
+      const size_t end = shard_begin(s + 1);
+      for (size_t i = shard_begin(s); i < end; ++i) {
+        const uint64_t digit = (OrderedBits(src[i].value) >> (16 * p)) & 0xFFFF;
+        const uint32_t slot = off[digit]++;
+        dst[slot] = src[i];
+        if (psrc != nullptr) pdst[slot] = psrc[i];
+      }
+    });
+    std::swap(src, dst);
+    if (track_positions) std::swap(psrc, pdst);
+    swapped = !swapped;
+    scattered = true;
+  }
+  if (swapped) {
+    events_.swap(events_scratch_);
+    if (track_positions) perm_.swap(perm_scratch_);
+  }
+}
+
+double ExpectedCostEvaluator::SweepEventsSegmented(
+    size_t num_variables, std::span<const size_t> var_offsets) {
+  const size_t count = events_.size();
+  UKC_CHECK_EQ(var_offsets.size(), num_variables + 1);
+  UKC_CHECK_EQ(var_offsets[num_variables], count);
+  ThreadPool* pool = SweepPool();
+  const size_t shards =
+      pool != nullptr ? static_cast<size_t>(pool->num_threads()) : 1;
+  const auto run_phase = [&](const auto& fn) {
+    if (pool != nullptr && shards > 1) {
+      pool->ParallelFor(shards, [&fn](int, size_t s) { fn(s); });
+    } else {
+      for (size_t s = 0; s < shards; ++s) fn(s);
+    }
+  };
+
+  // Phase 1: stable parallel radix by value, tracking where each
+  // pre-sort event landed.
+  RadixSortEventsByValue(pool, /*track_positions=*/true);
+
+  // Phase 2: invert the permutation (disjoint writes; perm_ is a
+  // bijection).
+  inv_.resize(count);
+  run_phase([&](size_t s) {
+    const size_t begin = count * s / shards;
+    const size_t end = count * (s + 1) / shards;
+    for (size_t e = begin; e < end; ++e) inv_[perm_[e]] = static_cast<uint32_t>(e);
+  });
+
+  // Phase 3: per-variable CDF trajectories over variable segments. A
+  // variable's sorted positions ascend exactly in its serial
+  // application order (stable sort), so walking them ascending
+  // reproduces the serial per-variable chain old -> old + p bit for
+  // bit; each step is stored as the product ratio Apply would multiply
+  // by. Variables are disjoint, so segments need no cross-talk.
+  ratio_.resize(count);
+  ratio_zero_.resize(count);
+  run_phase([&](size_t s) {
+    const size_t var_begin = num_variables * s / shards;
+    const size_t var_end = num_variables * (s + 1) / shards;
+    std::vector<uint32_t> order;
+    for (size_t v = var_begin; v < var_end; ++v) {
+      order.clear();
+      for (size_t l = var_offsets[v]; l < var_offsets[v + 1]; ++l) {
+        order.push_back(inv_[l]);
+      }
+      std::sort(order.begin(), order.end());
+      double cdf = 0.0;
+      for (const uint32_t g : order) {
+        const double next = cdf + events_[g].probability;
+        ratio_zero_[g] = cdf == 0.0;
+        ratio_[g] = cdf == 0.0 ? next : next / cdf;
+        cdf = next;
+      }
+    }
+  });
+
+  // Phase 4: the ordered serial combine — the serial scan's exact
+  // multiply/renormalize/emit sequence with the CDF bookkeeping and
+  // divisions hoisted into the parallel phases above.
+  CdfProduct product(num_variables);
+  KahanSum expectation;
+  double previous_cdf_product = 0.0;
+  size_t e = 0;
+  while (e < count) {
+    const double value = events_[e].value;
+    while (e < count && events_[e].value == value) {
+      product.ApplyRatio(ratio_zero_[e] != 0, ratio_[e]);
+      ++e;
+    }
+    if (product.zeros == 0) {
+      const double cdf_product = product.Value();
+      const double mass = cdf_product - previous_cdf_product;
+      if (mass > 0.0) expectation.Add(value * mass);
+      previous_cdf_product = cdf_product;
+    }
+  }
+  return expectation.Total();
+}
+
+double ExpectedCostEvaluator::SweepEvents(size_t num_variables,
+                                          std::span<const size_t> var_offsets) {
   UKC_CHECK_GT(num_variables, 0u);
+  if (!var_offsets.empty() && UseSegmentedSweep(events_.size())) {
+    return SweepEventsSegmented(num_variables, var_offsets);
+  }
   SortEventsByValue();
   cdf_.assign(num_variables, 0.0);
 
@@ -197,14 +397,21 @@ double ExpectedCostEvaluator::ExpectedMaxOfIndependent(
   for (const auto& d : distributions) total += d.size();
   events_.clear();
   events_.reserve(total);
+  var_offsets_scratch_.resize(n + 1);
   for (size_t i = 0; i < n; ++i) {
     UKC_CHECK(!distributions[i].empty());
+    var_offsets_scratch_[i] = events_.size();
     for (const auto& [value, probability] : distributions[i]) {
       UKC_CHECK_GT(probability, 0.0);
-      events_.push_back(Event{value, static_cast<uint32_t>(i), 0, probability});
+      // location = fill position, so value ties keep one order across
+      // the serial std::sort tiebreak and the stable radix.
+      events_.push_back(Event{value, static_cast<uint32_t>(i),
+                              static_cast<uint32_t>(events_.size()),
+                              probability});
     }
   }
-  return SweepEvents(n);
+  var_offsets_scratch_[n] = events_.size();
+  return SweepEvents(n, var_offsets_scratch_);
 }
 
 Result<double> ExpectedCostEvaluator::AssignedCost(
@@ -257,7 +464,7 @@ Result<double> ExpectedCostEvaluator::AssignedCost(
       }
     }
   }
-  return SweepEvents(dataset.n());
+  return SweepEvents(dataset.n(), dataset.offsets());
 }
 
 Status ExpectedCostEvaluator::FillUnassignedEvents(
@@ -308,6 +515,31 @@ Status ExpectedCostEvaluator::FillUnassignedEvents(
     }
     return Status::OK();
   }
+  if (euclidean != nullptr && euclidean->norm() == metric::Norm::kL2) {
+    // Flat linear scan comparing SQUARED distances, one sqrt for the
+    // winner: IEEE sqrt is monotone and correctly rounded, so
+    // min_c sqrt(s_c) == sqrt(min_c s_c) bit for bit — identical to
+    // the per-center-sqrt scan at one sqrt per location instead of k
+    // (the single-core win on BM_ExactSweep* at n >= 1e5).
+    const size_t dim = euclidean->dim();
+    euclidean->GatherCoords(centers, &center_coords_);
+    const double* center_block = center_coords_.data();
+    const size_t k = centers.size();
+    size_t i = 0;
+    for (size_t l = 0; l < total; ++l) {
+      while (l >= offsets[i + 1]) ++i;
+      const double* from = euclidean->coords(sites[l]);
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        const double s =
+            geometry::SquaredDistanceKernel(from, center_block + c * dim, dim);
+        if (s < best) best = s;
+      }
+      events_.push_back(Event{std::sqrt(best), static_cast<uint32_t>(i),
+                              static_cast<uint32_t>(l), probabilities[l]});
+    }
+    return Status::OK();
+  }
   if (euclidean != nullptr) {
     // Flat linear scan over the gathered center block.
     const size_t dim = euclidean->dim();
@@ -340,7 +572,7 @@ Result<double> ExpectedCostEvaluator::UnassignedCost(
   ScratchGuard guard(this);
   UKC_RETURN_IF_ERROR(FillUnassignedEvents(dataset, centers));
   if (dataset.n() == 0) return 0.0;
-  return SweepEvents(dataset.n());
+  return SweepEvents(dataset.n(), dataset.offsets());
 }
 
 Result<std::vector<double>> ExpectedCostEvaluator::UnassignedCostBatch(
@@ -368,6 +600,7 @@ Status ExpectedCostEvaluator::BuildSwapBase(
         "BuildSwapBase: table sizes must equal total_locations");
   }
   const double* probabilities = dataset.flat_probabilities().data();
+  CheckScratchReservation();
 
   // Sorted (value, location) base event stream. The LSD radix is stable
   // over the ascending location fill; the small-input std::sort spells
@@ -384,6 +617,12 @@ Status ExpectedCostEvaluator::BuildSwapBase(
                 return a.value != b.value ? a.value < b.value
                                           : a.location < b.location;
               });
+  } else if (options_.parallel_sweep && SweepPool() != nullptr) {
+    // Same stable permutation as the serial radix, sharded over the
+    // pool — available when this evaluator is driven from the top
+    // level (ParallelCandidateEvaluator's single-stale-table rollover
+    // rounds), not from inside a pool job.
+    RadixSortEventsByValue(SweepPool(), /*track_positions=*/false);
   } else {
     SortEventsByValue();
   }
@@ -405,6 +644,7 @@ Status ExpectedCostEvaluator::PatchSwapBase(
         "PatchSwapBase: table sizes must equal total_locations");
   }
   const double* probabilities = dataset.flat_probabilities().data();
+  CheckScratchReservation();
 
   // Replacement entries, in ascending location order, then sorted into
   // the exact (value, location) order the full sort produces; the stamp
@@ -458,6 +698,11 @@ Status ExpectedCostEvaluator::PatchSwapBase(
 void ExpectedCostEvaluator::FinishSwapBase(
     const uncertain::UncertainDataset& dataset,
     std::span<const double> base_distances, SwapBase* out) {
+  // Every build gets a process-unique id: the derived-rung cache keys
+  // on it, so no evaluator — this one or any other — can mistake a
+  // rebuilt table at a reused address for the one it derived from.
+  static std::atomic<uint64_t> next_build_id{1};
+  out->build_id = next_build_id.fetch_add(1, std::memory_order_relaxed);
   const size_t n = dataset.n();
   const size_t total = dataset.total_locations();
   const size_t* offsets = dataset.offsets().data();
@@ -543,7 +788,18 @@ void ExpectedCostEvaluator::FinishSwapBase(
     snapshot.zeros = product.zeros;
     snapshot.mantissa = product.mantissa;
     snapshot.exponent = product.exponent;
-    snapshot.cdf.assign(cdf.begin(), cdf.end());
+    // Ladder compaction: only rung 0 and the deepest rung keep their
+    // n-length CDF resident (2·n instead of kSwapLadderRungs·n doubles
+    // per table); an intermediate rung is re-derived on escalation by
+    // replaying events[deepest.index, index) — see
+    // ScoreSwapFromChanged. The swap releases the capacity, not just
+    // the size: held capacity would defeat the compaction.
+    if (!options_.compact_swap_ladder || level == 0 ||
+        level == static_cast<int>(kSwapLadderRungs) - 1) {
+      snapshot.cdf.assign(cdf.begin(), cdf.end());
+    } else {
+      std::vector<double>().swap(snapshot.cdf);
+    }
   };
   int next_level = kSwapLadderRungs - 1;  // Lowest threshold crossed first.
   size_t s = 0;
@@ -762,6 +1018,7 @@ ExpectedCostEvaluator::EscalateAndCollect(
   // location with base >= median threshold (a superset of what any rung
   // >= it replays — entries below the chosen rung are skipped by the
   // scoring loop), tracking each point's improved minimum service.
+  ++ladder_escalations_;
   BeginChangedCollection(dataset);
   const double gate = base.levels[kSwapLadderRungs - 1].threshold;
   ScanImproved(dataset, base_distances, extra, gate, [&](double d, size_t l) {
@@ -948,7 +1205,36 @@ Result<double> ExpectedCostEvaluator::ScoreSwapFromChanged(
   //     apply it on top of the snapshot state;
   //   - new value at/above the threshold: a regular tail-merge event.
   const double threshold = level->threshold;
-  cdf_.assign(level->cdf.begin(), level->cdf.end());
+  if (level->cdf.empty()) {
+    // Compacted intermediate rung: re-derive its CDF from the deepest
+    // rung (always resident) by replaying the base prefix
+    // events[deepest.index, level->index) — the same per-variable
+    // additions in the same order FinishSwapBase applied them, so the
+    // result is bitwise identical to the rung the reference ladder
+    // stores. The derivation is cached per (table, epoch, rung):
+    // every further candidate of the round escalating to this rung
+    // reuses it, so the O(prefix) replay is paid once per evaluator,
+    // not once per candidate.
+    const int level_index = static_cast<int>(level - base.levels);
+    if (derived_build_id_ != base.build_id || derived_level_ != level_index) {
+      const SwapBase::Snapshot& deepest =
+          base.levels[kSwapLadderRungs - 1];
+      UKC_CHECK(!deepest.cdf.empty())
+          << "compacted swap ladder: deepest rung lost its CDF";
+      UKC_CHECK_LE(deepest.index, level->index);
+      derived_cdf_.assign(deepest.cdf.begin(), deepest.cdf.end());
+      for (size_t e = deepest.index; e < level->index; ++e) {
+        const Event& event = base.events[e];
+        derived_cdf_[event.index] += event.probability;
+      }
+      ladder_replayed_events_ += level->index - deepest.index;
+      derived_build_id_ = base.build_id;
+      derived_level_ = level_index;
+    }
+    cdf_.assign(derived_cdf_.begin(), derived_cdf_.end());
+  } else {
+    cdf_.assign(level->cdf.begin(), level->cdf.end());
+  }
   CdfProduct product(0);
   product.zeros = level->zeros;
   product.mantissa = level->mantissa;
@@ -985,6 +1271,54 @@ Result<double> ExpectedCostEvaluator::ScoreSwapFromChanged(
   return MergeSweepFrom(dataset, base, level->index, changed_tail_,
                         point_of, product.zeros, product.mantissa,
                         product.exponent);
+}
+
+void ExpectedCostEvaluator::ReserveScratch(size_t n, size_t total_locations) {
+  ScratchGuard guard(this);
+  events_.reserve(total_locations);
+  events_scratch_.reserve(total_locations);
+  cdf_.reserve(n);
+  changed_.reserve(total_locations);
+  changed_tail_.reserve(total_locations);
+  swap_first_.reserve(n);
+  swap_order_.reserve(n);
+  if (options_.parallel_sweep && options_.sweep_pool != nullptr) {
+    // Segmented-engine buffers (~21 bytes/location) only where the
+    // engine can actually run: worker evaluators inside a pool keep
+    // sweep_pool null and must not hold dead reservations.
+    perm_.reserve(total_locations);
+    perm_scratch_.reserve(total_locations);
+    inv_.reserve(total_locations);
+    ratio_.reserve(total_locations);
+    ratio_zero_.reserve(total_locations);
+  }
+  scratch_reservation_ = std::max(scratch_reservation_, total_locations);
+  scratch_reservation_points_ = std::max(scratch_reservation_points_, n);
+}
+
+void ExpectedCostEvaluator::CheckScratchReservation() const {
+  if (scratch_reservation_ == 0) return;
+  UKC_CHECK_GE(events_.capacity(), scratch_reservation_)
+      << "ExpectedCostEvaluator: event scratch shrank below its "
+         "ReserveScratch reservation mid-trajectory";
+  UKC_CHECK_GE(events_scratch_.capacity(), scratch_reservation_)
+      << "ExpectedCostEvaluator: radix scratch shrank below its "
+         "ReserveScratch reservation mid-trajectory";
+  UKC_CHECK_GE(cdf_.capacity(), scratch_reservation_points_)
+      << "ExpectedCostEvaluator: CDF scratch shrank below its "
+         "ReserveScratch reservation mid-trajectory";
+}
+
+size_t ExpectedCostEvaluator::SwapBase::LadderBytes() const {
+  // Snapshot CDFs only — the storage compact_swap_ladder shrinks 7n ->
+  // 2n doubles. The escalation side tables (bottleneck flags, deep
+  // points) exist identically in both variants and are accounted in
+  // ParallelCandidateEvaluator::SwapBaseMemoryBytes.
+  size_t bytes = 0;
+  for (const Snapshot& snapshot : levels) {
+    bytes += snapshot.cdf.capacity() * sizeof(double);
+  }
+  return bytes;
 }
 
 template <typename DistanceOfLocation>

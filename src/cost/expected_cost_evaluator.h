@@ -58,6 +58,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "cost/assignment.h"
 #include "geometry/bounded_kdtree.h"
 #include "geometry/kdtree.h"
@@ -114,6 +115,32 @@ class ExpectedCostEvaluator {
     /// Threads fanning out over Monte-Carlo samples; 1 = sequential
     /// (and bit-identical to the historical estimator).
     int monte_carlo_threads = 1;
+    /// Use the segmented exact-sweep engine (parallel radix sort +
+    /// per-variable CDF trajectories + ordered serial combine) for
+    /// sweeps of at least parallel_sweep_cutover events when sweep_pool
+    /// offers real parallelism. The engine is bitwise identical to the
+    /// serial scan at every thread count — false keeps the plain
+    /// serial sort-sweep as the reference path.
+    bool parallel_sweep = true;
+    /// Event count below which the serial sweep is used even when
+    /// parallel_sweep is on (the segmented engine's extra passes only
+    /// pay off on large streams). Tests set 1 to force the engine.
+    size_t parallel_sweep_cutover = 32768;
+    /// Borrowed pool fanning out the segmented engine's phases. Null —
+    /// or a 1-thread pool — keeps the serial sweep: the engine trades
+    /// extra memory passes for parallel phases, so without real
+    /// parallelism the serial scan is the faster identical-result
+    /// path (measured in BM_ExactSweep{Serial,Parallel}). Callers
+    /// running the evaluator from inside a pool job must leave this
+    /// null (a pool must not be re-entered from one of its own jobs).
+    ThreadPool* sweep_pool = nullptr;
+    /// Store only rung 0 and the deepest rung's per-point CDF in
+    /// SwapBase (the ~3.5x ladder memory compaction); an escalation
+    /// that lands on an intermediate rung re-derives its CDF once per
+    /// candidate by replaying events[deepest.index, rung.index) —
+    /// bitwise identical to the stored rung. false keeps all
+    /// kSwapLadderRungs CDFs resident (the reference ladder).
+    bool compact_swap_ladder = true;
   };
 
   ExpectedCostEvaluator() = default;
@@ -136,6 +163,29 @@ class ExpectedCostEvaluator {
   Result<std::vector<double>> UnassignedCostBatch(
       const uncertain::UncertainDataset& dataset,
       const std::vector<std::vector<metric::SiteId>>& center_sets);
+
+  /// Pre-reserves every sweep/swap scratch buffer for a dataset with
+  /// `n` points and `total_locations` locations (the dataset header),
+  /// so repeated batch calls — SwapCostMatrix rounds in particular —
+  /// never reallocate mid-trajectory. Also arms the no-shrink
+  /// contract: once reserved, every subsequent swap-base build CHECKs
+  /// that the scratch capacity has not dropped below the reservation.
+  void ReserveScratch(size_t n, size_t total_locations);
+
+  /// The armed reservation (events), 0 when ReserveScratch was never
+  /// called.
+  size_t reserved_scratch() const { return scratch_reservation_; }
+
+  /// Ladder-compaction observability: how many swap evaluations
+  /// escalated past rung 0, and how many base events were replayed to
+  /// re-derive compacted intermediate rung CDFs. Monotone counters,
+  /// reset by ResetSwapCounters.
+  uint64_t ladder_escalations() const { return ladder_escalations_; }
+  uint64_t ladder_replayed_events() const { return ladder_replayed_events_; }
+  void ResetSwapCounters() {
+    ladder_escalations_ = 0;
+    ladder_replayed_events_ = 0;
+  }
 
   /// Precomputed read-only tables for the presorted swap path: the base
   /// event stream sorted by (value, location), plus a LADDER of sweep
@@ -162,7 +212,12 @@ class ExpectedCostEvaluator {
   static constexpr size_t kSwapLadderRungs = 7;
 
   struct SwapBase {
-    /// One rung: the sweep state just below `threshold`.
+    /// One rung: the sweep state just below `threshold`. Under
+    /// Options::compact_swap_ladder only rung 0 and the deepest rung
+    /// keep their `cdf` resident; an intermediate rung's CDF is
+    /// re-derived on demand from the deepest rung by replaying
+    /// events[deepest.index, index) — the product state (zeros,
+    /// mantissa, exponent) stays stored, it is O(1).
     struct Snapshot {
       double threshold = 0.0;
       size_t index = 0;  // First event with value >= threshold.
@@ -192,6 +247,19 @@ class ExpectedCostEvaluator {
     /// makes a stale rolled-over table a crash instead of a wrong
     /// answer.
     uint64_t epoch = 0;
+    /// Process-unique id stamped by every (re)build — the derived-rung
+    /// cache keys on it, so a rebuilt table at a reused address can
+    /// never serve a stale derivation, including through the direct
+    /// BuildSwapBase/score API where epoch stays 0.
+    uint64_t build_id = 0;
+
+    /// Resident bytes of the snapshot CDFs — exactly the storage
+    /// Options::compact_swap_ladder cuts 7n -> 2n doubles (~3.5x).
+    /// The event stream and the escalation side tables (bottleneck
+    /// flags, deep points), which both ladder variants hold
+    /// identically, are accounted in
+    /// ParallelCandidateEvaluator::SwapBaseMemoryBytes.
+    size_t LadderBytes() const;
   };
 
   /// Builds the presorted base tables for UnassignedCostSwapPresorted
@@ -288,14 +356,59 @@ class ExpectedCostEvaluator {
   Status FillUnassignedEvents(const uncertain::UncertainDataset& dataset,
                               const std::vector<metric::SiteId>& centers);
 
-  // Sorts events_ ascending by value: LSD radix over the
+  // Sorts events_ ascending by (value, location): LSD radix over the
   // order-preserving bit transform of the key for large inputs (the
   // sweep's former std::sort bottleneck), std::sort below the cutover.
+  // Every event fill writes ascending locations, so the stable radix
+  // and the tie-spelled std::sort produce the same permutation.
   void SortEventsByValue();
 
+  // The segmented engine's sort: stable LSD radix by value, sharded
+  // over `pool` (per-worker histograms over contiguous event shards,
+  // one exact serial prefix over the combined histograms, per-worker
+  // scatters into precomputed disjoint destination ranges). Bitwise
+  // identical to the serial radix — and to SortEventsByValue — at
+  // every thread count. With track_positions, perm_[e] is left holding
+  // the pre-sort position of sorted event e.
+  void RadixSortEventsByValue(ThreadPool* pool, bool track_positions);
+
+  // The pool the segmented engine may fan out over: the configured
+  // sweep_pool when it offers real parallelism, else null (the serial
+  // path wins at one thread — see Options::sweep_pool).
+  ThreadPool* SweepPool() const {
+    return options_.sweep_pool != nullptr &&
+                   options_.sweep_pool->num_threads() > 1
+               ? options_.sweep_pool
+               : nullptr;
+  }
+
+  // True when the current options route a sweep of `count` events
+  // through the segmented engine.
+  bool UseSegmentedSweep(size_t count) const {
+    return options_.parallel_sweep && SweepPool() != nullptr &&
+           count >= options_.parallel_sweep_cutover;
+  }
+
+  // The no-shrink tripwire armed by ReserveScratch: a swap-base build
+  // whose scratch capacity dropped below the reservation means
+  // something deallocated mid-trajectory — crash, don't churn.
+  void CheckScratchReservation() const;
+
   // Sorts events_ and runs the value-axis sweep for `num_variables`
-  // variables (resets cdf_).
-  double SweepEvents(size_t num_variables);
+  // variables (resets cdf_ on the serial path). var_offsets delimits
+  // each variable's pre-sort event range (the CSR offsets array for
+  // dataset sweeps); an empty span forces the serial path.
+  double SweepEvents(size_t num_variables,
+                     std::span<const size_t> var_offsets = {});
+
+  // The segmented sweep: after the (tracked) parallel sort, the
+  // per-variable CDF trajectories are computed in parallel over
+  // variable segments — each event's CDF step becomes a precomputed
+  // product ratio — and one ordered serial combine replays exactly the
+  // serial scan's multiply/renormalize/emit sequence. Bitwise
+  // identical to the serial SweepEvents at every thread count.
+  double SweepEventsSegmented(size_t num_variables,
+                              std::span<const size_t> var_offsets);
 
   // Resets changed_ and advances the stamp masks for a new candidate's
   // collection pass.
@@ -372,6 +485,41 @@ class ExpectedCostEvaluator {
   std::vector<Event> events_scratch_;   // Radix-sort ping-pong buffer.
   std::vector<uint32_t> radix_counts_;  // Radix-sort histograms.
   std::vector<double> cdf_;
+
+  // Segmented-engine scratch: the position permutation tracked through
+  // the parallel radix (perm_: sorted -> pre-sort, inv_: pre-sort ->
+  // sorted), the per-event precomputed product ratios / zero flags,
+  // per-shard radix histograms, and the per-variable offsets built for
+  // non-CSR fills (ExpectedMaxOfIndependent).
+  std::vector<uint32_t> perm_;
+  std::vector<uint32_t> perm_scratch_;
+  std::vector<uint32_t> inv_;
+  std::vector<double> ratio_;
+  std::vector<uint8_t> ratio_zero_;
+  std::vector<uint32_t> shard_counts_;
+  std::vector<size_t> var_offsets_scratch_;
+
+  // Scratch reservation high-water (events); 0 = never reserved. Swap
+  // base builds CHECK capacity never drops below it (no reallocation
+  // churn mid-trajectory).
+  size_t scratch_reservation_ = 0;
+  size_t scratch_reservation_points_ = 0;
+
+  // Ladder-compaction counters (see accessors).
+  uint64_t ladder_escalations_ = 0;
+  uint64_t ladder_replayed_events_ = 0;
+
+  // Derived-rung cache for the compacted ladder: the last intermediate
+  // CDF reconstructed from the deepest rung, keyed by (table build id,
+  // rung). Candidates of one round that escalate to the same rung of
+  // the same table pay the O(prefix) replay once per evaluator instead
+  // of once per candidate. A stale key can never alias a live table:
+  // SwapBase::build_id is process-unique per build, no matter which
+  // evaluator rebuilt the table or whether the owner runs the epoch
+  // scheme.
+  std::vector<double> derived_cdf_;
+  uint64_t derived_build_id_ = 0;
+  int derived_level_ = -1;
 
   // Presorted-swap scratch: the candidate's improved locations, the
   // subset participating in the tail merge, and version-stamped

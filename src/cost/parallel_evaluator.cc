@@ -68,10 +68,28 @@ ParallelCandidateEvaluator::ParallelCandidateEvaluator(Options options)
     : options_(options), pool_(options.pool, options.threads) {
   ExpectedCostEvaluator::Options worker_options = options_.evaluator;
   worker_options.monte_carlo_threads = 1;  // The pool is the only fan-out.
+  worker_options.sweep_pool = nullptr;     // Workers run inside pool jobs.
   evaluators_ = std::vector<ExpectedCostEvaluator>(pool_->num_threads());
   for (ExpectedCostEvaluator& evaluator : evaluators_) {
     evaluator.set_options(worker_options);
   }
+  // The main evaluator runs on the calling thread only, so its
+  // segmented sweeps may fan out over the shared pool.
+  ExpectedCostEvaluator::Options main_options = worker_options;
+  main_options.sweep_pool = pool_.get();
+  main_evaluator_.set_options(main_options);
+}
+
+bool ParallelCandidateEvaluator::SweepsInsideCandidates(
+    const uncertain::UncertainDataset& dataset) const {
+  // Trading candidate-level sharding for within-sweep parallelism only
+  // pays when the main evaluator's segmented engine will actually
+  // engage on this dataset's streams — otherwise the serial loop
+  // would simply forfeit the workers.
+  return options_.evaluator.parallel_sweep &&
+         pool_->num_threads() > 1 &&
+         dataset.total_locations() >=
+             options_.evaluator.parallel_sweep_cutover;
 }
 
 template <typename Fn>
@@ -90,6 +108,20 @@ Result<std::vector<double>> ParallelCandidateEvaluator::UnassignedCostBatch(
     const uncertain::UncertainDataset& dataset,
     const std::vector<std::vector<metric::SiteId>>& center_sets) {
   std::vector<double> values(center_sets.size());
+  if (center_sets.size() * 2 <= static_cast<size_t>(threads()) &&
+      SweepsInsideCandidates(dataset)) {
+    // Too few candidates to keep the workers busy across candidates,
+    // and each candidate's sweep is big enough for the segmented
+    // engine: evaluate serially on the main evaluator and let the
+    // sweep fan out instead. Results are bitwise identical to the
+    // sharded path (the sweep is thread-count invariant).
+    for (size_t s = 0; s < center_sets.size(); ++s) {
+      UKC_ASSIGN_OR_RETURN(values[s],
+                           main_evaluator_.UnassignedCost(dataset,
+                                                          center_sets[s]));
+    }
+    return values;
+  }
   UKC_RETURN_IF_ERROR(RunTasks(
       center_sets.size(), [&](int worker, size_t s) -> Status {
         UKC_ASSIGN_OR_RETURN(
@@ -103,6 +135,15 @@ Result<std::vector<double>> ParallelCandidateEvaluator::AssignedCostBatch(
     const uncertain::UncertainDataset& dataset,
     const std::vector<Assignment>& assignments) {
   std::vector<double> values(assignments.size());
+  if (assignments.size() * 2 <= static_cast<size_t>(threads()) &&
+      SweepsInsideCandidates(dataset)) {
+    for (size_t a = 0; a < assignments.size(); ++a) {
+      UKC_ASSIGN_OR_RETURN(values[a],
+                           main_evaluator_.AssignedCost(dataset,
+                                                        assignments[a]));
+    }
+    return values;
+  }
   UKC_RETURN_IF_ERROR(RunTasks(
       assignments.size(), [&](int worker, size_t a) -> Status {
         UKC_ASSIGN_OR_RETURN(
@@ -154,6 +195,18 @@ Result<std::vector<double>> ParallelCandidateEvaluator::SwapCostMatrix(
   }
   const size_t k = centers.size();
   const size_t total = dataset.total_locations();
+  // Pre-reserve every evaluator's radix/CDF scratch from the dataset
+  // header once per instance size, so swap rounds never reallocate
+  // mid-trajectory (the evaluators CHECK the capacity never shrinks
+  // again).
+  if (dataset.n() > reserved_points_ || total > reserved_locations_) {
+    reserved_points_ = std::max(reserved_points_, dataset.n());
+    reserved_locations_ = std::max(reserved_locations_, total);
+    for (ExpectedCostEvaluator& evaluator : evaluators_) {
+      evaluator.ReserveScratch(reserved_points_, reserved_locations_);
+    }
+    main_evaluator_.ReserveScratch(reserved_points_, reserved_locations_);
+  }
   const metric::SiteId* sites = dataset.flat_sites().data();
   const metric::EuclideanSpace* euclidean = dataset.euclidean();
   const size_t dim = euclidean != nullptr ? euclidean->dim() : 0;
@@ -280,26 +333,37 @@ Result<std::vector<double>> ParallelCandidateEvaluator::SwapCostMatrix(
     }
   }
   swap_bases_.resize(k);
-  UKC_RETURN_IF_ERROR(
-      RunTasks(stale_tables.size(), [&](int worker, size_t index) -> Status {
-        const size_t p = stale_tables[index];
-        const std::span<const double> new_row(base_without_.data() + p * total,
-                                              total);
-        if (have_tables) {
-          // The previous round's table is valid for the old row: patch
-          // the sorted stream instead of re-sorting from scratch
-          // (bitwise identical — see PatchSwapBase).
-          UKC_RETURN_IF_ERROR(evaluators_[worker].PatchSwapBase(
-              dataset,
-              std::span<const double>(base_prev_.data() + p * total, total),
-              new_row, point_of_, &swap_bases_[p]));
-        } else {
-          UKC_RETURN_IF_ERROR(evaluators_[worker].BuildSwapBase(
-              dataset, new_row, point_of_, &swap_bases_[p]));
-        }
-        swap_bases_[p].epoch = swap_epoch_;  // Freshly rebuilt: validated.
-        return Status::OK();
-      }));
+  const auto build_table = [&](ExpectedCostEvaluator& evaluator,
+                               size_t p) -> Status {
+    const std::span<const double> new_row(base_without_.data() + p * total,
+                                          total);
+    if (have_tables) {
+      // The previous round's table is valid for the old row: patch
+      // the sorted stream instead of re-sorting from scratch
+      // (bitwise identical — see PatchSwapBase).
+      UKC_RETURN_IF_ERROR(evaluator.PatchSwapBase(
+          dataset,
+          std::span<const double>(base_prev_.data() + p * total, total),
+          new_row, point_of_, &swap_bases_[p]));
+    } else {
+      UKC_RETURN_IF_ERROR(evaluator.BuildSwapBase(
+          dataset, new_row, point_of_, &swap_bases_[p]));
+    }
+    swap_bases_[p].epoch = swap_epoch_;  // Freshly rebuilt: validated.
+    return Status::OK();
+  };
+  if (stale_tables.size() == 1) {
+    // A single stale table (the steady rollover round) has nothing to
+    // shard per position — build it on the main evaluator instead,
+    // whose presort radix fans out over the pool. Bitwise identical:
+    // the parallel sort computes the same stable permutation.
+    UKC_RETURN_IF_ERROR(build_table(main_evaluator_, stale_tables[0]));
+  } else {
+    UKC_RETURN_IF_ERROR(
+        RunTasks(stale_tables.size(), [&](int worker, size_t index) -> Status {
+          return build_table(evaluators_[worker], stale_tables[index]);
+        }));
+  }
 
   // Location kd-tree + per-position subtree maxima for the pruned
   // candidate scans. The tree is a pure function of the location
@@ -386,6 +450,41 @@ Result<std::vector<double>> ParallelCandidateEvaluator::SwapCostMatrix(
     base_prev_valid_ = true;
   }
   return values;
+}
+
+size_t ParallelCandidateEvaluator::SwapLadderBytes() const {
+  size_t bytes = 0;
+  for (const ExpectedCostEvaluator::SwapBase& base : swap_bases_) {
+    bytes += base.LadderBytes();
+  }
+  return bytes;
+}
+
+size_t ParallelCandidateEvaluator::SwapBaseMemoryBytes() const {
+  size_t bytes = SwapLadderBytes();
+  for (const ExpectedCostEvaluator::SwapBase& base : swap_bases_) {
+    bytes += base.events.capacity() * sizeof(ExpectedCostEvaluator::Event);
+    bytes += base.bottleneck.capacity() * sizeof(uint8_t);
+    bytes += base.deep_points.capacity() * sizeof(uint32_t);
+    bytes += base.deep_first.capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
+uint64_t ParallelCandidateEvaluator::LadderEscalations() const {
+  uint64_t escalations = main_evaluator_.ladder_escalations();
+  for (const ExpectedCostEvaluator& evaluator : evaluators_) {
+    escalations += evaluator.ladder_escalations();
+  }
+  return escalations;
+}
+
+uint64_t ParallelCandidateEvaluator::LadderReplayedEvents() const {
+  uint64_t events = main_evaluator_.ladder_replayed_events();
+  for (const ExpectedCostEvaluator& evaluator : evaluators_) {
+    events += evaluator.ladder_replayed_events();
+  }
+  return events;
 }
 
 Status ParallelCandidateEvaluator::ForEachTask(

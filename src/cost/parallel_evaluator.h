@@ -70,7 +70,12 @@ class ParallelCandidateEvaluator {
     /// sizes one worker evaluator per pool thread.
     ThreadPool* pool = nullptr;
     /// Per-worker evaluator configuration. monte_carlo_threads is
-    /// forced to 1 — the pool is the only fan-out level.
+    /// forced to 1 and sweep_pool is forced null for the workers (a
+    /// pool must not be re-entered from inside its own jobs); the
+    /// separate MAIN evaluator — used for batches too small to shard
+    /// and for single-stale-table swap rounds — gets sweep_pool wired
+    /// to this evaluator's pool, so those calls parallelize INSIDE the
+    /// sweep instead (bitwise identical either way).
     ExpectedCostEvaluator::Options evaluator;
     /// Roll SwapCostMatrix base tables across calls when the dataset is
     /// unchanged and at most one center differs (bitwise identical to a
@@ -124,6 +129,16 @@ class ParallelCandidateEvaluator {
       const std::vector<metric::SiteId>& centers,
       const std::vector<metric::SiteId>& pool);
 
+  /// Observability for the compacted snapshot ladder: SwapLadderBytes
+  /// is the resident snapshot-CDF bytes across the cached swap-base
+  /// tables (the storage the compaction shrinks); SwapBaseMemoryBytes
+  /// adds the event streams and escalation side tables on top. The
+  /// escalation/replay counters aggregate over every owned evaluator.
+  size_t SwapLadderBytes() const;
+  size_t SwapBaseMemoryBytes() const;
+  uint64_t LadderEscalations() const;
+  uint64_t LadderReplayedEvents() const;
+
   /// Generic sharding hook: runs fn(evaluator, task) for every task in
   /// [0, count) over the worker pool, handing each invocation the
   /// calling worker's private ExpectedCostEvaluator. Statuses are
@@ -137,6 +152,13 @@ class ParallelCandidateEvaluator {
                      const std::function<Status(ExpectedCostEvaluator&, size_t)>& fn);
 
  private:
+  // True when a small batch should run serially on the main evaluator
+  // with the segmented sweep fanning out inside each candidate: the
+  // engine must be enabled, the pool real, and the dataset's streams
+  // at least the engine cutover (else the serial loop would forfeit
+  // the workers for nothing).
+  bool SweepsInsideCandidates(const uncertain::UncertainDataset& dataset) const;
+
   // Runs fn(worker, index) over [0, count) on the pool, collecting one
   // Status per index; returns the first error in index order.
   template <typename Fn>
@@ -147,6 +169,14 @@ class ParallelCandidateEvaluator {
   // One per worker; vector never reallocates after construction (the
   // evaluator is pinned by its atomic owner mark).
   std::vector<ExpectedCostEvaluator> evaluators_;
+  // The top-level evaluator whose segmented sweeps fan out over pool_
+  // (see Options::evaluator). Only ever run from the calling thread,
+  // never from inside a pool job.
+  ExpectedCostEvaluator main_evaluator_;
+  // Last ReserveScratch sizing handed to the evaluators (dataset
+  // header: points, total locations); re-issued only when it grows.
+  size_t reserved_points_ = 0;
+  size_t reserved_locations_ = 0;
 
   // SwapCostMatrix scratch, reused across rounds: per-center distance
   // rows, the per-position "all centers but p" base tables, their

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "common/strings.h"
@@ -243,48 +246,67 @@ Result<StreamingCoreset> BuildCoresetFromSource(size_t dim,
   std::vector<StreamingCoreset> shard_sets;
   IngestStats counters;
   metric::Norm stream_norm = metric::Norm::kL2;
-
-  std::vector<uncertain::UncertainPointBatch> group(shards);
   std::vector<Status> statuses(shards);
-  bool done = false;
-  while (!done) {
-    // Serial phase: pull up to `shards` batches off the source.
+
+  // One batch group: up to `shards` batches pulled serially off the
+  // source, plus the read outcome. With double buffering two of these
+  // ping-pong between the reader thread and the processing loop.
+  struct Group {
+    std::vector<uncertain::UncertainPointBatch> batches;
     size_t loaded = 0;
-    while (loaded < shards) {
-      UKC_ASSIGN_OR_RETURN(bool more, source(&group[loaded]));
-      if (!more) {
-        done = true;
-        break;
+    bool done = false;  // Source drained while filling this group.
+    Status status;
+  };
+  const auto fill_group = [&source, shards](Group* group) {
+    group->loaded = 0;
+    group->done = false;
+    group->status = Status::OK();
+    while (group->loaded < shards) {
+      Result<bool> more = source(&group->batches[group->loaded]);
+      if (!more.ok()) {
+        group->status = more.status();
+        return;
       }
-      UKC_RETURN_IF_ERROR(ValidateBatch(group[loaded], dim));
+      if (!*more) {
+        group->done = true;
+        return;
+      }
+      ++group->loaded;
+    }
+  };
+
+  // Validates a received group (structure, one norm across the stream)
+  // and folds it into the shards: batch g feeds shard g. Every group
+  // before the final one is full, so shard s consumes exactly the
+  // batches s, s + shards, s + 2·shards, ... in stream order, and
+  // workers never contend on a shard — the determinism rule is
+  // independent of who read the group.
+  const auto process_group = [&](Group& group) -> Status {
+    for (size_t g = 0; g < group.loaded; ++g) {
+      UKC_RETURN_IF_ERROR(ValidateBatch(group.batches[g], dim));
       // The coreset's geometry (diameter, error bound) is stated under
       // one norm; a source that switches norms mid-stream would
       // silently invalidate it.
       if (counters.batches == 0) {
-        stream_norm = group[loaded].norm;
-      } else if (group[loaded].norm != stream_norm) {
+        stream_norm = group.batches[g].norm;
+      } else if (group.batches[g].norm != stream_norm) {
         return Status::InvalidArgument(
             "BuildCoresetFromSource: batch norm changed mid-stream");
       }
-      counters.points += group[loaded].n();
-      counters.locations += group[loaded].num_locations();
+      counters.points += group.batches[g].n();
+      counters.locations += group.batches[g].num_locations();
       counters.batches += 1;
-      ++loaded;
     }
-    if (loaded == 0) break;
+    if (group.loaded == 0) return Status::OK();
     if (shard_sets.empty()) {
       shard_sets.reserve(shards);
       for (size_t s = 0; s < shards; ++s) {
         shard_sets.emplace_back(dim, stream_norm, options.coreset);
       }
     }
-    // Parallel phase: batch g of this group feeds shard g. Every group
-    // before the final one is full, so shard s consumes exactly the
-    // batches s, s + shards, s + 2·shards, ... in stream order, and
-    // workers never contend on a shard.
-    pool->ParallelFor(loaded, [&](int, size_t g) {
+    pool->ParallelFor(group.loaded, [&](int, size_t g) {
       const size_t shard = g;
-      const uncertain::UncertainPointBatch& batch = group[g];
+      const uncertain::UncertainPointBatch& batch = group.batches[g];
       std::vector<double> expected(dim);
       Status status;
       for (size_t i = 0; i < batch.n() && status.ok(); ++i) {
@@ -294,8 +316,91 @@ Result<StreamingCoreset> BuildCoresetFromSource(size_t dim,
       }
       statuses[g] = std::move(status);
     });
-    for (size_t g = 0; g < loaded; ++g) {
+    for (size_t g = 0; g < group.loaded; ++g) {
       if (!statuses[g].ok()) return std::move(statuses[g]);
+    }
+    return Status::OK();
+  };
+
+  if (!options.double_buffer) {
+    // Reference path: read a group, process it, repeat.
+    Group group;
+    group.batches.resize(shards);
+    bool done = false;
+    while (!done) {
+      fill_group(&group);
+      UKC_RETURN_IF_ERROR(group.status);
+      done = group.done;
+      UKC_RETURN_IF_ERROR(process_group(group));
+      if (group.loaded == 0) break;
+    }
+  } else {
+    // Double-buffered path: a dedicated reader thread fills group r+1
+    // while the pool processes group r. The source is only ever
+    // touched by the reader (reads stay strictly serial), and groups
+    // are handed over whole, so the shard assignment above is
+    // untouched.
+    Group groups[2];
+    groups[0].batches.resize(shards);
+    groups[1].batches.resize(shards);
+    std::mutex mutex;
+    std::condition_variable cv;
+    int requested = -1;  // Slot the reader should fill next.
+    bool ready = false;  // The requested slot has been filled.
+    bool stop = false;
+    std::thread reader([&] {
+      std::unique_lock<std::mutex> lock(mutex);
+      while (true) {
+        cv.wait(lock, [&] { return requested >= 0 || stop; });
+        if (stop) return;
+        const int slot = requested;
+        requested = -1;
+        lock.unlock();
+        fill_group(&groups[slot]);
+        lock.lock();
+        ready = true;
+        cv.notify_all();
+      }
+    });
+    // Stops and joins the reader on every exit path, including early
+    // error returns while a prefetch is still in flight.
+    struct ReaderJoiner {
+      std::thread* thread;
+      std::mutex* mutex;
+      std::condition_variable* cv;
+      bool* stop;
+      ~ReaderJoiner() {
+        {
+          std::lock_guard<std::mutex> lock(*mutex);
+          *stop = true;
+          cv->notify_all();
+        }
+        thread->join();
+      }
+    } joiner{&reader, &mutex, &cv, &stop};
+    const auto request = [&](int slot) {
+      std::lock_guard<std::mutex> lock(mutex);
+      requested = slot;
+      ready = false;
+      cv.notify_all();
+    };
+    const auto wait_ready = [&] {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return ready; });
+    };
+
+    int current = 0;
+    request(current);
+    bool done = false;
+    while (!done) {
+      wait_ready();
+      Group& group = groups[current];
+      UKC_RETURN_IF_ERROR(group.status);
+      done = group.done;
+      if (!done) request(1 - current);  // Overlap the next group's read.
+      UKC_RETURN_IF_ERROR(process_group(group));
+      if (group.loaded == 0) break;
+      current = 1 - current;
     }
   }
   if (shard_sets.empty()) {

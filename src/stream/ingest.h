@@ -92,6 +92,15 @@ struct IngestOptions {
   size_t chunk_size = 4096;
   /// Shard coresets built concurrently; <= 0 = the pool's thread count.
   int shards = 0;
+  /// Double-buffer ingestion: a dedicated reader thread pulls batch
+  /// group r+1 off the source while the pool processes group r, so
+  /// I/O and compute overlap on parse-heavy file streams. The source
+  /// is still read strictly serially (only ever by the reader), groups
+  /// are formed identically, and batch g of a group still feeds shard
+  /// g — the batch→shard→ordered-merge determinism rule is untouched,
+  /// so the coreset is bitwise identical either way. false = the
+  /// serial read-then-process alternation (the reference path).
+  bool double_buffer = true;
   CoresetOptions coreset;
 };
 

@@ -1,0 +1,428 @@
+// Parity suite for the parallel segmented exact-sweep engine and the
+// compacted snapshot ladder (PR 5). Everything here is EXPECT_EQ on
+// doubles — no tolerance anywhere:
+//  * the segmented sweep (parallel radix sort + per-variable CDF
+//    trajectories + ordered serial combine) must be bitwise identical
+//    to the plain serial sort-sweep reference
+//    (Options::parallel_sweep = false) at every thread count;
+//  * the compacted ladder (rung 0 + deepest rung resident, the
+//    intermediate rungs re-derived on escalation by replaying
+//    events[deepest.index, rung.index)) must be bitwise identical to
+//    the full 7-rung reference, including on swap matrices whose
+//    candidates force escalations;
+//  * double-buffered streaming ingestion must extract the bitwise
+//    identical coreset as the serial read/process alternation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "cost/expected_cost_evaluator.h"
+#include "cost/parallel_evaluator.h"
+#include "exper/instances.h"
+#include "metric/euclidean_space.h"
+#include "solver/gonzalez.h"
+#include "stream/ingest.h"
+#include "uncertain/dataset.h"
+#include "uncertain/uncertain_point.h"
+
+namespace ukc {
+namespace {
+
+using metric::SiteId;
+
+const int kThreadCounts[] = {1, 2, 8};
+
+uncertain::UncertainDataset MakeDataset(size_t n, size_t dim, size_t z,
+                                        uint64_t seed,
+                                        exper::Family family =
+                                            exper::Family::kClustered) {
+  exper::InstanceSpec spec;
+  spec.family = family;
+  spec.n = n;
+  spec.z = z;
+  spec.dim = dim;
+  spec.k = 4;
+  spec.seed = seed;
+  return std::move(exper::MakeInstance(spec)).value();
+}
+
+// A dataset with a dominant near-origin cluster plus a small tight far
+// cluster: with centers inside the near cluster, the far points are the
+// sweep's bottleneck, and a candidate inside the far cluster improves
+// every one of them below rung 0 — the exact shape that forces ladder
+// escalations.
+uncertain::UncertainDataset MakeBottleneckDataset(size_t near_points,
+                                                  size_t far_points, size_t z,
+                                                  uint64_t seed) {
+  auto space = std::make_shared<metric::EuclideanSpace>(2);
+  Rng rng(seed);
+  std::vector<uncertain::UncertainPoint> points;
+  const auto add_point = [&](double cx, double cy, double spread) {
+    std::vector<uncertain::Location> locations;
+    double remaining = 1.0;
+    for (size_t l = 0; l < z; ++l) {
+      const double coords[2] = {cx + spread * (rng.UniformDouble() - 0.5),
+                                cy + spread * (rng.UniformDouble() - 0.5)};
+      const double p = l + 1 == z ? remaining : remaining * 0.5;
+      remaining -= p;
+      locations.push_back({space->AddCoords(coords), p});
+    }
+    points.push_back(std::move(uncertain::UncertainPoint::Build(
+                                   std::move(locations)))
+                         .value());
+  };
+  for (size_t i = 0; i < near_points; ++i) add_point(0.0, 0.0, 2.0);
+  for (size_t i = 0; i < far_points; ++i) add_point(100.0, 100.0, 0.5);
+  return std::move(uncertain::UncertainDataset::Build(space,
+                                                      std::move(points)))
+      .value();
+}
+
+std::vector<SiteId> SomeCenters(const uncertain::UncertainDataset& dataset,
+                                size_t k) {
+  const auto sites = dataset.LocationSites();
+  return std::move(solver::Gonzalez(dataset.space(), sites, k)).value().centers;
+}
+
+// The segmented engine vs the serial reference, over random instances
+// across dimensions, (k, z) shapes, and thread counts. Exercises both
+// the sub-radix (std::sort) and radix sort regimes via the instance
+// sizes, and the parallel radix via the pool.
+TEST(ParallelSweepTest, SegmentedSweepMatchesSerialBitwise) {
+  struct Shape {
+    size_t n;
+    size_t k;
+    size_t z;
+  };
+  const Shape shapes[] = {{60, 3, 2}, {150, 8, 4}, {700, 5, 8}};
+  uint64_t seed = 500;
+  for (size_t dim : {1u, 2u, 3u, 8u}) {
+    for (const Shape& shape : shapes) {
+      ++seed;
+      const auto dataset = MakeDataset(shape.n, dim, shape.z, seed);
+      const auto centers = SomeCenters(dataset, shape.k);
+      cost::Assignment assignment(dataset.n(), centers[0]);
+
+      cost::ExpectedCostEvaluator::Options serial_options;
+      serial_options.parallel_sweep = false;
+      cost::ExpectedCostEvaluator serial(serial_options);
+      const double serial_unassigned =
+          *serial.UnassignedCost(dataset, centers);
+      const double serial_assigned =
+          *serial.AssignedCost(dataset, assignment);
+
+      for (int threads : kThreadCounts) {
+        ThreadPool pool(threads);
+        cost::ExpectedCostEvaluator::Options segmented_options;
+        segmented_options.parallel_sweep = true;
+        segmented_options.parallel_sweep_cutover = 1;  // Force the engine.
+        segmented_options.sweep_pool = &pool;
+        cost::ExpectedCostEvaluator segmented(segmented_options);
+        EXPECT_EQ(serial_unassigned, *segmented.UnassignedCost(dataset, centers))
+            << "dim=" << dim << " n=" << shape.n << " threads=" << threads;
+        EXPECT_EQ(serial_assigned, *segmented.AssignedCost(dataset, assignment))
+            << "dim=" << dim << " n=" << shape.n << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// Above the radix cutover the engine's parallel LSD sort takes over;
+// at the default options the large sweep must still match the serial
+// reference bit for bit.
+TEST(ParallelSweepTest, LargeSweepMatchesAtDefaultCutover) {
+  const auto dataset = MakeDataset(9000, 2, 4, 77);  // 36000 events.
+  const auto centers = SomeCenters(dataset, 8);
+  cost::ExpectedCostEvaluator::Options serial_options;
+  serial_options.parallel_sweep = false;
+  cost::ExpectedCostEvaluator serial(serial_options);
+  const double reference = *serial.UnassignedCost(dataset, centers);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    cost::ExpectedCostEvaluator::Options options;  // Defaults: engine on.
+    options.sweep_pool = &pool;
+    cost::ExpectedCostEvaluator segmented(options);
+    ASSERT_GE(dataset.total_locations(), options.parallel_sweep_cutover);
+    EXPECT_EQ(reference, *segmented.UnassignedCost(dataset, centers))
+        << "threads=" << threads;
+  }
+}
+
+// Segment/boundary edge cases: a stream with every key equal (one
+// distinct value, maximal ties), a single event, and a one-point
+// dataset. Ties are where an unstable sort would diverge — the engine
+// must still reproduce the serial reference exactly.
+TEST(ParallelSweepTest, EdgeCaseStreamsMatch) {
+  auto space = std::make_shared<metric::EuclideanSpace>(2);
+  const auto make = [&](size_t n, size_t z, bool identical) {
+    Rng rng(11 + n * 31 + z);
+    std::vector<uncertain::UncertainPoint> points;
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<uncertain::Location> locations;
+      double remaining = 1.0;
+      for (size_t l = 0; l < z; ++l) {
+        const double coords[2] = {
+            identical ? 3.0 : rng.UniformDouble(),
+            identical ? 4.0 : rng.UniformDouble()};
+        const double p = l + 1 == z ? remaining : remaining / 2.0;
+        remaining -= p;
+        locations.push_back({space->AddCoords(coords), p});
+      }
+      points.push_back(std::move(uncertain::UncertainPoint::Build(
+                                     std::move(locations)))
+                           .value());
+    }
+    return std::move(uncertain::UncertainDataset::Build(space,
+                                                        std::move(points)))
+        .value();
+  };
+  struct Case {
+    size_t n;
+    size_t z;
+    bool identical;
+  };
+  const Case cases[] = {
+      {40, 3, true},   // All-equal keys: one distinct value.
+      {1, 1, false},   // Single event.
+      {1, 5, false},   // One variable, several events.
+      {25, 4, false},  // Small mixed stream.
+  };
+  for (const Case& c : cases) {
+    const auto dataset = make(c.n, c.z, c.identical);
+    const double origin[2] = {0.0, 0.0};
+    std::vector<SiteId> centers = {
+        dataset.euclidean()->AddCoords(origin)};
+    cost::ExpectedCostEvaluator::Options serial_options;
+    serial_options.parallel_sweep = false;
+    cost::ExpectedCostEvaluator serial(serial_options);
+    const double reference = *serial.UnassignedCost(dataset, centers);
+    for (int threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      cost::ExpectedCostEvaluator::Options options;
+      options.parallel_sweep_cutover = 1;
+      options.sweep_pool = &pool;
+      cost::ExpectedCostEvaluator segmented(options);
+      EXPECT_EQ(reference, *segmented.UnassignedCost(dataset, centers))
+          << "n=" << c.n << " z=" << c.z << " identical=" << c.identical
+          << " threads=" << threads;
+    }
+  }
+}
+
+// The generic ExpectedMaxOfIndependent entry point (non-CSR fill, its
+// own variable offsets), including heavy cross-variable ties.
+TEST(ParallelSweepTest, ExpectedMaxOfIndependentMatches) {
+  Rng rng(321);
+  std::vector<cost::DiscreteDistribution> distributions;
+  for (size_t i = 0; i < 120; ++i) {
+    cost::DiscreteDistribution d;
+    const size_t support = 1 + static_cast<size_t>(rng.UniformDouble() * 5.0);
+    double remaining = 1.0;
+    for (size_t s = 0; s < support; ++s) {
+      // Quantized values: plenty of exact ties within and across
+      // variables.
+      const double value = std::floor(rng.UniformDouble() * 8.0) / 4.0;
+      const double p = s + 1 == support ? remaining : remaining / 2.0;
+      remaining -= p;
+      d.emplace_back(value, p);
+    }
+    distributions.push_back(std::move(d));
+  }
+  cost::ExpectedCostEvaluator::Options serial_options;
+  serial_options.parallel_sweep = false;
+  cost::ExpectedCostEvaluator serial(serial_options);
+  const double reference = serial.ExpectedMaxOfIndependent(distributions);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    cost::ExpectedCostEvaluator::Options options;
+    options.parallel_sweep_cutover = 1;
+    options.sweep_pool = &pool;
+    cost::ExpectedCostEvaluator segmented(options);
+    EXPECT_EQ(reference, segmented.ExpectedMaxOfIndependent(distributions))
+        << "threads=" << threads;
+  }
+}
+
+cost::ParallelCandidateEvaluator::Options LadderOptions(int threads,
+                                                        bool compact) {
+  cost::ParallelCandidateEvaluator::Options options;
+  options.threads = threads;
+  options.evaluator.compact_swap_ladder = compact;
+  return options;
+}
+
+// Compacted vs full-resident ladder over a swap matrix whose
+// bottleneck-covering candidates force escalations: every value must
+// match bit for bit, at every thread count, and the compact run must
+// actually have exercised the replay path.
+TEST(ParallelSweepTest, LadderCompactionEscalationParity) {
+  const auto dataset = MakeBottleneckDataset(260, 24, 3, 909);
+  const auto centers = SomeCenters(dataset, 3);
+  // Candidates: a site inside the far (bottleneck) cluster plus a
+  // spread of ordinary sites.
+  const auto sites = dataset.LocationSites();
+  std::vector<SiteId> pool;
+  const double far_coords[2] = {100.0, 100.0};
+  pool.push_back(dataset.euclidean()->AddCoords(far_coords));
+  for (size_t i = 0; i < 10; ++i) {
+    pool.push_back(sites[(i * 173) % sites.size()]);
+  }
+
+  cost::ParallelCandidateEvaluator reference(
+      LadderOptions(/*threads=*/1, /*compact=*/false));
+  const auto want = *reference.SwapCostMatrix(dataset, centers, pool);
+  for (int threads : kThreadCounts) {
+    cost::ParallelCandidateEvaluator compact(LadderOptions(threads, true));
+    const auto got = *compact.SwapCostMatrix(dataset, centers, pool);
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i], got[i]) << "task " << i << " threads=" << threads;
+    }
+    EXPECT_GT(compact.LadderEscalations(), 0u) << "threads=" << threads;
+  }
+}
+
+// A multi-round trajectory (round r's accepted argmin feeds round r+1)
+// through the compacted ladder must track the full-ladder reference
+// bitwise — a single diverging replay would compound into different
+// center sets.
+TEST(ParallelSweepTest, LadderCompactionTrajectoryParity) {
+  constexpr size_t kRounds = 3;
+  const auto dataset = MakeBottleneckDataset(200, 16, 2, 414);
+  const auto sites = dataset.LocationSites();
+  std::vector<SiteId> pool;
+  const double far_coords[2] = {100.0, 100.0};
+  pool.push_back(dataset.euclidean()->AddCoords(far_coords));
+  for (size_t i = 0; i < 8; ++i) pool.push_back(sites[(i * 211) % sites.size()]);
+
+  const auto run = [&](bool compact) {
+    cost::ParallelCandidateEvaluator evaluator(LadderOptions(1, compact));
+    auto centers = SomeCenters(dataset, 3);
+    std::vector<std::vector<double>> rounds;
+    for (size_t round = 0; round < kRounds; ++round) {
+      auto values = *evaluator.SwapCostMatrix(dataset, centers, pool);
+      rounds.push_back(values);
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_position = 0;
+      SiteId best_candidate = metric::kInvalidSite;
+      for (size_t p = 0; p < centers.size(); ++p) {
+        for (size_t c = 0; c < pool.size(); ++c) {
+          if (pool[c] == centers[p]) continue;
+          const double value = values[p * pool.size() + c];
+          if (value < best) {
+            best = value;
+            best_position = p;
+            best_candidate = pool[c];
+          }
+        }
+      }
+      EXPECT_NE(best_candidate, metric::kInvalidSite);
+      if (best_candidate == metric::kInvalidSite) return rounds;
+      centers[best_position] = best_candidate;
+    }
+    return rounds;
+  };
+  const auto reference = run(/*compact=*/false);
+  const auto compact = run(/*compact=*/true);
+  ASSERT_EQ(reference.size(), compact.size());
+  for (size_t r = 0; r < reference.size(); ++r) {
+    ASSERT_EQ(reference[r].size(), compact[r].size()) << "round " << r;
+    for (size_t i = 0; i < reference[r].size(); ++i) {
+      EXPECT_EQ(reference[r][i], compact[r][i])
+          << "round " << r << " task " << i;
+    }
+  }
+}
+
+// The acceptance criterion in numbers: at a clustered instance the
+// compacted ladder's resident bytes drop at least 3x versus the
+// 7-rung reference.
+TEST(ParallelSweepTest, LadderMemoryDropsAtLeast3x) {
+  const auto dataset = MakeDataset(2000, 2, 4, 31);
+  const auto centers = SomeCenters(dataset, 8);
+  const auto sites = dataset.LocationSites();
+  std::vector<SiteId> pool;
+  for (size_t i = 0; i < 8; ++i) pool.push_back(sites[(i * 977) % sites.size()]);
+
+  cost::ParallelCandidateEvaluator full(LadderOptions(1, /*compact=*/false));
+  ASSERT_TRUE(full.SwapCostMatrix(dataset, centers, pool).ok());
+  cost::ParallelCandidateEvaluator compact(LadderOptions(1, /*compact=*/true));
+  ASSERT_TRUE(compact.SwapCostMatrix(dataset, centers, pool).ok());
+
+  const size_t full_bytes = full.SwapLadderBytes();
+  const size_t compact_bytes = compact.SwapLadderBytes();
+  EXPECT_GE(full_bytes, 3 * compact_bytes)
+      << "full=" << full_bytes << " compact=" << compact_bytes;
+}
+
+// ReserveScratch arms the no-shrink contract and survives a batch of
+// evaluations without being lost.
+TEST(ParallelSweepTest, ScratchReservationPersists) {
+  const auto dataset = MakeDataset(300, 2, 4, 5);
+  const auto centers = SomeCenters(dataset, 4);
+  cost::ExpectedCostEvaluator evaluator;
+  evaluator.ReserveScratch(dataset.n(), dataset.total_locations());
+  EXPECT_EQ(evaluator.reserved_scratch(), dataset.total_locations());
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(evaluator.UnassignedCost(dataset, centers).ok());
+  }
+  EXPECT_EQ(evaluator.reserved_scratch(), dataset.total_locations());
+}
+
+// Double-buffered ingestion (read group r+1 while group r is
+// processed) must hand the shards the exact same batch sequence:
+// the extracted coreset is bitwise identical to the serial
+// read-then-process reference, for every (threads, chunk, shards)
+// combination tried.
+TEST(ParallelSweepTest, DoubleBufferedIngestMatchesSerial) {
+  const auto dataset = MakeDataset(1200, 2, 3, 88);
+  const auto run = [&](bool double_buffer, int threads, size_t chunk,
+                       int shards) {
+    ThreadPool pool(threads);
+    stream::IngestOptions options;
+    options.chunk_size = chunk;
+    options.shards = shards;
+    options.double_buffer = double_buffer;
+    options.coreset.max_cells = 64;
+    options.coreset.base_cell_width = 0.25;
+    auto source = *stream::MakeDatasetBatchSource(&dataset, chunk);
+    stream::IngestStats stats;
+    auto coreset = *stream::BuildCoresetFromSource(
+        2, source, options, &pool, &stats);
+    return std::make_pair(coreset.ExtractCells(), stats);
+  };
+  for (int threads : kThreadCounts) {
+    for (size_t chunk : {7u, 64u, 4096u}) {
+      for (int shards : {1, 3, 8}) {
+        const auto [want, want_stats] = run(false, threads, chunk, shards);
+        const auto [got, got_stats] = run(true, threads, chunk, shards);
+        EXPECT_EQ(want_stats.points, got_stats.points);
+        EXPECT_EQ(want_stats.batches, got_stats.batches);
+        ASSERT_EQ(want.size(), got.size())
+            << "threads=" << threads << " chunk=" << chunk
+            << " shards=" << shards;
+        for (size_t c = 0; c < want.size(); ++c) {
+          EXPECT_EQ(want[c].count, got[c].count);
+          EXPECT_EQ(want[c].max_spread, got[c].max_spread);
+          ASSERT_EQ(want[c].representative.size(),
+                    got[c].representative.size());
+          for (size_t a = 0; a < want[c].representative.size(); ++a) {
+            EXPECT_EQ(want[c].representative[a], got[c].representative[a]);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ukc
