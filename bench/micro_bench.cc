@@ -11,11 +11,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <thread>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/surrogates.h"
@@ -27,6 +30,7 @@
 #include "solver/enclosing_ball.h"
 #include "solver/geometric_median.h"
 #include "solver/gonzalez.h"
+#include "stream/checkpoint.h"
 #include "stream/ingest.h"
 #include "stream/pipeline.h"
 #include "uncertain/sampler.h"
@@ -581,6 +585,109 @@ void BM_StreamingPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamingPipeline)->Arg(100000)->Arg(1000000)
     ->Unit(benchmark::kMillisecond);
+
+// Builds the checkpoint image an n-point ingestion would save: the
+// merged coreset of the synthetic stream (cell count capped at
+// max_cells, so the sidecar stays ~flat as n grows 10x).
+stream::IngestCheckpoint CheckpointOf(size_t n) {
+  ThreadPool pool(1);
+  stream::IngestOptions options;
+  options.chunk_size = 8192;
+  options.coreset.max_cells = 4096;
+  auto source = SyntheticStreamFactory(n, 8192)();
+  UKC_CHECK(source.ok()) << source.status();
+  auto coreset = stream::BuildCoresetFromSource(2, *source, options, &pool);
+  UKC_CHECK(coreset.ok()) << coreset.status();
+  stream::IngestCheckpoint checkpoint;
+  checkpoint.config_fingerprint = 0x1234;
+  checkpoint.content_fingerprint = 0x5678;
+  checkpoint.batches = n / 8192;
+  checkpoint.points = n;
+  checkpoint.locations = 4 * n;
+  coreset->SerializeTo(&checkpoint.coreset_image);
+  return checkpoint;
+}
+
+// One checkpoint save: serialize + checksum + write + atomic rename.
+// sync=false keeps the number a property of the code, not of the
+// filesystem's fsync latency; the checkpoint_bytes counter tracks the
+// sidecar size (bounded by max_cells, independent of n).
+void BM_CheckpointSave(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const stream::IngestCheckpoint checkpoint = CheckpointOf(n);
+  const std::string path = "bench_checkpoint_save.ckpt";
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto status = stream::SaveCheckpoint(path, checkpoint, /*sync=*/false);
+    UKC_CHECK(status.ok()) << status;
+    benchmark::DoNotOptimize(status);
+  }
+  bytes = checkpoint.coreset_image.size();
+  std::remove(path.c_str());
+  state.counters["checkpoint_bytes"] = static_cast<double>(bytes);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckpointSave)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+// One checkpoint restore: read + checksum verify + header validation +
+// coreset image deserialization — the fixed cost a resumed run pays
+// instead of re-ingesting the prefix.
+void BM_CheckpointRestore(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const stream::IngestCheckpoint checkpoint = CheckpointOf(n);
+  const std::string path = "bench_checkpoint_restore.ckpt";
+  auto status = stream::SaveCheckpoint(path, checkpoint, /*sync=*/false);
+  UKC_CHECK(status.ok()) << status;
+  for (auto _ : state) {
+    auto loaded = stream::LoadCheckpoint(path);
+    UKC_CHECK(loaded.ok()) << loaded.status();
+    auto coreset = stream::StreamingCoreset::Deserialize(loaded->coreset_image);
+    UKC_CHECK(coreset.ok()) << coreset.status();
+    benchmark::DoNotOptimize(coreset);
+  }
+  std::remove(path.c_str());
+  state.counters["checkpoint_bytes"] =
+      static_cast<double>(checkpoint.coreset_image.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckpointRestore)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+#if UKC_FAULT_INJECTION
+// Ingestion under a flaky source: ~5% of batch pulls fail transiently
+// and are retried (zero-backoff sleeper, so the number measures the
+// retry machinery, not sleeping). Compare against BM_StreamIngest for
+// the overhead of a fault-heavy run; the read_retries counter reports
+// how many pulls were actually retried per iteration.
+void BM_IngestWithFaultRetry(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto factory =
+      stream::AdaptBatchFactory(SyntheticStreamFactory(n, 8192));
+  ThreadPool pool(1);
+  stream::IngestOptions options;
+  options.chunk_size = 8192;
+  options.coreset.max_cells = 4096;
+  options.retry.sleeper = [](std::chrono::nanoseconds) {};
+  FaultPlan plan;
+  plan.seed = 31;
+  plan.rules.push_back(
+      FaultRule{"ingest.read", {}, 0.05, StatusCode::kUnavailable, 0});
+  uint64_t retries = 0;
+  for (auto _ : state) {
+    ScopedFaultInjection scope(plan);
+    stream::IngestStats stats;
+    auto coreset = stream::IngestCoreset(2, factory, options, &pool, &stats);
+    UKC_CHECK(coreset.ok()) << coreset.status();
+    retries = stats.read_retries;
+    benchmark::DoNotOptimize(coreset);
+  }
+  state.counters["read_retries"] = static_cast<double>(retries);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_IngestWithFaultRetry)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+#endif  // UKC_FAULT_INJECTION
 
 void BM_MonteCarloCost1k(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

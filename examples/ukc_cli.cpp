@@ -26,6 +26,11 @@
 //   --max-cells      coreset size target
 //   --base-cell-width level-0 grid width (raise for large coordinates)
 //   --verify-buckets resolution of the verified-cost bracket
+//   --checkpoint     crash-recovery sidecar path (docs/operations.md);
+//                    re-running the same command after an interruption
+//                    resumes the ingest from the last saved state
+//   --checkpoint-every  batches between checkpoint saves
+//   --retry-attempts    total tries per batch read (1 = no retry)
 //
 //   build/examples/ukc_cli --input=data.ukc --k=8 --stream --chunk-size=8192
 
@@ -112,6 +117,9 @@ int main(int argc, char** argv) {
   int64_t max_cells = 4096;
   double base_cell_width = 1e-9;
   int64_t verify_buckets = 4096;
+  std::string checkpoint;
+  int64_t checkpoint_every = 64;
+  int64_t retry_attempts = 3;
 
   ukc::FlagParser flags;
   flags.AddString("input", &input, "dataset file (ukc text format)");
@@ -140,6 +148,14 @@ int main(int argc, char** argv) {
                   "magnitudes up to ~1.76e13 x this)");
   flags.AddInt("verify-buckets", &verify_buckets,
                "streaming: verified-cost bracket resolution");
+  flags.AddString("checkpoint", &checkpoint,
+                  "streaming: crash-recovery sidecar path (empty = off); an "
+                  "interrupted run re-launched with the same flags resumes "
+                  "from the last checkpoint");
+  flags.AddInt("checkpoint-every", &checkpoint_every,
+               "streaming: batches between checkpoint saves");
+  flags.AddInt("retry-attempts", &retry_attempts,
+               "streaming: total tries per batch read (1 = no retry)");
   if (auto status = flags.Parse(argc, argv); !status.ok()) {
     std::cerr << status << "\n" << flags.Usage("ukc_cli");
     return 1;
@@ -171,6 +187,10 @@ int main(int argc, char** argv) {
           "--stream needs k, chunk-size, max-cells, verify-buckets >= 1, "
           "shards in [0, 65536] and base-cell-width > 0"));
     }
+    if (checkpoint_every <= 0 || retry_attempts <= 0) {
+      return Fail(ukc::Status::InvalidArgument(
+          "--checkpoint-every and --retry-attempts must be >= 1"));
+    }
     ukc::stream::StreamingOptions options;
     options.k = static_cast<size_t>(k);
     options.threads = static_cast<int>(threads);
@@ -178,6 +198,10 @@ int main(int argc, char** argv) {
     options.ingest.shards = static_cast<int>(shards);
     options.ingest.coreset.max_cells = static_cast<size_t>(max_cells);
     options.ingest.coreset.base_cell_width = base_cell_width;
+    options.ingest.checkpoint.path = checkpoint;
+    options.ingest.checkpoint.every_n_batches =
+        static_cast<uint64_t>(checkpoint_every);
+    options.ingest.retry.max_attempts = static_cast<int>(retry_attempts);
     options.verify_buckets = static_cast<size_t>(verify_buckets);
     auto solver_kind = ParseSolver(solver_name, /*allow_exact=*/false);
     if (!solver_kind.ok()) return Fail(solver_kind.status());
@@ -206,6 +230,14 @@ int main(int argc, char** argv) {
                         static_cast<double>(solution->ingest_stats.points));
     report.AddRowValues("chunks", static_cast<double>(
                                       solution->ingest_stats.batches));
+    if (!checkpoint.empty()) {
+      report.AddRowValues("checkpoint saves",
+                          static_cast<double>(
+                              solution->ingest_stats.checkpoint_saves));
+      report.AddRowValues("chunks restored from checkpoint",
+                          static_cast<double>(
+                              solution->ingest_stats.restored_batches));
+    }
     report.AddRowValues("coreset cells",
                         static_cast<double>(solution->coreset_cells));
     report.AddRowValues("coreset level",

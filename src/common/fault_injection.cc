@@ -1,0 +1,123 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace ukc {
+
+namespace {
+
+// The installed injector. Acquire/release pairs with ScopedFaultInjection
+// so a worker thread that observes the pointer also observes the plan.
+std::atomic<FaultInjector*> g_active{nullptr};
+
+bool SiteMatches(const std::string& pattern, const char* site) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return std::string_view(site).substr(0, pattern.size() - 1) ==
+           std::string_view(pattern).substr(0, pattern.size() - 1);
+  }
+  return pattern == site;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rule_fires_(plan_.rules.size(), 0) {
+  for (const FaultRule& rule : plan_.rules) {
+    UKC_CHECK(rule.probability >= 0.0 && rule.probability <= 1.0)
+        << "FaultRule probability must be in [0, 1], got " << rule.probability;
+  }
+}
+
+Status FaultInjector::OnHit(const char* site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t hit = site_hits_[site]++;
+  for (size_t r = 0; r < plan_.rules.size(); ++r) {
+    const FaultRule& rule = plan_.rules[r];
+    if (!SiteMatches(rule.site, site)) continue;
+    if (rule.max_fires > 0 && rule_fires_[r] >= rule.max_fires) continue;
+    bool fire = std::find(rule.fire_at_hits.begin(), rule.fire_at_hits.end(),
+                          hit) != rule.fire_at_hits.end();
+    if (!fire && rule.probability > 0.0) {
+      // Pure function of (seed, site, hit): the top 53 bits of the
+      // mixed key form a uniform double in [0, 1).
+      const uint64_t key =
+          Mix64(plan_.seed ^ Mix64(HashString(site)) ^ (hit * 0x9e3779b97f4a7c15ULL));
+      const double u =
+          static_cast<double>(key >> 11) * 0x1.0p-53;
+      fire = u < rule.probability;
+    }
+    if (!fire) continue;
+    ++rule_fires_[r];
+    ++total_fires_;
+    return Status(
+        rule.code,
+        StrFormat("injected fault at %s (hit %llu, seed %llu)", site,
+                  static_cast<unsigned long long>(hit),
+                  static_cast<unsigned long long>(plan_.seed)));
+  }
+  return Status::OK();
+}
+
+uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = site_hits_.find(site);
+  return it == site_hits_.end() ? 0 : it->second;
+}
+
+uint64_t FaultInjector::fires() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_fires_;
+}
+
+FaultInjector* FaultInjector::Active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+Status FaultInjector::Check(const char* site) {
+  FaultInjector* active = g_active.load(std::memory_order_acquire);
+  if (active == nullptr) return Status::OK();
+  return active->OnHit(site);
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultPlan plan)
+    : injector_(std::move(plan)) {
+  FaultInjector* expected = nullptr;
+  UKC_CHECK(g_active.compare_exchange_strong(expected, &injector_,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed))
+      << "ScopedFaultInjection scopes must not nest or overlap";
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  g_active.store(nullptr, std::memory_order_release);
+}
+
+std::vector<uint64_t> FaultSeedsFromEnv(const char* variable) {
+  std::vector<uint64_t> seeds;
+  const char* raw = std::getenv(variable);
+  if (raw == nullptr) return seeds;
+  std::string token;
+  for (const char* p = raw;; ++p) {
+    const char c = *p;
+    if (c != '\0' && c != ',' && c != ' ') {
+      token.push_back(c);
+      continue;
+    }
+    if (!token.empty()) {
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+      if (end != token.c_str() + token.size()) return {};  // Malformed: all-or-nothing.
+      seeds.push_back(static_cast<uint64_t>(value));
+      token.clear();
+    }
+    if (c == '\0') break;
+  }
+  return seeds;
+}
+
+}  // namespace ukc

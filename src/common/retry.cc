@@ -1,0 +1,48 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace ukc {
+
+std::chrono::nanoseconds BackoffForRetry(const RetryOptions& options,
+                                         int retry_number) {
+  if (retry_number <= 0 || options.base_backoff.count() <= 0) {
+    return std::chrono::nanoseconds(0);
+  }
+  // Shift saturating well below overflow: 2^62 ns is ~146 years.
+  const int shift = std::min(retry_number - 1, 62);
+  std::chrono::nanoseconds backoff = options.base_backoff;
+  for (int i = 0; i < shift && backoff < options.max_backoff; ++i) {
+    backoff += backoff;
+  }
+  return std::min(backoff, options.max_backoff);
+}
+
+Status RetryTransient(const RetryOptions& options,
+                      const std::function<Status()>& op, RetryStats* stats) {
+  const int attempts = std::max(1, options.max_attempts);
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (stats != nullptr) ++stats->attempts;
+    last = op();
+    if (!last.IsTransientError()) return last;  // Success or permanent.
+    if (attempt == attempts) break;
+    if (stats != nullptr) ++stats->retries;
+    const std::chrono::nanoseconds backoff = BackoffForRetry(options, attempt);
+    if (backoff.count() > 0) {
+      if (options.sleeper != nullptr) {
+        options.sleeper(backoff);
+      } else {
+        std::this_thread::sleep_for(backoff);
+      }
+    }
+  }
+  if (stats != nullptr) ++stats->exhausted;
+  return last.WithPrefix(
+      StrFormat("transient failure persisted after %d attempts", attempts));
+}
+
+}  // namespace ukc

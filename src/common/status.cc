@@ -22,9 +22,13 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
+
+bool IsTransient(StatusCode code) { return code == StatusCode::kUnavailable; }
 
 Status::Status(StatusCode code, std::string message) {
   if (code != StatusCode::kOk) {

@@ -25,10 +25,19 @@ enum class StatusCode : int {
   kFailedPrecondition = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  /// A transient external failure (I/O hiccup, resource briefly
+  /// unavailable): the one code the retry layer (common/retry.h) is
+  /// allowed to retry. Everything else is permanent.
+  kUnavailable = 7,
 };
 
 /// Returns a stable human-readable name for a status code.
 std::string_view StatusCodeToString(StatusCode code);
+
+/// True iff the code marks a transient failure that a bounded retry
+/// may clear (currently exactly kUnavailable). The ingest path uses
+/// this to separate "try again" from "give up and surface it".
+bool IsTransient(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the OK case (no
 /// allocation); error states carry a code and a message.
@@ -61,6 +70,13 @@ class Status {
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+
+  /// True iff the error is transient (see IsTransient). OK statuses
+  /// are not transient — there is nothing to retry.
+  bool IsTransientError() const { return !ok() && IsTransient(code()); }
 
   /// True iff the status is OK.
   bool ok() const { return rep_ == nullptr; }

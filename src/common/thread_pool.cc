@@ -33,7 +33,17 @@ void ThreadPool::RunJob(int worker) {
   for (size_t index = next_.fetch_add(1, std::memory_order_relaxed);
        index < count;
        index = next_.fetch_add(1, std::memory_order_relaxed)) {
-    fn(worker, index);
+    if (job_aborted_.load(std::memory_order_relaxed)) return;
+    try {
+      fn(worker, index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (job_exception_ == nullptr) {
+        job_exception_ = std::current_exception();
+      }
+      job_aborted_.store(true, std::memory_order_relaxed);
+      return;
+    }
   }
 }
 
@@ -60,7 +70,9 @@ void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(int, size_t)>& fn) {
   if (count == 0) return;
   if (workers_.empty() || count == 1) {
-    // Inline: no synchronization, identical to a plain loop.
+    // Inline: no synchronization, identical to a plain loop. An
+    // exception propagates directly — the borrowing thread IS the
+    // executing thread, matching the pooled contract.
     for (size_t index = 0; index < count; ++index) fn(0, index);
     return;
   }
@@ -71,6 +83,8 @@ void ThreadPool::ParallelFor(size_t count,
     job_count_ = count;
     next_.store(0, std::memory_order_relaxed);
     finished_workers_ = 0;
+    job_aborted_.store(false, std::memory_order_relaxed);
+    job_exception_ = nullptr;
     ++generation_;
   }
   job_ready_.notify_all();
@@ -78,6 +92,14 @@ void ThreadPool::ParallelFor(size_t count,
   std::unique_lock<std::mutex> lock(mutex_);
   job_done_.wait(lock, [&] { return finished_workers_ == workers_.size(); });
   job_ = nullptr;
+  if (job_exception_ != nullptr) {
+    // Every worker has drained (the wait above), so the pool is back
+    // in its idle state and stays usable after the rethrow.
+    std::exception_ptr exception = job_exception_;
+    job_exception_ = nullptr;
+    job_aborted_.store(false, std::memory_order_relaxed);
+    std::rethrow_exception(exception);
+  }
 }
 
 }  // namespace ukc

@@ -16,8 +16,14 @@
 //     spawns only T-1 background workers. With T == 1 ParallelFor runs
 //     the loop inline — zero synchronization, bitwise identical to a
 //     plain for loop.
-//   - fn must not throw and must not call back into the same pool
-//     (jobs do not nest).
+//   - fn must not call back into the same pool (jobs do not nest). fn
+//     MAY throw: the first exception (in completion order) is
+//     captured, the batch is aborted — workers stop pulling new
+//     indices, in-flight indices finish — and the exception is
+//     rethrown on the borrowing thread once every worker has drained.
+//     A throwing batch therefore leaves the pool reusable instead of
+//     terminating the process, but makes no promise about which
+//     indices ran.
 //   - Determinism is the caller's job and is easy: write results by
 //     index into a preallocated buffer and do any reduction as an
 //     ordered scan afterwards; never reduce in completion order.
@@ -28,6 +34,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -52,7 +59,9 @@ class ThreadPool {
 
   /// Runs fn(worker, index) for every index in [0, count); blocks until
   /// every index completed. Must be called from one thread at a time
-  /// (the pool owner's); jobs do not nest.
+  /// (the pool owner's); jobs do not nest. If fn throws, the batch is
+  /// aborted and the first captured exception is rethrown here, on the
+  /// borrowing thread, after the pool has drained.
   void ParallelFor(size_t count, const std::function<void(int, size_t)>& fn);
 
   /// std::thread::hardware_concurrency with a floor of 1.
@@ -78,6 +87,11 @@ class ThreadPool {
   // cursor — has moved past it.
   size_t finished_workers_ = 0;
   bool stopping_ = false;
+  // First exception thrown by the current job's fn, rethrown by
+  // ParallelFor on the borrowing thread. job_aborted_ makes workers
+  // stop pulling indices so the batch fails fast.
+  std::atomic<bool> job_aborted_{false};
+  std::exception_ptr job_exception_;  // Guarded by mutex_.
 };
 
 /// Borrow-or-own resolver for the `ThreadPool* pool` hook carried by

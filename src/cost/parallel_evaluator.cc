@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "common/hash.h"
 #include "common/strings.h"
 #include "metric/euclidean_space.h"
 
@@ -11,24 +12,6 @@ namespace ukc {
 namespace cost {
 
 namespace {
-
-// FNV-1a folding 8-byte chunks (plus a byte-wise tail): the fingerprint
-// below hashes a few MB per call, so the byte-at-a-time classic would
-// cost as much as the work it saves.
-inline uint64_t HashBytes(uint64_t hash, const void* data, size_t bytes) {
-  const unsigned char* p = static_cast<const unsigned char*>(data);
-  while (bytes >= 8) {
-    uint64_t chunk;
-    std::memcpy(&chunk, p, 8);
-    hash = (hash ^ chunk) * 1099511628211ULL;
-    p += 8;
-    bytes -= 8;
-  }
-  for (size_t i = 0; i < bytes; ++i) {
-    hash = (hash ^ p[i]) * 1099511628211ULL;
-  }
-  return hash;
-}
 
 // Content fingerprint of everything the cached swap tables depend on
 // besides the centers: dimension, norm, the CSR layout, probabilities,
@@ -38,7 +21,7 @@ inline uint64_t HashBytes(uint64_t hash, const void* data, size_t bytes) {
 // One linear pass, negligible next to the kernel work it saves.
 uint64_t DatasetSwapFingerprint(const uncertain::UncertainDataset& dataset,
                                 const metric::EuclideanSpace& euclidean) {
-  uint64_t hash = 14695981039346656037ULL;
+  uint64_t hash = kHashSeed;
   const size_t dim = euclidean.dim();
   const metric::Norm norm = euclidean.norm();
   const size_t n = dataset.n();

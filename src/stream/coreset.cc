@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "common/check.h"
@@ -15,6 +16,38 @@ namespace {
 // Levels beyond this collapse every representable key to {-1, 0}: no
 // further doubling can help, so the reduction loop stops here.
 constexpr int kMaxLevel = 62;
+
+// Version tag of the SerializeTo byte layout. Bump on any layout
+// change; Deserialize rejects unknown versions, which the checkpoint
+// layer degrades to a full re-ingest.
+constexpr uint32_t kSerializeVersion = 1;
+
+void AppendRaw(std::string* out, const void* data, size_t bytes) {
+  out->append(static_cast<const char*>(data), bytes);
+}
+
+template <typename T>
+void AppendValue(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+
+// Bounds-checked sequential reader over the serialized image.
+struct ByteCursor {
+  const char* p;
+  const char* end;
+
+  bool Read(void* out, size_t bytes) {
+    if (static_cast<size_t>(end - p) < bytes) return false;
+    std::memcpy(out, p, bytes);
+    p += bytes;
+    return true;
+  }
+
+  template <typename T>
+  bool ReadValue(T* out) {
+    return Read(out, sizeof(T));
+  }
+};
 
 // Cap on |coord / base_cell_width|: 2^44. Well below int64 overflow,
 // and chosen so the floating-point division's absolute error stays
@@ -195,6 +228,114 @@ std::vector<StreamingCoreset::Cell> StreamingCoreset::ExtractCells() const {
   std::sort(cells.begin(), cells.end(),
             [](const Cell& a, const Cell& b) { return a.min_index < b.min_index; });
   return cells;
+}
+
+void StreamingCoreset::SerializeTo(std::string* out) const {
+  AppendValue(out, kSerializeVersion);
+  AppendValue(out, static_cast<uint64_t>(dim_));
+  AppendValue(out, static_cast<uint8_t>(norm_));
+  AppendValue(out, static_cast<uint64_t>(options_.max_cells));
+  AppendValue(out, options_.base_cell_width);
+  AppendValue(out, static_cast<int32_t>(level_));
+  AppendValue(out, num_points_);
+  AppendValue(out, static_cast<uint64_t>(cells_.size()));
+  // min_index order, same as ExtractCells: the bytes are a pure
+  // function of the cell set, never of the table's iteration order.
+  std::vector<const CellMap::value_type*> ordered;
+  ordered.reserve(cells_.size());
+  for (const auto& entry : cells_) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const CellMap::value_type* a, const CellMap::value_type* b) {
+              return a->second.min_index < b->second.min_index;
+            });
+  for (const CellMap::value_type* entry : ordered) {
+    AppendRaw(out, entry->first.data(), dim_ * sizeof(int64_t));
+    AppendValue(out, entry->second.min_index);
+    AppendValue(out, entry->second.count);
+    AppendValue(out, entry->second.max_spread);
+    AppendRaw(out, entry->second.representative.data(), dim_ * sizeof(double));
+  }
+}
+
+Result<StreamingCoreset> StreamingCoreset::Deserialize(std::string_view bytes) {
+  ByteCursor cursor{bytes.data(), bytes.data() + bytes.size()};
+  const auto truncated = [] {
+    return Status::InvalidArgument(
+        "StreamingCoreset::Deserialize: truncated image");
+  };
+  uint32_t version = 0;
+  if (!cursor.ReadValue(&version)) return truncated();
+  if (version != kSerializeVersion) {
+    return Status::InvalidArgument(
+        StrFormat("StreamingCoreset::Deserialize: unknown version %u",
+                  static_cast<unsigned>(version)));
+  }
+  uint64_t dim = 0;
+  uint8_t norm_raw = 0;
+  uint64_t max_cells = 0;
+  double base_cell_width = 0.0;
+  int32_t level = 0;
+  uint64_t num_points = 0;
+  uint64_t num_cells = 0;
+  if (!cursor.ReadValue(&dim) || !cursor.ReadValue(&norm_raw) ||
+      !cursor.ReadValue(&max_cells) || !cursor.ReadValue(&base_cell_width) ||
+      !cursor.ReadValue(&level) || !cursor.ReadValue(&num_points) ||
+      !cursor.ReadValue(&num_cells)) {
+    return truncated();
+  }
+  if (dim == 0 || dim > (1u << 20) || max_cells == 0 ||
+      !(base_cell_width > 0.0) || !std::isfinite(base_cell_width) ||
+      level < 0 || level > kMaxLevel || num_cells > num_points) {
+    return Status::InvalidArgument(
+        "StreamingCoreset::Deserialize: out-of-range header field");
+  }
+  if (norm_raw > static_cast<uint8_t>(metric::Norm::kLInf)) {
+    return Status::InvalidArgument(
+        "StreamingCoreset::Deserialize: unknown norm");
+  }
+  CoresetOptions options;
+  options.max_cells = static_cast<size_t>(max_cells);
+  options.base_cell_width = base_cell_width;
+  StreamingCoreset coreset(static_cast<size_t>(dim),
+                           static_cast<metric::Norm>(norm_raw), options);
+  coreset.level_ = static_cast<int>(level);
+  coreset.num_points_ = num_points;
+  coreset.cells_.reserve(num_cells);
+  uint64_t total_count = 0;
+  for (uint64_t c = 0; c < num_cells; ++c) {
+    Key key(dim);
+    CellState state;
+    state.representative.resize(dim);
+    if (!cursor.Read(key.data(), dim * sizeof(int64_t)) ||
+        !cursor.ReadValue(&state.min_index) || !cursor.ReadValue(&state.count) ||
+        !cursor.ReadValue(&state.max_spread) ||
+        !cursor.Read(state.representative.data(), dim * sizeof(double))) {
+      return truncated();
+    }
+    if (state.count == 0) {
+      return Status::InvalidArgument(
+          "StreamingCoreset::Deserialize: empty cell");
+    }
+    total_count += state.count;
+    auto [it, inserted] =
+        coreset.cells_.try_emplace(std::move(key), std::move(state));
+    if (!inserted) {
+      return Status::InvalidArgument(
+          "StreamingCoreset::Deserialize: duplicate cell key");
+    }
+  }
+  if (total_count != num_points) {
+    return Status::InvalidArgument(StrFormat(
+        "StreamingCoreset::Deserialize: cell counts sum to %llu, header "
+        "declares %llu points",
+        static_cast<unsigned long long>(total_count),
+        static_cast<unsigned long long>(num_points)));
+  }
+  if (cursor.p != cursor.end) {
+    return Status::InvalidArgument(
+        "StreamingCoreset::Deserialize: trailing bytes");
+  }
+  return coreset;
 }
 
 }  // namespace stream

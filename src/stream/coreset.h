@@ -40,6 +40,8 @@
 #define UKC_STREAM_CORESET_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -119,6 +121,19 @@ class StreamingCoreset {
   /// The cells sorted by min_index (a deterministic, configuration-
   /// independent order).
   std::vector<Cell> ExtractCells() const;
+
+  /// Appends a self-contained binary image (config, level, cells) to
+  /// *out. Cells are written in min_index order, so equal coresets
+  /// serialize to equal bytes regardless of hash-table iteration
+  /// order. Host-endian raw values: a checkpoint is a crash-recovery
+  /// artifact of one machine, not a portable interchange format.
+  void SerializeTo(std::string* out) const;
+
+  /// Rebuilds a coreset from bytes written by SerializeTo. The span
+  /// must be consumed exactly; truncation, trailing bytes, or any
+  /// out-of-range field is an error (the checkpoint layer treats every
+  /// such error as "checkpoint unusable, re-ingest").
+  static Result<StreamingCoreset> Deserialize(std::string_view bytes);
 
  private:
   struct CellState {

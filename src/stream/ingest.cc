@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <condition_variable>
+#include <fstream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
+#include "common/fault_injection.h"
+#include "common/hash.h"
 #include "common/strings.h"
 #include "uncertain/io.h"
 
@@ -220,59 +224,258 @@ BatchSourceFactory SeededFileBatchFactory(uncertain::DatasetReader&& probe,
   };
 }
 
-Result<StreamingCoreset> BuildCoresetFromSource(size_t dim,
-                                                const BatchSource& source,
-                                                const IngestOptions& options,
-                                                ThreadPool* pool,
-                                                IngestStats* stats) {
-  if (source == nullptr) {
-    return Status::InvalidArgument("BuildCoresetFromSource: null source");
+ResumableSourceFactory AdaptBatchFactory(BatchSourceFactory factory) {
+  return [factory](const ResumePoint*,
+                   bool* positioned) -> Result<ResumableSource> {
+    if (positioned != nullptr) *positioned = false;
+    if (factory == nullptr) {
+      return Status::InvalidArgument("AdaptBatchFactory: null factory");
+    }
+    UKC_ASSIGN_OR_RETURN(BatchSource next, factory());
+    ResumableSource source;
+    source.next = std::move(next);
+    return source;
+  };
+}
+
+namespace {
+
+// Hash of the up-to-kCursorWindowBytes bytes of `path` that END at
+// `end_offset` — the change detector stored with (and re-checked
+// against) a checkpointed byte offset. nullopt when the window cannot
+// be read, which both sides treat as "no usable cursor".
+std::optional<uint64_t> HashFileWindow(const std::string& path,
+                                       uint64_t end_offset) {
+  const uint64_t window = std::min<uint64_t>(kCursorWindowBytes, end_offset);
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return std::nullopt;
+  file.seekg(static_cast<std::streamoff>(end_offset - window));
+  std::string bytes(static_cast<size_t>(window), '\0');
+  file.read(bytes.data(), static_cast<std::streamsize>(window));
+  if (file.gcount() != static_cast<std::streamsize>(window)) {
+    return std::nullopt;
   }
-  if (pool == nullptr) {
-    return Status::InvalidArgument("BuildCoresetFromSource: null pool");
-  }
-  if (dim == 0 || options.coreset.max_cells == 0 ||
-      !(options.coreset.base_cell_width > 0.0)) {
-    return Status::InvalidArgument(
-        "BuildCoresetFromSource: dim and max_cells must be >= 1 and "
-        "base_cell_width > 0");
-  }
-  const size_t shards = options.shards <= 0
-                            ? static_cast<size_t>(pool->num_threads())
-                            : static_cast<size_t>(options.shards);
+  return HashBytes(kHashSeed, bytes.data(), bytes.size());
+}
+
+// True when the checkpointed cursor still matches the file: the bytes
+// before the offset hash to what the checkpoint recorded.
+bool CursorWindowMatches(const std::string& path, const ResumePoint& resume) {
+  const std::optional<uint64_t> hash =
+      HashFileWindow(path, resume.byte_offset);
+  return hash.has_value() && *hash == resume.window_hash;
+}
+
+// File streams share one reader between the pull and the position
+// probe; both are only ever called from the single reading thread.
+ResumableSource SourceFromSharedReader(
+    std::shared_ptr<uncertain::DatasetReader> reader, std::string path,
+    size_t chunk_size) {
+  ResumableSource source;
+  source.next = [reader, chunk_size](uncertain::UncertainPointBatch* batch)
+      -> Result<bool> {
+    UKC_ASSIGN_OR_RETURN(size_t produced, reader->ReadChunk(chunk_size, batch));
+    return produced > 0;
+  };
+  source.tell = [reader,
+                 path = std::move(path)]() -> std::optional<SourceCursor> {
+    const std::optional<uint64_t> offset = reader->TellByteOffset();
+    if (!offset.has_value()) return std::nullopt;
+    const std::optional<uint64_t> hash = HashFileWindow(path, *offset);
+    if (!hash.has_value()) return std::nullopt;
+    return SourceCursor{*offset, *hash};
+  };
+  return source;
+}
+
+}  // namespace
+
+ResumableSourceFactory ResumableFileFactory(const std::string& path,
+                                            size_t chunk_size) {
+  return [path, chunk_size](const ResumePoint* resume,
+                            bool* positioned) -> Result<ResumableSource> {
+    if (positioned != nullptr) *positioned = false;
+    if (chunk_size == 0) {
+      return Status::InvalidArgument("ResumableFileFactory: chunk_size >= 1");
+    }
+    UKC_ASSIGN_OR_RETURN(uncertain::DatasetReader reader,
+                         uncertain::DatasetReader::Open(path));
+    auto shared = std::make_shared<uncertain::DatasetReader>(std::move(reader));
+    if (resume != nullptr && resume->has_byte_offset) {
+      if (CursorWindowMatches(path, *resume) &&
+          shared->SeekTo(resume->byte_offset, resume->points).ok()) {
+        if (positioned != nullptr) *positioned = true;
+      } else {
+        // Stale or corrupt cursor (the file changed, or the checkpoint
+        // came from another file): degrade to a from-the-start stream
+        // and let the caller replay-verify instead of failing hard.
+        UKC_ASSIGN_OR_RETURN(uncertain::DatasetReader fresh,
+                             uncertain::DatasetReader::Open(path));
+        *shared = std::move(fresh);
+      }
+    }
+    return SourceFromSharedReader(std::move(shared), path, chunk_size);
+  };
+}
+
+ResumableSourceFactory ResumableSeededFileFactory(
+    uncertain::DatasetReader&& probe, const std::string& path,
+    size_t chunk_size) {
+  auto seeded = std::make_shared<uncertain::DatasetReader>(std::move(probe));
+  auto used = std::make_shared<bool>(false);
+  const ResumableSourceFactory reopen = ResumableFileFactory(path, chunk_size);
+  return [seeded, used, reopen, path, chunk_size](
+             const ResumePoint* resume,
+             bool* positioned) -> Result<ResumableSource> {
+    if (*used || chunk_size == 0) return reopen(resume, positioned);
+    *used = true;
+    if (positioned != nullptr) *positioned = false;
+    if (resume != nullptr && resume->has_byte_offset) {
+      if (CursorWindowMatches(path, *resume) &&
+          seeded->SeekTo(resume->byte_offset, resume->points).ok()) {
+        if (positioned != nullptr) *positioned = true;
+        return SourceFromSharedReader(seeded, path, chunk_size);
+      }
+      // The probe is now mispositioned; reopen from the start.
+      return reopen(nullptr, positioned);
+    }
+    return SourceFromSharedReader(seeded, path, chunk_size);
+  };
+}
+
+ResumableSourceFactory ResumableDatasetFactory(
+    const uncertain::UncertainDataset* dataset, size_t chunk_size) {
+  return AdaptBatchFactory(DatasetBatchFactory(dataset, chunk_size));
+}
+
+namespace {
+
+// Folds one consumed batch into the running content fingerprint — the
+// value a replay-based resume must reproduce to prove it is reading
+// the same stream the checkpoint came from.
+uint64_t HashBatch(uint64_t hash, const uncertain::UncertainPointBatch& batch) {
+  hash = HashValue(hash, batch.dim);
+  hash = HashValue(hash, static_cast<uint64_t>(batch.norm));
+  hash = HashValue(hash, batch.start_index);
+  hash = HashValue(hash, batch.offsets.size());
+  hash = HashBytes(hash, batch.offsets.data(),
+                   batch.offsets.size() * sizeof(size_t));
+  hash = HashBytes(hash, batch.coords.data(),
+                   batch.coords.size() * sizeof(double));
+  hash = HashBytes(hash, batch.probabilities.data(),
+                   batch.probabilities.size() * sizeof(double));
+  return hash;
+}
+
+// Hash of everything that determines group boundaries and cell
+// geometry. A checkpoint taken under one configuration must never
+// resume another: a different shard count regroups the batches and a
+// different cell width regrids them — either would void the bitwise
+// parity with an uninterrupted run.
+uint64_t ConfigFingerprint(size_t dim, const IngestOptions& options,
+                           size_t shards) {
+  uint64_t hash = kHashSeed;
+  hash = HashValue(hash, 1);  // Fingerprint layout version.
+  hash = HashValue(hash, dim);
+  hash = HashValue(hash, options.chunk_size);
+  hash = HashValue(hash, shards);
+  hash = HashValue(hash, options.coreset.max_cells);
+  uint64_t width_bits = 0;
+  std::memcpy(&width_bits, &options.coreset.base_cell_width,
+              sizeof(width_bits));
+  hash = HashValue(hash, width_bits);
+  return hash;
+}
+
+// One retry-wrapped, fault-injectable batch pull. Transient failures
+// (kUnavailable — today only injected ones) are retried per
+// options.retry; the fault point sits inside the retried op so an
+// injected transient hiccup exercises the same path a real one would.
+Result<bool> PullBatch(const ResumableSource& source,
+                       const RetryOptions& retry,
+                       uncertain::UncertainPointBatch* batch,
+                       IngestStats* counters) {
+  bool more = false;
+  RetryStats retry_stats;
+  const Status status = RetryTransient(
+      retry,
+      [&]() -> Status {
+        UKC_INJECT_FAULT("ingest.read");
+        UKC_ASSIGN_OR_RETURN(more, source.next(batch));
+        return Status::OK();
+      },
+      &retry_stats);
+  counters->read_retries += retry_stats.retries;
+  counters->read_exhausted += retry_stats.exhausted;
+  UKC_RETURN_IF_ERROR(status);
+  return more;
+}
+
+// What a validated checkpoint contributes to a run: the merged prefix
+// coreset (seeded into shard 0) and the fingerprints to carry forward.
+struct ResumeState {
+  std::optional<StreamingCoreset> restored;
+  uint64_t content_fingerprint = kHashSeed;
+  uint64_t config_fingerprint = 0;
+};
+
+// The sharded group loop shared by BuildCoresetFromSource and
+// IngestCoreset. `counters` arrives pre-loaded with the restored
+// prefix's totals when resuming.
+Result<StreamingCoreset> RunIngest(size_t dim, const ResumableSource& source,
+                                   const IngestOptions& options, size_t shards,
+                                   ThreadPool* pool, IngestStats& counters,
+                                   ResumeState resume) {
+  const bool checkpointing = !options.checkpoint.path.empty();
 
   // Shard coresets are constructed on the first batch, when the
-  // stream's norm is known.
+  // stream's norm is known; a restored prefix pre-latches the norm (a
+  // mid-stream switch is rejected the same way either path).
   std::vector<StreamingCoreset> shard_sets;
-  IngestStats counters;
   metric::Norm stream_norm = metric::Norm::kL2;
+  bool norm_latched = false;
+  if (resume.restored.has_value()) {
+    stream_norm = resume.restored->norm();
+    norm_latched = true;
+  }
   std::vector<Status> statuses(shards);
 
   // One batch group: up to `shards` batches pulled serially off the
-  // source, plus the read outcome. With double buffering two of these
-  // ping-pong between the reader thread and the processing loop.
+  // source, plus the read outcome and the stream position after the
+  // group (captured here, by the reading thread, because with double
+  // buffering the next group has already been prefetched by the time
+  // this one is processed — a checkpoint-time tell() would be one
+  // group ahead). With double buffering two of these ping-pong between
+  // the reader thread and the processing loop.
   struct Group {
     std::vector<uncertain::UncertainPointBatch> batches;
     size_t loaded = 0;
     bool done = false;  // Source drained while filling this group.
     Status status;
+    std::optional<SourceCursor> cursor;  // Stream position after this group.
   };
-  const auto fill_group = [&source, shards](Group* group) {
+  const auto fill_group = [&source, &options, &counters, shards,
+                           checkpointing](Group* group) {
     group->loaded = 0;
     group->done = false;
     group->status = Status::OK();
+    group->cursor = std::nullopt;
     while (group->loaded < shards) {
-      Result<bool> more = source(&group->batches[group->loaded]);
+      Result<bool> more = PullBatch(source, options.retry,
+                                    &group->batches[group->loaded], &counters);
       if (!more.ok()) {
         group->status = more.status();
         return;
       }
       if (!*more) {
         group->done = true;
-        return;
+        break;
       }
       ++group->loaded;
     }
+    // The probe re-reads a window of the file, so only pay for it when
+    // a checkpoint may actually be written.
+    if (checkpointing && source.tell != nullptr) group->cursor = source.tell();
   };
 
   // Validates a received group (structure, one norm across the stream)
@@ -287,11 +490,19 @@ Result<StreamingCoreset> BuildCoresetFromSource(size_t dim,
       // The coreset's geometry (diameter, error bound) is stated under
       // one norm; a source that switches norms mid-stream would
       // silently invalidate it.
-      if (counters.batches == 0) {
+      if (!norm_latched) {
         stream_norm = group.batches[g].norm;
+        norm_latched = true;
       } else if (group.batches[g].norm != stream_norm) {
         return Status::InvalidArgument(
             "BuildCoresetFromSource: batch norm changed mid-stream");
+      }
+      // The content fingerprint is maintained only when a checkpoint
+      // could be written — the hashing cost must not tax
+      // checkpoint-free ingestion.
+      if (checkpointing) {
+        resume.content_fingerprint =
+            HashBatch(resume.content_fingerprint, group.batches[g]);
       }
       counters.points += group.batches[g].n();
       counters.locations += group.batches[g].num_locations();
@@ -302,6 +513,13 @@ Result<StreamingCoreset> BuildCoresetFromSource(size_t dim,
       shard_sets.reserve(shards);
       for (size_t s = 0; s < shards; ++s) {
         shard_sets.emplace_back(dim, stream_norm, options.coreset);
+      }
+      if (resume.restored.has_value()) {
+        // The restored prefix lives in shard 0 from here on; grid-cell
+        // commutativity makes the final merge independent of which
+        // shard carried it.
+        shard_sets[0] = std::move(*resume.restored);
+        resume.restored.reset();
       }
     }
     pool->ParallelFor(group.loaded, [&](int, size_t g) {
@@ -322,6 +540,46 @@ Result<StreamingCoreset> BuildCoresetFromSource(size_t dim,
     return Status::OK();
   };
 
+  // Saves a checkpoint when the cadence says so. Failures are counted,
+  // not propagated: the previous sidecar (written atomically) remains
+  // the recovery point, so a failed save only widens the redo window.
+  uint64_t last_saved_batches = counters.batches;
+  const uint64_t cadence =
+      std::max<uint64_t>(1, options.checkpoint.every_n_batches);
+  const auto maybe_checkpoint = [&](const Group& group) {
+    if (!checkpointing || shard_sets.empty() || group.loaded == 0) return;
+    if (counters.batches - last_saved_batches < cadence) return;
+    IngestCheckpoint checkpoint;
+    checkpoint.config_fingerprint = resume.config_fingerprint;
+    checkpoint.content_fingerprint = resume.content_fingerprint;
+    checkpoint.batches = counters.batches;
+    checkpoint.points = counters.points;
+    checkpoint.locations = counters.locations;
+    if (group.cursor.has_value()) {
+      checkpoint.has_byte_offset = true;
+      checkpoint.byte_offset = group.cursor->byte_offset;
+      checkpoint.cursor_window_hash = group.cursor->window_hash;
+    }
+    // The image is a merged COPY of the shard state; the live shards
+    // keep ingesting untouched.
+    StreamingCoreset merged = shard_sets[0];
+    Status status = Status::OK();
+    for (size_t s = 1; s < shard_sets.size() && status.ok(); ++s) {
+      status = merged.MergeFrom(shard_sets[s]);
+    }
+    if (status.ok()) {
+      merged.SerializeTo(&checkpoint.coreset_image);
+      status = SaveCheckpoint(options.checkpoint.path, checkpoint,
+                              options.checkpoint.sync);
+    }
+    if (status.ok()) {
+      ++counters.checkpoint_saves;
+      last_saved_batches = counters.batches;
+    } else {
+      ++counters.checkpoint_save_failures;
+    }
+  };
+
   if (!options.double_buffer) {
     // Reference path: read a group, process it, repeat.
     Group group;
@@ -333,6 +591,7 @@ Result<StreamingCoreset> BuildCoresetFromSource(size_t dim,
       done = group.done;
       UKC_RETURN_IF_ERROR(process_group(group));
       if (group.loaded == 0) break;
+      maybe_checkpoint(group);
     }
   } else {
     // Double-buffered path: a dedicated reader thread fills group r+1
@@ -400,10 +659,14 @@ Result<StreamingCoreset> BuildCoresetFromSource(size_t dim,
       if (!done) request(1 - current);  // Overlap the next group's read.
       UKC_RETURN_IF_ERROR(process_group(group));
       if (group.loaded == 0) break;
+      maybe_checkpoint(group);
       current = 1 - current;
     }
   }
   if (shard_sets.empty()) {
+    // A resume that landed exactly at the end of the stream: the
+    // checkpoint already holds the whole coreset.
+    if (resume.restored.has_value()) return std::move(*resume.restored);
     return Status::InvalidArgument("BuildCoresetFromSource: empty stream");
   }
 
@@ -411,6 +674,7 @@ Result<StreamingCoreset> BuildCoresetFromSource(size_t dim,
   // for every i divisible by 2s. Pairs are disjoint, so each round is
   // one ParallelFor.
   for (size_t stride = 1; stride < shards; stride *= 2) {
+    UKC_INJECT_FAULT("ingest.merge");
     std::vector<size_t> left;
     for (size_t i = 0; i + stride < shards; i += 2 * stride) left.push_back(i);
     if (left.empty()) continue;
@@ -423,8 +687,151 @@ Result<StreamingCoreset> BuildCoresetFromSource(size_t dim,
       if (!status.ok()) return std::move(status);
     }
   }
-  if (stats != nullptr) *stats = counters;
   return std::move(shard_sets[0]);
+}
+
+// Shared argument validation of the two public entry points.
+Status ValidateIngestArguments(size_t dim, const IngestOptions& options,
+                               ThreadPool* pool) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("ingest: null pool");
+  }
+  if (dim == 0 || options.coreset.max_cells == 0 ||
+      !(options.coreset.base_cell_width > 0.0)) {
+    return Status::InvalidArgument(
+        "ingest: dim and max_cells must be >= 1 and base_cell_width > 0");
+  }
+  if (options.retry.max_attempts < 1) {
+    return Status::InvalidArgument("ingest: retry.max_attempts must be >= 1");
+  }
+  return Status::OK();
+}
+
+size_t EffectiveShards(const IngestOptions& options, ThreadPool* pool) {
+  return options.shards <= 0 ? static_cast<size_t>(pool->num_threads())
+                             : static_cast<size_t>(options.shards);
+}
+
+}  // namespace
+
+Result<StreamingCoreset> BuildCoresetFromSource(size_t dim,
+                                                const BatchSource& source,
+                                                const IngestOptions& options,
+                                                ThreadPool* pool,
+                                                IngestStats* stats) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("BuildCoresetFromSource: null source");
+  }
+  UKC_RETURN_IF_ERROR(ValidateIngestArguments(dim, options, pool));
+  if (!options.checkpoint.path.empty()) {
+    return Status::InvalidArgument(
+        "BuildCoresetFromSource: checkpointing requires a re-startable "
+        "stream — use IngestCoreset with a ResumableSourceFactory");
+  }
+  const size_t shards = EffectiveShards(options, pool);
+  IngestStats counters;
+  ResumableSource resumable;
+  resumable.next = source;
+  Result<StreamingCoreset> result = RunIngest(dim, resumable, options, shards,
+                                              pool, counters, ResumeState{});
+  if (stats != nullptr) *stats = counters;
+  return result;
+}
+
+Result<StreamingCoreset> IngestCoreset(size_t dim,
+                                       const ResumableSourceFactory& factory,
+                                       const IngestOptions& options,
+                                       ThreadPool* pool, IngestStats* stats) {
+  if (factory == nullptr) {
+    return Status::InvalidArgument("IngestCoreset: null factory");
+  }
+  UKC_RETURN_IF_ERROR(ValidateIngestArguments(dim, options, pool));
+  const size_t shards = EffectiveShards(options, pool);
+  const bool checkpointing = !options.checkpoint.path.empty();
+
+  IngestStats counters;
+  ResumeState resume;
+  resume.config_fingerprint = ConfigFingerprint(dim, options, shards);
+  std::optional<ResumableSource> source;
+
+  if (checkpointing) {
+    Result<IngestCheckpoint> loaded = LoadCheckpoint(options.checkpoint.path);
+    if (!loaded.ok()) {
+      // No sidecar yet is the normal first run; anything else is a
+      // corrupt checkpoint — count the rejection, ingest from scratch.
+      if (loaded.status().code() != StatusCode::kNotFound) {
+        counters.checkpoint_rejected = true;
+      }
+    } else if (loaded->config_fingerprint != resume.config_fingerprint) {
+      counters.checkpoint_rejected = true;
+    } else if (loaded->batches > 0) {
+      Result<StreamingCoreset> image =
+          StreamingCoreset::Deserialize(loaded->coreset_image);
+      if (!image.ok()) {
+        counters.checkpoint_rejected = true;
+      } else {
+        ResumePoint point;
+        point.batches = loaded->batches;
+        point.points = loaded->points;
+        point.has_byte_offset = loaded->has_byte_offset;
+        point.byte_offset = loaded->byte_offset;
+        point.window_hash = loaded->cursor_window_hash;
+        bool positioned = false;
+        UKC_ASSIGN_OR_RETURN(ResumableSource opened,
+                             factory(&point, &positioned));
+        bool accepted = true;
+        uint64_t prefix_hash = loaded->content_fingerprint;
+        if (!positioned) {
+          // Replay the prefix without ingesting it, re-deriving the
+          // content fingerprint; only a bit-for-bit match of the
+          // checkpointed hash lets the resume proceed.
+          uncertain::UncertainPointBatch discard;
+          uint64_t replay_hash = kHashSeed;
+          uint64_t replayed = 0;
+          while (replayed < loaded->batches) {
+            UKC_ASSIGN_OR_RETURN(
+                bool more,
+                PullBatch(opened, options.retry, &discard, &counters));
+            if (!more) {  // The stream is shorter than the checkpoint.
+              accepted = false;
+              break;
+            }
+            replay_hash = HashBatch(replay_hash, discard);
+            ++replayed;
+          }
+          counters.replayed_batches = replayed;
+          if (accepted && replay_hash != loaded->content_fingerprint) {
+            accepted = false;
+          }
+          prefix_hash = replay_hash;
+        }
+        if (accepted) {
+          resume.restored = std::move(image).value();
+          resume.content_fingerprint = prefix_hash;
+          counters.batches = loaded->batches;
+          counters.points = loaded->points;
+          counters.locations = loaded->locations;
+          counters.restored = true;
+          counters.restored_batches = loaded->batches;
+          source = std::move(opened);
+        } else {
+          counters.checkpoint_rejected = true;
+        }
+      }
+    }
+  }
+
+  if (!source.has_value()) {
+    // Fresh full ingest — the first run, or the fallback after a
+    // rejected checkpoint.
+    bool positioned = false;
+    UKC_ASSIGN_OR_RETURN(ResumableSource fresh, factory(nullptr, &positioned));
+    source = std::move(fresh);
+  }
+  Result<StreamingCoreset> result = RunIngest(dim, *source, options, shards,
+                                              pool, counters, std::move(resume));
+  if (stats != nullptr) *stats = counters;
+  return result;
 }
 
 }  // namespace stream

@@ -21,10 +21,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/thread_pool.h"
+#include "stream/checkpoint.h"
 #include "stream/coreset.h"
 #include "uncertain/chunk.h"
 #include "uncertain/dataset.h"
@@ -84,6 +87,88 @@ BatchSourceFactory SeededFileBatchFactory(uncertain::DatasetReader&& probe,
                                           const std::string& path,
                                           size_t chunk_size);
 
+/// Bytes hashed into SourceCursor::window_hash: the window of the file
+/// immediately preceding the cursor's byte offset (shorter when the
+/// offset is near the start).
+inline constexpr uint64_t kCursorWindowBytes = 4096;
+
+/// One position probe of a seekable stream: the byte offset of the
+/// next unread record plus a hash of the kCursorWindowBytes bytes
+/// preceding it. The window hash is the seek path's change detector: a
+/// structurally-valid record boundary at the right offset of the WRONG
+/// file (the data was regenerated between crash and resume) would
+/// otherwise splice two streams into one silently wrong coreset, so
+/// the factory re-hashes the same window before trusting a
+/// checkpointed offset and degrades to the replay-verify path on any
+/// mismatch.
+struct SourceCursor {
+  uint64_t byte_offset = 0;
+  uint64_t window_hash = 0;
+};
+
+/// The ingestion cursor a checkpoint restores to (a whole-group
+/// boundary: `batches` is a multiple of the effective shard count
+/// whenever the stream was not yet exhausted).
+struct ResumePoint {
+  uint64_t batches = 0;
+  uint64_t points = 0;
+  /// Byte offset of the next unread record — and the hash of the
+  /// window before it — when the checkpointed source could report one
+  /// (uncertain/io.h TellByteOffset).
+  bool has_byte_offset = false;
+  uint64_t byte_offset = 0;
+  uint64_t window_hash = 0;
+};
+
+/// A BatchSource plus an optional position probe. `tell`, when
+/// non-null, returns the cursor of the next unread record — it is
+/// only ever called by the thread that pulls `next`, between pulls —
+/// and is what makes a checkpoint seek-restorable.
+struct ResumableSource {
+  BatchSource next;
+  std::function<std::optional<SourceCursor>()> tell;
+};
+
+/// Factory of re-startable, optionally repositionable streams — the
+/// input of the checkpoint-aware IngestCoreset. Called with `resume ==
+/// nullptr` it opens the stream from the beginning (like
+/// BatchSourceFactory). Called with a ResumePoint it MAY position the
+/// stream so the next pull yields batch `resume->batches`, setting
+/// *positioned = true; a factory that cannot (or whose positioning
+/// attempt fails against a stale cursor) returns a from-the-start
+/// stream with *positioned = false, and the ingest layer replays the
+/// prefix, verifying its content fingerprint batch by batch. Either
+/// way the factory must tolerate being invoked again (a rejected
+/// resume falls back to a fresh full pass).
+using ResumableSourceFactory = std::function<Result<ResumableSource>(
+    const ResumePoint* resume, bool* positioned)>;
+
+/// Wraps a plain BatchSourceFactory: never positioned, no tell —
+/// resumes go through the replay-and-verify path. (For in-memory
+/// datasets the replay is a cheap re-chunk, and hashing the prefix
+/// guards against resuming against different data.)
+ResumableSourceFactory AdaptBatchFactory(BatchSourceFactory factory);
+
+/// Resumable factory over a dataset file. Resume positions the reader
+/// with DatasetReader::SeekTo (one seek instead of re-parsing the
+/// prefix); a cursor that fails structural validation degrades to the
+/// replay path instead of erroring.
+ResumableSourceFactory ResumableFileFactory(const std::string& path,
+                                            size_t chunk_size);
+
+/// ResumableFileFactory variant seeded with a freshly-opened probe
+/// reader (see SeededFileBatchFactory): the first stream consumes the
+/// probe — seeking it when that first call is a resume — and later
+/// calls reopen `path`.
+ResumableSourceFactory ResumableSeededFileFactory(
+    uncertain::DatasetReader&& probe, const std::string& path,
+    size_t chunk_size);
+
+/// Resumable factory over an in-memory dataset (replay path; see
+/// AdaptBatchFactory).
+ResumableSourceFactory ResumableDatasetFactory(
+    const uncertain::UncertainDataset* dataset, size_t chunk_size);
+
 /// Configuration of the sharded coreset build.
 struct IngestOptions {
   /// Points per batch. Consumed by the Make*BatchSource factories (and
@@ -102,13 +187,40 @@ struct IngestOptions {
   /// serial read-then-process alternation (the reference path).
   bool double_buffer = true;
   CoresetOptions coreset;
+  /// Bounded retry of transient batch-source failures (kUnavailable
+  /// only; see common/retry.h). Sources must not consume input on a
+  /// failed pull for the retry to be sound — every source in this
+  /// repo satisfies that.
+  RetryOptions retry;
+  /// Crash-consistent checkpointing (stream/checkpoint.h). Only the
+  /// factory-based IngestCoreset honors it — resuming and falling back
+  /// require re-opening the stream, which a bare BatchSource cannot do
+  /// — so BuildCoresetFromSource rejects a non-empty path.
+  CheckpointOptions checkpoint;
 };
 
-/// Counters of one ingestion run.
+/// Counters of one ingestion run. When a run resumes from a
+/// checkpoint, points/locations/batches include the restored prefix —
+/// the totals match an uninterrupted run.
 struct IngestStats {
   uint64_t points = 0;
   uint64_t locations = 0;
   uint64_t batches = 0;
+  /// Batch pulls re-tried after a transient failure (and of those,
+  /// retry budgets exhausted — the run then failed).
+  uint64_t read_retries = 0;
+  uint64_t read_exhausted = 0;
+  /// Checkpoints written / failed to write. Save failures are
+  /// non-fatal: the previous sidecar remains the recovery point.
+  uint64_t checkpoint_saves = 0;
+  uint64_t checkpoint_save_failures = 0;
+  /// Restore outcome: whether a checkpoint was accepted, how many
+  /// batches it skipped (restored_batches) and how many had to be
+  /// replayed to verify the content fingerprint (replayed_batches).
+  bool restored = false;
+  bool checkpoint_rejected = false;
+  uint64_t restored_batches = 0;
+  uint64_t replayed_batches = 0;
 };
 
 /// Drains `source` through shard coresets on `pool` and reduces them
@@ -119,6 +231,21 @@ Result<StreamingCoreset> BuildCoresetFromSource(size_t dim,
                                                 const IngestOptions& options,
                                                 ThreadPool* pool,
                                                 IngestStats* stats = nullptr);
+
+/// The checkpoint-aware ingestion entry point: BuildCoresetFromSource
+/// semantics (same sharding, same bitwise-deterministic result) over a
+/// re-startable stream. With options.checkpoint.path set, the run
+/// first tries to restore — validating checksum, configuration
+/// fingerprint and stream position, and degrading to a full re-ingest
+/// on ANY mismatch — then saves a checkpoint every every_n_batches
+/// batches (rounded to whole groups). A restored-and-resumed run
+/// produces the bitwise-identical coreset an uninterrupted run would
+/// have produced.
+Result<StreamingCoreset> IngestCoreset(size_t dim,
+                                       const ResumableSourceFactory& factory,
+                                       const IngestOptions& options,
+                                       ThreadPool* pool,
+                                       IngestStats* stats = nullptr);
 
 /// Summarizes one batch point for the coreset: writes the expected
 /// point of batch point `i` into expected[0..dim) and returns

@@ -228,7 +228,7 @@ Result<VerifyOutcome> VerifyPass(size_t dim, metric::Norm norm,
 Result<StreamingSolution> StreamingUncertainKCenter::SolveSource(
     size_t dim, const BatchSourceFactory& factory) {
   ScopedPool pool(options_.pool, options_.threads);
-  return Solve(dim, factory, pool.get());
+  return Solve(dim, AdaptBatchFactory(factory), pool.get());
 }
 
 Result<StreamingSolution> StreamingUncertainKCenter::SolveFile(
@@ -242,8 +242,8 @@ Result<StreamingSolution> StreamingUncertainKCenter::SolveFile(
   const size_t dim = reader.dim();
   ScopedPool pool(options_.pool, options_.threads);
   return Solve(dim,
-               SeededFileBatchFactory(std::move(reader), path,
-                                      options_.ingest.chunk_size),
+               ResumableSeededFileFactory(std::move(reader), path,
+                                          options_.ingest.chunk_size),
                pool.get());
 }
 
@@ -261,7 +261,7 @@ Result<StreamingSolution> StreamingUncertainKCenter::SolveDataset(
   UKC_ASSIGN_OR_RETURN(
       StreamingSolution solution,
       Solve(space->dim(),
-            DatasetBatchFactory(dataset, options_.ingest.chunk_size),
+            ResumableDatasetFactory(dataset, options_.ingest.chunk_size),
             pool.get()));
 
   // The materialized dataset allows the exact evaluator cost on top of
@@ -289,7 +289,7 @@ Result<StreamingSolution> StreamingUncertainKCenter::SolveDataset(
 }
 
 Result<StreamingSolution> StreamingUncertainKCenter::Solve(
-    size_t dim, const BatchSourceFactory& factory, ThreadPool* pool) {
+    size_t dim, const ResumableSourceFactory& factory, ThreadPool* pool) {
   if (dim == 0) {
     return Status::InvalidArgument(
         "StreamingUncertainKCenter: dim must be >= 1");
@@ -305,12 +305,12 @@ Result<StreamingSolution> StreamingUncertainKCenter::Solve(
   solution.dim = dim;
   Stopwatch stopwatch;
 
-  // Pass 1: sharded coreset build.
-  UKC_ASSIGN_OR_RETURN(BatchSource source, factory());
+  // Pass 1: sharded coreset build (checkpoint-aware — restore, resume
+  // and cadenced saves all live inside IngestCoreset).
   UKC_ASSIGN_OR_RETURN(
       StreamingCoreset coreset,
-      BuildCoresetFromSource(dim, source, options_.ingest, pool,
-                             &solution.ingest_stats));
+      IngestCoreset(dim, factory, options_.ingest, pool,
+                    &solution.ingest_stats));
   const std::vector<StreamingCoreset::Cell> cells = coreset.ExtractCells();
   solution.coreset_cells = cells.size();
   solution.coreset_level = coreset.level();
@@ -379,11 +379,14 @@ Result<StreamingSolution> StreamingUncertainKCenter::Solve(
   const double grid_top =
       (rep_radius + coreset.diameter() + 2.0 * coreset.max_spread()) *
       (1.0 + 1e-9);
-  UKC_ASSIGN_OR_RETURN(BatchSource verify_source, factory());
+  bool verify_positioned = false;
+  UKC_ASSIGN_OR_RETURN(ResumableSource verify_source,
+                       factory(nullptr, &verify_positioned));
   UKC_ASSIGN_OR_RETURN(
       VerifyOutcome outcome,
-      VerifyPass(dim, coreset.norm(), verify_source, solution.center_coords,
-                 solution.k, grid_top, options_.verify_buckets, pool));
+      VerifyPass(dim, coreset.norm(), verify_source.next,
+                 solution.center_coords, solution.k, grid_top,
+                 options_.verify_buckets, pool));
   if (outcome.points != solution.ingest_stats.points) {
     return Status::Internal(StrFormat(
         "StreamingUncertainKCenter: verification saw %llu points, ingest saw "

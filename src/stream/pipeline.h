@@ -127,12 +127,16 @@ class StreamingUncertainKCenter {
 
   /// Solves a re-startable stream of known dimension. The factory is
   /// invoked once for the ingest pass and once more for the
-  /// verification pass.
+  /// verification pass. With options.ingest.checkpoint set, the ingest
+  /// pass checkpoints and resumes through the replay-verify path (see
+  /// stream/ingest.h AdaptBatchFactory).
   Result<StreamingSolution> SolveSource(size_t dim,
                                         const BatchSourceFactory& factory);
 
   /// Solves a dataset file (uncertain/io.h format) through the chunked
-  /// reader; the file is read twice and never materialized.
+  /// reader; the file is read twice and never materialized. With
+  /// options.ingest.checkpoint set, a resumed ingest seeks straight to
+  /// the checkpointed byte offset.
   Result<StreamingSolution> SolveFile(const std::string& path);
 
   /// Solves an in-memory dataset through the same chunked path, then
@@ -142,7 +146,8 @@ class StreamingUncertainKCenter {
   Result<StreamingSolution> SolveDataset(uncertain::UncertainDataset* dataset);
 
  private:
-  Result<StreamingSolution> Solve(size_t dim, const BatchSourceFactory& factory,
+  Result<StreamingSolution> Solve(size_t dim,
+                                  const ResumableSourceFactory& factory,
                                   ThreadPool* pool);
 
   StreamingOptions options_;

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_injection.h"
 #include "common/strings.h"
 #include "metric/euclidean_space.h"
 
@@ -216,6 +217,10 @@ Result<size_t> DatasetReader::ReadChunk(size_t max_points,
   if (max_points == 0) {
     return Status::InvalidArgument("ReadChunk: max_points must be >= 1");
   }
+  // Simulated read error of the chunked parser ("short read" at the
+  // stream level): fires before any input is consumed, so a retry of
+  // the pull re-reads the same chunk.
+  UKC_INJECT_FAULT("io.read_chunk");
   batch->Clear();
   batch->dim = dim_;
   batch->norm = norm_;
@@ -225,24 +230,33 @@ Result<size_t> DatasetReader::ReadChunk(size_t max_points,
   std::istringstream line;
   size_t produced = 0;
   while (produced < max_points && read_ < n_) {
+    // Record boundary: where this point's 'point <z>' line starts —
+    // the offset a truncation error reports back to the caller.
+    const std::optional<uint64_t> record_offset = TellByteOffset();
+    const long long offset_detail =
+        record_offset.has_value() ? static_cast<long long>(*record_offset) : -1;
     if (!NextLine(in(), &line)) {
-      return Status::InvalidArgument(
-          StrFormat("ReadChunk: truncated after %zu of %zu points", read_, n_));
+      return Status::InvalidArgument(StrFormat(
+          "ReadChunk: truncated after %zu of %zu points (record %zu, byte "
+          "offset %lld)",
+          read_, n_, read_, offset_detail));
     }
     std::string word;
     long long z = -1;
     line >> word >> z;
     if (word != "point" || z <= 0 || line.fail()) {
-      return Status::InvalidArgument(
-          StrFormat("ReadChunk: expected 'point <z>' for point %zu, got '%s'",
-                    read_, line.str().c_str()));
+      return Status::InvalidArgument(StrFormat(
+          "ReadChunk: expected 'point <z>' for point %zu, got '%s' (byte "
+          "offset %lld)",
+          read_, line.str().c_str(), offset_detail));
     }
     const size_t point_begin = batch->probabilities.size();
     for (long long j = 0; j < z; ++j) {
       if (!NextLine(in(), &line)) {
-        return Status::InvalidArgument(
-            StrFormat("ReadChunk: truncated at point %zu location %lld", read_,
-                      j));
+        return Status::InvalidArgument(StrFormat(
+            "ReadChunk: truncated at point %zu location %lld (record %zu, "
+            "byte offset %lld)",
+            read_, j, read_, offset_detail));
       }
       // The probability token goes through strtod, not operator>>:
       // istreams refuse "nan", but a NaN probability must reach the
@@ -278,6 +292,64 @@ Result<size_t> DatasetReader::ReadChunk(size_t max_points,
     ++produced;
   }
   return produced;
+}
+
+std::optional<uint64_t> DatasetReader::TellByteOffset() {
+  std::istream& is = in();
+  if (is.bad() || is.fail()) return std::nullopt;
+  // tellg on an eof stream fails; the position "end of input" is still
+  // well-defined, so clear the flag first and restore nothing — eof is
+  // re-discovered by the next read anyway.
+  if (is.eof()) is.clear();
+  const std::streampos pos = is.tellg();
+  if (pos < 0) return std::nullopt;
+  return static_cast<uint64_t>(pos);
+}
+
+Status DatasetReader::SeekTo(uint64_t byte_offset, uint64_t points_read) {
+  if (points_read > n_) {
+    return Status::InvalidArgument(
+        StrFormat("SeekTo: points_read %llu exceeds declared n %zu",
+                  static_cast<unsigned long long>(points_read), n_));
+  }
+  std::istream& is = in();
+  is.clear();
+  is.seekg(static_cast<std::streamoff>(byte_offset));
+  if (!is.good()) {
+    return Status::OutOfRange(
+        StrFormat("SeekTo: cannot seek to byte offset %llu",
+                  static_cast<unsigned long long>(byte_offset)));
+  }
+  if (points_read < n_) {
+    // Peek-validate: the next non-comment line must start a record. A
+    // stale or corrupt cursor lands mid-record (a location line) or
+    // past the end, and both fail this parse.
+    std::istringstream line;
+    std::string word;
+    long long z = -1;
+    if (!NextLine(is, &line)) {
+      return Status::OutOfRange(StrFormat(
+          "SeekTo: no record at byte offset %llu (stream exhausted, %llu of "
+          "%zu points consumed)",
+          static_cast<unsigned long long>(byte_offset),
+          static_cast<unsigned long long>(points_read), n_));
+    }
+    line >> word >> z;
+    if (word != "point" || z <= 0 || line.fail()) {
+      return Status::InvalidArgument(StrFormat(
+          "SeekTo: byte offset %llu is not a record boundary (got '%s')",
+          static_cast<unsigned long long>(byte_offset), line.str().c_str()));
+    }
+    is.clear();
+    is.seekg(static_cast<std::streamoff>(byte_offset));
+    if (!is.good()) {
+      return Status::OutOfRange(
+          StrFormat("SeekTo: cannot re-seek to byte offset %llu",
+                    static_cast<unsigned long long>(byte_offset)));
+    }
+  }
+  read_ = points_read;
+  return Status::OK();
 }
 
 }  // namespace uncertain

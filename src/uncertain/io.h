@@ -17,6 +17,7 @@
 
 #include <fstream>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "common/result.h"
@@ -73,7 +74,24 @@ class DatasetReader {
   /// 1). Returns the number of points read: 0 exactly at the clean end
   /// of the stream, an error on malformed or truncated input. The
   /// batch's start_index is the stream index of its first point.
+  /// Truncation and parse errors carry the record index and the byte
+  /// offset of the offending record, so a caller can report exactly
+  /// where a torn input broke off.
   Result<size_t> ReadChunk(size_t max_points, UncertainPointBatch* batch);
+
+  /// Byte offset of the read position — a record boundary whenever it
+  /// is taken between ReadChunk calls. nullopt when the underlying
+  /// stream cannot report positions. The checkpoint layer persists
+  /// this as the ingestion cursor (stream/checkpoint.h).
+  std::optional<uint64_t> TellByteOffset();
+
+  /// Repositions the reader to a (byte_offset, points_read) pair
+  /// previously captured via TellByteOffset/num_read — the checkpoint
+  /// restore fast path: the prefix is skipped by one seek instead of
+  /// being re-parsed. Validates that a record actually starts at the
+  /// offset (or that the stream is cleanly exhausted); on any failure
+  /// the reader must not be used further.
+  Status SeekTo(uint64_t byte_offset, uint64_t points_read);
 
  private:
   DatasetReader() = default;

@@ -35,6 +35,25 @@ TEST(StatusTest, AllFactories) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, TransientClassification) {
+  // kUnavailable is the ONE code the retry layer may clear; everything
+  // else is permanent — the classification the ingestion path uses to
+  // separate "try again" from "give up and surface it".
+  EXPECT_TRUE(IsTransient(StatusCode::kUnavailable));
+  EXPECT_FALSE(IsTransient(StatusCode::kOk));
+  EXPECT_FALSE(IsTransient(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsTransient(StatusCode::kNotFound));
+  EXPECT_FALSE(IsTransient(StatusCode::kOutOfRange));
+  EXPECT_FALSE(IsTransient(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsTransient(StatusCode::kUnimplemented));
+  EXPECT_FALSE(IsTransient(StatusCode::kInternal));
+
+  EXPECT_TRUE(Status::Unavailable("hiccup").IsTransientError());
+  EXPECT_FALSE(Status::Internal("bug").IsTransientError());
+  EXPECT_FALSE(Status::OK().IsTransientError());  // Nothing to retry.
 }
 
 TEST(StatusTest, CodeNames) {
@@ -43,6 +62,7 @@ TEST(StatusTest, CodeNames) {
             "INVALID_ARGUMENT");
   EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "UNAVAILABLE");
 }
 
 TEST(StatusTest, Equality) {

@@ -25,6 +25,7 @@
 #include "core/unassigned.h"
 #include "core/uncertain_kcenter.h"
 #include "exper/instances.h"
+#include "stream/checkpoint.h"
 #include "stream/coreset.h"
 #include "stream/ingest.h"
 #include "stream/pipeline.h"
@@ -171,6 +172,90 @@ TEST(DatasetReaderTest, RejectsTruncatedFile) {
   EXPECT_FALSE(error.ok());
 }
 
+TEST(DatasetReaderTest, TruncationErrorCarriesRecordAndByteOffset) {
+  // A file cut mid-record: point 1 claims two locations but the stream
+  // ends after one. The error must name the failing record and the
+  // byte offset where it starts — the operator's pointer into a
+  // multi-gigabyte file.
+  const std::string text =
+      "ukc-dataset 1\ndim 1\nn 2\npoint 2\n0.5 0.0\n0.5 1.0\npoint 2\n0.5 2.0\n";
+  const std::string path = TempPath("midrecord.ukc");
+  std::ofstream(path) << text;
+
+  auto reader = uncertain::DatasetReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  uncertain::UncertainPointBatch batch;
+  auto produced = reader->ReadChunk(16, &batch);
+  ASSERT_FALSE(produced.ok());
+  EXPECT_EQ(produced.status().code(), StatusCode::kInvalidArgument);
+  const std::string& message = produced.status().message();
+  EXPECT_NE(message.find("record 1"), std::string::npos) << message;
+  // The reported offset is exactly where the truncated record begins.
+  const size_t record_start = text.rfind("point 2");
+  EXPECT_NE(message.find("byte offset " + std::to_string(record_start)),
+            std::string::npos)
+      << message;
+}
+
+TEST(DatasetReaderTest, TellAndSeekResumeMidStream) {
+  auto dataset = MakeDataset(30, 8);
+  const std::string path = TempPath("seek.ukc");
+  ASSERT_TRUE(uncertain::SaveDatasetToFile(dataset, path).ok());
+
+  // Reference: one serial pass.
+  std::vector<double> all_coords;
+  {
+    auto reader = uncertain::DatasetReader::Open(path);
+    ASSERT_TRUE(reader.ok());
+    uncertain::UncertainPointBatch batch;
+    while (true) {
+      auto produced = reader->ReadChunk(7, &batch);
+      ASSERT_TRUE(produced.ok());
+      if (*produced == 0) break;
+      all_coords.insert(all_coords.end(), batch.coords.begin(),
+                        batch.coords.end());
+    }
+  }
+
+  // Read 14 points, capture the cursor, and resume a fresh reader
+  // there: the tail must be bit-identical to the serial pass.
+  auto first = uncertain::DatasetReader::Open(path);
+  ASSERT_TRUE(first.ok());
+  uncertain::UncertainPointBatch batch;
+  std::vector<double> coords;
+  ASSERT_TRUE(first->ReadChunk(7, &batch).ok());
+  coords.insert(coords.end(), batch.coords.begin(), batch.coords.end());
+  ASSERT_TRUE(first->ReadChunk(7, &batch).ok());
+  coords.insert(coords.end(), batch.coords.begin(), batch.coords.end());
+  const auto cursor = first->TellByteOffset();
+  ASSERT_TRUE(cursor.has_value());
+
+  auto resumed = uncertain::DatasetReader::Open(path);
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_TRUE(resumed->SeekTo(*cursor, 14).ok());
+  uint64_t expected_start = 14;
+  while (true) {
+    auto produced = resumed->ReadChunk(7, &batch);
+    ASSERT_TRUE(produced.ok()) << produced.status();
+    if (*produced == 0) break;
+    EXPECT_EQ(batch.start_index, expected_start);
+    expected_start += *produced;
+    coords.insert(coords.end(), batch.coords.begin(), batch.coords.end());
+  }
+  EXPECT_EQ(resumed->num_read(), dataset.n());
+  EXPECT_EQ(coords, all_coords);
+
+  // A cursor that lands mid-record must be rejected structurally, not
+  // read through.
+  auto stale = uncertain::DatasetReader::Open(path);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_FALSE(stale->SeekTo(*cursor + 1, 14).ok());
+  // And a points_read beyond the header's n is malformed outright.
+  auto bad = uncertain::DatasetReader::Open(path);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->SeekTo(*cursor, dataset.n() + 1).ok());
+}
+
 // --- Coreset ----------------------------------------------------------------
 
 TEST(StreamingCoresetTest, CapacityAndExtractionInvariants) {
@@ -267,6 +352,64 @@ TEST(StreamingCoresetTest, MemoryBoundedByCellsNotInput) {
     EXPECT_LE(coreset->num_cells(), coreset_options.max_cells);
     EXPECT_LE(coreset->ApproxMemoryBytes(), kBudget) << "n=" << n;
   }
+}
+
+TEST(StreamingIngestTest, BuildCoresetFromSourceRejectsCheckpointing) {
+  // A bare BatchSource cannot be re-opened, so it cannot honor the
+  // resume-or-fall-back contract; asking for a checkpoint must be an
+  // explicit error, not a silent no-op.
+  auto dataset = MakeDataset(50, 3);
+  ThreadPool pool(1);
+  stream::IngestOptions options;
+  options.checkpoint.path = TempPath("rejected.ckpt");
+  auto source = stream::MakeDatasetBatchSource(&dataset, 16);
+  ASSERT_TRUE(source.ok());
+  auto coreset = stream::BuildCoresetFromSource(2, *source, options, &pool);
+  ASSERT_FALSE(coreset.ok());
+  EXPECT_EQ(coreset.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StreamingIngestTest, CheckpointedIngestMatchesPlainIngest) {
+  // Checkpointing on a healthy run must not change the coreset (the
+  // content fingerprinting and periodic saves are pure observers).
+  auto dataset = MakeDataset(300, 23);
+  const std::string path = TempPath("healthy.ukc");
+  ASSERT_TRUE(uncertain::SaveDatasetToFile(dataset, path).ok());
+
+  auto run = [&](const std::string& checkpoint_path) {
+    ThreadPool pool(2);
+    stream::IngestOptions options;
+    options.chunk_size = 32;
+    options.shards = 3;
+    options.coreset.max_cells = 128;
+    options.checkpoint.path = checkpoint_path;
+    options.checkpoint.every_n_batches = 2;
+    options.checkpoint.sync = false;
+    stream::IngestStats stats;
+    auto coreset =
+        stream::IngestCoreset(2, stream::ResumableFileFactory(path, 32),
+                              options, &pool, &stats);
+    EXPECT_TRUE(coreset.ok()) << coreset.status();
+    return std::make_pair(coreset->ExtractCells(), stats);
+  };
+
+  const auto [plain_cells, plain_stats] = run("");
+  EXPECT_EQ(plain_stats.checkpoint_saves, 0u);
+  const std::string sidecar = TempPath("healthy.ckpt");
+  std::remove(sidecar.c_str());
+  const auto [ckpt_cells, ckpt_stats] = run(sidecar);
+  EXPECT_GT(ckpt_stats.checkpoint_saves, 0u);
+  EXPECT_FALSE(ckpt_stats.restored);
+
+  ASSERT_EQ(ckpt_cells.size(), plain_cells.size());
+  for (size_t c = 0; c < ckpt_cells.size(); ++c) {
+    EXPECT_EQ(ckpt_cells[c].min_index, plain_cells[c].min_index);
+    EXPECT_EQ(ckpt_cells[c].count, plain_cells[c].count);
+    EXPECT_EQ(ckpt_cells[c].max_spread, plain_cells[c].max_spread);
+    EXPECT_EQ(ckpt_cells[c].representative, plain_cells[c].representative);
+  }
+  // The sidecar left behind is itself valid.
+  EXPECT_TRUE(stream::LoadCheckpoint(sidecar).ok());
 }
 
 // --- Streaming pipeline -----------------------------------------------------
@@ -377,6 +520,30 @@ TEST(StreamingPipelineTest, FileAndDatasetPathsAgreeBitwise) {
   // Only the dataset path can report the exact evaluator cost.
   EXPECT_TRUE(std::isnan(from_file->verified_exact));
   EXPECT_FALSE(std::isnan(from_dataset->verified_exact));
+}
+
+TEST(StreamingPipelineTest, CheckpointedSolveFileMatchesPlain) {
+  auto dataset = MakeDataset(300, 39);
+  const std::string path = TempPath("ckpt_solve.ukc");
+  ASSERT_TRUE(uncertain::SaveDatasetToFile(dataset, path).ok());
+
+  stream::StreamingUncertainKCenter plain(PipelineOptions(2, 32, 2));
+  auto want = plain.SolveFile(path);
+  ASSERT_TRUE(want.ok()) << want.status();
+
+  stream::StreamingOptions options = PipelineOptions(2, 32, 2);
+  options.ingest.checkpoint.path = TempPath("ckpt_solve.ckpt");
+  options.ingest.checkpoint.every_n_batches = 2;
+  options.ingest.checkpoint.sync = false;
+  std::remove(options.ingest.checkpoint.path.c_str());
+  stream::StreamingUncertainKCenter checkpointed(options);
+  auto got = checkpointed.SolveFile(path);
+  ASSERT_TRUE(got.ok()) << got.status();
+
+  EXPECT_EQ(got->center_coords, want->center_coords);
+  EXPECT_EQ(got->verified_lower, want->verified_lower);
+  EXPECT_EQ(got->verified_upper, want->verified_upper);
+  EXPECT_GT(got->ingest_stats.checkpoint_saves, 0u);
 }
 
 // Regression for the SolveFile double header-parse: the header probe's
