@@ -15,12 +15,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <memory>
+#include <string>
 #include <thread>
 
 #include "common/check.h"
+#include "common/deadline.h"
 #include "common/fault_injection.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "serve/registry.h"
 #include "core/surrogates.h"
 #include "core/unassigned.h"
 #include "cost/assignment.h"
@@ -765,6 +769,177 @@ void BM_WeightedGeometricMedian(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WeightedGeometricMedian)->Arg(4)->Arg(16)->Arg(64);
+
+// --- Serving core (serve/) --------------------------------------------------
+
+// A registry with `tenants` resident streams, each warmed with
+// `appends` acked batches of 4 points.
+serve::TenantRegistry* MakeWarmRegistry(size_t tenants, size_t appends,
+                                        const std::string& snapshot_dir = "") {
+  serve::RegistryOptions options;
+  options.queue_capacity = 256;
+  auto* registry = new serve::TenantRegistry(options);
+  Rng rng(0xbe7c);
+  for (size_t t = 0; t < tenants; ++t) {
+    serve::TenantConfig config;
+    config.dim = 2;
+    config.k = 8;
+    config.coreset.max_cells = 1024;
+    config.coreset.base_cell_width = 1e-3;
+    const std::string id = "tenant-" + std::to_string(t);
+    if (!snapshot_dir.empty()) {
+      config.snapshot_path = snapshot_dir + "_" + id + ".ckpt";
+      config.snapshot_every_appends = 64;
+    }
+    UKC_CHECK(registry->CreateTenant(id, config).ok());
+    for (size_t a = 0; a < appends; ++a) {
+      uncertain::UncertainPointBatch batch;
+      batch.dim = 2;
+      batch.offsets.push_back(0);
+      for (size_t i = 0; i < 4; ++i) {
+        const size_t locations = 1 + rng.Next() % 3;
+        for (size_t l = 0; l < locations; ++l) {
+          batch.coords.push_back(rng.UniformDouble(-10.0, 10.0));
+          batch.coords.push_back(rng.UniformDouble(-10.0, 10.0));
+          batch.probabilities.push_back(1.0 / locations);
+        }
+        batch.offsets.push_back(batch.offsets.back() + locations);
+      }
+      UKC_CHECK(registry->SubmitAppend(id, batch).ok());
+      if (a % 64 == 63) registry->Drain();
+    }
+    registry->Drain();
+  }
+  return registry;
+}
+
+// Append-to-ack throughput through the admission queue + Drain, the
+// serving core's write path (includes the cadence snapshots).
+void BM_ServeAppendDrain(benchmark::State& state) {
+  const size_t tenants = static_cast<size_t>(state.range(0));
+  std::unique_ptr<serve::TenantRegistry> registry(
+      MakeWarmRegistry(tenants, 16));
+  Rng rng(0xabba);
+  uncertain::UncertainPointBatch batch;
+  batch.dim = 2;
+  batch.offsets = {0, 1, 2, 3, 4};
+  for (size_t l = 0; l < 4; ++l) {
+    batch.coords.push_back(rng.UniformDouble(-10.0, 10.0));
+    batch.coords.push_back(rng.UniformDouble(-10.0, 10.0));
+    batch.probabilities.push_back(1.0);
+  }
+  size_t t = 0;
+  for (auto _ : state) {
+    const std::string id = "tenant-" + std::to_string(t++ % tenants);
+    UKC_CHECK(registry->SubmitAppend(id, batch).ok());
+    registry->Drain();
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_ServeAppendDrain)->Arg(1)->Arg(8);
+
+// The cheap query shape: exact max-over-cells cost of one candidate
+// set against a warmed tenant (1024-cell ceiling).
+void BM_ServeCandidateCostQuery(benchmark::State& state) {
+  std::unique_ptr<serve::TenantRegistry> registry(MakeWarmRegistry(1, 256));
+  const std::vector<double> candidates = {0.0, 0.0, 5.0, 5.0, -5.0, 5.0};
+  for (auto _ : state) {
+    auto answer =
+        registry->QueryCandidateCost("tenant-0", candidates, 3, Deadline());
+    UKC_CHECK(answer.ok()) << answer.status();
+    benchmark::DoNotOptimize(answer);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeCandidateCostQuery);
+
+// The expensive query shape: full k-center solve on the tenant's
+// cells. Arg is the warm-up append count (more cells = bigger solve);
+// a one-point append per iteration moves the epoch so the answer
+// cache never hits and every query pays the cold solve.
+void BM_ServeCentersQueryCold(benchmark::State& state) {
+  const size_t appends = static_cast<size_t>(state.range(0));
+  std::unique_ptr<serve::TenantRegistry> registry(
+      MakeWarmRegistry(1, appends));
+  serve::Tenant* tenant = registry->FindTenant("tenant-0");
+  for (auto _ : state) {
+    // One fresh point per iteration moves the epoch, so every query
+    // pays the full solve (the cache never hits).
+    uncertain::UncertainPointBatch batch;
+    batch.dim = 2;
+    batch.offsets = {0, 1};
+    batch.coords = {1.0, 1.0};
+    batch.probabilities = {1.0};
+    UKC_CHECK(tenant->Append(batch).ok());
+    auto answer = registry->QueryCenters("tenant-0", Deadline());
+    UKC_CHECK(answer.ok()) << answer.status();
+    benchmark::DoNotOptimize(answer);
+  }
+  state.counters["cells"] = static_cast<double>(tenant->num_cells());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeCentersQueryCold)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// The cached path the serving loop actually rides between appends.
+void BM_ServeCentersQueryCached(benchmark::State& state) {
+  std::unique_ptr<serve::TenantRegistry> registry(MakeWarmRegistry(1, 256));
+  for (auto _ : state) {
+    auto answer = registry->QueryCenters("tenant-0", Deadline());
+    UKC_CHECK(answer.ok()) << answer.status();
+    benchmark::DoNotOptimize(answer);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeCentersQueryCached);
+
+// Failover: one kill-and-restore of a warmed tenant from its sidecar
+// (load + checksum + deserialize + state reset) — the recovery-time
+// number the ops runbook quotes.
+void BM_ServeFailoverRestore(benchmark::State& state) {
+  std::unique_ptr<serve::TenantRegistry> registry(
+      MakeWarmRegistry(1, 256, "bench_serve_failover"));
+  for (auto _ : state) {
+    uint64_t restored_epoch = 0;
+    auto status = registry->RestoreTenant("tenant-0", &restored_epoch);
+    UKC_CHECK(status.ok()) << status;
+    benchmark::DoNotOptimize(restored_epoch);
+  }
+  std::remove("bench_serve_failover_tenant-0.ckpt");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeFailoverRestore)->Unit(benchmark::kMicrosecond);
+
+// Overload: submissions against a full queue. Measures the shed path
+// (reject-newest + marked status), which must stay O(1) — shedding is
+// the mechanism that keeps an overloaded core responsive.
+void BM_ServeOverloadShed(benchmark::State& state) {
+  serve::RegistryOptions options;
+  options.queue_capacity = 4;
+  serve::TenantRegistry registry(options);
+  serve::TenantConfig config;
+  config.dim = 2;
+  config.coreset.base_cell_width = 1e-3;
+  UKC_CHECK(registry.CreateTenant("tenant-0", config).ok());
+  uncertain::UncertainPointBatch batch;
+  batch.dim = 2;
+  batch.offsets = {0, 1};
+  batch.coords = {1.0, 1.0};
+  batch.probabilities = {1.0};
+  for (size_t i = 0; i < 4; ++i) {
+    UKC_CHECK(registry.SubmitAppend("tenant-0", batch).ok());
+  }
+  uint64_t sheds = 0;
+  for (auto _ : state) {
+    const Status status = registry.SubmitAppend("tenant-0", batch);
+    UKC_CHECK(serve::IsShed(status)) << status;
+    ++sheds;
+    benchmark::DoNotOptimize(status);
+  }
+  state.counters["sheds"] = static_cast<double>(sheds);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeOverloadShed);
 
 }  // namespace
 }  // namespace ukc

@@ -33,15 +33,39 @@
 //   --retry-attempts    total tries per batch read (1 = no retry)
 //
 //   build/examples/ukc_cli --input=data.ukc --k=8 --stream --chunk-size=8192
+//
+// Serving mode (resident multi-tenant core, serve/):
+//   --serve            drive a simulated serving session: tenants
+//                      absorb generated appends through the bounded
+//                      admission queue while queries (centers /
+//                      candidate cost / bracket) interleave
+//   --serve-tenants    resident tenant streams
+//   --serve-ops        mixed operations to drive
+//   --serve-queue-cap  per-tenant admission queue bound (overload
+//                      beyond it sheds the newest submission)
+//   --serve-snapshot-dir   directory for per-tenant failover sidecars
+//                          (empty = snapshots off); the session ends
+//                          with a kill-and-restore of tenant 0
+//   --serve-snapshot-every acked appends between cadence snapshots
+//   --deadline-us      per-query wall-clock budget (0 = unbounded)
+//   --deadline-checks  per-query deterministic check budget (0 = off;
+//                      overrides --deadline-us — the reproducible form)
+//
+//   build/examples/ukc_cli --serve --serve-tenants=4 --serve-ops=2000 \
+//       --serve-snapshot-dir=/tmp/ukc --deadline-us=5000
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <iostream>
 
+#include "common/deadline.h"
 #include "common/flags.h"
 #include "common/table.h"
 #include "core/uncertain_kcenter.h"
 #include "cost/expected_cost.h"
 #include "exper/instances.h"
+#include "serve/registry.h"
 #include "stream/pipeline.h"
 #include "uncertain/io.h"
 
@@ -94,6 +118,42 @@ ukc::Result<ukc::solver::CertainSolverKind> ParseSolver(const std::string& name,
   return ukc::Status::InvalidArgument("unknown solver " + name);
 }
 
+// A deterministic serving-mode batch: n uncertain points in
+// [-10, 10]^dim with 1..3 locations each, a scaled-down cousin of the
+// generator instances.
+ukc::uncertain::UncertainPointBatch MakeServeBatch(ukc::Rng& rng, size_t n,
+                                                  size_t dim) {
+  ukc::uncertain::UncertainPointBatch batch;
+  batch.dim = dim;
+  batch.norm = ukc::metric::Norm::kL2;
+  batch.offsets.push_back(0);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t locations = 1 + rng.Next() % 3;
+    double total = 0.0;
+    std::vector<double> weights(locations);
+    for (double& w : weights) {
+      w = rng.UniformDouble(0.1, 1.0);
+      total += w;
+    }
+    for (size_t l = 0; l < locations; ++l) {
+      for (size_t d = 0; d < dim; ++d) {
+        batch.coords.push_back(rng.UniformDouble(-10.0, 10.0));
+      }
+      batch.probabilities.push_back(weights[l] / total);
+    }
+    batch.offsets.push_back(batch.offsets.back() + locations);
+  }
+  return batch;
+}
+
+double PercentileMs(std::vector<double>& sorted_ms, double fraction) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(fraction * static_cast<double>(sorted_ms.size())));
+  return sorted_ms[index];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -111,6 +171,14 @@ int main(int argc, char** argv) {
   bool unassigned = false;
   int64_t mc = 0;
   int64_t threads = 1;
+  bool serve_mode = false;
+  int64_t serve_tenants = 4;
+  int64_t serve_ops = 1000;
+  int64_t serve_queue_cap = 64;
+  std::string serve_snapshot_dir;
+  int64_t serve_snapshot_every = 16;
+  int64_t deadline_us = 0;
+  int64_t deadline_checks = 0;
   bool stream = false;
   int64_t chunk_size = 4096;
   int64_t shards = 0;
@@ -139,6 +207,22 @@ int main(int argc, char** argv) {
   flags.AddBool("unassigned", &unassigned, "also evaluate unassigned cost");
   flags.AddInt("mc", &mc, "Monte-Carlo cross-check samples (0 = off)");
   flags.AddInt("threads", &threads, "worker threads (<= 0 = hardware)");
+  flags.AddBool("serve", &serve_mode,
+                "drive a simulated multi-tenant serving session");
+  flags.AddInt("serve-tenants", &serve_tenants, "serving: resident tenants");
+  flags.AddInt("serve-ops", &serve_ops, "serving: mixed operations to drive");
+  flags.AddInt("serve-queue-cap", &serve_queue_cap,
+               "serving: per-tenant admission queue bound");
+  flags.AddString("serve-snapshot-dir", &serve_snapshot_dir,
+                  "serving: directory for failover sidecars (empty = off)");
+  flags.AddInt("serve-snapshot-every", &serve_snapshot_every,
+               "serving: acked appends between cadence snapshots");
+  flags.AddInt("deadline-us", &deadline_us,
+               "serving: per-query wall-clock budget in microseconds (0 = "
+               "unbounded)");
+  flags.AddInt("deadline-checks", &deadline_checks,
+               "serving: deterministic per-query check budget (0 = off; "
+               "overrides --deadline-us)");
   flags.AddBool("stream", &stream, "run the chunked streaming pipeline");
   flags.AddInt("chunk-size", &chunk_size, "streaming: points per chunk");
   flags.AddInt("shards", &shards, "streaming: shard coresets (0 = threads)");
@@ -159,6 +243,143 @@ int main(int argc, char** argv) {
   if (auto status = flags.Parse(argc, argv); !status.ok()) {
     std::cerr << status << "\n" << flags.Usage("ukc_cli");
     return 1;
+  }
+
+  // Serving mode: a resident multi-tenant session driven by generated
+  // appends and queries, reporting throughput, shed/degrade behavior,
+  // query latency percentiles, and a closing kill-and-restore.
+  if (serve_mode) {
+    if (serve_tenants < 1 || serve_ops < 1 || serve_queue_cap < 1 ||
+        serve_snapshot_every < 1 || k < 1 || dim < 1 || deadline_us < 0 ||
+        deadline_checks < 0) {
+      return Fail(ukc::Status::InvalidArgument(
+          "--serve needs serve-tenants, serve-ops, serve-queue-cap, "
+          "serve-snapshot-every, k, dim >= 1 and non-negative deadlines"));
+    }
+    ukc::serve::RegistryOptions registry_options;
+    registry_options.queue_capacity = static_cast<size_t>(serve_queue_cap);
+    registry_options.threads = static_cast<int>(threads);
+    ukc::serve::TenantRegistry registry(registry_options);
+
+    std::vector<std::string> ids;
+    for (int64_t t = 0; t < serve_tenants; ++t) {
+      ukc::serve::TenantConfig config;
+      config.dim = static_cast<size_t>(dim);
+      config.k = static_cast<size_t>(k);
+      config.coreset.max_cells = static_cast<size_t>(max_cells);
+      config.coreset.base_cell_width =
+          base_cell_width > 1e-9 ? base_cell_width : 1e-3;
+      config.snapshot_every_appends =
+          static_cast<uint64_t>(serve_snapshot_every);
+      const std::string id = "tenant-" + std::to_string(t);
+      if (!serve_snapshot_dir.empty()) {
+        config.snapshot_path = serve_snapshot_dir + "/" + id + ".ckpt";
+      }
+      if (auto created = registry.CreateTenant(id, config); !created.ok()) {
+        return Fail(created.status());
+      }
+      ids.push_back(id);
+    }
+
+    const auto make_deadline = [&]() {
+      if (deadline_checks > 0) return ukc::Deadline::AfterChecks(deadline_checks);
+      if (deadline_us > 0) {
+        return ukc::Deadline::After(std::chrono::microseconds(deadline_us));
+      }
+      return ukc::Deadline();
+    };
+
+    using Clock = std::chrono::steady_clock;
+    ukc::Rng rng(static_cast<uint64_t>(seed));
+    std::vector<double> query_ms;
+    const auto session_start = Clock::now();
+    for (int64_t op = 0; op < serve_ops; ++op) {
+      const std::string& id = ids[rng.Next() % ids.size()];
+      const uint64_t dice = rng.Next() % 100;
+      if (dice < 55) {
+        (void)registry.SubmitAppend(
+            id, MakeServeBatch(rng, 1 + rng.Next() % 4,
+                               static_cast<size_t>(dim)));
+      } else if (dice < 70) {
+        registry.Drain();
+      } else {
+        const auto query_start = Clock::now();
+        if (dice < 85) {
+          (void)registry.QueryCenters(id, make_deadline());
+        } else if (dice < 95) {
+          std::vector<double> candidates(static_cast<size_t>(dim));
+          for (double& c : candidates) c = rng.UniformDouble(-10.0, 10.0);
+          (void)registry.QueryCandidateCost(id, candidates, 1, make_deadline());
+        } else {
+          std::vector<double> candidates(static_cast<size_t>(dim));
+          for (double& c : candidates) c = rng.UniformDouble(-10.0, 10.0);
+          (void)registry.QueryBracket(id, candidates, 1, make_deadline());
+        }
+        query_ms.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      query_start)
+                .count());
+      }
+    }
+    registry.Drain();
+    const double session_ms = std::chrono::duration<double, std::milli>(
+                                  Clock::now() - session_start)
+                                  .count();
+
+    // Closing failover drill: kill-and-restore tenant 0 from its
+    // sidecar (the bitwise-replay guarantee itself is asserted by
+    // tests/serve_test.cc; here we report the restore cost).
+    double restore_ms = -1.0;
+    uint64_t restored_epoch = 0;
+    if (!serve_snapshot_dir.empty()) {
+      const auto restore_start = Clock::now();
+      const ukc::Status restored =
+          registry.RestoreTenant(ids[0], &restored_epoch);
+      if (restored.ok()) {
+        restore_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                               restore_start)
+                         .count();
+      } else {
+        std::cerr << "failover drill: " << restored << "\n";
+      }
+    }
+
+    const ukc::serve::ServeStats& stats = registry.stats();
+    std::sort(query_ms.begin(), query_ms.end());
+    ukc::TablePrinter report({"metric", "value"});
+    report.AddRowValues("tenants", static_cast<double>(serve_tenants));
+    report.AddRowValues("ops driven", static_cast<double>(serve_ops));
+    report.AddRowValues("session ms", session_ms);
+    report.AddRowValues("appends applied",
+                        static_cast<double>(stats.appends_applied));
+    report.AddRowValues("appends shed (overload)",
+                        static_cast<double>(stats.appends_shed));
+    report.AddRowValues("appends refused (degraded)",
+                        static_cast<double>(stats.appends_refused));
+    report.AddRowValues("shed rate",
+                        stats.appends_submitted == 0
+                            ? 0.0
+                            : static_cast<double>(stats.appends_shed) /
+                                  static_cast<double>(stats.appends_submitted));
+    report.AddRowValues("snapshots saved",
+                        static_cast<double>(stats.snapshots_saved));
+    report.AddRowValues("tenants degraded",
+                        static_cast<double>(stats.degrade_events));
+    report.AddRowValues("tenants recovered",
+                        static_cast<double>(stats.recover_events));
+    report.AddRowValues("queries answered",
+                        static_cast<double>(stats.queries_answered));
+    report.AddRowValues("queries deadline-exceeded",
+                        static_cast<double>(stats.queries_deadline_exceeded));
+    report.AddRowValues("query p50 ms", PercentileMs(query_ms, 0.50));
+    report.AddRowValues("query p99 ms", PercentileMs(query_ms, 0.99));
+    if (restore_ms >= 0.0) {
+      report.AddRowValues("failover restore ms", restore_ms);
+      report.AddRowValues("failover restored epoch",
+                          static_cast<double>(restored_epoch));
+    }
+    report.Print(std::cout);
+    return 0;
   }
 
   // Streaming mode: the file path never materializes the dataset; the

@@ -1,0 +1,68 @@
+#include "common/deadline.h"
+
+#include <string>
+
+namespace ukc {
+
+Deadline Deadline::After(std::chrono::nanoseconds budget) {
+  Deadline deadline;
+  deadline.rep_ = std::make_shared<Rep>();
+  deadline.rep_->expires_at = std::chrono::steady_clock::now() + budget;
+  return deadline;
+}
+
+Deadline Deadline::AfterChecks(int64_t checks) {
+  Deadline deadline;
+  deadline.rep_ = std::make_shared<Rep>();
+  if (checks <= 0) {
+    deadline.rep_->cancelled.store(true, std::memory_order_relaxed);
+  } else {
+    deadline.rep_->checks_left.store(checks, std::memory_order_relaxed);
+  }
+  return deadline;
+}
+
+Deadline Deadline::Expired() {
+  Deadline deadline;
+  deadline.rep_ = std::make_shared<Rep>();
+  deadline.rep_->cancelled.store(true, std::memory_order_relaxed);
+  return deadline;
+}
+
+void Deadline::Cancel() {
+  if (rep_ != nullptr) {
+    rep_->cancelled.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool Deadline::expired() const {
+  if (rep_ == nullptr) return false;
+  if (rep_->cancelled.load(std::memory_order_relaxed)) return true;
+  const int64_t countdown = rep_->checks_left.load(std::memory_order_relaxed);
+  if (countdown >= 0) {
+    // The countdown is the budget: each check consumes one unit, and
+    // the check that takes it to zero is the one that fails. A
+    // concurrent race can only over-consume — expiry can come early
+    // under contention, never late — which is the safe direction for
+    // a cancellation primitive (and tests run the countdown
+    // single-threaded where it is exact).
+    if (rep_->checks_left.fetch_sub(1, std::memory_order_relaxed) <= 1) {
+      rep_->cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+  if (std::chrono::steady_clock::now() >= rep_->expires_at) {
+    rep_->cancelled.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+Status Deadline::Check(const char* what) const {
+  if (!expired()) return Status::OK();
+  return Status::DeadlineExceeded(
+      std::string(what) + ": deadline expired before completion");
+}
+
+}  // namespace ukc

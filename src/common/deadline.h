@@ -1,0 +1,89 @@
+// Deadline / cancellation token for bounding query work.
+//
+// A `Deadline` is a cheap copyable handle threaded by value through
+// options structs down into the evaluator kernels. Copies share state:
+// cancelling any copy cancels them all, and every copy observes the
+// same expiry. The default-constructed token never expires and costs
+// nothing to check (null rep, one pointer compare), so hot paths pay
+// for deadlines only when a caller actually set one.
+//
+// Two budget shapes are supported:
+//   - Deadline::After(duration): wall-clock (steady_clock) expiry, the
+//     production shape.
+//   - Deadline::AfterChecks(n): expires on the n-th Check() call. A
+//     deterministic countdown for tests — "the query dies at exactly
+//     the same kernel checkpoint every run", independent of machine
+//     speed, which is what lets deadline tests assert bitwise-stable
+//     behavior.
+//
+// Checks are deliberately coarse-grained (per candidate, per sweep
+// phase, per local-search round — not per point) so the unexpired cost
+// is a handful of atomic loads per query. Expiry surfaces as
+// `kDeadlineExceeded`, which is NOT transient: the retry layer will
+// not amplify an expired query (see common/retry.h).
+
+#ifndef UKC_COMMON_DEADLINE_H_
+#define UKC_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace ukc {
+
+class Deadline {
+ public:
+  /// Never expires; Check() is a null-pointer test.
+  Deadline() = default;
+
+  /// Expires `budget` from now (steady clock).
+  static Deadline After(std::chrono::nanoseconds budget);
+
+  /// Expires on the `checks`-th call to Check()/expired() (1-based:
+  /// AfterChecks(1) fails the first check). Deterministic; test-only
+  /// by intent. `checks <= 0` behaves as already expired.
+  static Deadline AfterChecks(int64_t checks);
+
+  /// Already expired. Every Check() fails.
+  static Deadline Expired();
+
+  /// Cancels this token and every copy sharing its state. Safe to call
+  /// from any thread, including concurrently with Check(). No-op on a
+  /// default (infinite) token.
+  void Cancel();
+
+  /// True iff the token can never expire (default-constructed).
+  bool infinite() const { return rep_ == nullptr; }
+
+  /// True iff the budget is gone. Consumes a check from an
+  /// AfterChecks() countdown, exactly like Check().
+  bool expired() const;
+
+  /// OK while the budget lasts, DeadlineExceeded("<what>: ...") after.
+  /// `what` names the checkpoint for the error message; it does not
+  /// affect the decision.
+  Status Check(const char* what) const;
+
+ private:
+  struct Rep {
+    // Cancelled (or countdown exhausted) flag. Sticky once set so
+    // late checks after expiry all agree.
+    std::atomic<bool> cancelled{false};
+    // Wall-clock expiry; time_point::max() means "no time budget".
+    std::chrono::steady_clock::time_point expires_at =
+        std::chrono::steady_clock::time_point::max();
+    // Remaining Check() calls before expiry; negative means "no
+    // countdown". Decremented on every check of every copy.
+    std::atomic<int64_t> checks_left{-1};
+  };
+
+  // Null for the infinite token; shared so copies observe one state.
+  std::shared_ptr<Rep> rep_;
+};
+
+}  // namespace ukc
+
+#endif  // UKC_COMMON_DEADLINE_H_

@@ -24,11 +24,16 @@ std::chrono::nanoseconds BackoffForRetry(const RetryOptions& options,
 Status RetryTransient(const RetryOptions& options,
                       const std::function<Status()>& op, RetryStats* stats) {
   const int attempts = std::max(1, options.max_attempts);
+  const auto should_retry = [&options](const Status& status) {
+    if (status.ok()) return false;
+    if (options.retry_if != nullptr) return options.retry_if(status);
+    return status.IsTransientError();
+  };
   Status last = Status::OK();
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     if (stats != nullptr) ++stats->attempts;
     last = op();
-    if (!last.IsTransientError()) return last;  // Success or permanent.
+    if (!should_retry(last)) return last;  // Success or permanent.
     if (attempt == attempts) break;
     if (stats != nullptr) ++stats->retries;
     const std::chrono::nanoseconds backoff = BackoffForRetry(options, attempt);

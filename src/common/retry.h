@@ -37,6 +37,13 @@ struct RetryOptions {
   /// Sleep hook; null = std::this_thread::sleep_for. Tests inject a
   /// recorder to assert the schedule without wall-clock waits.
   std::function<void(std::chrono::nanoseconds)> sleeper;
+  /// Retry-classification hook; null = Status::IsTransientError (the
+  /// historical behavior: retry exactly kUnavailable). Call sites that
+  /// must not amplify a particular kUnavailable — the serve layer's
+  /// load-shed rejection is the motivating case — inject a narrower
+  /// predicate here instead of widening the global IsTransient rule.
+  /// The predicate is never consulted on OK statuses.
+  std::function<bool(const Status&)> retry_if;
 };
 
 /// Counters of one retry loop (aggregated into IngestStats by the

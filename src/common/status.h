@@ -29,6 +29,11 @@ enum class StatusCode : int {
   /// unavailable): the one code the retry layer (common/retry.h) is
   /// allowed to retry. Everything else is permanent.
   kUnavailable = 7,
+  /// The caller's deadline or cancellation budget expired before the
+  /// operation completed. Deliberately NOT transient: retrying an
+  /// expired query against the same deadline can only expire again;
+  /// the caller must mint a fresh budget first.
+  kDeadlineExceeded = 8,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -72,6 +77,9 @@ class Status {
   }
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   /// True iff the error is transient (see IsTransient). OK statuses

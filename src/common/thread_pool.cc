@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "common/check.h"
 
@@ -38,6 +40,7 @@ void ThreadPool::RunJob(int worker) {
       fn(worker, index);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
+      ++job_exception_count_;
       if (job_exception_ == nullptr) {
         job_exception_ = std::current_exception();
       }
@@ -85,6 +88,7 @@ void ThreadPool::ParallelFor(size_t count,
     finished_workers_ = 0;
     job_aborted_.store(false, std::memory_order_relaxed);
     job_exception_ = nullptr;
+    job_exception_count_ = 0;
     ++generation_;
   }
   job_ready_.notify_all();
@@ -96,9 +100,29 @@ void ThreadPool::ParallelFor(size_t count,
     // Every worker has drained (the wait above), so the pool is back
     // in its idle state and stays usable after the rethrow.
     std::exception_ptr exception = job_exception_;
+    const size_t exception_count = job_exception_count_;
     job_exception_ = nullptr;
+    job_exception_count_ = 0;
     job_aborted_.store(false, std::memory_order_relaxed);
-    std::rethrow_exception(exception);
+    if (exception_count <= 1) {
+      // The common case: one worker failed. Rethrow the original so
+      // the caller's catch-by-type still works.
+      std::rethrow_exception(exception);
+    }
+    // Several workers failed in the same batch. Surface the fan-out in
+    // the message — callers diagnosing "one flaky worker" vs "every
+    // worker hit the same bug" need the count.
+    lock.unlock();
+    std::string first_message = "<non-standard exception>";
+    try {
+      std::rethrow_exception(exception);
+    } catch (const std::exception& e) {
+      first_message = e.what();
+    } catch (...) {
+    }
+    throw std::runtime_error("ThreadPool batch failed with " +
+                             std::to_string(exception_count) +
+                             " worker exceptions; first: " + first_message);
   }
 }
 

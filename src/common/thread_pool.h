@@ -61,7 +61,11 @@ class ThreadPool {
   /// every index completed. Must be called from one thread at a time
   /// (the pool owner's); jobs do not nest. If fn throws, the batch is
   /// aborted and the first captured exception is rethrown here, on the
-  /// borrowing thread, after the pool has drained.
+  /// borrowing thread, after the pool has drained. If exactly one
+  /// worker threw, the original exception is rethrown with its type
+  /// preserved; if several workers threw in the same batch, a
+  /// std::runtime_error reporting the exception count and the first
+  /// exception's message is thrown instead.
   void ParallelFor(size_t count, const std::function<void(int, size_t)>& fn);
 
   /// std::thread::hardware_concurrency with a floor of 1.
@@ -89,9 +93,13 @@ class ThreadPool {
   bool stopping_ = false;
   // First exception thrown by the current job's fn, rethrown by
   // ParallelFor on the borrowing thread. job_aborted_ makes workers
-  // stop pulling indices so the batch fails fast.
+  // stop pulling indices so the batch fails fast. When several workers
+  // throw in one batch (an abort only stops index *pulls*; in-flight
+  // indices can still fail), the count is aggregated into the rethrown
+  // error so multi-worker faults are not silently coalesced into one.
   std::atomic<bool> job_aborted_{false};
-  std::exception_ptr job_exception_;  // Guarded by mutex_.
+  std::exception_ptr job_exception_;   // Guarded by mutex_.
+  size_t job_exception_count_ = 0;     // Guarded by mutex_.
 };
 
 /// Borrow-or-own resolver for the `ThreadPool* pool` hook carried by

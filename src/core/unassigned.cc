@@ -100,6 +100,9 @@ Result<UnassignedSolution> LocalSearchUnassigned(
   UncertainKCenterOptions pipeline_options = options.pipeline;
   pipeline_options.k = options.k;
   if (pipeline_options.pool == nullptr) pipeline_options.pool = options.pool;
+  if (pipeline_options.deadline.infinite()) {
+    pipeline_options.deadline = options.deadline;
+  }
   if (!dataset->is_euclidean() &&
       pipeline_options.rule == cost::AssignmentRule::kExpectedPoint) {
     pipeline_options.rule = cost::AssignmentRule::kOneCenter;
@@ -130,9 +133,11 @@ Result<UnassignedSolution> LocalSearchUnassigned(
   parallel_options.kd_prune = !options.reference_swap_paths;
   parallel_options.evaluator.kdtree_cutover =
       std::numeric_limits<size_t>::max();
+  parallel_options.evaluator.deadline = options.deadline;
   cost::ParallelCandidateEvaluator parallel(parallel_options);
   cost::ExpectedCostEvaluator::Options scalar_options;
   scalar_options.kdtree_cutover = std::numeric_limits<size_t>::max();
+  scalar_options.deadline = options.deadline;
   // The scalar seed evaluation runs at top level, so its segmented
   // sweep may borrow the caller's pool (never re-entered from a job).
   scalar_options.sweep_pool = options.pool;
@@ -141,6 +146,8 @@ Result<UnassignedSolution> LocalSearchUnassigned(
                        evaluator.UnassignedCost(*dataset, solution.centers));
 
   for (size_t round = 0; round < options.max_swaps; ++round) {
+    UKC_RETURN_IF_ERROR(
+        options.deadline.Check("LocalSearchUnassigned[round]"));
     UKC_ASSIGN_OR_RETURN(
         std::vector<double> values,
         parallel.SwapCostMatrix(*dataset, solution.centers, pool));

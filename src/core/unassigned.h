@@ -79,6 +79,13 @@ struct UnassignedSearchOptions {
   /// either way (tests/incremental_sweep_test.cc asserts it); this knob
   /// exists for those assertions and for benchmarking the engine.
   bool reference_swap_paths = false;
+  /// Cancellation/budget token checked before the seed solve and at
+  /// every swap round (plus per candidate inside the evaluators it is
+  /// forwarded to). Expiry returns kDeadlineExceeded — the
+  /// partially-improved trajectory is discarded rather than returned,
+  /// so callers never mistake a truncated search for a converged one.
+  /// Default: never expires.
+  Deadline deadline;
   /// Options for the seeding pipeline run.
   UncertainKCenterOptions pipeline;
 };

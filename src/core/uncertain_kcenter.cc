@@ -42,6 +42,7 @@ Result<UncertainKCenterSolution> SolveUncertainKCenter(
   ScopedPool pool(options.pool, options.threads);
 
   // 1. Surrogates.
+  UKC_RETURN_IF_ERROR(options.deadline.Check("SolveUncertainKCenter[surrogates]"));
   Stopwatch stopwatch;
   SurrogateOptions surrogate_options;
   surrogate_options.kind = surrogate_kind;
@@ -53,6 +54,7 @@ Result<UncertainKCenterSolution> SolveUncertainKCenter(
 
   // 2. Deterministic k-center on the surrogates, sharing the run's
   // pool with solvers that parallelize (gonzalez-refined).
+  UKC_RETURN_IF_ERROR(options.deadline.Check("SolveUncertainKCenter[cluster]"));
   stopwatch.Reset();
   metric::MetricSpace* space = dataset->shared_space().get();
   solver::CertainSolverOptions certain_options = options.certain;
@@ -68,6 +70,7 @@ Result<UncertainKCenterSolution> SolveUncertainKCenter(
   solution.timings.clustering_seconds = stopwatch.ElapsedSeconds();
 
   // 3. Assignment rule.
+  UKC_RETURN_IF_ERROR(options.deadline.Check("SolveUncertainKCenter[assign]"));
   stopwatch.Reset();
   switch (options.rule) {
     case cost::AssignmentRule::kExpectedDistance: {
@@ -119,6 +122,7 @@ Result<UncertainKCenterSolution> SolveUncertainKCenter(
   stopwatch.Reset();
   cost::ExpectedCostEvaluator::Options evaluator_options;
   evaluator_options.sweep_pool = pool.get();
+  evaluator_options.deadline = options.deadline;
   cost::ExpectedCostEvaluator evaluator(evaluator_options);
   UKC_ASSIGN_OR_RETURN(solution.expected_cost,
                        evaluator.AssignedCost(*dataset, solution.assignment));

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "core/bounds.h"
 #include "core/surrogates.h"
@@ -52,6 +53,13 @@ struct UncertainKCenterOptions {
   /// instead of constructing private ones — the hook the streaming
   /// pipeline (stream/pipeline.h) uses to pay worker spawn once.
   ThreadPool* pool = nullptr;
+  /// Cancellation/budget token checked between pipeline phases
+  /// (surrogates → clustering → assignment → evaluation) and inside
+  /// the exact evaluations. Expiry aborts the run with
+  /// kDeadlineExceeded; the dataset is left valid (at most surrogate
+  /// sites were minted, which later runs reuse or ignore). Default:
+  /// never expires.
+  Deadline deadline;
 };
 
 /// Timing breakdown of one pipeline run, in seconds.

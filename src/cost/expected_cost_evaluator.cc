@@ -417,6 +417,7 @@ double ExpectedCostEvaluator::ExpectedMaxOfIndependent(
 Result<double> ExpectedCostEvaluator::AssignedCost(
     const uncertain::UncertainDataset& dataset, const Assignment& assignment) {
   ScratchGuard guard(this);
+  UKC_RETURN_IF_ERROR(options_.deadline.Check("AssignedCost"));
   if (assignment.size() != dataset.n()) {
     return Status::InvalidArgument(
         StrFormat("ExactAssignedCost: assignment covers %zu points, dataset "
@@ -570,6 +571,7 @@ Result<double> ExpectedCostEvaluator::UnassignedCost(
     const uncertain::UncertainDataset& dataset,
     const std::vector<metric::SiteId>& centers) {
   ScratchGuard guard(this);
+  UKC_RETURN_IF_ERROR(options_.deadline.Check("UnassignedCost"));
   UKC_RETURN_IF_ERROR(FillUnassignedEvents(dataset, centers));
   if (dataset.n() == 0) return 0.0;
   return SweepEvents(dataset.n(), dataset.offsets());
@@ -952,6 +954,7 @@ Result<double> ExpectedCostEvaluator::UnassignedCostSwapPresorted(
     std::span<const double> base_distances, const SwapBase& base,
     std::span<const uint32_t> point_of, metric::SiteId extra) {
   ScratchGuard guard(this);
+  UKC_RETURN_IF_ERROR(options_.deadline.Check("UnassignedCostSwapPresorted"));
   const metric::MetricSpace& space = dataset.space();
   if (extra < 0 || extra >= space.num_sites()) {
     return Status::InvalidArgument(
@@ -1072,6 +1075,7 @@ Result<double> ExpectedCostEvaluator::UnassignedCostSwapPruned(
     std::span<const uint32_t> point_of, metric::SiteId extra,
     const geometry::BoundedKdTree& tree, std::span<const double> subtree_max) {
   ScratchGuard guard(this);
+  UKC_RETURN_IF_ERROR(options_.deadline.Check("UnassignedCostSwapPruned"));
   const metric::EuclideanSpace* euclidean = dataset.euclidean();
   if (euclidean == nullptr) {
     return Status::FailedPrecondition(

@@ -56,6 +56,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -134,6 +135,14 @@ class ExpectedCostEvaluator {
     /// running the evaluator from inside a pool job must leave this
     /// null (a pool must not be re-entered from one of its own jobs).
     ThreadPool* sweep_pool = nullptr;
+    /// Cancellation/budget token checked once per evaluation entry
+    /// (per candidate on batch and swap paths — coarse on purpose, so
+    /// the unexpired cost is one relaxed atomic load per candidate).
+    /// The default token never expires. On expiry the evaluation
+    /// returns kDeadlineExceeded; the evaluator's scratch is reusable
+    /// by construction (every evaluation rewrites it from scratch), so
+    /// no cleanup beyond returning is needed.
+    Deadline deadline;
     /// Store only rung 0 and the deepest rung's per-point CDF in
     /// SwapBase (the ~3.5x ladder memory compaction); an escalation
     /// that lands on an intermediate rung re-derives its CDF once per

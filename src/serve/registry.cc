@@ -1,0 +1,269 @@
+#include "serve/registry.h"
+
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/strings.h"
+
+namespace ukc {
+namespace serve {
+
+TenantRegistry::TenantRegistry(RegistryOptions options)
+    : options_(options), pool_(options.pool, options.threads) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.degrade_after_failures < 1) options_.degrade_after_failures = 1;
+}
+
+Result<Tenant*> TenantRegistry::CreateTenant(const std::string& id,
+                                             TenantConfig config) {
+  if (id.empty()) {
+    return Status::InvalidArgument("CreateTenant: empty tenant id");
+  }
+  if (config.dim == 0) {
+    return Status::InvalidArgument(
+        StrFormat("CreateTenant: tenant %s has dim 0", id.c_str()));
+  }
+  if (tenants_.count(id) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("CreateTenant: tenant %s already exists", id.c_str()));
+  }
+  Slot& slot = tenants_[id];
+  slot.tenant = std::make_unique<Tenant>(id, config);
+  return slot.tenant.get();
+}
+
+Tenant* TenantRegistry::FindTenant(const std::string& id) {
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second.tenant.get();
+}
+
+const Tenant* TenantRegistry::FindTenant(const std::string& id) const {
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second.tenant.get();
+}
+
+std::vector<std::string> TenantRegistry::TenantIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(tenants_.size());
+  for (const auto& [id, slot] : tenants_) ids.push_back(id);
+  return ids;
+}
+
+size_t TenantRegistry::QueueDepth(const std::string& id) const {
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? 0 : it->second.queue.size();
+}
+
+Status TenantRegistry::SubmitAppend(
+    const std::string& id, const uncertain::UncertainPointBatch& batch) {
+  ++stats_.appends_submitted;
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    return Status::NotFound(
+        StrFormat("SubmitAppend: unknown tenant %s", id.c_str()));
+  }
+  Slot& slot = it->second;
+  // The enqueue boundary is fault-injectable: an injected kUnavailable
+  // models a transient admission failure (client may retry); the
+  // status returned by the macro is counted and propagated as-is.
+  {
+    const Status injected = [&]() -> Status {
+      UKC_INJECT_FAULT("serve.enqueue");
+      return Status::OK();
+    }();
+    if (!injected.ok()) {
+      ++stats_.enqueue_faults;
+      return injected;
+    }
+  }
+  if (slot.tenant->state() == TenantState::kDegraded) {
+    ++stats_.appends_refused;
+    return Status::FailedPrecondition(
+        StrFormat("SubmitAppend: tenant %s is degraded, writes refused",
+                  id.c_str()));
+  }
+  if (slot.queue.size() >= options_.queue_capacity) {
+    ++stats_.appends_shed;
+    return ShedStatus(
+        StrFormat("tenant %s append queue is full (%zu queued)", id.c_str(),
+                  slot.queue.size()));
+  }
+  slot.queue.push_back(batch);
+  return Status::OK();
+}
+
+Status TenantRegistry::SubmitAppendWithRetry(
+    const std::string& id, const uncertain::UncertainPointBatch& batch,
+    const RetryOptions& retry, RetryStats* retry_stats) {
+  RetryOptions options = retry;
+  // The serve-layer classification: retry transient failures, never
+  // sheds — re-submitting into a full queue amplifies the overload the
+  // shed exists to relieve.
+  options.retry_if = [](const Status& status) {
+    return status.IsTransientError() && !IsShed(status);
+  };
+  return RetryTransient(
+      options, [&]() { return SubmitAppend(id, batch); }, retry_stats);
+}
+
+void TenantRegistry::RecordFailure(Slot* slot, DrainResult* result) {
+  ++slot->consecutive_failures;
+  if (slot->consecutive_failures >= options_.degrade_after_failures &&
+      slot->tenant->state() == TenantState::kLive) {
+    slot->tenant->MarkDegraded();
+    ++stats_.degrade_events;
+    ++result->degraded;
+  }
+}
+
+void TenantRegistry::RecordSuccess(Slot* slot) {
+  slot->consecutive_failures = 0;
+}
+
+DrainResult TenantRegistry::Drain() {
+  DrainResult result;
+  for (auto& [id, slot] : tenants_) {
+    Tenant& tenant = *slot.tenant;
+
+    // Watchdog recovery probe: a degraded tenant attempts a snapshot
+    // of its (always-valid) live state. Success proves the failing
+    // boundary cleared -> back to live; failure keeps it degraded.
+    // Tenants without a snapshot path recover by probe-free fiat: the
+    // only degradable boundary they have is the append itself, which
+    // the next applied batch re-tests.
+    if (tenant.state() == TenantState::kDegraded) {
+      Status probe = Status::OK();
+      if (!tenant.config().snapshot_path.empty()) {
+        probe = tenant.Snapshot();
+      }
+      if (probe.ok()) {
+        if (!tenant.config().snapshot_path.empty()) {
+          ++stats_.snapshots_saved;
+          ++result.snapshots;
+        }
+        tenant.MarkLive();
+        slot.consecutive_failures = 0;
+        ++stats_.recover_events;
+        ++result.recovered;
+      } else {
+        ++stats_.snapshot_failures;
+        ++slot.consecutive_failures;
+      }
+    }
+
+    while (!slot.queue.empty()) {
+      uncertain::UncertainPointBatch batch = std::move(slot.queue.front());
+      slot.queue.pop_front();
+      if (tenant.state() == TenantState::kDegraded) {
+        // Queued before the degrade: dropped un-acked (never silently
+        // applied later against a rolled-back coreset).
+        ++stats_.appends_refused;
+        ++result.refused;
+        continue;
+      }
+      const Status applied = tenant.Append(batch);
+      if (!applied.ok()) {
+        ++stats_.append_failures;
+        ++result.failed;
+        RecordFailure(&slot, &result);
+        continue;
+      }
+      ++stats_.appends_applied;
+      ++result.applied;
+
+      // Snapshot cadence, counted in acked appends. The watchdog unit
+      // is "ack + due snapshot": a failing snapshot boundary must
+      // accumulate consecutive failures even though the appends
+      // between its attempts keep succeeding.
+      const TenantConfig& config = tenant.config();
+      bool unit_ok = true;
+      if (!config.snapshot_path.empty() &&
+          config.snapshot_every_appends > 0 &&
+          tenant.epoch() % config.snapshot_every_appends == 0) {
+        const Status saved = tenant.Snapshot();
+        if (saved.ok()) {
+          ++stats_.snapshots_saved;
+          ++result.snapshots;
+        } else {
+          ++stats_.snapshot_failures;
+          RecordFailure(&slot, &result);
+          unit_ok = false;
+        }
+      }
+      if (unit_ok) RecordSuccess(&slot);
+    }
+  }
+  return result;
+}
+
+void TenantRegistry::CountQuery(const Status& status) {
+  if (status.ok()) {
+    ++stats_.queries_answered;
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    ++stats_.queries_deadline_exceeded;
+  } else {
+    ++stats_.queries_failed;
+  }
+}
+
+Result<Tenant::CentersAnswer> TenantRegistry::QueryCenters(
+    const std::string& id, const Deadline& deadline) {
+  Tenant* tenant = FindTenant(id);
+  if (tenant == nullptr) {
+    ++stats_.queries_failed;
+    return Status::NotFound(
+        StrFormat("QueryCenters: unknown tenant %s", id.c_str()));
+  }
+  Result<Tenant::CentersAnswer> answer =
+      tenant->QueryCenters(pool_.get(), deadline);
+  CountQuery(answer.status());
+  return answer;
+}
+
+Result<Tenant::CostAnswer> TenantRegistry::QueryCandidateCost(
+    const std::string& id, const std::vector<double>& candidates,
+    size_t num_candidates, const Deadline& deadline) {
+  Tenant* tenant = FindTenant(id);
+  if (tenant == nullptr) {
+    ++stats_.queries_failed;
+    return Status::NotFound(
+        StrFormat("QueryCandidateCost: unknown tenant %s", id.c_str()));
+  }
+  Result<Tenant::CostAnswer> answer =
+      tenant->QueryCandidateCost(candidates, num_candidates, deadline);
+  CountQuery(answer.status());
+  return answer;
+}
+
+Result<Tenant::BracketAnswer> TenantRegistry::QueryBracket(
+    const std::string& id, const std::vector<double>& candidates,
+    size_t num_candidates, const Deadline& deadline) {
+  Tenant* tenant = FindTenant(id);
+  if (tenant == nullptr) {
+    ++stats_.queries_failed;
+    return Status::NotFound(
+        StrFormat("QueryBracket: unknown tenant %s", id.c_str()));
+  }
+  Result<Tenant::BracketAnswer> answer =
+      tenant->QueryBracket(candidates, num_candidates, deadline);
+  CountQuery(answer.status());
+  return answer;
+}
+
+Status TenantRegistry::RestoreTenant(const std::string& id,
+                                     uint64_t* restored_epoch) {
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    return Status::NotFound(
+        StrFormat("RestoreTenant: unknown tenant %s", id.c_str()));
+  }
+  Slot& slot = it->second;
+  UKC_RETURN_IF_ERROR(slot.tenant->RestoreFromSnapshot());
+  slot.queue.clear();
+  slot.consecutive_failures = 0;
+  if (restored_epoch != nullptr) *restored_epoch = slot.tenant->epoch();
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace ukc

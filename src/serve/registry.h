@@ -1,0 +1,159 @@
+// TenantRegistry: the resident serving core over N tenant streams.
+//
+// Responsibilities on top of serve/tenant.h:
+//   - Admission control: SubmitAppend enqueues into a bounded
+//     per-tenant FIFO queue; a full queue SHEDS the newest submission
+//     with a marked kUnavailable (serve/serve.h ShedStatus) instead of
+//     buffering unboundedly. SubmitAppendWithRetry shows the intended
+//     client loop: bounded retry of genuinely transient failures that
+//     explicitly opts out of retrying sheds (RetryOptions::retry_if) —
+//     re-submitting into a full queue only amplifies the overload.
+//   - Deterministic application: Drain() applies queued appends in a
+//     fixed order — tenants by ascending id, FIFO within a tenant —
+//     and drives the per-tenant snapshot cadence. Thread count never
+//     changes the order, so every replica walks the same state
+//     trajectory.
+//   - Watchdog: consecutive append/snapshot failures degrade a tenant
+//     (writes refused, queries served stale); each Drain opens with a
+//     recovery probe (a snapshot attempt) for every degraded tenant,
+//     so tenants heal themselves once the failing boundary clears.
+//   - Failover: RestoreTenant rebuilds one tenant from its sidecar;
+//     the caller replays acked appends past the restored epoch (the
+//     registry reports it) to make the replica bitwise current.
+//
+// Externally synchronized (one serving thread); queries fan out over
+// the registry's ScopedPool.
+
+#ifndef UKC_SERVE_REGISTRY_H_
+#define UKC_SERVE_REGISTRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/result.h"
+#include "common/retry.h"
+#include "common/thread_pool.h"
+#include "serve/serve.h"
+#include "serve/tenant.h"
+#include "uncertain/chunk.h"
+
+namespace ukc {
+namespace serve {
+
+/// Registry-wide knobs.
+struct RegistryOptions {
+  /// Bounded per-tenant append queue; a submission that would exceed
+  /// it is shed (reject-newest). Must be >= 1.
+  size_t queue_capacity = 64;
+  /// Consecutive append/snapshot failures before the watchdog marks a
+  /// tenant degraded. Must be >= 1.
+  int degrade_after_failures = 3;
+  /// Workers for query fan-out (<= 0 = hardware threads); ignored when
+  /// `pool` borrows a shared pool (ScopedPool semantics).
+  int threads = 1;
+  ThreadPool* pool = nullptr;
+};
+
+/// Outcome of one Drain pass.
+struct DrainResult {
+  uint64_t applied = 0;    // Appends acked into live coresets.
+  uint64_t refused = 0;    // Dropped: tenant degraded at apply time.
+  uint64_t failed = 0;     // Tenant::Append errors (fault-injectable).
+  uint64_t snapshots = 0;  // Cadenced + probe snapshots taken.
+  uint64_t degraded = 0;   // Tenants newly degraded this pass.
+  uint64_t recovered = 0;  // Tenants newly recovered this pass.
+};
+
+class TenantRegistry {
+ public:
+  explicit TenantRegistry(RegistryOptions options);
+
+  /// Registers a tenant. Fails on duplicate or empty id, or invalid
+  /// config (dim 0).
+  Result<Tenant*> CreateTenant(const std::string& id, TenantConfig config);
+
+  /// The tenant, or nullptr when unknown.
+  Tenant* FindTenant(const std::string& id);
+  const Tenant* FindTenant(const std::string& id) const;
+
+  /// Registered ids in ascending order (the Drain order).
+  std::vector<std::string> TenantIds() const;
+
+  /// Queued appends for one tenant (0 for unknown ids).
+  size_t QueueDepth(const std::string& id) const;
+
+  /// Admission control: copies `batch` into the tenant's queue.
+  /// Rejections, in order of checking: unknown tenant (kNotFound),
+  /// injected `serve.enqueue` fault (as injected), degraded tenant
+  /// (kFailedPrecondition — not retryable by design), full queue
+  /// (marked kUnavailable shed, see IsShed).
+  Status SubmitAppend(const std::string& id,
+                      const uncertain::UncertainPointBatch& batch);
+
+  /// SubmitAppend under bounded retry with the serve-layer
+  /// classification: transient failures (injected kUnavailable
+  /// enqueue faults) retry on the RetryOptions schedule; SHEDS DO NOT
+  /// — a full queue needs Drain, not more submissions. This is the
+  /// RetryOptions::retry_if satellite in action.
+  Status SubmitAppendWithRetry(const std::string& id,
+                               const uncertain::UncertainPointBatch& batch,
+                               const RetryOptions& retry,
+                               RetryStats* retry_stats = nullptr);
+
+  /// Applies every queued append in deterministic order and runs the
+  /// watchdog: recovery probes for degraded tenants first, then the
+  /// per-tenant FIFO, snapshot cadence after each ack, and
+  /// degrade-on-threshold accounting. Always drains every queue (a
+  /// refused append is dropped, not requeued).
+  DrainResult Drain();
+
+  /// Query pass-throughs: resolve the tenant, forward the shared pool
+  /// and deadline, and keep the query counters.
+  Result<Tenant::CentersAnswer> QueryCenters(const std::string& id,
+                                             const Deadline& deadline);
+  Result<Tenant::CostAnswer> QueryCandidateCost(
+      const std::string& id, const std::vector<double>& candidates,
+      size_t num_candidates, const Deadline& deadline);
+  Result<Tenant::BracketAnswer> QueryBracket(
+      const std::string& id, const std::vector<double>& candidates,
+      size_t num_candidates, const Deadline& deadline);
+
+  /// Failover: restores one tenant from its sidecar (fault site
+  /// serve.restore) and reports the epoch it restored to via
+  /// *restored_epoch (the caller replays acked appends past it). A
+  /// successful restore clears the tenant's failure accounting; its
+  /// queued (pre-kill) appends were never acked and the queue is
+  /// cleared — the caller's replay is the source of truth.
+  Status RestoreTenant(const std::string& id, uint64_t* restored_epoch);
+
+  const ServeStats& stats() const { return stats_; }
+  ThreadPool* pool() const { return pool_.get(); }
+
+ private:
+  struct Slot {
+    std::unique_ptr<Tenant> tenant;
+    std::deque<uncertain::UncertainPointBatch> queue;
+    int consecutive_failures = 0;
+  };
+
+  // Watchdog bookkeeping after one fallible tenant operation.
+  void RecordFailure(Slot* slot, DrainResult* result);
+  void RecordSuccess(Slot* slot);
+
+  // Counter upkeep shared by the three query pass-throughs.
+  void CountQuery(const Status& status);
+
+  RegistryOptions options_;
+  ScopedPool pool_;
+  std::map<std::string, Slot> tenants_;  // Ordered: the Drain order.
+  ServeStats stats_;
+};
+
+}  // namespace serve
+}  // namespace ukc
+
+#endif  // UKC_SERVE_REGISTRY_H_

@@ -1,0 +1,29 @@
+#include "serve/serve.h"
+
+namespace ukc {
+namespace serve {
+
+std::string_view TenantStateToString(TenantState state) {
+  switch (state) {
+    case TenantState::kLive:
+      return "live";
+    case TenantState::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+Status ShedStatus(const std::string& detail) {
+  std::string message(kShedMessageMarker);
+  message += " ";
+  message += detail;
+  return Status::Unavailable(std::move(message));
+}
+
+bool IsShed(const Status& status) {
+  return status.code() == StatusCode::kUnavailable &&
+         status.message().find(kShedMessageMarker) != std::string::npos;
+}
+
+}  // namespace serve
+}  // namespace ukc

@@ -1,0 +1,106 @@
+// Shared types of the resident multi-tenant serving core.
+//
+// The serve layer composes the streaming subsystem's pieces into a
+// long-lived process: each tenant owns a live StreamingCoreset fed by
+// appends, queries are answered from coreset state (never from raw
+// data), and the PR-6 checkpoint sidecar doubles as the per-tenant
+// failover snapshot. See src/serve/tenant.h and src/serve/registry.h
+// for the two layers; docs/operations.md ("Serving") for the operator
+// view.
+//
+// Design stance: the registry is a SYNCHRONOUS DETERMINISTIC state
+// machine. Appends enqueue into bounded per-tenant FIFO queues and are
+// applied by Drain() in a fixed order (tenants by id, FIFO within a
+// tenant); queries execute immediately against current coreset state,
+// fanning out only through the one shared pool. Thread count therefore
+// affects intra-query parallelism but never the sequence of state
+// transitions — which is what makes replica answers bitwise
+// comparable, and what lets the chaos suite replay any trajectory
+// exactly. External synchronization (one serving thread) is the
+// caller's contract, same as every evaluator in this repo.
+
+#ifndef UKC_SERVE_SERVE_H_
+#define UKC_SERVE_SERVE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "metric/euclidean_space.h"
+#include "stream/coreset.h"
+
+namespace ukc {
+namespace serve {
+
+/// Lifecycle state of a tenant. Transitions:
+///   kLive -> kDegraded   watchdog: >= threshold consecutive failures
+///   kDegraded -> kLive   watchdog recovery probe succeeded
+///   any -> kLive         explicit RestoreFromSnapshot succeeded
+enum class TenantState {
+  /// Healthy: appends apply to the live coreset, queries answer from it.
+  kLive,
+  /// Failing boundary detected by the watchdog: writes are REFUSED
+  /// (kFailedPrecondition — deliberately not retryable), queries are
+  /// served from the last stable snapshot and flagged `stale`.
+  kDegraded,
+};
+
+std::string_view TenantStateToString(TenantState state);
+
+/// Static configuration of one tenant stream. Hashed into the
+/// snapshot's config_fingerprint: a snapshot written under one
+/// configuration never restores another.
+struct TenantConfig {
+  /// Ambient dimension of the tenant's points.
+  size_t dim = 2;
+  metric::Norm norm = metric::Norm::kL2;
+  /// Centers served by QueryCenters (clamped to the live cell count).
+  size_t k = 4;
+  /// Coreset knobs (cell budget, base width).
+  stream::CoresetOptions coreset;
+  /// Failover sidecar path; empty disables snapshots (and failover).
+  std::string snapshot_path;
+  /// Take a snapshot every N acked appends (registry-driven cadence;
+  /// 0 disables cadenced snapshots, explicit Snapshot() still works).
+  uint64_t snapshot_every_appends = 16;
+  /// fsync snapshot writes (off in tests, on in production).
+  bool snapshot_sync = false;
+};
+
+/// Load-shed rejection: a bounded queue refused the newest work item.
+/// The code is kUnavailable — transient by the global classification,
+/// so naive clients may retry — but the serve layer's own ingest path
+/// must NOT re-submit into the same full queue (retry amplification
+/// under overload is how brownouts become blackouts), so sheds carry a
+/// recognizable message marker and SubmitAppendWithRetry opts out via
+/// RetryOptions::retry_if.
+inline constexpr std::string_view kShedMessageMarker = "[load-shed]";
+
+/// Builds the kUnavailable shed status with the marker.
+Status ShedStatus(const std::string& detail);
+
+/// True iff `status` is a load-shed rejection from this layer.
+bool IsShed(const Status& status);
+
+/// Counters of one registry (monotone; see docs/operations.md).
+struct ServeStats {
+  uint64_t appends_submitted = 0;   // SubmitAppend calls.
+  uint64_t appends_shed = 0;        // Rejected: queue full.
+  uint64_t enqueue_faults = 0;      // Rejected: serve.enqueue fault.
+  uint64_t appends_refused = 0;     // Rejected: tenant degraded.
+  uint64_t appends_applied = 0;     // Acked into a live coreset.
+  uint64_t append_failures = 0;     // Tenant::Append errors in Drain.
+  uint64_t snapshots_saved = 0;
+  uint64_t snapshot_failures = 0;
+  uint64_t degrade_events = 0;      // kLive -> kDegraded transitions.
+  uint64_t recover_events = 0;      // kDegraded -> kLive transitions.
+  uint64_t queries_answered = 0;
+  uint64_t queries_deadline_exceeded = 0;
+  uint64_t queries_failed = 0;      // Non-deadline query errors.
+};
+
+}  // namespace serve
+}  // namespace ukc
+
+#endif  // UKC_SERVE_SERVE_H_

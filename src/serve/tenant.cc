@@ -1,0 +1,298 @@
+#include "serve/tenant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/hash.h"
+#include "common/strings.h"
+#include "core/uncertain_kcenter.h"
+#include "cost/assignment.h"
+#include "metric/euclidean_space.h"
+#include "stream/checkpoint.h"
+#include "stream/ingest.h"
+#include "uncertain/dataset.h"
+
+namespace ukc {
+namespace serve {
+
+namespace {
+
+// The coreset's own key-magnitude cap (stream/coreset.h): |x| / width
+// must stay below 2^44. Checked per batch BEFORE any Add so an
+// over-range coordinate rejects the whole batch atomically instead of
+// failing mid-mutation.
+constexpr double kKeyMagnitudeCap = 17592186044416.0;  // 2^44
+
+}  // namespace
+
+Tenant::Tenant(std::string id, TenantConfig config)
+    : id_(std::move(id)),
+      config_(config),
+      live_(config.dim, config.norm, config.coreset),
+      content_fingerprint_(kHashSeed),
+      stable_(live_) {}
+
+uint64_t Tenant::ConfigFingerprint() const {
+  uint64_t hash = HashString(id_);
+  hash = HashValue(hash, static_cast<uint64_t>(config_.dim));
+  hash = HashValue(hash, static_cast<uint64_t>(config_.norm));
+  hash = HashValue(hash, static_cast<uint64_t>(config_.k));
+  hash = HashValue(hash, static_cast<uint64_t>(config_.coreset.max_cells));
+  hash = HashBytes(hash, &config_.coreset.base_cell_width,
+                   sizeof(config_.coreset.base_cell_width));
+  return hash;
+}
+
+const stream::StreamingCoreset& Tenant::QuerySource(
+    uint64_t* source_epoch) const {
+  if (state_ == TenantState::kDegraded) {
+    *source_epoch = stable_epoch_;
+    return stable_;
+  }
+  *source_epoch = epoch_;
+  return live_;
+}
+
+std::vector<stream::StreamingCoreset::Cell> Tenant::ExtractCells() const {
+  uint64_t ignored = 0;
+  return QuerySource(&ignored).ExtractCells();
+}
+
+Status Tenant::Append(const uncertain::UncertainPointBatch& batch) {
+  if (state_ == TenantState::kDegraded) {
+    return Status::FailedPrecondition(
+        StrFormat("tenant %s is degraded: writes refused until recovery",
+                  id_.c_str()));
+  }
+  // The injectable boundary fires before ANY mutation: an injected
+  // failure leaves coreset, cursor and fingerprint bitwise unchanged,
+  // which is the all-or-nothing contract the chaos suite's reference
+  // replay (acked appends only) depends on.
+  UKC_INJECT_FAULT("serve.append");
+  UKC_RETURN_IF_ERROR(stream::ValidateBatch(batch, config_.dim));
+  if (batch.norm != config_.norm) {
+    return Status::InvalidArgument(
+        StrFormat("tenant %s: batch norm does not match the tenant norm",
+                  id_.c_str()));
+  }
+
+  // Summarize and range-check the whole batch before the first Add.
+  const size_t n = batch.n();
+  expected_scratch_.resize(n * config_.dim);
+  spread_scratch_.resize(n);
+  const double magnitude_cap =
+      config_.coreset.base_cell_width * kKeyMagnitudeCap;
+  for (size_t i = 0; i < n; ++i) {
+    double* expected = expected_scratch_.data() + i * config_.dim;
+    spread_scratch_[i] = stream::SummarizeBatchPoint(batch, i, expected);
+    for (size_t d = 0; d < config_.dim; ++d) {
+      if (!(std::abs(expected[d]) < magnitude_cap)) {
+        return Status::InvalidArgument(
+            StrFormat("tenant %s: expected-point coordinate out of the "
+                      "coreset key range (|x| must stay below "
+                      "base_cell_width * 2^44)",
+                      id_.c_str()));
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    UKC_RETURN_IF_ERROR(live_.Add(next_index_ + i,
+                                  expected_scratch_.data() + i * config_.dim,
+                                  spread_scratch_[i]));
+  }
+
+  // Ack: advance the cursor and fold the batch into the content
+  // fingerprint (cursor first, so identical batches at different
+  // stream positions hash differently).
+  content_fingerprint_ = HashValue(content_fingerprint_, next_index_);
+  content_fingerprint_ = HashBytes(content_fingerprint_,
+                                   batch.offsets.data(),
+                                   batch.offsets.size() * sizeof(size_t));
+  content_fingerprint_ = HashBytes(content_fingerprint_, batch.coords.data(),
+                                   batch.coords.size() * sizeof(double));
+  content_fingerprint_ = HashBytes(content_fingerprint_,
+                                   batch.probabilities.data(),
+                                   batch.probabilities.size() * sizeof(double));
+  next_index_ += n;
+  locations_ += batch.num_locations();
+  ++epoch_;
+  centers_cache_.reset();
+  return Status::OK();
+}
+
+Result<Tenant::CentersAnswer> Tenant::QueryCenters(ThreadPool* pool,
+                                                   const Deadline& deadline) {
+  UKC_RETURN_IF_ERROR(deadline.Check("QueryCenters"));
+  uint64_t source_epoch = 0;
+  const stream::StreamingCoreset& source = QuerySource(&source_epoch);
+  const bool stale = state_ == TenantState::kDegraded;
+  if (centers_cache_.has_value() && centers_cache_->epoch == source_epoch &&
+      centers_cache_->stale == stale) {
+    return *centers_cache_;
+  }
+
+  const std::vector<stream::StreamingCoreset::Cell> cells =
+      source.ExtractCells();
+  CentersAnswer answer;
+  answer.epoch = source_epoch;
+  answer.stale = stale;
+  answer.k = std::min(config_.k, cells.size());
+  if (!cells.empty()) {
+    // Solve on the representative instance through the standard
+    // pipeline, exactly as the streaming solver does
+    // (stream/pipeline.cc): cells are certain points, weights do not
+    // enter the max objective.
+    auto space =
+        std::make_shared<metric::EuclideanSpace>(config_.dim, config_.norm);
+    std::vector<uncertain::UncertainPoint> points;
+    points.reserve(cells.size());
+    for (const stream::StreamingCoreset::Cell& cell : cells) {
+      points.push_back(uncertain::UncertainPoint::Certain(
+          space->AddCoords(cell.representative.data())));
+    }
+    UKC_ASSIGN_OR_RETURN(
+        uncertain::UncertainDataset dataset,
+        uncertain::UncertainDataset::Build(space, std::move(points)));
+    core::UncertainKCenterOptions solve_options;
+    solve_options.k = answer.k;
+    solve_options.rule = cost::AssignmentRule::kExpectedDistance;
+    solve_options.pool = pool;
+    solve_options.deadline = deadline;
+    UKC_ASSIGN_OR_RETURN(core::UncertainKCenterSolution solution,
+                         core::SolveUncertainKCenter(&dataset, solve_options));
+    answer.cost = solution.expected_cost;
+    answer.center_coords.resize(answer.k * config_.dim);
+    for (size_t c = 0; c < answer.k; ++c) {
+      const double* coords = space->coords(solution.centers[c]);
+      std::copy(coords, coords + config_.dim,
+                answer.center_coords.data() + c * config_.dim);
+    }
+  }
+  const double error = source.error_bound();
+  answer.lower = std::max(0.0, answer.cost - error);
+  answer.upper = answer.cost + error;
+  centers_cache_ = answer;
+  return answer;
+}
+
+Result<Tenant::CostAnswer> Tenant::QueryCandidateCost(
+    const std::vector<double>& candidates, size_t num_candidates,
+    const Deadline& deadline) {
+  UKC_RETURN_IF_ERROR(deadline.Check("QueryCandidateCost"));
+  if (num_candidates == 0 ||
+      candidates.size() != num_candidates * config_.dim) {
+    return Status::InvalidArgument(
+        StrFormat("tenant %s: candidate buffer must hold num_candidates * "
+                  "dim coordinates",
+                  id_.c_str()));
+  }
+  uint64_t source_epoch = 0;
+  const stream::StreamingCoreset& source = QuerySource(&source_epoch);
+  CostAnswer answer;
+  answer.epoch = source_epoch;
+  answer.stale = state_ == TenantState::kDegraded;
+
+  // max over cells of (min over candidates): fixed cell order (the
+  // min_index sort of ExtractCells), fixed candidate order, strict
+  // comparisons — bitwise identical on every replica and thread count.
+  const std::vector<stream::StreamingCoreset::Cell> cells =
+      source.ExtractCells();
+  double cost = 0.0;
+  for (size_t cell = 0; cell < cells.size(); ++cell) {
+    if ((cell & 255u) == 0u) {
+      UKC_RETURN_IF_ERROR(deadline.Check("QueryCandidateCost[scan]"));
+    }
+    const double* rep = cells[cell].representative.data();
+    double nearest = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < num_candidates; ++c) {
+      const double d = metric::NormDistanceKernel(
+          config_.norm, rep, candidates.data() + c * config_.dim,
+          config_.dim);
+      if (d < nearest) nearest = d;
+    }
+    if (nearest > cost) cost = nearest;
+  }
+  answer.cost = cost;
+  return answer;
+}
+
+Result<Tenant::BracketAnswer> Tenant::QueryBracket(
+    const std::vector<double>& candidates, size_t num_candidates,
+    const Deadline& deadline) {
+  UKC_ASSIGN_OR_RETURN(CostAnswer cost,
+                       QueryCandidateCost(candidates, num_candidates,
+                                          deadline));
+  uint64_t source_epoch = 0;
+  const stream::StreamingCoreset& source = QuerySource(&source_epoch);
+  BracketAnswer answer;
+  answer.epoch = cost.epoch;
+  answer.stale = cost.stale;
+  answer.cost = cost.cost;
+  // |E[d(P̂_i, C)] − d(rep_i, C)| <= diameter + spread_i for every
+  // point (stream/coreset.h contract), so the full-data expected max
+  // sits within error_bound of the representative max.
+  answer.error_bound = source.error_bound();
+  answer.lower = std::max(0.0, answer.cost - answer.error_bound);
+  answer.upper = answer.cost + answer.error_bound;
+  return answer;
+}
+
+Status Tenant::Snapshot() {
+  if (config_.snapshot_path.empty()) {
+    return Status::FailedPrecondition(
+        StrFormat("tenant %s: no snapshot path configured", id_.c_str()));
+  }
+  UKC_INJECT_FAULT("serve.snapshot");
+  stream::IngestCheckpoint checkpoint;
+  checkpoint.config_fingerprint = ConfigFingerprint();
+  checkpoint.content_fingerprint = content_fingerprint_;
+  checkpoint.batches = epoch_;
+  checkpoint.points = next_index_;
+  checkpoint.locations = locations_;
+  checkpoint.has_byte_offset = false;
+  live_.SerializeTo(&checkpoint.coreset_image);
+  UKC_RETURN_IF_ERROR(stream::SaveCheckpoint(config_.snapshot_path, checkpoint,
+                                             config_.snapshot_sync));
+  // The persisted image is the new stable serving source. (Snapshots
+  // taken while degraded — the watchdog's recovery probe — refresh it
+  // too: the live coreset is always valid, appends being atomic.)
+  stable_ = live_;
+  stable_epoch_ = epoch_;
+  return Status::OK();
+}
+
+Status Tenant::RestoreFromSnapshot() {
+  if (config_.snapshot_path.empty()) {
+    return Status::FailedPrecondition(
+        StrFormat("tenant %s: no snapshot path configured", id_.c_str()));
+  }
+  UKC_INJECT_FAULT("serve.restore");
+  UKC_ASSIGN_OR_RETURN(stream::IngestCheckpoint checkpoint,
+                       stream::LoadCheckpoint(config_.snapshot_path));
+  if (checkpoint.config_fingerprint != ConfigFingerprint()) {
+    return Status::FailedPrecondition(
+        StrFormat("tenant %s: snapshot was written under a different "
+                  "configuration; refusing to restore",
+                  id_.c_str()));
+  }
+  UKC_ASSIGN_OR_RETURN(stream::StreamingCoreset restored,
+                       stream::StreamingCoreset::Deserialize(
+                           checkpoint.coreset_image));
+  live_ = std::move(restored);
+  epoch_ = checkpoint.batches;
+  next_index_ = checkpoint.points;
+  locations_ = checkpoint.locations;
+  content_fingerprint_ = checkpoint.content_fingerprint;
+  stable_ = live_;
+  stable_epoch_ = epoch_;
+  state_ = TenantState::kLive;
+  centers_cache_.reset();
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace ukc

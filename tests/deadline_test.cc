@@ -1,0 +1,75 @@
+// Deadline token suite (common/deadline.h): the default token is
+// infinite and free; AfterChecks gives a deterministic countdown (the
+// handle tests and the CLI use — no wall clock involved); expiry is
+// sticky; copies share one budget; kDeadlineExceeded is deliberately
+// NOT transient (retrying an expired query against the same deadline
+// can only expire again).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace ukc {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfiniteAndAlwaysPasses) {
+  const Deadline deadline;
+  EXPECT_TRUE(deadline.infinite());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(deadline.expired());
+    EXPECT_TRUE(deadline.Check("loop").ok());
+  }
+}
+
+TEST(DeadlineTest, AfterChecksExpiresAtExactlyTheNthCheck) {
+  const Deadline deadline = Deadline::AfterChecks(3);
+  EXPECT_FALSE(deadline.infinite());
+  EXPECT_TRUE(deadline.Check("first").ok());
+  EXPECT_TRUE(deadline.Check("second").ok());
+  const Status third = deadline.Check("third");
+  EXPECT_EQ(third.code(), StatusCode::kDeadlineExceeded);
+  // Sticky: once expired, expired forever.
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.Check("fourth").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlineTest, CopiesShareOneBudget) {
+  // The token is a value type but the budget is shared state: checks
+  // against a copy draw down the same countdown, so a deadline
+  // threaded through evaluator options still bounds the WHOLE query.
+  const Deadline original = Deadline::AfterChecks(2);
+  const Deadline copy = original;
+  EXPECT_TRUE(copy.Check("one").ok());
+  EXPECT_EQ(original.Check("two").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(copy.expired());
+}
+
+TEST(DeadlineTest, ExpiredFactoryAndCancelAreImmediate) {
+  EXPECT_TRUE(Deadline::Expired().expired());
+  EXPECT_EQ(Deadline::Expired().Check("x").code(),
+            StatusCode::kDeadlineExceeded);
+
+  Deadline cancellable = Deadline::After(std::chrono::hours(1));
+  EXPECT_FALSE(cancellable.expired());
+  cancellable.Cancel();
+  EXPECT_TRUE(cancellable.expired());
+}
+
+TEST(DeadlineTest, WallClockDeadlinesExpire) {
+  EXPECT_FALSE(Deadline::After(std::chrono::hours(1)).expired());
+  EXPECT_TRUE(Deadline::After(std::chrono::nanoseconds(0)).expired());
+}
+
+TEST(DeadlineTest, CheckNamesTheSiteAndIsNotTransient) {
+  const Status status = Deadline::Expired().Check("QueryCenters");
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.message().find("QueryCenters"), std::string::npos);
+  // A deadline rejection must never enter a retry loop.
+  EXPECT_FALSE(status.IsTransientError());
+}
+
+}  // namespace
+}  // namespace ukc

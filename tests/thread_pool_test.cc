@@ -111,6 +111,68 @@ TEST(ThreadPoolTest, EveryThrowingWorkerIsDrainedNotLeaked) {
   EXPECT_EQ(ok.load(), 32u);
 }
 
+TEST(ThreadPoolTest, ConcurrentThrowsAggregateIntoOneCountedError) {
+  // Rendezvous so every executor (the caller plus 3 workers) is inside
+  // a job before any throws: exactly 4 exceptions are captured, and
+  // the batch surfaces ONE error carrying the count and the first
+  // message — not a silently dropped 3-of-4.
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  try {
+    pool.ParallelFor(4, [&](int, size_t i) {
+      started.fetch_add(1, std::memory_order_relaxed);
+      while (started.load(std::memory_order_relaxed) < 4) {
+      }
+      throw std::runtime_error("job " + std::to_string(i) + " failed");
+    });
+    FAIL() << "ParallelFor swallowed the batch failure";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("4 worker exceptions"), std::string::npos) << what;
+    EXPECT_NE(what.find("first:"), std::string::npos) << what;
+    EXPECT_NE(what.find("failed"), std::string::npos) << what;
+  }
+  // The pool survives the multi-throw batch.
+  std::atomic<size_t> ok{0};
+  pool.ParallelFor(16,
+                   [&](int, size_t) { ok.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(ok.load(), 16u);
+}
+
+TEST(ThreadPoolTest, SingleExceptionKeepsItsConcreteType) {
+  // The aggregation must not flatten the one-exception case: a lone
+  // std::logic_error arrives as std::logic_error, not as the
+  // aggregated runtime_error wrapper.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(
+                   1000, [&](int, size_t i) {
+                     if (i == 500) throw std::logic_error("only one");
+                   }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, NonStandardExceptionsAreCountedInTheAggregate) {
+  // Jobs throwing non-std::exception payloads still aggregate; the
+  // first-message slot degrades to a placeholder instead of crashing.
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  try {
+    pool.ParallelFor(4, [&](int, size_t) {
+      started.fetch_add(1, std::memory_order_relaxed);
+      while (started.load(std::memory_order_relaxed) < 4) {
+      }
+      throw 42;
+    });
+    FAIL() << "ParallelFor swallowed the batch failure";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("4 worker exceptions"), std::string::npos) << what;
+    EXPECT_NE(what.find("<non-standard exception>"), std::string::npos) << what;
+  }
+  // A lone non-standard exception still arrives unwrapped.
+  EXPECT_THROW(pool.ParallelFor(1, [&](int, size_t) { throw 7; }), int);
+}
+
 TEST(ThreadPoolTest, SingleThreadPoolRunsInlineAndStillThrows) {
   ThreadPool pool(1);
   std::vector<size_t> order;
