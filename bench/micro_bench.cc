@@ -24,6 +24,7 @@
 #include "common/fault_injection.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "serve/registry.h"
 #include "core/surrogates.h"
 #include "core/unassigned.h"
@@ -940,6 +941,36 @@ void BM_ServeOverloadShed(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ServeOverloadShed);
+
+// --- Observability (obs/) ---------------------------------------------------
+
+// The hot-path overhead budget: one metered event is one relaxed
+// atomic add on a per-thread shard (plus bucket search + fixed-point
+// sum for histograms). These two numbers price every UKC_OBS metering
+// site in serve/stream/cost; BM_Serve* and BM_StreamIngest above must
+// stay within noise of their pre-observability values.
+void BM_MetricsCounter(benchmark::State& state) {
+  obs::Counter* counter =
+      obs::MetricsRegistry::Default().GetCounter("ukc_bench_counter_total");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounter)->ThreadRange(1, 8);
+
+void BM_MetricsHistogram(benchmark::State& state) {
+  obs::Histogram* histogram =
+      obs::MetricsRegistry::Default().GetHistogram("ukc_bench_seconds");
+  double value = 1e-6;
+  for (auto _ : state) {
+    histogram->Observe(value);
+    // Walk the latency range so the bucket search sees varied depths.
+    value = value < 1.0 ? value * 1.5 : 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogram)->ThreadRange(1, 8);
 
 }  // namespace
 }  // namespace ukc

@@ -16,6 +16,9 @@
 //   --unassigned also evaluate the unassigned objective
 //   --mc         Monte-Carlo cross-check samples (0 = off)
 //   --threads    worker threads for the parallel stages
+//   --metrics-out  write the run's metrics registry (src/obs/) to this
+//                  file on exit: Prometheus text, or JSON when the
+//                  path ends in .json
 //
 // Streaming (out-of-core) mode:
 //   --stream         run the chunked coreset pipeline (stream/) instead
@@ -57,6 +60,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <iostream>
 
 #include "common/deadline.h"
@@ -65,6 +69,7 @@
 #include "core/uncertain_kcenter.h"
 #include "cost/expected_cost.h"
 #include "exper/instances.h"
+#include "obs/metrics.h"
 #include "serve/registry.h"
 #include "stream/pipeline.h"
 #include "uncertain/io.h"
@@ -146,12 +151,23 @@ ukc::uncertain::UncertainPointBatch MakeServeBatch(ukc::Rng& rng, size_t n,
   return batch;
 }
 
-double PercentileMs(std::vector<double>& sorted_ms, double fraction) {
-  if (sorted_ms.empty()) return 0.0;
-  const size_t index = std::min(
-      sorted_ms.size() - 1,
-      static_cast<size_t>(fraction * static_cast<double>(sorted_ms.size())));
-  return sorted_ms[index];
+// Dumps the process-wide metrics registry to `path`: JSON when the
+// path ends in ".json", Prometheus text exposition otherwise. Returns
+// 0 / 1 as a process exit code contribution.
+int WriteMetricsFile(const std::string& path) {
+  if (path.empty()) return 0;
+  const ukc::obs::MetricsRegistry& registry =
+      ukc::obs::MetricsRegistry::Default();
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  std::ofstream out(path, std::ios::trunc);
+  out << (json ? registry.ExportJson() : registry.ExportPrometheus());
+  out.flush();
+  if (!out) {
+    std::cerr << "error: cannot write metrics to " << path << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -188,6 +204,7 @@ int main(int argc, char** argv) {
   std::string checkpoint;
   int64_t checkpoint_every = 64;
   int64_t retry_attempts = 3;
+  std::string metrics_out;
 
   ukc::FlagParser flags;
   flags.AddString("input", &input, "dataset file (ukc text format)");
@@ -240,6 +257,9 @@ int main(int argc, char** argv) {
                "streaming: batches between checkpoint saves");
   flags.AddInt("retry-attempts", &retry_attempts,
                "streaming: total tries per batch read (1 = no retry)");
+  flags.AddString("metrics-out", &metrics_out,
+                  "write the run's metrics registry to this file on exit "
+                  "(Prometheus text; *.json = JSON export)");
   if (auto status = flags.Parse(argc, argv); !status.ok()) {
     std::cerr << status << "\n" << flags.Usage("ukc_cli");
     return 1;
@@ -291,7 +311,6 @@ int main(int argc, char** argv) {
 
     using Clock = std::chrono::steady_clock;
     ukc::Rng rng(static_cast<uint64_t>(seed));
-    std::vector<double> query_ms;
     const auto session_start = Clock::now();
     for (int64_t op = 0; op < serve_ops; ++op) {
       const std::string& id = ids[rng.Next() % ids.size()];
@@ -302,23 +321,16 @@ int main(int argc, char** argv) {
                                static_cast<size_t>(dim)));
       } else if (dice < 70) {
         registry.Drain();
+      } else if (dice < 85) {
+        (void)registry.QueryCenters(id, make_deadline());
+      } else if (dice < 95) {
+        std::vector<double> candidates(static_cast<size_t>(dim));
+        for (double& c : candidates) c = rng.UniformDouble(-10.0, 10.0);
+        (void)registry.QueryCandidateCost(id, candidates, 1, make_deadline());
       } else {
-        const auto query_start = Clock::now();
-        if (dice < 85) {
-          (void)registry.QueryCenters(id, make_deadline());
-        } else if (dice < 95) {
-          std::vector<double> candidates(static_cast<size_t>(dim));
-          for (double& c : candidates) c = rng.UniformDouble(-10.0, 10.0);
-          (void)registry.QueryCandidateCost(id, candidates, 1, make_deadline());
-        } else {
-          std::vector<double> candidates(static_cast<size_t>(dim));
-          for (double& c : candidates) c = rng.UniformDouble(-10.0, 10.0);
-          (void)registry.QueryBracket(id, candidates, 1, make_deadline());
-        }
-        query_ms.push_back(
-            std::chrono::duration<double, std::milli>(Clock::now() -
-                                                      query_start)
-                .count());
+        std::vector<double> candidates(static_cast<size_t>(dim));
+        for (double& c : candidates) c = rng.UniformDouble(-10.0, 10.0);
+        (void)registry.QueryBracket(id, candidates, 1, make_deadline());
       }
     }
     registry.Drain();
@@ -344,8 +356,14 @@ int main(int argc, char** argv) {
       }
     }
 
+    // The latency report comes off the per-tenant serving histograms
+    // (the registry's telemetry, not an ad-hoc side vector): per-shape
+    // series merged across tenants into one distribution.
     const ukc::serve::ServeStats& stats = registry.stats();
-    std::sort(query_ms.begin(), query_ms.end());
+    const ukc::obs::RegistrySnapshot metrics_snapshot =
+        registry.metrics_registry().Snapshot();
+    const ukc::obs::HistogramSnapshot query_seconds =
+        metrics_snapshot.HistogramTotal("ukc_serve_query_seconds");
     ukc::TablePrinter report({"metric", "value"});
     report.AddRowValues("tenants", static_cast<double>(serve_tenants));
     report.AddRowValues("ops driven", static_cast<double>(serve_ops));
@@ -371,15 +389,19 @@ int main(int argc, char** argv) {
                         static_cast<double>(stats.queries_answered));
     report.AddRowValues("queries deadline-exceeded",
                         static_cast<double>(stats.queries_deadline_exceeded));
-    report.AddRowValues("query p50 ms", PercentileMs(query_ms, 0.50));
-    report.AddRowValues("query p99 ms", PercentileMs(query_ms, 0.99));
+    if (ukc::obs::kEnabled) {
+      report.AddRowValues("query p50 ms", query_seconds.Quantile(0.50) * 1e3);
+      report.AddRowValues("query p95 ms", query_seconds.Quantile(0.95) * 1e3);
+      report.AddRowValues("query p99 ms", query_seconds.Quantile(0.99) * 1e3);
+      report.AddRowValues("query mean ms", query_seconds.Mean() * 1e3);
+    }
     if (restore_ms >= 0.0) {
       report.AddRowValues("failover restore ms", restore_ms);
       report.AddRowValues("failover restored epoch",
                           static_cast<double>(restored_epoch));
     }
     report.Print(std::cout);
-    return 0;
+    return WriteMetricsFile(metrics_out);
   }
 
   // Streaming mode: the file path never materializes the dataset; the
@@ -480,7 +502,7 @@ int main(int argc, char** argv) {
     report.AddRowValues("solve ms", solution->timings.solve_seconds * 1e3);
     report.AddRowValues("verify ms", solution->timings.verify_seconds * 1e3);
     report.Print(std::cout);
-    return 0;
+    return WriteMetricsFile(metrics_out);
   }
 
   // Materialize the dataset.
@@ -560,5 +582,5 @@ int main(int argc, char** argv) {
     std::cout << "Monte-Carlo cross-check: " << estimate->mean << " +/- "
               << estimate->std_error << " (" << mc << " samples)\n";
   }
-  return 0;
+  return WriteMetricsFile(metrics_out);
 }

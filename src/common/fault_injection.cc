@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/hash.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace ukc {
 
@@ -54,6 +55,14 @@ Status FaultInjector::OnHit(const char* site) {
     if (!fire) continue;
     ++rule_fires_[r];
     ++total_fires_;
+    // Observability hook off the fault-site inventory: every injected
+    // fire is visible on the same surface as the counters it perturbs
+    // (fires are test-only and rare; the registration mutex is fine).
+    obs::MetricsRegistry::Default()
+        .GetCounter("ukc_fault_fires_total",
+                    "Injected fault fires by site (test builds only)",
+                    {{"site", site}})
+        ->Increment();
     return Status(
         rule.code,
         StrFormat("injected fault at %s (hit %llu, seed %llu)", site,

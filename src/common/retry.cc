@@ -21,9 +21,40 @@ std::chrono::nanoseconds BackoffForRetry(const RetryOptions& options,
   return std::min(backoff, options.max_backoff);
 }
 
+namespace {
+
+// Per-site counter handles of one retry boundary, resolved once per
+// RetryTransient call (registration is get-or-create; the adds inside
+// the loop are lock-free relaxed increments).
+struct RetryCounters {
+  obs::Counter* attempts;
+  obs::Counter* retries;
+  obs::Counter* exhausted;
+};
+
+RetryCounters CountersForSite(const RetryOptions& options) {
+  obs::MetricsRegistry& registry = options.metrics != nullptr
+                                       ? *options.metrics
+                                       : obs::MetricsRegistry::Default();
+  const obs::LabelList labels = {{"site", options.metrics_site}};
+  return RetryCounters{
+      registry.GetCounter("ukc_retry_attempts_total",
+                          "Operations started under RetryTransient, first "
+                          "tries included",
+                          labels),
+      registry.GetCounter("ukc_retry_retries_total",
+                          "Re-tries after a transient failure", labels),
+      registry.GetCounter("ukc_retry_exhausted_total",
+                          "Retry budgets exhausted (the loop then failed)",
+                          labels)};
+}
+
+}  // namespace
+
 Status RetryTransient(const RetryOptions& options,
                       const std::function<Status()>& op, RetryStats* stats) {
   const int attempts = std::max(1, options.max_attempts);
+  const RetryCounters counters = CountersForSite(options);
   const auto should_retry = [&options](const Status& status) {
     if (status.ok()) return false;
     if (options.retry_if != nullptr) return options.retry_if(status);
@@ -32,10 +63,12 @@ Status RetryTransient(const RetryOptions& options,
   Status last = Status::OK();
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     if (stats != nullptr) ++stats->attempts;
+    counters.attempts->Increment();
     last = op();
     if (!should_retry(last)) return last;  // Success or permanent.
     if (attempt == attempts) break;
     if (stats != nullptr) ++stats->retries;
+    counters.retries->Increment();
     const std::chrono::nanoseconds backoff = BackoffForRetry(options, attempt);
     if (backoff.count() > 0) {
       if (options.sleeper != nullptr) {
@@ -46,6 +79,7 @@ Status RetryTransient(const RetryOptions& options,
     }
   }
   if (stats != nullptr) ++stats->exhausted;
+  counters.exhausted->Increment();
   return last.WithPrefix(
       StrFormat("transient failure persisted after %d attempts", attempts));
 }

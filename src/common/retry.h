@@ -20,8 +20,10 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace ukc {
 
@@ -44,6 +46,14 @@ struct RetryOptions {
   /// predicate here instead of widening the global IsTransient rule.
   /// The predicate is never consulted on OK statuses.
   std::function<bool(const Status&)> retry_if;
+  /// Observability: every loop emits ukc_retry_{attempts,retries,
+  /// exhausted}_total{site=metrics_site} through `metrics` (null = the
+  /// process-wide obs::MetricsRegistry::Default()). The site label
+  /// scopes the counters per boundary ("ingest.read", "serve.submit");
+  /// callers that hand-counted RetryStats into their own stat structs
+  /// keep working, but the registry is the queryable surface.
+  std::string metrics_site = "default";
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Counters of one retry loop (aggregated into IngestStats by the

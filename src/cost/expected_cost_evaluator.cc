@@ -10,6 +10,8 @@
 #include "common/stats.h"
 #include "common/strings.h"
 #include "metric/euclidean_space.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "uncertain/sampler.h"
 
 namespace ukc {
@@ -285,19 +287,36 @@ double ExpectedCostEvaluator::SweepEventsSegmented(
       for (size_t s = 0; s < shards; ++s) fn(s);
     }
   };
+  // Phase timers land in ukc_sweep_phase_seconds{phase=}; handles come
+  // off the default registry per sweep (one mutex-guarded lookup per
+  // phase, amortized over the whole segmented pass — this path only
+  // engages above the segmented-sweep event threshold).
+  [[maybe_unused]] obs::MetricsRegistry& obs_registry =
+      obs::MetricsRegistry::Default();
+  [[maybe_unused]] const char* phase_name = "ukc_sweep_phase_seconds";
+  [[maybe_unused]] const char* phase_help =
+      "Segmented exact-sweep phase wall time";
 
   // Phase 1: stable parallel radix by value, tracking where each
   // pre-sort event landed.
-  RadixSortEventsByValue(pool, /*track_positions=*/true);
+  {
+    UKC_OBS_TIMER(
+        obs_registry.GetHistogram(phase_name, phase_help, {{"phase", "radix"}}));
+    RadixSortEventsByValue(pool, /*track_positions=*/true);
+  }
 
   // Phase 2: invert the permutation (disjoint writes; perm_ is a
   // bijection).
   inv_.resize(count);
-  run_phase([&](size_t s) {
-    const size_t begin = count * s / shards;
-    const size_t end = count * (s + 1) / shards;
-    for (size_t e = begin; e < end; ++e) inv_[perm_[e]] = static_cast<uint32_t>(e);
-  });
+  {
+    UKC_OBS_TIMER(obs_registry.GetHistogram(phase_name, phase_help,
+                                            {{"phase", "invert"}}));
+    run_phase([&](size_t s) {
+      const size_t begin = count * s / shards;
+      const size_t end = count * (s + 1) / shards;
+      for (size_t e = begin; e < end; ++e) inv_[perm_[e]] = static_cast<uint32_t>(e);
+    });
+  }
 
   // Phase 3: per-variable CDF trajectories over variable segments. A
   // variable's sorted positions ascend exactly in its serial
@@ -307,29 +326,35 @@ double ExpectedCostEvaluator::SweepEventsSegmented(
   // by. Variables are disjoint, so segments need no cross-talk.
   ratio_.resize(count);
   ratio_zero_.resize(count);
-  run_phase([&](size_t s) {
-    const size_t var_begin = num_variables * s / shards;
-    const size_t var_end = num_variables * (s + 1) / shards;
-    std::vector<uint32_t> order;
-    for (size_t v = var_begin; v < var_end; ++v) {
-      order.clear();
-      for (size_t l = var_offsets[v]; l < var_offsets[v + 1]; ++l) {
-        order.push_back(inv_[l]);
+  {
+    UKC_OBS_TIMER(
+        obs_registry.GetHistogram(phase_name, phase_help, {{"phase", "cdf"}}));
+    run_phase([&](size_t s) {
+      const size_t var_begin = num_variables * s / shards;
+      const size_t var_end = num_variables * (s + 1) / shards;
+      std::vector<uint32_t> order;
+      for (size_t v = var_begin; v < var_end; ++v) {
+        order.clear();
+        for (size_t l = var_offsets[v]; l < var_offsets[v + 1]; ++l) {
+          order.push_back(inv_[l]);
+        }
+        std::sort(order.begin(), order.end());
+        double cdf = 0.0;
+        for (const uint32_t g : order) {
+          const double next = cdf + events_[g].probability;
+          ratio_zero_[g] = cdf == 0.0;
+          ratio_[g] = cdf == 0.0 ? next : next / cdf;
+          cdf = next;
+        }
       }
-      std::sort(order.begin(), order.end());
-      double cdf = 0.0;
-      for (const uint32_t g : order) {
-        const double next = cdf + events_[g].probability;
-        ratio_zero_[g] = cdf == 0.0;
-        ratio_[g] = cdf == 0.0 ? next : next / cdf;
-        cdf = next;
-      }
-    }
-  });
+    });
+  }
 
   // Phase 4: the ordered serial combine — the serial scan's exact
   // multiply/renormalize/emit sequence with the CDF bookkeeping and
   // divisions hoisted into the parallel phases above.
+  UKC_OBS_TIMER(obs_registry.GetHistogram(phase_name, phase_help,
+                                          {{"phase", "combine"}}));
   CdfProduct product(num_variables);
   KahanSum expectation;
   double previous_cdf_product = 0.0;
@@ -1022,6 +1047,13 @@ ExpectedCostEvaluator::EscalateAndCollect(
   // >= it replays — entries below the chosen rung are skipped by the
   // scoring loop), tracking each point's improved minimum service.
   ++ladder_escalations_;
+  {
+    static obs::Counter* const escalations =
+        obs::MetricsRegistry::Default().GetCounter(
+            "ukc_ladder_escalations_total",
+            "Swap evaluations escalated past ladder rung 0");
+    escalations->Increment();
+  }
   BeginChangedCollection(dataset);
   const double gate = base.levels[kSwapLadderRungs - 1].threshold;
   ScanImproved(dataset, base_distances, extra, gate, [&](double d, size_t l) {
@@ -1232,6 +1264,13 @@ Result<double> ExpectedCostEvaluator::ScoreSwapFromChanged(
         derived_cdf_[event.index] += event.probability;
       }
       ladder_replayed_events_ += level->index - deepest.index;
+      {
+        static obs::Counter* const replayed =
+            obs::MetricsRegistry::Default().GetCounter(
+                "ukc_ladder_replayed_events_total",
+                "Base events replayed to re-derive compacted rung CDFs");
+        replayed->Add(level->index - deepest.index);
+      }
       derived_build_id_ = base.build_id;
       derived_level_ = level_index;
     }

@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/strings.h"
 #include "metric/euclidean_space.h"
+#include "obs/metrics.h"
 
 namespace ukc {
 namespace cost {
@@ -208,6 +209,20 @@ Result<std::vector<double>> ParallelCandidateEvaluator::SwapCostMatrix(
   const bool cache_hit = fingerprint.has_value() &&
                          swap_fingerprint_.has_value() &&
                          *swap_fingerprint_ == *fingerprint;
+  // Rollover telemetry: handles resolve once per process (the counters
+  // are registered lazily on first use), the per-round cost is one
+  // relaxed add. A miss here means the whole table set rebuilds.
+  {
+    static obs::Counter* const rollover_hits =
+        obs::MetricsRegistry::Default().GetCounter(
+            "ukc_swap_rollover_total", "Swap-table rollover checks by outcome",
+            {{"outcome", "hit"}});
+    static obs::Counter* const rollover_misses =
+        obs::MetricsRegistry::Default().GetCounter(
+            "ukc_swap_rollover_total", "Swap-table rollover checks by outcome",
+            {{"outcome", "miss"}});
+    (cache_hit ? rollover_hits : rollover_misses)->Increment();
+  }
   if (!cache_hit) location_tree_.reset();
   const bool have_tables =
       cache_hit && options_.incremental_rollover && base_prev_valid_ &&

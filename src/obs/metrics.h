@@ -1,0 +1,347 @@
+// Process-wide observability: a metrics registry of counters, gauges
+// and fixed-bucket latency histograms, exported as Prometheus text or
+// JSON. This is the "which tenant is slow, which stage is hot, how
+// often do retries fire" layer for a live process — the online
+// counterpart of the offline BENCH_micro.json numbers.
+//
+// Design stance, mirroring the repo's determinism discipline:
+//
+//   - Metrics live OUTSIDE fingerprinted state. Nothing here feeds a
+//     checkpoint fingerprint, a swap-table epoch, or any other
+//     correctness decision; deleting every instrumentation site leaves
+//     all answers bitwise unchanged (asserted by tests/obs_test.cc and
+//     the serve chaos suite, which compares coreset state with metrics
+//     on and the `verify-obs` tree with them compiled out).
+//   - Hot-path cost is ONE RELAXED ATOMIC ADD: each metric keeps a
+//     small fixed array of cache-line-padded per-thread shards (a
+//     thread's stable slot is assigned on first touch), so concurrent
+//     increments do not contend. Snapshots merge the shards in fixed
+//     registry order with commutative integer arithmetic — a snapshot
+//     is deterministic given the same event counts, regardless of
+//     which thread observed which event.
+//   - A compile gate mirrors fault injection: built with -DUKC_OBS=OFF
+//     every class below becomes an inline no-op stub and the UKC_OBS_*
+//     macros compile to nothing, so perf-measurement builds carry zero
+//     instrumentation. The `verify-obs` CMake target proves tier-1
+//     stays green on that path.
+//
+// Handles returned by MetricsRegistry::Get* are owned by the registry
+// and stable for its lifetime; call sites cache them (registration
+// takes a mutex, increments never do). Histograms default to
+// LatencyBuckets() — 1 µs .. ~67 s exponential — and extract p50/p95/
+// p99 by linear interpolation inside the landing bucket. The metric
+// inventory lives in docs/operations.md ("Observability").
+
+#ifndef UKC_OBS_METRICS_H_
+#define UKC_OBS_METRICS_H_
+
+// Compile-time gate, set by the build (CMake option UKC_OBS, default
+// ON). When off, the registry and every handle are inline no-op stubs.
+#ifndef UKC_OBS
+#define UKC_OBS 1
+#endif
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ukc {
+namespace obs {
+
+/// True when the build carries instrumentation; tests that assert
+/// observed counts GTEST_SKIP themselves when false.
+inline constexpr bool kEnabled = UKC_OBS != 0;
+
+/// Label set of one metric: (key, value) pairs, stored sorted by key
+/// so {a,b} and {b,a} are one metric.
+using LabelList = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+std::string_view MetricTypeToString(MetricType type);
+
+/// Exponential bucket upper bounds: start, start·factor, ... (count
+/// bounds; the registry adds the implicit +Inf overflow bucket).
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count);
+
+/// The default latency ladder: 1 µs .. ~67 s, factor 2 (27 bounds).
+/// Wide enough for a shed-path nanosecond count at one end and a
+/// checkpointed 10^6-point ingest at the other.
+const std::vector<double>& LatencyBuckets();
+
+/// Point-in-time view of one histogram. `counts[i]` is the
+/// observations with value <= bounds[i] (non-cumulative per bucket);
+/// counts.size() == bounds.size() + 1, the last entry being the +Inf
+/// overflow bucket.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Quantile estimate (q in [0, 1]) by linear interpolation within
+  /// the landing bucket; the overflow bucket reports its lower bound.
+  /// 0 when empty.
+  double Quantile(double q) const;
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  /// Folds `other` (same bounds; checked) into this snapshot — the
+  /// cross-label aggregation the CLI report uses to merge per-tenant
+  /// histograms into one latency distribution.
+  void MergeFrom(const HistogramSnapshot& other);
+};
+
+/// Point-in-time view of one metric.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  LabelList labels;
+  uint64_t counter_value = 0;  // kCounter
+  int64_t gauge_value = 0;     // kGauge
+  HistogramSnapshot histogram; // kHistogram
+};
+
+/// Snapshot of a whole registry, in registration order (the fixed
+/// merge order that makes snapshots comparable run to run).
+struct RegistrySnapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  /// First metric with this name (any labels), or nullptr.
+  const MetricSnapshot* Find(std::string_view name) const;
+  /// Metric with exactly these labels, or nullptr. `labels` need not
+  /// be pre-sorted.
+  const MetricSnapshot* Find(std::string_view name, LabelList labels) const;
+  /// Sum of counter_value over every label set of `name`.
+  uint64_t CounterTotal(std::string_view name) const;
+  /// Merge of every histogram label set of `name` (empty when none).
+  HistogramSnapshot HistogramTotal(std::string_view name) const;
+};
+
+#if UKC_OBS
+
+namespace internal {
+
+/// Per-thread shard slots. 16 covers the pools this repo runs (worker
+/// counts 1..8 plus the serving thread); threads beyond that share
+/// slots round-robin — still one relaxed add, just potentially
+/// contended.
+inline constexpr size_t kShards = 16;
+
+/// The calling thread's stable shard slot (assigned round-robin on
+/// first touch).
+size_t ShardIndex();
+
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Fixed-point scale of histogram sums: integer nanounits accumulate
+/// commutatively, so the merged sum is deterministic given the same
+/// observations (a float accumulator would depend on arrival order).
+inline constexpr double kSumScale = 1e9;
+
+}  // namespace internal
+
+/// Monotone counter. Add is one relaxed atomic add on the calling
+/// thread's shard.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[internal::ShardIndex()].value.fetch_add(n,
+                                                    std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Merged value (shards summed in fixed order).
+  uint64_t Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  void Reset();
+
+  std::array<internal::ShardCell, internal::kShards> shards_;
+};
+
+/// Last-write-wins instantaneous value (queue depths, resident cells).
+/// One relaxed atomic store / add.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Observe is two relaxed atomic adds (bucket
+/// count + fixed-point sum) after a branch-free upper-bound search
+/// over ~27 bounds.
+class Histogram {
+ public:
+  void Observe(double value);
+  /// Observe seconds-scale durations; sugar for stage timers.
+  void ObserveSeconds(double seconds) { Observe(seconds); }
+
+  HistogramSnapshot Snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  void Reset();
+
+  std::vector<double> bounds_;
+  // Shard-major layout: slot s owns [s*stride_, s*stride_+buckets]
+  // counts plus the fixed-point sum at offset buckets; stride_ is
+  // padded to a cache line so shards do not false-share.
+  size_t stride_ = 0;
+  std::vector<std::atomic<uint64_t>> cells_;
+};
+
+/// The registry: named metrics with labels, get-or-create semantics,
+/// snapshot/export in registration order. Get* takes a mutex and is
+/// called once per handle at setup time; increments through the
+/// returned handles never lock. Instantiable so tests and embedded
+/// subsystems can meter into a private registry; production code uses
+/// the process-wide Default().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (what a null registry knob resolves to
+  /// throughout the repo).
+  static MetricsRegistry& Default();
+
+  /// Get-or-create. The (name, labels) pair identifies the metric;
+  /// re-requesting it returns the same handle. Requesting an existing
+  /// metric as a different type is a programmer error (CHECK).
+  Counter* GetCounter(std::string_view name, std::string_view help = "",
+                      LabelList labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help = "",
+                  LabelList labels = {});
+  /// `bounds` must be strictly ascending; it is fixed on first
+  /// registration (later calls with different bounds get the original
+  /// — bounds are part of the metric's identity contract, not per-call
+  /// state).
+  Histogram* GetHistogram(std::string_view name, std::string_view help = "",
+                          LabelList labels = {},
+                          const std::vector<double>& bounds = LatencyBuckets());
+
+  /// Point-in-time snapshot, metrics in registration order.
+  RegistrySnapshot Snapshot() const;
+
+  /// Prometheus text exposition format (one # HELP / # TYPE block per
+  /// metric name, histogram as cumulative _bucket/_sum/_count series).
+  std::string ExportPrometheus() const;
+  /// JSON: {"metrics": [...]} with per-histogram bucket arrays and
+  /// extracted p50/p95/p99.
+  std::string ExportJson() const;
+
+  /// Zeroes every registered metric (handles stay valid). Test hook.
+  void Reset();
+
+  size_t NumMetrics() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    LabelList labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(std::string_view name, std::string_view help,
+                      LabelList* labels, MetricType type);
+  MetricSnapshot SnapshotEntry(const Entry& entry) const;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // Registration order.
+  std::unordered_map<std::string, Entry*> index_;
+};
+
+#else  // !UKC_OBS — inline no-op stubs; wiring code compiles away.
+
+class Counter {
+ public:
+  void Add(uint64_t = 1) {}
+  void Increment() {}
+  uint64_t Value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  int64_t Value() const { return 0; }
+};
+
+class Histogram {
+ public:
+  void Observe(double) {}
+  void ObserveSeconds(double) {}
+  HistogramSnapshot Snapshot() const { return {}; }
+  const std::vector<double>& bounds() const { return LatencyBuckets(); }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(std::string_view, std::string_view = "",
+                      LabelList = {}) {
+    return &counter_;
+  }
+  Gauge* GetGauge(std::string_view, std::string_view = "", LabelList = {}) {
+    return &gauge_;
+  }
+  Histogram* GetHistogram(std::string_view, std::string_view = "",
+                          LabelList = {},
+                          const std::vector<double>& = LatencyBuckets()) {
+    return &histogram_;
+  }
+
+  RegistrySnapshot Snapshot() const { return {}; }
+  std::string ExportPrometheus() const {
+    return "# ukc observability compiled out (UKC_OBS=0)\n";
+  }
+  std::string ExportJson() const { return "{\"metrics\":[]}"; }
+  void Reset() {}
+  size_t NumMetrics() const { return 0; }
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // UKC_OBS
+
+}  // namespace obs
+}  // namespace ukc
+
+#endif  // UKC_OBS_METRICS_H_

@@ -4,14 +4,74 @@
 
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace ukc {
 namespace serve {
 
+namespace {
+
+const char* QueryShapeName(int shape) {
+  switch (shape) {
+    case 0:
+      return "centers";
+    case 1:
+      return "candidate_cost";
+    default:
+      return "bracket";
+  }
+}
+
+}  // namespace
+
 TenantRegistry::TenantRegistry(RegistryOptions options)
-    : options_(options), pool_(options.pool, options.threads) {
+    : options_(options),
+      pool_(options.pool, options.threads),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : &obs::MetricsRegistry::Default()) {
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.degrade_after_failures < 1) options_.degrade_after_failures = 1;
+  // Registry-wide counters mirror ServeStats one-for-one (the chaos
+  // suite asserts exported snapshot == observed events); handles are
+  // resolved once, increments are lock-free relaxed adds.
+  obs::MetricsRegistry& m = *metrics_;
+  const char* appends = "ukc_serve_appends_total";
+  const char* appends_help = "Append submissions by outcome";
+  metric_.appends_submitted =
+      m.GetCounter(appends, appends_help, {{"outcome", "submitted"}});
+  metric_.appends_shed =
+      m.GetCounter(appends, appends_help, {{"outcome", "shed"}});
+  metric_.enqueue_faults =
+      m.GetCounter(appends, appends_help, {{"outcome", "enqueue_fault"}});
+  metric_.appends_refused =
+      m.GetCounter(appends, appends_help, {{"outcome", "refused"}});
+  metric_.appends_applied =
+      m.GetCounter(appends, appends_help, {{"outcome", "applied"}});
+  metric_.append_failures =
+      m.GetCounter(appends, appends_help, {{"outcome", "failed"}});
+  const char* snapshots = "ukc_serve_snapshots_total";
+  const char* snapshots_help = "Tenant snapshot attempts by outcome";
+  metric_.snapshots_saved =
+      m.GetCounter(snapshots, snapshots_help, {{"outcome", "saved"}});
+  metric_.snapshot_failures =
+      m.GetCounter(snapshots, snapshots_help, {{"outcome", "failed"}});
+  const char* events = "ukc_serve_tenant_events_total";
+  const char* events_help =
+      "Tenant lifecycle transitions (degrade, recover, failover restore)";
+  metric_.degrade_events =
+      m.GetCounter(events, events_help, {{"event", "degrade"}});
+  metric_.recover_events =
+      m.GetCounter(events, events_help, {{"event", "recover"}});
+  metric_.failover_restores =
+      m.GetCounter(events, events_help, {{"event", "failover_restore"}});
+  const char* queries = "ukc_serve_queries_total";
+  const char* queries_help = "Queries by outcome";
+  metric_.queries_answered =
+      m.GetCounter(queries, queries_help, {{"outcome", "answered"}});
+  metric_.queries_deadline_exceeded =
+      m.GetCounter(queries, queries_help, {{"outcome", "deadline_exceeded"}});
+  metric_.queries_failed =
+      m.GetCounter(queries, queries_help, {{"outcome", "failed"}});
 }
 
 Result<Tenant*> TenantRegistry::CreateTenant(const std::string& id,
@@ -29,6 +89,16 @@ Result<Tenant*> TenantRegistry::CreateTenant(const std::string& id,
   }
   Slot& slot = tenants_[id];
   slot.tenant = std::make_unique<Tenant>(id, config);
+  // Per-tenant serving telemetry: query latency by shape plus the
+  // admission queue depth — the "which tenant is slow" handles.
+  for (int shape = 0; shape < 3; ++shape) {
+    slot.query_seconds[shape] = metrics_->GetHistogram(
+        "ukc_serve_query_seconds", "Query latency by tenant and query shape",
+        {{"tenant", id}, {"shape", QueryShapeName(shape)}});
+  }
+  slot.queue_depth =
+      metrics_->GetGauge("ukc_serve_queue_depth",
+                         "Queued appends awaiting Drain", {{"tenant", id}});
   return slot.tenant.get();
 }
 
@@ -57,6 +127,7 @@ size_t TenantRegistry::QueueDepth(const std::string& id) const {
 Status TenantRegistry::SubmitAppend(
     const std::string& id, const uncertain::UncertainPointBatch& batch) {
   ++stats_.appends_submitted;
+  metric_.appends_submitted->Increment();
   auto it = tenants_.find(id);
   if (it == tenants_.end()) {
     return Status::NotFound(
@@ -73,22 +144,26 @@ Status TenantRegistry::SubmitAppend(
     }();
     if (!injected.ok()) {
       ++stats_.enqueue_faults;
+      metric_.enqueue_faults->Increment();
       return injected;
     }
   }
   if (slot.tenant->state() == TenantState::kDegraded) {
     ++stats_.appends_refused;
+    metric_.appends_refused->Increment();
     return Status::FailedPrecondition(
         StrFormat("SubmitAppend: tenant %s is degraded, writes refused",
                   id.c_str()));
   }
   if (slot.queue.size() >= options_.queue_capacity) {
     ++stats_.appends_shed;
+    metric_.appends_shed->Increment();
     return ShedStatus(
         StrFormat("tenant %s append queue is full (%zu queued)", id.c_str(),
                   slot.queue.size()));
   }
   slot.queue.push_back(batch);
+  slot.queue_depth->Set(static_cast<int64_t>(slot.queue.size()));
   return Status::OK();
 }
 
@@ -96,6 +171,8 @@ Status TenantRegistry::SubmitAppendWithRetry(
     const std::string& id, const uncertain::UncertainPointBatch& batch,
     const RetryOptions& retry, RetryStats* retry_stats) {
   RetryOptions options = retry;
+  options.metrics_site = "serve.submit";
+  options.metrics = metrics_;
   // The serve-layer classification: retry transient failures, never
   // sheds — re-submitting into a full queue amplifies the overload the
   // shed exists to relieve.
@@ -112,6 +189,7 @@ void TenantRegistry::RecordFailure(Slot* slot, DrainResult* result) {
       slot->tenant->state() == TenantState::kLive) {
     slot->tenant->MarkDegraded();
     ++stats_.degrade_events;
+    metric_.degrade_events->Increment();
     ++result->degraded;
   }
 }
@@ -120,6 +198,10 @@ void TenantRegistry::RecordSuccess(Slot* slot) {
   slot->consecutive_failures = 0;
 }
 
+// Deliberately span-free: Drain is a sub-microsecond call on the
+// serving write path, and a TraceSpan resolves its series through the
+// registry every time — the applied/refused/snapshot counters below
+// already tell the whole story at one relaxed add each.
 DrainResult TenantRegistry::Drain() {
   DrainResult result;
   for (auto& [id, slot] : tenants_) {
@@ -139,14 +221,17 @@ DrainResult TenantRegistry::Drain() {
       if (probe.ok()) {
         if (!tenant.config().snapshot_path.empty()) {
           ++stats_.snapshots_saved;
+          metric_.snapshots_saved->Increment();
           ++result.snapshots;
         }
         tenant.MarkLive();
         slot.consecutive_failures = 0;
         ++stats_.recover_events;
+        metric_.recover_events->Increment();
         ++result.recovered;
       } else {
         ++stats_.snapshot_failures;
+        metric_.snapshot_failures->Increment();
         ++slot.consecutive_failures;
       }
     }
@@ -158,17 +243,20 @@ DrainResult TenantRegistry::Drain() {
         // Queued before the degrade: dropped un-acked (never silently
         // applied later against a rolled-back coreset).
         ++stats_.appends_refused;
+        metric_.appends_refused->Increment();
         ++result.refused;
         continue;
       }
       const Status applied = tenant.Append(batch);
       if (!applied.ok()) {
         ++stats_.append_failures;
+        metric_.append_failures->Increment();
         ++result.failed;
         RecordFailure(&slot, &result);
         continue;
       }
       ++stats_.appends_applied;
+      metric_.appends_applied->Increment();
       ++result.applied;
 
       // Snapshot cadence, counted in acked appends. The watchdog unit
@@ -183,70 +271,88 @@ DrainResult TenantRegistry::Drain() {
         const Status saved = tenant.Snapshot();
         if (saved.ok()) {
           ++stats_.snapshots_saved;
+          metric_.snapshots_saved->Increment();
           ++result.snapshots;
         } else {
           ++stats_.snapshot_failures;
+          metric_.snapshot_failures->Increment();
           RecordFailure(&slot, &result);
           unit_ok = false;
         }
       }
       if (unit_ok) RecordSuccess(&slot);
     }
+    slot.queue_depth->Set(0);  // Drain always empties the queue.
   }
   return result;
 }
 
-void TenantRegistry::CountQuery(const Status& status) {
+void TenantRegistry::CountQuery(Slot* slot, QueryShape shape,
+                                const Status& status, double seconds) {
   if (status.ok()) {
     ++stats_.queries_answered;
+    metric_.queries_answered->Increment();
   } else if (status.code() == StatusCode::kDeadlineExceeded) {
     ++stats_.queries_deadline_exceeded;
+    metric_.queries_deadline_exceeded->Increment();
   } else {
     ++stats_.queries_failed;
+    metric_.queries_failed->Increment();
   }
+  // Latency is recorded for answered AND failed queries — a tenant
+  // burning its whole deadline budget must show up in its p99, not
+  // vanish from the series.
+  if (slot != nullptr) slot->query_seconds[shape]->Observe(seconds);
 }
 
 Result<Tenant::CentersAnswer> TenantRegistry::QueryCenters(
     const std::string& id, const Deadline& deadline) {
-  Tenant* tenant = FindTenant(id);
-  if (tenant == nullptr) {
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
     ++stats_.queries_failed;
+    metric_.queries_failed->Increment();
     return Status::NotFound(
         StrFormat("QueryCenters: unknown tenant %s", id.c_str()));
   }
+  obs::ScopedTimer timer(nullptr);
   Result<Tenant::CentersAnswer> answer =
-      tenant->QueryCenters(pool_.get(), deadline);
-  CountQuery(answer.status());
+      it->second.tenant->QueryCenters(pool_.get(), deadline);
+  CountQuery(&it->second, kCenters, answer.status(), timer.ElapsedSeconds());
   return answer;
 }
 
 Result<Tenant::CostAnswer> TenantRegistry::QueryCandidateCost(
     const std::string& id, const std::vector<double>& candidates,
     size_t num_candidates, const Deadline& deadline) {
-  Tenant* tenant = FindTenant(id);
-  if (tenant == nullptr) {
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
     ++stats_.queries_failed;
+    metric_.queries_failed->Increment();
     return Status::NotFound(
         StrFormat("QueryCandidateCost: unknown tenant %s", id.c_str()));
   }
-  Result<Tenant::CostAnswer> answer =
-      tenant->QueryCandidateCost(candidates, num_candidates, deadline);
-  CountQuery(answer.status());
+  obs::ScopedTimer timer(nullptr);
+  Result<Tenant::CostAnswer> answer = it->second.tenant->QueryCandidateCost(
+      candidates, num_candidates, deadline);
+  CountQuery(&it->second, kCandidateCost, answer.status(),
+             timer.ElapsedSeconds());
   return answer;
 }
 
 Result<Tenant::BracketAnswer> TenantRegistry::QueryBracket(
     const std::string& id, const std::vector<double>& candidates,
     size_t num_candidates, const Deadline& deadline) {
-  Tenant* tenant = FindTenant(id);
-  if (tenant == nullptr) {
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
     ++stats_.queries_failed;
+    metric_.queries_failed->Increment();
     return Status::NotFound(
         StrFormat("QueryBracket: unknown tenant %s", id.c_str()));
   }
+  obs::ScopedTimer timer(nullptr);
   Result<Tenant::BracketAnswer> answer =
-      tenant->QueryBracket(candidates, num_candidates, deadline);
-  CountQuery(answer.status());
+      it->second.tenant->QueryBracket(candidates, num_candidates, deadline);
+  CountQuery(&it->second, kBracket, answer.status(), timer.ElapsedSeconds());
   return answer;
 }
 
@@ -260,7 +366,9 @@ Status TenantRegistry::RestoreTenant(const std::string& id,
   Slot& slot = it->second;
   UKC_RETURN_IF_ERROR(slot.tenant->RestoreFromSnapshot());
   slot.queue.clear();
+  slot.queue_depth->Set(0);
   slot.consecutive_failures = 0;
+  metric_.failover_restores->Increment();
   if (restored_epoch != nullptr) *restored_epoch = slot.tenant->epoch();
   return Status::OK();
 }

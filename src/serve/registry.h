@@ -37,6 +37,7 @@
 #include "common/result.h"
 #include "common/retry.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "serve/serve.h"
 #include "serve/tenant.h"
 #include "uncertain/chunk.h"
@@ -56,6 +57,13 @@ struct RegistryOptions {
   /// `pool` borrows a shared pool (ScopedPool semantics).
   int threads = 1;
   ThreadPool* pool = nullptr;
+  /// Registry the serving telemetry meters into (null = the
+  /// process-wide obs::MetricsRegistry::Default()). Metrics mirror the
+  /// ServeStats counters one-for-one — the chaos suite asserts the
+  /// exported snapshot matches the observed event counts exactly — and
+  /// add per-tenant query-latency histograms by query shape plus
+  /// queue-depth gauges; see docs/operations.md ("Observability").
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Outcome of one Drain pass.
@@ -133,22 +141,55 @@ class TenantRegistry {
   const ServeStats& stats() const { return stats_; }
   ThreadPool* pool() const { return pool_.get(); }
 
+  /// The registry this instance meters into (the resolved
+  /// RegistryOptions::metrics).
+  obs::MetricsRegistry& metrics_registry() const { return *metrics_; }
+
  private:
+  // Query shapes, indexing the per-tenant latency histograms.
+  enum QueryShape { kCenters = 0, kCandidateCost = 1, kBracket = 2 };
+
   struct Slot {
     std::unique_ptr<Tenant> tenant;
     std::deque<uncertain::UncertainPointBatch> queue;
     int consecutive_failures = 0;
+    // Per-tenant telemetry handles (owned by the metrics registry).
+    obs::Histogram* query_seconds[3] = {nullptr, nullptr, nullptr};
+    obs::Gauge* queue_depth = nullptr;
+  };
+
+  // Registry-wide counter handles, mirroring ServeStats one-for-one.
+  struct Metrics {
+    obs::Counter* appends_submitted;
+    obs::Counter* appends_shed;
+    obs::Counter* enqueue_faults;
+    obs::Counter* appends_refused;
+    obs::Counter* appends_applied;
+    obs::Counter* append_failures;
+    obs::Counter* snapshots_saved;
+    obs::Counter* snapshot_failures;
+    obs::Counter* degrade_events;
+    obs::Counter* recover_events;
+    obs::Counter* failover_restores;
+    obs::Counter* queries_answered;
+    obs::Counter* queries_deadline_exceeded;
+    obs::Counter* queries_failed;
   };
 
   // Watchdog bookkeeping after one fallible tenant operation.
   void RecordFailure(Slot* slot, DrainResult* result);
   void RecordSuccess(Slot* slot);
 
-  // Counter upkeep shared by the three query pass-throughs.
-  void CountQuery(const Status& status);
+  // Counter + latency upkeep shared by the three query pass-throughs:
+  // counts the outcome and observes `seconds` into the slot's
+  // per-shape histogram.
+  void CountQuery(Slot* slot, QueryShape shape, const Status& status,
+                  double seconds);
 
   RegistryOptions options_;
   ScopedPool pool_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Metrics metric_;
   std::map<std::string, Slot> tenants_;  // Ordered: the Drain order.
   ServeStats stats_;
 };

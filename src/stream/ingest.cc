@@ -13,6 +13,8 @@
 #include "common/fault_injection.h"
 #include "common/hash.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "uncertain/io.h"
 
 namespace ukc {
@@ -387,6 +389,54 @@ uint64_t ConfigFingerprint(size_t dim, const IngestOptions& options,
   return hash;
 }
 
+// Per-run ingest telemetry handles, resolved once per entry point so
+// the per-batch cost stays at relaxed atomic adds (docs/operations.md,
+// "Observability"). Stage timers and throughput counters never feed
+// the coreset state — bitwise determinism is untouched.
+struct IngestMetrics {
+  obs::Histogram* read_seconds;
+  obs::Histogram* process_seconds;
+  obs::Histogram* merge_seconds;
+  obs::Histogram* checkpoint_save_seconds;
+  obs::Counter* batches_total;
+  obs::Counter* points_total;
+  obs::Counter* checkpoints_saved;
+  obs::Counter* checkpoints_failed;
+};
+
+obs::MetricsRegistry& IngestRegistry(const IngestOptions& options) {
+  return options.metrics != nullptr ? *options.metrics
+                                    : obs::MetricsRegistry::Default();
+}
+
+IngestMetrics ResolveIngestMetrics(const IngestOptions& options) {
+  obs::MetricsRegistry& m = IngestRegistry(options);
+  const char* stage = "ukc_ingest_stage_seconds";
+  const char* stage_help = "Wall time of one ingest stage pass";
+  const char* saves = "ukc_ingest_checkpoints_total";
+  const char* saves_help = "Checkpoint save attempts by outcome";
+  return IngestMetrics{
+      m.GetHistogram(stage, stage_help, {{"stage", "read"}}),
+      m.GetHistogram(stage, stage_help, {{"stage", "process"}}),
+      m.GetHistogram(stage, stage_help, {{"stage", "merge"}}),
+      m.GetHistogram("ukc_ingest_checkpoint_seconds",
+                     "Checkpoint save/restore latency", {{"op", "save"}}),
+      m.GetCounter("ukc_ingest_batches_total", "Batches ingested"),
+      m.GetCounter("ukc_ingest_points_total", "Uncertain points ingested"),
+      m.GetCounter(saves, saves_help, {{"outcome", "saved"}}),
+      m.GetCounter(saves, saves_help, {{"outcome", "failed"}})};
+}
+
+// The caller's retry policy with the observability site applied:
+// retry counters land under site="ingest.read" (unless the caller
+// chose a site) and meter into the run's registry.
+RetryOptions IngestRetryOptions(const IngestOptions& options) {
+  RetryOptions retry = options.retry;
+  if (retry.metrics_site == "default") retry.metrics_site = "ingest.read";
+  if (retry.metrics == nullptr) retry.metrics = options.metrics;
+  return retry;
+}
+
 // One retry-wrapped, fault-injectable batch pull. Transient failures
 // (kUnavailable — today only injected ones) are retried per
 // options.retry; the fault point sits inside the retried op so an
@@ -426,7 +476,10 @@ Result<StreamingCoreset> RunIngest(size_t dim, const ResumableSource& source,
                                    const IngestOptions& options, size_t shards,
                                    ThreadPool* pool, IngestStats& counters,
                                    ResumeState resume) {
+  UKC_OBS_SPAN("stream.ingest");
   const bool checkpointing = !options.checkpoint.path.empty();
+  const IngestMetrics metric = ResolveIngestMetrics(options);
+  const RetryOptions retry = IngestRetryOptions(options);
 
   // Shard coresets are constructed on the first batch, when the
   // stream's norm is known; a restored prefix pre-latches the norm (a
@@ -454,14 +507,15 @@ Result<StreamingCoreset> RunIngest(size_t dim, const ResumableSource& source,
     Status status;
     std::optional<SourceCursor> cursor;  // Stream position after this group.
   };
-  const auto fill_group = [&source, &options, &counters, shards,
+  const auto fill_group = [&source, &retry, &counters, &metric, shards,
                            checkpointing](Group* group) {
+    UKC_OBS_TIMER(metric.read_seconds);
     group->loaded = 0;
     group->done = false;
     group->status = Status::OK();
     group->cursor = std::nullopt;
     while (group->loaded < shards) {
-      Result<bool> more = PullBatch(source, options.retry,
+      Result<bool> more = PullBatch(source, retry,
                                     &group->batches[group->loaded], &counters);
       if (!more.ok()) {
         group->status = more.status();
@@ -485,6 +539,7 @@ Result<StreamingCoreset> RunIngest(size_t dim, const ResumableSource& source,
   // workers never contend on a shard — the determinism rule is
   // independent of who read the group.
   const auto process_group = [&](Group& group) -> Status {
+    UKC_OBS_TIMER(metric.process_seconds);
     for (size_t g = 0; g < group.loaded; ++g) {
       UKC_RETURN_IF_ERROR(ValidateBatch(group.batches[g], dim));
       // The coreset's geometry (diameter, error bound) is stated under
@@ -507,6 +562,8 @@ Result<StreamingCoreset> RunIngest(size_t dim, const ResumableSource& source,
       counters.points += group.batches[g].n();
       counters.locations += group.batches[g].num_locations();
       counters.batches += 1;
+      metric.batches_total->Increment();
+      metric.points_total->Add(group.batches[g].n());
     }
     if (group.loaded == 0) return Status::OK();
     if (shard_sets.empty()) {
@@ -569,14 +626,17 @@ Result<StreamingCoreset> RunIngest(size_t dim, const ResumableSource& source,
     }
     if (status.ok()) {
       merged.SerializeTo(&checkpoint.coreset_image);
+      UKC_OBS_TIMER(metric.checkpoint_save_seconds);
       status = SaveCheckpoint(options.checkpoint.path, checkpoint,
                               options.checkpoint.sync);
     }
     if (status.ok()) {
       ++counters.checkpoint_saves;
+      metric.checkpoints_saved->Increment();
       last_saved_batches = counters.batches;
     } else {
       ++counters.checkpoint_save_failures;
+      metric.checkpoints_failed->Increment();
     }
   };
 
@@ -673,6 +733,7 @@ Result<StreamingCoreset> RunIngest(size_t dim, const ResumableSource& source,
   // Ordered binary merge tree: at stride s, shard i absorbs shard i+s
   // for every i divisible by 2s. Pairs are disjoint, so each round is
   // one ParallelFor.
+  UKC_OBS_TIMER(metric.merge_seconds);
   for (size_t stride = 1; stride < shards; stride *= 2) {
     UKC_INJECT_FAULT("ingest.merge");
     std::vector<size_t> left;
@@ -755,6 +816,11 @@ Result<StreamingCoreset> IngestCoreset(size_t dim,
   std::optional<ResumableSource> source;
 
   if (checkpointing) {
+    // The whole restore path — sidecar load, validation, replay-verify
+    // — is one latency observation: it is the redo cost a crash pays.
+    obs::ScopedTimer restore_timer(IngestRegistry(options).GetHistogram(
+        "ukc_ingest_checkpoint_seconds", "Checkpoint save/restore latency",
+        {{"op", "restore"}}));
     Result<IngestCheckpoint> loaded = LoadCheckpoint(options.checkpoint.path);
     if (!loaded.ok()) {
       // No sidecar yet is the normal first run; anything else is a
@@ -791,7 +857,8 @@ Result<StreamingCoreset> IngestCoreset(size_t dim,
           while (replayed < loaded->batches) {
             UKC_ASSIGN_OR_RETURN(
                 bool more,
-                PullBatch(opened, options.retry, &discard, &counters));
+                PullBatch(opened, IngestRetryOptions(options), &discard,
+                          &counters));
             if (!more) {  // The stream is shorter than the checkpoint.
               accepted = false;
               break;

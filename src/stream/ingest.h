@@ -197,6 +197,15 @@ struct IngestOptions {
   /// require re-opening the stream, which a bare BatchSource cannot do
   /// — so BuildCoresetFromSource rejects a non-empty path.
   CheckpointOptions checkpoint;
+  /// Registry the ingest telemetry meters into (null = the process-wide
+  /// obs::MetricsRegistry::Default()): stage timers
+  /// (ukc_ingest_stage_seconds{stage=read|process|merge}), throughput
+  /// counters (ukc_ingest_{batches,points}_total), checkpoint latency
+  /// (ukc_ingest_checkpoint_seconds{op=save|restore}) and outcome
+  /// counters. Retry counters ride retry.metrics_site (defaulted to
+  /// "ingest.read" here). Metrics never feed the coreset state — the
+  /// bitwise-determinism guarantee is untouched.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Counters of one ingestion run. When a run resumes from a

@@ -9,6 +9,7 @@
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "cost/expected_cost_evaluator.h"
+#include "obs/trace.h"
 #include "uncertain/io.h"
 
 namespace ukc {
@@ -196,6 +197,7 @@ Result<VerifyOutcome> VerifyPass(size_t dim, metric::Norm norm,
                                  const std::vector<double>& center_coords,
                                  size_t k, double grid_top, size_t buckets,
                                  ThreadPool* pool) {
+  UKC_OBS_SPAN("stream.verify");
   std::vector<VerifyGrid> grids(pool->num_threads(), VerifyGrid(buckets));
   std::vector<std::vector<std::pair<double, size_t>>> scratch(
       pool->num_threads());
@@ -301,6 +303,7 @@ Result<StreamingSolution> StreamingUncertainKCenter::Solve(
     return Status::InvalidArgument(
         "StreamingUncertainKCenter: verify_buckets must be >= 1");
   }
+  UKC_OBS_SPAN("stream.solve");
   StreamingSolution solution;
   solution.dim = dim;
   Stopwatch stopwatch;

@@ -1,0 +1,179 @@
+// Observability core (src/obs/): registry get-or-create identity,
+// counter/gauge/histogram semantics, deterministic multi-threaded
+// snapshots, quantile extraction, Prometheus/JSON export shape, and
+// the span path stack. Everything runs against private registries so
+// counts are exact regardless of what other tests metered into the
+// process-wide default.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ukc {
+namespace obs {
+namespace {
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStableHandles) {
+  if (!kEnabled) GTEST_SKIP() << "built with UKC_OBS=OFF";
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("ukc_test_total", "help", {{"k", "v"}});
+  Counter* b = registry.GetCounter("ukc_test_total", "ignored", {{"k", "v"}});
+  EXPECT_EQ(a, b);
+  // Label order does not split the metric.
+  Counter* c = registry.GetCounter("ukc_test_multi", "",
+                                   {{"b", "2"}, {"a", "1"}});
+  Counter* d = registry.GetCounter("ukc_test_multi", "",
+                                   {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(c, d);
+  // A different label VALUE is a different series.
+  Counter* e = registry.GetCounter("ukc_test_total", "", {{"k", "other"}});
+  EXPECT_NE(a, e);
+  EXPECT_EQ(registry.NumMetrics(), 3u);
+}
+
+TEST(MetricsRegistryTest, CounterAndGaugeValues) {
+  if (!kEnabled) GTEST_SKIP() << "built with UKC_OBS=OFF";
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("ukc_c_total");
+  Gauge* gauge = registry.GetGauge("ukc_g");
+  counter->Increment();
+  counter->Add(41);
+  gauge->Set(7);
+  gauge->Add(-3);
+  EXPECT_EQ(counter->Value(), 42u);
+  EXPECT_EQ(gauge->Value(), 4);
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 2u);
+  EXPECT_EQ(snapshot.metrics[0].counter_value, 42u);
+  EXPECT_EQ(snapshot.metrics[1].gauge_value, 4);
+  EXPECT_EQ(snapshot.CounterTotal("ukc_c_total"), 42u);
+
+  registry.Reset();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(gauge->Value(), 0);
+}
+
+TEST(MetricsRegistryTest, HistogramCountsSumAndQuantiles) {
+  if (!kEnabled) GTEST_SKIP() << "built with UKC_OBS=OFF";
+  MetricsRegistry registry;
+  // Bounds 1, 2, 4, 8: values land by upper_bound (value <= bound).
+  Histogram* h = registry.GetHistogram("ukc_h_seconds", "", {},
+                                       ExponentialBuckets(1.0, 2.0, 4));
+  for (int i = 0; i < 100; ++i) h->Observe(1.5);  // Bucket (1, 2].
+  h->Observe(100.0);                              // Overflow bucket.
+
+  const HistogramSnapshot snapshot = h->Snapshot();
+  ASSERT_EQ(snapshot.bounds.size(), 4u);
+  ASSERT_EQ(snapshot.counts.size(), 5u);
+  EXPECT_EQ(snapshot.counts[1], 100u);
+  EXPECT_EQ(snapshot.counts[4], 1u);
+  EXPECT_EQ(snapshot.count, 101u);
+  EXPECT_NEAR(snapshot.sum, 100 * 1.5 + 100.0, 1e-6);
+  // p50 interpolates inside (1, 2]; the overflow bucket reports its
+  // lower bound (the last finite bound).
+  const double p50 = snapshot.Quantile(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(1.0), 8.0);
+  EXPECT_NEAR(snapshot.Mean(), (100 * 1.5 + 100.0) / 101.0, 1e-9);
+  // Empty histograms answer 0 everywhere.
+  EXPECT_EQ(HistogramSnapshot{}.Quantile(0.5), 0.0);
+}
+
+// The determinism contract: the merged snapshot depends only on the
+// multiset of observed events, not on which thread observed which —
+// integer bucket counts and the fixed-point sum are commutative.
+TEST(MetricsRegistryTest, SnapshotDeterministicAcrossThreadCounts) {
+  if (!kEnabled) GTEST_SKIP() << "built with UKC_OBS=OFF";
+  RegistrySnapshot reference;
+  for (const int threads : {1, 2, 8}) {
+    MetricsRegistry registry;
+    Counter* counter = registry.GetCounter("ukc_det_total");
+    Histogram* h = registry.GetHistogram("ukc_det_seconds");
+    ThreadPool pool(threads);
+    pool.ParallelFor(4096, [&](int, size_t i) {
+      counter->Increment();
+      h->Observe(1e-6 * static_cast<double>(i % 32 + 1));
+    });
+    const RegistrySnapshot snapshot = registry.Snapshot();
+    EXPECT_EQ(snapshot.CounterTotal("ukc_det_total"), 4096u);
+    if (reference.metrics.empty()) {
+      reference = snapshot;
+      continue;
+    }
+    ASSERT_EQ(snapshot.metrics.size(), reference.metrics.size());
+    const HistogramSnapshot& got = snapshot.metrics[1].histogram;
+    const HistogramSnapshot& want = reference.metrics[1].histogram;
+    EXPECT_EQ(got.counts, want.counts) << "threads=" << threads;
+    EXPECT_EQ(got.count, want.count);
+    // Fixed-point accumulation: the sum is bitwise identical too.
+    EXPECT_EQ(got.sum, want.sum) << "threads=" << threads;
+  }
+}
+
+TEST(MetricsRegistryTest, PrometheusExportShape) {
+  if (!kEnabled) GTEST_SKIP() << "built with UKC_OBS=OFF";
+  MetricsRegistry registry;
+  registry.GetCounter("ukc_x_total", "counts x", {{"site", "a"}})->Add(3);
+  registry
+      .GetHistogram("ukc_y_seconds", "times y", {},
+                    ExponentialBuckets(1.0, 2.0, 2))
+      ->Observe(1.5);
+  const std::string text = registry.ExportPrometheus();
+  EXPECT_NE(text.find("# TYPE ukc_x_total counter"), std::string::npos);
+  EXPECT_NE(text.find("ukc_x_total{site=\"a\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ukc_y_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("ukc_y_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ukc_y_seconds_count 1"), std::string::npos);
+
+  const std::string json = registry.ExportJson();
+  EXPECT_NE(json.find("\"ukc_x_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(TraceSpanTest, NestedSpansBuildDottedPaths) {
+  if (!kEnabled) GTEST_SKIP() << "built with UKC_OBS=OFF";
+  MetricsRegistry registry;
+  EXPECT_EQ(TraceSpan::CurrentPath(), "");
+  {
+    TraceSpan outer("solve", &registry);
+    EXPECT_EQ(TraceSpan::CurrentPath(), "solve");
+    {
+      TraceSpan inner("sweep", &registry);
+      EXPECT_EQ(TraceSpan::CurrentPath(), "solve.sweep");
+    }
+    EXPECT_EQ(TraceSpan::CurrentPath(), "solve");
+  }
+  EXPECT_EQ(TraceSpan::CurrentPath(), "");
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterTotal("ukc_span_total"), 2u);
+  const MetricSnapshot* inner_series =
+      snapshot.Find("ukc_span_seconds", {{"span", "solve.sweep"}});
+  ASSERT_NE(inner_series, nullptr);
+  EXPECT_EQ(inner_series->histogram.count, 1u);
+}
+
+TEST(ScopedTimerTest, ObservesOnceAndCancelDetaches) {
+  if (!kEnabled) GTEST_SKIP() << "built with UKC_OBS=OFF";
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("ukc_t_seconds");
+  { ScopedTimer timer(h); }
+  {
+    ScopedTimer timer(h);
+    timer.Cancel();
+  }
+  { ScopedTimer timer(nullptr); }  // Measure-only: must not crash.
+  EXPECT_EQ(h->Snapshot().count, 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ukc

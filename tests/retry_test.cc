@@ -207,5 +207,53 @@ TEST(RetryTest, StatsAccumulateAcrossCalls) {
   EXPECT_EQ(stats.exhausted, 0u);
 }
 
+// Every loop also meters ukc_retry_{attempts,retries,exhausted}_total
+// into its RetryOptions::metrics registry, labeled by metrics_site —
+// the counts must mirror RetryStats exactly.
+TEST(RetryTest, EmitsCountersThroughTheMetricsRegistry) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with UKC_OBS=OFF";
+  obs::MetricsRegistry registry;
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.sleeper = [](nanoseconds) {};
+  options.metrics = &registry;
+  options.metrics_site = "test.pull";
+
+  // Loop 1: one transient, then success. Loop 2: every attempt fails
+  // transiently — the budget exhausts.
+  RetryStats stats;
+  int calls = 0;
+  ASSERT_TRUE(RetryTransient(options,
+                             [&] {
+                               return ++calls == 1
+                                          ? Status::Unavailable("once")
+                                          : Status::OK();
+                             },
+                             &stats)
+                  .ok());
+  EXPECT_FALSE(
+      RetryTransient(options, [] { return Status::Unavailable("always"); },
+                     &stats)
+          .ok());
+
+  const obs::RegistrySnapshot snapshot = registry.Snapshot();
+  const obs::LabelList site = {{"site", "test.pull"}};
+  const obs::MetricSnapshot* attempts =
+      snapshot.Find("ukc_retry_attempts_total", site);
+  const obs::MetricSnapshot* retries =
+      snapshot.Find("ukc_retry_retries_total", site);
+  const obs::MetricSnapshot* exhausted =
+      snapshot.Find("ukc_retry_exhausted_total", site);
+  ASSERT_NE(attempts, nullptr);
+  ASSERT_NE(retries, nullptr);
+  ASSERT_NE(exhausted, nullptr);
+  EXPECT_EQ(attempts->counter_value, stats.attempts);
+  EXPECT_EQ(retries->counter_value, stats.retries);
+  EXPECT_EQ(exhausted->counter_value, stats.exhausted);
+  EXPECT_EQ(attempts->counter_value, 5u);  // 2 + 3.
+  EXPECT_EQ(retries->counter_value, 3u);   // 1 + 2.
+  EXPECT_EQ(exhausted->counter_value, 1u);
+}
+
 }  // namespace
 }  // namespace ukc

@@ -31,6 +31,7 @@
 #include "common/hash.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "serve/registry.h"
 #include "serve/serve.h"
 #include "serve/tenant.h"
@@ -705,12 +706,20 @@ TEST(ServeTest, RestoreRejectsConfigMismatchAndMissingSidecar) {
 // chaos plan keeps them out so the acked set stays observable as a
 // per-drain prefix — see the watchdog analysis in the drain loop).
 // After the storm, every tenant must be bitwise-equal to a fault-free
-// replay of exactly its acked appends.
-void ChaosRound(uint64_t seed, size_t num_ops) {
+// replay of exactly its acked appends, and the exported metrics
+// snapshot must mirror the observed event counts exactly. When
+// `counter_digest` is non-null it receives a canonical dump of every
+// counter series (name, labels, value) so callers can assert the
+// export is identical across thread counts.
+void ChaosRound(uint64_t seed, size_t num_ops, int threads = 1,
+                std::string* counter_digest = nullptr) {
   constexpr size_t kTenants = 4;
+  obs::MetricsRegistry chaos_metrics;
   RegistryOptions options;
   options.queue_capacity = 4;
   options.degrade_after_failures = 2;
+  options.threads = threads;
+  options.metrics = &chaos_metrics;
   TenantRegistry registry(options);
 
   std::vector<std::string> ids;
@@ -750,6 +759,7 @@ void ChaosRound(uint64_t seed, size_t num_ops) {
   Rng rng(seed);
   size_t deadline_hits = 0;
   size_t sheds = 0;
+  size_t restores = 0;
   size_t ops = 0;
   {
     ScopedFaultInjection scope(plan);
@@ -819,6 +829,7 @@ void ChaosRound(uint64_t seed, size_t num_ops) {
         const Status restored =
             registry.RestoreTenant(ids[t], &restored_epoch);
         if (restored.ok()) {
+          ++restores;
           ASSERT_LE(restored_epoch, acked[t].size());
           acked[t].resize(restored_epoch);
           pending[t].clear();
@@ -874,10 +885,91 @@ void ChaosRound(uint64_t seed, size_t num_ops) {
   EXPECT_GT(stats.enqueue_faults + stats.snapshot_failures +
                 stats.append_failures,
             0u);
+
+  // The observability bar: the exported snapshot's counters match the
+  // ServeStats mirror one-for-one AND the event counts this test
+  // observed from the outside (sheds, deadline hits, restores).
+  if (obs::kEnabled) {
+    const obs::RegistrySnapshot snapshot = chaos_metrics.Snapshot();
+    const auto counter = [&snapshot](const char* name, const char* key,
+                                     const char* value) -> uint64_t {
+      const obs::MetricSnapshot* series = snapshot.Find(name, {{key, value}});
+      return series == nullptr ? 0u : series->counter_value;
+    };
+    EXPECT_EQ(counter("ukc_serve_appends_total", "outcome", "submitted"),
+              stats.appends_submitted);
+    EXPECT_EQ(counter("ukc_serve_appends_total", "outcome", "shed"),
+              stats.appends_shed);
+    EXPECT_EQ(stats.appends_shed, sheds);
+    EXPECT_EQ(counter("ukc_serve_appends_total", "outcome", "enqueue_fault"),
+              stats.enqueue_faults);
+    EXPECT_EQ(counter("ukc_serve_appends_total", "outcome", "refused"),
+              stats.appends_refused);
+    EXPECT_EQ(counter("ukc_serve_appends_total", "outcome", "applied"),
+              stats.appends_applied);
+    EXPECT_EQ(counter("ukc_serve_appends_total", "outcome", "failed"),
+              stats.append_failures);
+    EXPECT_EQ(counter("ukc_serve_snapshots_total", "outcome", "saved"),
+              stats.snapshots_saved);
+    EXPECT_EQ(counter("ukc_serve_snapshots_total", "outcome", "failed"),
+              stats.snapshot_failures);
+    EXPECT_EQ(counter("ukc_serve_tenant_events_total", "event", "degrade"),
+              stats.degrade_events);
+    EXPECT_EQ(counter("ukc_serve_tenant_events_total", "event", "recover"),
+              stats.recover_events);
+    EXPECT_EQ(
+        counter("ukc_serve_tenant_events_total", "event", "failover_restore"),
+        restores);
+    EXPECT_EQ(counter("ukc_serve_queries_total", "outcome", "answered"),
+              stats.queries_answered);
+    EXPECT_EQ(
+        counter("ukc_serve_queries_total", "outcome", "deadline_exceeded"),
+        stats.queries_deadline_exceeded);
+    EXPECT_EQ(stats.queries_deadline_exceeded, deadline_hits);
+    EXPECT_EQ(counter("ukc_serve_queries_total", "outcome", "failed"),
+              stats.queries_failed);
+    // Every query that reached a tenant landed in a latency histogram
+    // (deadline-burners included — they must show in the tail).
+    EXPECT_EQ(snapshot.HistogramTotal("ukc_serve_query_seconds").count,
+              stats.queries_answered + stats.queries_deadline_exceeded +
+                  stats.queries_failed);
+    if (counter_digest != nullptr) {
+      std::string digest;
+      for (const obs::MetricSnapshot& series : snapshot.metrics) {
+        if (series.type != obs::MetricType::kCounter) continue;
+        digest += series.name;
+        for (const auto& label : series.labels) {
+          digest += "{" + label.first + "=" + label.second + "}";
+        }
+        digest += "=" + std::to_string(series.counter_value) + "\n";
+      }
+      *counter_digest = digest;
+    }
+  }
 }
 
 TEST(ServeTest, ChaosStormEndsBitwiseEqualToFaultFreeReplay) {
   ChaosRound(/*seed=*/0xbadcafe, /*num_ops=*/1200);
+}
+
+TEST(ServeTest, ChaosMetricsSnapshotDeterministicAcrossThreads) {
+  // The same storm at query fan-out {1, 2, 8} threads exports the
+  // SAME counter values series-for-series: the op sequence is
+  // deterministic and the sharded counters merge commutatively, so
+  // thread placement cannot leak into the snapshot.
+  if (!obs::kEnabled) GTEST_SKIP() << "built with UKC_OBS=OFF";
+  std::string reference;
+  for (const int threads : {1, 2, 8}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    std::string digest;
+    ChaosRound(/*seed=*/0xbadcafe, /*num_ops=*/400, threads, &digest);
+    EXPECT_FALSE(digest.empty());
+    if (reference.empty()) {
+      reference = digest;
+    } else {
+      EXPECT_EQ(digest, reference);
+    }
+  }
 }
 
 TEST(ServeTest, ChaosSeedSweepFromEnvironment) {

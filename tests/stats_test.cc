@@ -1,0 +1,85 @@
+// RunningStats::Merge edge cases (common/stats.h): the parallel
+// Welford combine must behave at the boundaries a sharded reduction
+// actually hits — empty shards on both sides and single-observation
+// shards, where the naive combine formulas divide by zero or lose the
+// unbiased-variance correction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace ukc {
+namespace {
+
+TEST(RunningStatsMergeTest, EmptyMergeEmptyStaysEmpty) {
+  RunningStats a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.Mean(), 0.0);
+  EXPECT_EQ(a.Variance(), 0.0);
+  EXPECT_TRUE(std::isinf(a.Min()));
+  EXPECT_TRUE(std::isinf(a.Max()));
+}
+
+TEST(RunningStatsMergeTest, EmptyAbsorbsNonEmptyExactly) {
+  RunningStats shard;
+  shard.Add(2.0);
+  shard.Add(4.0);
+  shard.Add(6.0);
+
+  RunningStats merged;  // Empty left side.
+  merged.Merge(shard);
+  EXPECT_EQ(merged.count(), 3);
+  EXPECT_DOUBLE_EQ(merged.Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(merged.Variance(), 4.0);  // Unbiased: ((4+0+4)/2).
+  EXPECT_DOUBLE_EQ(merged.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(merged.Max(), 6.0);
+}
+
+TEST(RunningStatsMergeTest, NonEmptyMergeEmptyIsANoOp) {
+  RunningStats stats;
+  stats.Add(1.0);
+  stats.Add(3.0);
+  const RunningStats empty;
+  stats.Merge(empty);
+  EXPECT_EQ(stats.count(), 2);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Variance(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 3.0);
+}
+
+TEST(RunningStatsMergeTest, SingleObservationShards) {
+  // One observation has no variance; two merged singletons must
+  // produce the exact two-sample unbiased variance.
+  RunningStats left, right;
+  left.Add(10.0);
+  right.Add(20.0);
+  EXPECT_EQ(left.Variance(), 0.0);
+  left.Merge(right);
+  EXPECT_EQ(left.count(), 2);
+  EXPECT_DOUBLE_EQ(left.Mean(), 15.0);
+  EXPECT_DOUBLE_EQ(left.Variance(), 50.0);  // ((10-15)^2+(20-15)^2)/1.
+  EXPECT_DOUBLE_EQ(left.StdDev(), std::sqrt(50.0));
+}
+
+TEST(RunningStatsMergeTest, MergeMatchesSerialAccumulation) {
+  const double values[] = {0.5, -1.25, 3.0, 3.0, 7.75, -2.5, 0.0, 9.125};
+  RunningStats serial;
+  RunningStats shard_a, shard_b;
+  for (int i = 0; i < 8; ++i) {
+    serial.Add(values[i]);
+    (i < 3 ? shard_a : shard_b).Add(values[i]);  // Uneven split.
+  }
+  shard_a.Merge(shard_b);
+  EXPECT_EQ(shard_a.count(), serial.count());
+  EXPECT_NEAR(shard_a.Mean(), serial.Mean(), 1e-12);
+  EXPECT_NEAR(shard_a.Variance(), serial.Variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(shard_a.Min(), serial.Min());
+  EXPECT_DOUBLE_EQ(shard_a.Max(), serial.Max());
+}
+
+}  // namespace
+}  // namespace ukc
