@@ -36,6 +36,7 @@
 #include "solver/geometric_median.h"
 #include "solver/gonzalez.h"
 #include "stream/checkpoint.h"
+#include "stream/coreset.h"
 #include "stream/ingest.h"
 #include "stream/pipeline.h"
 #include "uncertain/sampler.h"
@@ -391,6 +392,115 @@ BENCHMARK(BM_SwapSweepIncremental)
     ->Arg(10000)
     ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
+
+// Dynamic churn: one single-point edit (alternating insert / delete)
+// followed by a SwapCostMatrix round, the access pattern of local
+// search over a mutating instance. `incremental` routes the edit
+// through ApplyDatasetEdit so the cached swap tables roll over
+// (EditSwapBase sparse rewrites, kernel work only for the inserted
+// locations); off, the edit silently invalidates the fingerprint and
+// every round pays the full table rebuild.
+void ChurnTrajectory(benchmark::State& state, bool incremental) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto dataset = MakeDataset(n);
+  metric::EuclideanSpace* space = dataset.euclidean();
+  UKC_CHECK(space != nullptr);
+  const size_t dim = space->dim();
+  const auto sites = dataset.LocationSites();
+  auto seed = solver::Gonzalez(dataset.space(), sites, 8);
+  std::vector<metric::SiteId> pool;
+  for (size_t i = 0; i < 16; ++i) pool.push_back(sites[(i * 977) % sites.size()]);
+  cost::ParallelCandidateEvaluator::Options options;
+  options.threads = 1;
+  options.incremental_rollover = true;
+  options.kd_prune = true;
+  cost::ParallelCandidateEvaluator evaluator(options);
+  {
+    auto warm = evaluator.SwapCostMatrix(dataset, seed->centers, pool);
+    UKC_CHECK(warm.ok()) << warm.status();
+  }
+  Rng rng(0xC0DE);
+  std::vector<double> coords(dim);
+  bool insert_next = true;
+  for (auto _ : state) {
+    cost::DatasetEdit edit;
+    if (insert_next) {
+      std::vector<uncertain::Location> locations;
+      for (size_t l = 0; l < 4; ++l) {
+        for (double& c : coords) c = rng.UniformDouble(-10.0, 10.0);
+        locations.push_back(
+            uncertain::Location{space->AddCoords(coords.data()), 0.25});
+      }
+      auto point = uncertain::UncertainPoint::Build(std::move(locations));
+      UKC_CHECK(point.ok());
+      edit.is_insert = true;
+      edit.point = static_cast<uint32_t>(dataset.n());
+      edit.location_begin = dataset.total_locations();
+      edit.location_end = edit.location_begin + 4;
+      UKC_CHECK(dataset.AppendPoint(*point).ok());
+    } else {
+      const size_t victim = rng.Next() % dataset.n();
+      edit.is_insert = false;
+      edit.point = static_cast<uint32_t>(victim);
+      edit.location_begin = dataset.offsets()[victim];
+      edit.location_end = dataset.offsets()[victim + 1];
+      UKC_CHECK(dataset.RemovePoint(victim).ok());
+    }
+    insert_next = !insert_next;
+    if (incremental) {
+      UKC_CHECK(evaluator.ApplyDatasetEdit(dataset, edit).ok());
+    }
+    auto values = evaluator.SwapCostMatrix(dataset, seed->centers, pool);
+    UKC_CHECK(values.ok()) << values.status();
+    benchmark::DoNotOptimize(values);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ChurnTrajectory(benchmark::State& state) {
+  ChurnTrajectory(state, /*incremental=*/true);
+}
+BENCHMARK(BM_ChurnTrajectory)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ChurnTrajectoryRebuild(benchmark::State& state) {
+  ChurnTrajectory(state, /*incremental=*/false);
+}
+BENCHMARK(BM_ChurnTrajectoryRebuild)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// Sliding-window ingest: sustained Add + per-point ExpireBefore at a
+// fixed window width — the serving write path of a windowed tenant.
+// Arg is the window in points; the expiry cost is dominated by bucket
+// retirement at the watermark boundary (churn_bucket = window / 16).
+void BM_SlidingWindow(benchmark::State& state) {
+  const uint64_t window = static_cast<uint64_t>(state.range(0));
+  stream::CoresetOptions options;
+  options.max_cells = 1024;
+  options.base_cell_width = 1e-3;
+  options.churn_bucket = std::max<uint64_t>(1, window / 16);
+  stream::StreamingCoreset coreset(2, metric::Norm::kL2, options);
+  Rng rng(0xF10A7);
+  double coords[2];
+  uint64_t index = 0;
+  for (auto _ : state) {
+    coords[0] = rng.UniformDouble(-10.0, 10.0);
+    coords[1] = rng.UniformDouble(-10.0, 10.0);
+    UKC_CHECK(coreset.Add(index, coords, 0.0).ok());
+    ++index;
+    if (index > window) {
+      auto retired = coreset.ExpireBefore(index - window);
+      UKC_CHECK(retired.ok()) << retired.status();
+    }
+  }
+  state.counters["cells"] = static_cast<double>(coreset.ExtractCells().size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlidingWindow)->Arg(1024)->Arg(16384);
 
 // Exhaustive subset optimization with worker-sharded enumeration
 // (ranked unranking; C(16, 4) = 1820 exact sweeps per iteration).

@@ -58,10 +58,13 @@
 //       --serve-snapshot-dir=/tmp/ukc --deadline-us=5000
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "common/deadline.h"
 #include "common/flags.h"
@@ -160,11 +163,19 @@ int WriteMetricsFile(const std::string& path) {
       ukc::obs::MetricsRegistry::Default();
   const bool json =
       path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  // Open (and check) before exporting: a bad path fails fast with the
+  // OS error instead of formatting an export nobody will receive.
   std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    std::cerr << "error: cannot open metrics file " << path << ": "
+              << std::strerror(errno) << "\n";
+    return 1;
+  }
   out << (json ? registry.ExportJson() : registry.ExportPrometheus());
   out.flush();
   if (!out) {
-    std::cerr << "error: cannot write metrics to " << path << "\n";
+    std::cerr << "error: cannot write metrics to " << path << ": "
+              << std::strerror(errno) << "\n";
     return 1;
   }
   return 0;
@@ -195,6 +206,7 @@ int main(int argc, char** argv) {
   int64_t serve_snapshot_every = 16;
   int64_t deadline_us = 0;
   int64_t deadline_checks = 0;
+  int64_t window = 0;
   bool stream = false;
   int64_t chunk_size = 4096;
   int64_t shards = 0;
@@ -240,6 +252,10 @@ int main(int argc, char** argv) {
   flags.AddInt("deadline-checks", &deadline_checks,
                "serving: deterministic per-query check budget (0 = off; "
                "overrides --deadline-us)");
+  flags.AddInt("window", &window,
+               "serving: sliding window in points per tenant — points older "
+               "than the last N acked are retired deterministically (0 = "
+               "keep everything)");
   flags.AddBool("stream", &stream, "run the chunked streaming pipeline");
   flags.AddInt("chunk-size", &chunk_size, "streaming: points per chunk");
   flags.AddInt("shards", &shards, "streaming: shard coresets (0 = threads)");
@@ -276,6 +292,9 @@ int main(int argc, char** argv) {
           "--serve needs serve-tenants, serve-ops, serve-queue-cap, "
           "serve-snapshot-every, k, dim >= 1 and non-negative deadlines"));
     }
+    if (window < 0) {
+      return Fail(ukc::Status::InvalidArgument("--window must be >= 0"));
+    }
     ukc::serve::RegistryOptions registry_options;
     registry_options.queue_capacity = static_cast<size_t>(serve_queue_cap);
     registry_options.threads = static_cast<int>(threads);
@@ -291,6 +310,7 @@ int main(int argc, char** argv) {
           base_cell_width > 1e-9 ? base_cell_width : 1e-3;
       config.snapshot_every_appends =
           static_cast<uint64_t>(serve_snapshot_every);
+      config.window_points = static_cast<uint64_t>(window);
       const std::string id = "tenant-" + std::to_string(t);
       if (!serve_snapshot_dir.empty()) {
         config.snapshot_path = serve_snapshot_dir + "/" + id + ".ckpt";
@@ -379,6 +399,11 @@ int main(int argc, char** argv) {
                             ? 0.0
                             : static_cast<double>(stats.appends_shed) /
                                   static_cast<double>(stats.appends_submitted));
+    if (window > 0) {
+      report.AddRowValues("window points", static_cast<double>(window));
+      report.AddRowValues("points expired",
+                          static_cast<double>(stats.points_expired));
+    }
     report.AddRowValues("snapshots saved",
                         static_cast<double>(stats.snapshots_saved));
     report.AddRowValues("tenants degraded",
@@ -390,9 +415,18 @@ int main(int argc, char** argv) {
     report.AddRowValues("queries deadline-exceeded",
                         static_cast<double>(stats.queries_deadline_exceeded));
     if (ukc::obs::kEnabled) {
-      report.AddRowValues("query p50 ms", query_seconds.Quantile(0.50) * 1e3);
-      report.AddRowValues("query p95 ms", query_seconds.Quantile(0.95) * 1e3);
-      report.AddRowValues("query p99 ms", query_seconds.Quantile(0.99) * 1e3);
+      // A quantile landing in the overflow bucket is a lower bound,
+      // not an estimate; say so instead of understating the tail.
+      const auto quantile_row = [&](const char* name, double q) {
+        bool overflow = false;
+        const double ms = query_seconds.Quantile(q, &overflow) * 1e3;
+        std::ostringstream cell;
+        cell << (overflow ? ">= " : "") << ms;
+        report.AddRow({name, cell.str()});
+      };
+      quantile_row("query p50 ms", 0.50);
+      quantile_row("query p95 ms", 0.95);
+      quantile_row("query p99 ms", 0.99);
       report.AddRowValues("query mean ms", query_seconds.Mean() * 1e3);
     }
     if (restore_ms >= 0.0) {

@@ -96,6 +96,24 @@ struct MonteCarloEstimate {
   int64_t samples = 0;
 };
 
+/// One dataset mutation, as consumed by the incremental swap-table
+/// edit paths (ExpectedCostEvaluator::EditSwapBase,
+/// ParallelCandidateEvaluator::ApplyDatasetEdit). Two shapes only:
+/// append of one point at the END of the instance (is_insert; indices
+/// and the location range are POST-edit — the new point is n-1 and its
+/// locations are the flat tail), or compacting removal of one point
+/// (indices and range are PRE-edit; later points shift down by one and
+/// the flat arrays close the gap, values unchanged).
+struct DatasetEdit {
+  bool is_insert = false;
+  /// The appended point's post-edit index (n-1) or the removed point's
+  /// pre-edit index.
+  uint32_t point = 0;
+  /// The point's flat location range [begin, end).
+  size_t location_begin = 0;
+  size_t location_end = 0;
+};
+
 /// Reusable exact/Monte-Carlo expected-cost engine. See file comment.
 class ExpectedCostEvaluator {
  public:
@@ -292,6 +310,28 @@ class ExpectedCostEvaluator {
                        std::span<const double> old_base,
                        std::span<const double> new_base,
                        std::span<const uint32_t> point_of, SwapBase* out);
+
+  /// Rebuilds `out` — previously built for the PRE-edit instance —
+  /// for the post-edit `dataset` after a single-point insert or
+  /// delete, by EDITING the sorted stream instead of re-sorting:
+  ///   - delete: one compaction pass drops the removed point's events
+  ///     and renumbers the retained index/location fields. The
+  ///     renumbering is strictly monotone on retained locations and
+  ///     values are untouched, so the (value, location) order is
+  ///     preserved without a sort.
+  ///   - insert (append-at-end): the new point's events are sorted
+  ///     among themselves and merged in; their location ids and point
+  ///     index exceed every existing one, so the merge reproduces the
+  ///     full sort's tie order exactly.
+  /// Then the ladder is re-swept (FinishSwapBase), making the result
+  /// BITWISE identical to BuildSwapBase on the post-edit instance at
+  /// O(N + z log z) instead of a fresh radix sort. `new_base` and
+  /// `point_of` are the POST-edit tables; the caller guarantees the
+  /// retained entries' base values are unchanged by the edit.
+  Status EditSwapBase(const uncertain::UncertainDataset& dataset,
+                      std::span<const double> new_base,
+                      std::span<const uint32_t> point_of,
+                      const DatasetEdit& edit, SwapBase* out);
 
   /// Exact unassigned cost of a one-center swap — location l's distance
   /// to the swapped set is min(base_distances[l], d(l, extra)) — scored

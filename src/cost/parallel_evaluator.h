@@ -129,6 +129,29 @@ class ParallelCandidateEvaluator {
       const std::vector<metric::SiteId>& centers,
       const std::vector<metric::SiteId>& pool);
 
+  /// Churn: rolls the cached SwapCostMatrix state across a SINGLE-POINT
+  /// dataset edit instead of letting the fingerprint miss force a full
+  /// rebuild. Call AFTER mutating the dataset (UncertainDataset::
+  /// AppendPoint / RemovePoint) with `edit` describing the change
+  /// (expected_cost_evaluator.h DatasetEdit). The k distance rows are
+  /// compacted or extended in place (kernel work only for the inserted
+  /// locations, against the CACHED center coordinates), the per-position
+  /// base tables get the matching sparse edit, and each presorted
+  /// stream is rewritten by ExpectedCostEvaluator::EditSwapBase — all
+  /// bitwise identical to a from-scratch rebuild on the post-edit
+  /// instance, which is what makes the next SwapCostMatrix call's
+  /// bitwise diff classify every table as rolled over. The post-edit
+  /// content fingerprint is stamped at the end, so a dataset that was
+  /// edited in any OTHER way still misses the cache and rebuilds.
+  ///
+  /// No-op without published cached state (nothing to roll); on any
+  /// validation or edit failure the cached state is poisoned — never
+  /// left half-edited as apparently valid — and the next call rebuilds.
+  /// The location kd-tree is always dropped (its shape depends on the
+  /// location set); it rebuilds on the next call.
+  Status ApplyDatasetEdit(const uncertain::UncertainDataset& dataset,
+                          const DatasetEdit& edit);
+
   /// Observability for the compacted snapshot ladder: SwapLadderBytes
   /// is the resident snapshot-CDF bytes across the cached swap-base
   /// tables (the storage the compaction shrinks); SwapBaseMemoryBytes

@@ -41,7 +41,8 @@ const std::vector<double>& LatencyBuckets() {
   return *kBuckets;
 }
 
-double HistogramSnapshot::Quantile(double q) const {
+double HistogramSnapshot::Quantile(double q, bool* overflow) const {
+  if (overflow != nullptr) *overflow = false;
   if (count == 0 || counts.empty()) return 0.0;
   q = std::min(1.0, std::max(0.0, q));
   const double target = q * static_cast<double>(count);
@@ -50,8 +51,12 @@ double HistogramSnapshot::Quantile(double q) const {
     if (counts[b] == 0) continue;
     const uint64_t next = cumulative + counts[b];
     if (static_cast<double>(next) >= target) {
-      // The overflow bucket has no upper bound: report its lower edge.
+      // The overflow bucket has no upper bound: the quantile is only
+      // known to be at least the last finite edge. Report that edge
+      // and flag it, so callers surface ">= X" rather than a value
+      // that understates the tail.
       if (b >= bounds.size()) {
+        if (overflow != nullptr) *overflow = true;
         return bounds.empty() ? 0.0 : bounds.back();
       }
       const double lower = b == 0 ? 0.0 : bounds[b - 1];
@@ -417,9 +422,16 @@ std::string MetricsRegistry::ExportJson() const {
         const HistogramSnapshot& h = metric.histogram;
         out += ",\"count\":" + std::to_string(h.count);
         out += ",\"sum\":" + FormatDouble(h.sum);
-        out += ",\"p50\":" + FormatDouble(h.Quantile(0.50));
-        out += ",\"p95\":" + FormatDouble(h.Quantile(0.95));
-        out += ",\"p99\":" + FormatDouble(h.Quantile(0.99));
+        for (const auto& [label, q] :
+             {std::pair<const char*, double>{"p50", 0.50},
+              {"p95", 0.95},
+              {"p99", 0.99}}) {
+          bool overflow = false;
+          const double value = h.Quantile(q, &overflow);
+          out += ",\"" + std::string(label) + "\":" + FormatDouble(value);
+          // Overflow-bucket quantiles are lower bounds, not estimates.
+          if (overflow) out += ",\"" + std::string(label) + "_lower_bound\":true";
+        }
         out += ",\"buckets\":[";
         for (size_t b = 0; b < h.counts.size(); ++b) {
           if (b != 0) out.push_back(',');

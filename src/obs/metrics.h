@@ -88,9 +88,12 @@ struct HistogramSnapshot {
   double sum = 0.0;
 
   /// Quantile estimate (q in [0, 1]) by linear interpolation within
-  /// the landing bucket; the overflow bucket reports its lower bound.
-  /// 0 when empty.
-  double Quantile(double q) const;
+  /// the landing bucket; 0 when empty. When the quantile lands in the
+  /// +Inf overflow bucket the true value is unbounded above: the last
+  /// finite bound is returned and *overflow (when non-null) is set, so
+  /// callers can report "p99 >= X" instead of silently understating
+  /// the tail.
+  double Quantile(double q, bool* overflow = nullptr) const;
   double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
 
   /// Folds `other` (same bounds; checked) into this snapshot — the

@@ -1,5 +1,6 @@
 #include "serve/registry.h"
 
+#include <optional>
 #include <utility>
 
 #include "common/fault_injection.h"
@@ -31,6 +32,7 @@ TenantRegistry::TenantRegistry(RegistryOptions options)
                                           : &obs::MetricsRegistry::Default()) {
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.degrade_after_failures < 1) options_.degrade_after_failures = 1;
+  if (options_.latency_sample_every == 0) options_.latency_sample_every = 1;
   // Registry-wide counters mirror ServeStats one-for-one (the chaos
   // suite asserts exported snapshot == observed events); handles are
   // resolved once, increments are lock-free relaxed adds.
@@ -72,6 +74,21 @@ TenantRegistry::TenantRegistry(RegistryOptions options)
       m.GetCounter(queries, queries_help, {{"outcome", "deadline_exceeded"}});
   metric_.queries_failed =
       m.GetCounter(queries, queries_help, {{"outcome", "failed"}});
+  const char* deletes = "ukc_serve_deletes_total";
+  const char* deletes_help = "Delete submissions by outcome";
+  metric_.deletes_submitted =
+      m.GetCounter(deletes, deletes_help, {{"outcome", "submitted"}});
+  metric_.deletes_shed =
+      m.GetCounter(deletes, deletes_help, {{"outcome", "shed"}});
+  metric_.deletes_refused =
+      m.GetCounter(deletes, deletes_help, {{"outcome", "refused"}});
+  metric_.deletes_applied =
+      m.GetCounter(deletes, deletes_help, {{"outcome", "applied"}});
+  metric_.delete_failures =
+      m.GetCounter(deletes, deletes_help, {{"outcome", "failed"}});
+  metric_.points_expired =
+      m.GetCounter("ukc_serve_points_expired_total",
+                   "Points retired by sliding-window expiry", {});
 }
 
 Result<Tenant*> TenantRegistry::CreateTenant(const std::string& id,
@@ -162,7 +179,50 @@ Status TenantRegistry::SubmitAppend(
         StrFormat("tenant %s append queue is full (%zu queued)", id.c_str(),
                   slot.queue.size()));
   }
-  slot.queue.push_back(batch);
+  PendingOp op;
+  op.batch = batch;
+  slot.queue.push_back(std::move(op));
+  slot.queue_depth->Set(static_cast<int64_t>(slot.queue.size()));
+  return Status::OK();
+}
+
+Status TenantRegistry::SubmitDelete(
+    const std::string& id, uint64_t index,
+    const uncertain::UncertainPointBatch& point) {
+  ++stats_.deletes_submitted;
+  metric_.deletes_submitted->Increment();
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    return Status::NotFound(
+        StrFormat("SubmitDelete: unknown tenant %s", id.c_str()));
+  }
+  Slot& slot = it->second;
+  if (!slot.tenant->config().allow_deletes) {
+    ++stats_.deletes_refused;
+    metric_.deletes_refused->Increment();
+    return Status::FailedPrecondition(
+        StrFormat("SubmitDelete: tenant %s does not allow deletes",
+                  id.c_str()));
+  }
+  if (slot.tenant->state() == TenantState::kDegraded) {
+    ++stats_.deletes_refused;
+    metric_.deletes_refused->Increment();
+    return Status::FailedPrecondition(
+        StrFormat("SubmitDelete: tenant %s is degraded, writes refused",
+                  id.c_str()));
+  }
+  if (slot.queue.size() >= options_.queue_capacity) {
+    ++stats_.deletes_shed;
+    metric_.deletes_shed->Increment();
+    return ShedStatus(
+        StrFormat("tenant %s write queue is full (%zu queued)", id.c_str(),
+                  slot.queue.size()));
+  }
+  PendingOp op;
+  op.is_delete = true;
+  op.delete_index = index;
+  op.batch = point;
+  slot.queue.push_back(std::move(op));
   slot.queue_depth->Set(static_cast<int64_t>(slot.queue.size()));
   return Status::OK();
 }
@@ -237,27 +297,51 @@ DrainResult TenantRegistry::Drain() {
     }
 
     while (!slot.queue.empty()) {
-      uncertain::UncertainPointBatch batch = std::move(slot.queue.front());
+      PendingOp op = std::move(slot.queue.front());
       slot.queue.pop_front();
       if (tenant.state() == TenantState::kDegraded) {
         // Queued before the degrade: dropped un-acked (never silently
         // applied later against a rolled-back coreset).
-        ++stats_.appends_refused;
-        metric_.appends_refused->Increment();
+        if (op.is_delete) {
+          ++stats_.deletes_refused;
+          metric_.deletes_refused->Increment();
+        } else {
+          ++stats_.appends_refused;
+          metric_.appends_refused->Increment();
+        }
         ++result.refused;
         continue;
       }
-      const Status applied = tenant.Append(batch);
+      const uint64_t expired_before = tenant.expired_points();
+      const Status applied = op.is_delete
+                                 ? tenant.Delete(op.delete_index, op.batch)
+                                 : tenant.Append(op.batch);
       if (!applied.ok()) {
-        ++stats_.append_failures;
-        metric_.append_failures->Increment();
+        if (op.is_delete) {
+          ++stats_.delete_failures;
+          metric_.delete_failures->Increment();
+        } else {
+          ++stats_.append_failures;
+          metric_.append_failures->Increment();
+        }
         ++result.failed;
         RecordFailure(&slot, &result);
         continue;
       }
-      ++stats_.appends_applied;
-      metric_.appends_applied->Increment();
+      if (op.is_delete) {
+        ++stats_.deletes_applied;
+        metric_.deletes_applied->Increment();
+      } else {
+        ++stats_.appends_applied;
+        metric_.appends_applied->Increment();
+      }
       ++result.applied;
+      const uint64_t newly_expired = tenant.expired_points() - expired_before;
+      if (newly_expired > 0) {
+        stats_.points_expired += newly_expired;
+        metric_.points_expired->Add(newly_expired);
+        result.expired += newly_expired;
+      }
 
       // Snapshot cadence, counted in acked appends. The watchdog unit
       // is "ack + due snapshot": a failing snapshot boundary must
@@ -287,8 +371,13 @@ DrainResult TenantRegistry::Drain() {
   return result;
 }
 
+bool TenantRegistry::SampleQuery(Slot* slot) {
+  return (slot->queries_seen++ % options_.latency_sample_every) == 0;
+}
+
 void TenantRegistry::CountQuery(Slot* slot, QueryShape shape,
-                                const Status& status, double seconds) {
+                                const Status& status, bool sampled,
+                                double seconds) {
   if (status.ok()) {
     ++stats_.queries_answered;
     metric_.queries_answered->Increment();
@@ -301,8 +390,9 @@ void TenantRegistry::CountQuery(Slot* slot, QueryShape shape,
   }
   // Latency is recorded for answered AND failed queries — a tenant
   // burning its whole deadline budget must show up in its p99, not
-  // vanish from the series.
-  if (slot != nullptr) slot->query_seconds[shape]->Observe(seconds);
+  // vanish from the series. Unsampled queries skip only the
+  // measurement (latency_sample_every); they are still counted above.
+  if (slot != nullptr && sampled) slot->query_seconds[shape]->Observe(seconds);
 }
 
 Result<Tenant::CentersAnswer> TenantRegistry::QueryCenters(
@@ -314,10 +404,15 @@ Result<Tenant::CentersAnswer> TenantRegistry::QueryCenters(
     return Status::NotFound(
         StrFormat("QueryCenters: unknown tenant %s", id.c_str()));
   }
-  obs::ScopedTimer timer(nullptr);
+  // The timer exists only on sampled queries: its two TSC reads would
+  // otherwise dominate the cached-centers hit.
+  const bool sampled = SampleQuery(&it->second);
+  std::optional<obs::ScopedTimer> timer;
+  if (sampled) timer.emplace(nullptr);
   Result<Tenant::CentersAnswer> answer =
       it->second.tenant->QueryCenters(pool_.get(), deadline);
-  CountQuery(&it->second, kCenters, answer.status(), timer.ElapsedSeconds());
+  CountQuery(&it->second, kCenters, answer.status(), sampled,
+             sampled ? timer->ElapsedSeconds() : 0.0);
   return answer;
 }
 
@@ -331,11 +426,13 @@ Result<Tenant::CostAnswer> TenantRegistry::QueryCandidateCost(
     return Status::NotFound(
         StrFormat("QueryCandidateCost: unknown tenant %s", id.c_str()));
   }
-  obs::ScopedTimer timer(nullptr);
+  const bool sampled = SampleQuery(&it->second);
+  std::optional<obs::ScopedTimer> timer;
+  if (sampled) timer.emplace(nullptr);
   Result<Tenant::CostAnswer> answer = it->second.tenant->QueryCandidateCost(
       candidates, num_candidates, deadline);
-  CountQuery(&it->second, kCandidateCost, answer.status(),
-             timer.ElapsedSeconds());
+  CountQuery(&it->second, kCandidateCost, answer.status(), sampled,
+             sampled ? timer->ElapsedSeconds() : 0.0);
   return answer;
 }
 
@@ -349,10 +446,13 @@ Result<Tenant::BracketAnswer> TenantRegistry::QueryBracket(
     return Status::NotFound(
         StrFormat("QueryBracket: unknown tenant %s", id.c_str()));
   }
-  obs::ScopedTimer timer(nullptr);
+  const bool sampled = SampleQuery(&it->second);
+  std::optional<obs::ScopedTimer> timer;
+  if (sampled) timer.emplace(nullptr);
   Result<Tenant::BracketAnswer> answer =
       it->second.tenant->QueryBracket(candidates, num_candidates, deadline);
-  CountQuery(&it->second, kBracket, answer.status(), timer.ElapsedSeconds());
+  CountQuery(&it->second, kBracket, answer.status(), sampled,
+             sampled ? timer->ElapsedSeconds() : 0.0);
   return answer;
 }
 

@@ -57,6 +57,13 @@ struct RegistryOptions {
   /// `pool` borrows a shared pool (ScopedPool semantics).
   int threads = 1;
   ThreadPool* pool = nullptr;
+  /// Observe query latency once every N queries per tenant (a
+  /// deterministic counter; the first query is always measured). Every
+  /// query is still COUNTED by outcome — sampling only amortizes the
+  /// two TSC reads of the measurement, which would otherwise triple
+  /// the ~40 ns cached-centers hit. 1 = measure every query (tests
+  /// that assert on the latency series use this); 0 normalizes to 1.
+  uint32_t latency_sample_every = 16;
   /// Registry the serving telemetry meters into (null = the
   /// process-wide obs::MetricsRegistry::Default()). Metrics mirror the
   /// ServeStats counters one-for-one — the chaos suite asserts the
@@ -68,12 +75,13 @@ struct RegistryOptions {
 
 /// Outcome of one Drain pass.
 struct DrainResult {
-  uint64_t applied = 0;    // Appends acked into live coresets.
+  uint64_t applied = 0;    // Ops (appends + deletes) acked.
   uint64_t refused = 0;    // Dropped: tenant degraded at apply time.
-  uint64_t failed = 0;     // Tenant::Append errors (fault-injectable).
+  uint64_t failed = 0;     // Tenant op errors (fault-injectable).
   uint64_t snapshots = 0;  // Cadenced + probe snapshots taken.
   uint64_t degraded = 0;   // Tenants newly degraded this pass.
   uint64_t recovered = 0;  // Tenants newly recovered this pass.
+  uint64_t expired = 0;    // Points retired by window expiry this pass.
 };
 
 class TenantRegistry {
@@ -101,6 +109,18 @@ class TenantRegistry {
   /// (marked kUnavailable shed, see IsShed).
   Status SubmitAppend(const std::string& id,
                       const uncertain::UncertainPointBatch& batch);
+
+  /// Enqueues a single-point delete (tenants with allow_deletes only).
+  /// `point` replays the uncertain point that was acked at stream
+  /// index `index` — Tenant::Delete verifies the replay bit-for-bit at
+  /// apply time. Deletes share the tenant's bounded FIFO with appends,
+  /// so Drain applies the interleaved op sequence in submission order
+  /// on every replica — the replica-identity contract extends to
+  /// churn. Rejections mirror SubmitAppend (kNotFound / degraded
+  /// kFailedPrecondition / shed), plus kFailedPrecondition when the
+  /// tenant does not allow deletes.
+  Status SubmitDelete(const std::string& id, uint64_t index,
+                      const uncertain::UncertainPointBatch& point);
 
   /// SubmitAppend under bounded retry with the serve-layer
   /// classification: transient failures (injected kUnavailable
@@ -149,10 +169,22 @@ class TenantRegistry {
   // Query shapes, indexing the per-tenant latency histograms.
   enum QueryShape { kCenters = 0, kCandidateCost = 1, kBracket = 2 };
 
+  // One queued write op: an append batch, or a single-point delete
+  // (is_delete; `batch` then holds the replayed point). One queue per
+  // tenant keeps the append/delete interleaving in submission order.
+  struct PendingOp {
+    bool is_delete = false;
+    uint64_t delete_index = 0;
+    uncertain::UncertainPointBatch batch;
+  };
+
   struct Slot {
     std::unique_ptr<Tenant> tenant;
-    std::deque<uncertain::UncertainPointBatch> queue;
+    std::deque<PendingOp> queue;
     int consecutive_failures = 0;
+    // Queries served, driving the deterministic 1-in-N latency
+    // sampling (RegistryOptions::latency_sample_every).
+    uint64_t queries_seen = 0;
     // Per-tenant telemetry handles (owned by the metrics registry).
     obs::Histogram* query_seconds[3] = {nullptr, nullptr, nullptr};
     obs::Gauge* queue_depth = nullptr;
@@ -174,17 +206,27 @@ class TenantRegistry {
     obs::Counter* queries_answered;
     obs::Counter* queries_deadline_exceeded;
     obs::Counter* queries_failed;
+    obs::Counter* deletes_submitted;
+    obs::Counter* deletes_shed;
+    obs::Counter* deletes_refused;
+    obs::Counter* deletes_applied;
+    obs::Counter* delete_failures;
+    obs::Counter* points_expired;
   };
 
   // Watchdog bookkeeping after one fallible tenant operation.
   void RecordFailure(Slot* slot, DrainResult* result);
   void RecordSuccess(Slot* slot);
 
+  // Whether this query should measure latency (advances the slot's
+  // deterministic sampling counter).
+  bool SampleQuery(Slot* slot);
+
   // Counter + latency upkeep shared by the three query pass-throughs:
-  // counts the outcome and observes `seconds` into the slot's
-  // per-shape histogram.
+  // counts the outcome always; observes `seconds` into the slot's
+  // per-shape histogram only when the query was sampled.
   void CountQuery(Slot* slot, QueryShape shape, const Status& status,
-                  double seconds);
+                  bool sampled, double seconds);
 
   RegistryOptions options_;
   ScopedPool pool_;

@@ -66,6 +66,20 @@ struct TenantConfig {
   uint64_t snapshot_every_appends = 16;
   /// fsync snapshot writes (off in tests, on in production).
   bool snapshot_sync = false;
+  /// Sliding window: 0 = unbounded (the default); W > 0 retires old
+  /// points so at most W + churn_bucket - 1 stream indices stay live.
+  /// Expiry runs PER ACKED POINT inside Append (watermark
+  /// next_index - W), which makes the (Add, Expire) sequence a pure
+  /// function of the acked point sequence — replicas that ack the same
+  /// points hold bitwise-identical coresets no matter how the stream
+  /// was batched. Needs coreset.churn_bucket > 0; the tenant derives
+  /// max(1, W / 16) when left at 0.
+  uint64_t window_points = 0;
+  /// Enable single-point deletes (SubmitDelete / Tenant::Delete). The
+  /// tenant forces coreset.track_members (deletes must re-fold the
+  /// non-invertible cell aggregates), which makes coreset memory
+  /// O(live points) — size the window accordingly.
+  bool allow_deletes = false;
 };
 
 /// Load-shed rejection: a bounded queue refused the newest work item.
@@ -98,6 +112,12 @@ struct ServeStats {
   uint64_t queries_answered = 0;
   uint64_t queries_deadline_exceeded = 0;
   uint64_t queries_failed = 0;      // Non-deadline query errors.
+  uint64_t deletes_submitted = 0;   // SubmitDelete calls.
+  uint64_t deletes_shed = 0;        // Rejected: queue full.
+  uint64_t deletes_refused = 0;     // Rejected: degraded / not enabled.
+  uint64_t deletes_applied = 0;     // Acked out of a live coreset.
+  uint64_t delete_failures = 0;     // Tenant::Delete errors in Drain.
+  uint64_t points_expired = 0;      // Points retired by window expiry.
 };
 
 }  // namespace serve

@@ -27,12 +27,30 @@ namespace {
 // failing mid-mutation.
 constexpr double kKeyMagnitudeCap = 17592186044416.0;  // 2^44
 
+// Folded into the content fingerprint before each acked delete, so an
+// append and a delete can never alias to the same running hash.
+constexpr uint64_t kDeleteOpTag = 0xD31E7E0Full;
+
 }  // namespace
+
+TenantConfig Tenant::NormalizeConfig(TenantConfig config) {
+  if (config.allow_deletes) config.coreset.track_members = true;
+  if ((config.window_points > 0 || config.allow_deletes) &&
+      config.coreset.churn_bucket == 0) {
+    // Default bucket: ~16 retirements per window sweep (window mode),
+    // or a fixed modest granularity for delete-only tenants.
+    config.coreset.churn_bucket =
+        config.window_points > 0
+            ? std::max<uint64_t>(1, config.window_points / 16)
+            : 64;
+  }
+  return config;
+}
 
 Tenant::Tenant(std::string id, TenantConfig config)
     : id_(std::move(id)),
-      config_(config),
-      live_(config.dim, config.norm, config.coreset),
+      config_(NormalizeConfig(std::move(config))),
+      live_(config_.dim, config_.norm, config_.coreset),
       content_fingerprint_(kHashSeed),
       stable_(live_) {}
 
@@ -44,6 +62,14 @@ uint64_t Tenant::ConfigFingerprint() const {
   hash = HashValue(hash, static_cast<uint64_t>(config_.coreset.max_cells));
   hash = HashBytes(hash, &config_.coreset.base_cell_width,
                    sizeof(config_.coreset.base_cell_width));
+  // Churn settings change what the coreset retains — a windowed
+  // snapshot must never restore into an unbounded tenant (or vice
+  // versa), so they gate restore like every other config field.
+  hash = HashValue(hash, config_.coreset.churn_bucket);
+  hash = HashValue(hash,
+                   static_cast<uint64_t>(config_.coreset.track_members));
+  hash = HashValue(hash, config_.window_points);
+  hash = HashValue(hash, static_cast<uint64_t>(config_.allow_deletes));
   return hash;
 }
 
@@ -68,11 +94,16 @@ Status Tenant::Append(const uncertain::UncertainPointBatch& batch) {
         StrFormat("tenant %s is degraded: writes refused until recovery",
                   id_.c_str()));
   }
-  // The injectable boundary fires before ANY mutation: an injected
+  // The injectable boundaries fire before ANY mutation: an injected
   // failure leaves coreset, cursor and fingerprint bitwise unchanged,
   // which is the all-or-nothing contract the chaos suite's reference
-  // replay (acked appends only) depends on.
+  // replay (acked appends only) depends on. stream.expire sits at the
+  // same boundary — window expiry is part of the append unit, so a
+  // faulted append must not leave "appended but not expired" state.
   UKC_INJECT_FAULT("serve.append");
+  if (config_.window_points > 0) {
+    UKC_INJECT_FAULT("stream.expire");
+  }
   UKC_RETURN_IF_ERROR(stream::ValidateBatch(batch, config_.dim));
   if (batch.norm != config_.norm) {
     return Status::InvalidArgument(
@@ -103,6 +134,20 @@ Status Tenant::Append(const uncertain::UncertainPointBatch& batch) {
     UKC_RETURN_IF_ERROR(live_.Add(next_index_ + i,
                                   expected_scratch_.data() + i * config_.dim,
                                   spread_scratch_[i]));
+    if (config_.window_points > 0) {
+      // Per-POINT expiry: after acking point next_index_ + i the live
+      // window is the last window_points indices. Running the watermark
+      // here — not per batch — makes the (Add, Expire) interleaving a
+      // pure function of the acked point sequence, so the coreset
+      // (including its level history) is invariant to batch splits.
+      const uint64_t acked_through = next_index_ + i + 1;
+      if (acked_through > config_.window_points) {
+        UKC_ASSIGN_OR_RETURN(
+            const uint64_t retired,
+            live_.ExpireBefore(acked_through - config_.window_points));
+        expired_points_ += retired;
+      }
+    }
   }
 
   // Ack: advance the cursor and fold the batch into the content
@@ -119,6 +164,56 @@ Status Tenant::Append(const uncertain::UncertainPointBatch& batch) {
                                    batch.probabilities.size() * sizeof(double));
   next_index_ += n;
   locations_ += batch.num_locations();
+  ++epoch_;
+  centers_cache_.reset();
+  return Status::OK();
+}
+
+Status Tenant::Delete(uint64_t index,
+                      const uncertain::UncertainPointBatch& point) {
+  if (!config_.allow_deletes) {
+    return Status::FailedPrecondition(
+        StrFormat("tenant %s: deletes are not enabled "
+                  "(TenantConfig::allow_deletes)",
+                  id_.c_str()));
+  }
+  if (state_ == TenantState::kDegraded) {
+    return Status::FailedPrecondition(
+        StrFormat("tenant %s is degraded: writes refused until recovery",
+                  id_.c_str()));
+  }
+  // Same all-or-nothing contract as Append: the fault site and every
+  // validation failure precede the first mutation.
+  UKC_INJECT_FAULT("serve.delete");
+  UKC_RETURN_IF_ERROR(stream::ValidateBatch(point, config_.dim));
+  if (point.norm != config_.norm) {
+    return Status::InvalidArgument(
+        StrFormat("tenant %s: delete norm does not match the tenant norm",
+                  id_.c_str()));
+  }
+  if (point.n() != 1) {
+    return Status::InvalidArgument(
+        StrFormat("tenant %s: a delete replays exactly one point",
+                  id_.c_str()));
+  }
+  if (index >= next_index_) {
+    return Status::InvalidArgument(
+        StrFormat("tenant %s: delete index %llu was never acked",
+                  id_.c_str(), static_cast<unsigned long long>(index)));
+  }
+  expected_scratch_.resize(config_.dim);
+  const double spread =
+      stream::SummarizeBatchPoint(point, 0, expected_scratch_.data());
+  // Remove validates that the replayed point matches the stored member
+  // bit-for-bit; any mismatch (or an already-expired / already-deleted
+  // index) errors out with the coreset untouched.
+  UKC_RETURN_IF_ERROR(live_.Remove(index, expected_scratch_.data(), spread));
+
+  // Ack: deletes advance the same epoch and fingerprint stream as
+  // appends (with an op tag so the two can never alias), so replicas
+  // that ack the same op sequence stay bitwise comparable.
+  content_fingerprint_ = HashValue(content_fingerprint_, kDeleteOpTag);
+  content_fingerprint_ = HashValue(content_fingerprint_, index);
   ++epoch_;
   centers_cache_.reset();
   return Status::OK();
@@ -253,6 +348,8 @@ Status Tenant::Snapshot() {
   checkpoint.batches = epoch_;
   checkpoint.points = next_index_;
   checkpoint.locations = locations_;
+  checkpoint.window_points = config_.window_points;
+  checkpoint.expired_points = expired_points_;
   checkpoint.has_byte_offset = false;
   live_.SerializeTo(&checkpoint.coreset_image);
   UKC_RETURN_IF_ERROR(stream::SaveCheckpoint(config_.snapshot_path, checkpoint,
@@ -286,6 +383,7 @@ Status Tenant::RestoreFromSnapshot() {
   epoch_ = checkpoint.batches;
   next_index_ = checkpoint.points;
   locations_ = checkpoint.locations;
+  expired_points_ = checkpoint.expired_points;
   content_fingerprint_ = checkpoint.content_fingerprint;
   stable_ = live_;
   stable_epoch_ = epoch_;

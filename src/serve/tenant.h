@@ -86,12 +86,19 @@ class Tenant {
   Tenant(std::string id, TenantConfig config);
 
   const std::string& id() const { return id_; }
+  /// The EFFECTIVE configuration: window/delete settings are
+  /// normalized into the coreset options at construction (see
+  /// NormalizeConfig), so this may differ from the TenantConfig the
+  /// tenant was created with.
   const TenantConfig& config() const { return config_; }
   TenantState state() const { return state_; }
   uint64_t epoch() const { return epoch_; }
   uint64_t next_index() const { return next_index_; }
   uint64_t stable_epoch() const { return stable_epoch_; }
   size_t num_cells() const { return live_.num_cells(); }
+  /// Cumulative points retired by window expiry (monotone; restored
+  /// from the snapshot on failover).
+  uint64_t expired_points() const { return expired_points_; }
 
   /// Absorbs one batch of uncertain points into the live coreset,
   /// assigning stream indices from the tenant's own cursor (the
@@ -100,7 +107,26 @@ class Tenant {
   /// mutation; structural validation also precedes mutation, so an
   /// error leaves the tenant bitwise unchanged. Degraded tenants
   /// refuse writes with kFailedPrecondition.
+  ///
+  /// With config().window_points = W > 0, expiry runs after EVERY
+  /// acked point (watermark = acked count - W): the (Add, Expire)
+  /// sequence is then a pure function of the acked point sequence, so
+  /// replicas that acked the same points are bitwise identical no
+  /// matter how the stream was split into batches. The companion fault
+  /// site `stream.expire` fires at the same pre-mutation boundary —
+  /// append + expiry is one all-or-nothing unit.
   Status Append(const uncertain::UncertainPointBatch& batch);
+
+  /// Exact single-point delete (config().allow_deletes only). The
+  /// caller replays the point's data: `point` holds exactly the one
+  /// uncertain point that was acked at stream index `index`; a
+  /// mismatch (or an index already expired / never acked) is an error
+  /// that leaves the tenant bitwise unchanged. Acked deletes advance
+  /// the epoch and fold an op-tagged record into the content
+  /// fingerprint, so two replicas acking the same append/delete
+  /// sequence stay fingerprint- and coreset-identical. Fault site
+  /// `serve.delete` fires before any mutation.
+  Status Delete(uint64_t index, const uncertain::UncertainPointBatch& point);
 
   /// Solves k-center on the current cells (live, or stable when
   /// degraded). The solve shares `pool` and honors `deadline`
@@ -152,6 +178,13 @@ class Tenant {
   std::vector<stream::StreamingCoreset::Cell> ExtractCells() const;
 
  private:
+  // Derives the effective coreset options from the window/delete
+  // settings: allow_deletes forces track_members, and either feature
+  // defaults churn_bucket when the caller left it 0. Runs once in the
+  // constructor so config(), ConfigFingerprint() and the live coreset
+  // all agree on the effective values.
+  static TenantConfig NormalizeConfig(TenantConfig config);
+
   // The coreset queries answer from: live when kLive, stable when
   // kDegraded. Second element: the epoch that source reflects.
   const stream::StreamingCoreset& QuerySource(uint64_t* source_epoch) const;
@@ -161,9 +194,10 @@ class Tenant {
   TenantState state_ = TenantState::kLive;
 
   stream::StreamingCoreset live_;
-  uint64_t epoch_ = 0;        // Acked appends.
+  uint64_t epoch_ = 0;        // Acked ops (appends + deletes).
   uint64_t next_index_ = 0;   // Stream index of the next point.
   uint64_t locations_ = 0;    // Locations consumed (cursor bookkeeping).
+  uint64_t expired_points_ = 0;  // Cumulative window-expiry retirements.
   uint64_t content_fingerprint_;
 
   // Last successful snapshot's coreset (== live_ at stable_epoch_).

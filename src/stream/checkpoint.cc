@@ -19,8 +19,14 @@ namespace {
 
 // 8-byte magic + layout version. The checksum is HashBytes over every
 // byte that precedes it, seeded with kHashSeed.
+//
+// v2 added the sliding-window state (window_points, expired_points) —
+// and the embedded coreset image moved to its own v2 layout with
+// churn fields. A v1 sidecar is REJECTED ("unknown version"), never
+// partially interpreted: the ingest and serve layers degrade every
+// load error to a full re-ingest, which is always correct.
 constexpr char kMagic[8] = {'u', 'k', 'c', 'c', 'k', 'p', 't', '\0'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
 
 void AppendRaw(std::string* out, const void* data, size_t bytes) {
   out->append(static_cast<const char*>(data), bytes);
@@ -58,6 +64,8 @@ std::string Serialize(const IngestCheckpoint& checkpoint) {
   AppendValue(&buffer, checkpoint.batches);
   AppendValue(&buffer, checkpoint.points);
   AppendValue(&buffer, checkpoint.locations);
+  AppendValue(&buffer, checkpoint.window_points);
+  AppendValue(&buffer, checkpoint.expired_points);
   AppendValue(&buffer, static_cast<uint8_t>(checkpoint.has_byte_offset));
   AppendValue(&buffer, checkpoint.byte_offset);
   AppendValue(&buffer, checkpoint.cursor_window_hash);
@@ -188,6 +196,8 @@ Result<IngestCheckpoint> LoadCheckpoint(const std::string& path) {
       !cursor.ReadValue(&checkpoint.batches) ||
       !cursor.ReadValue(&checkpoint.points) ||
       !cursor.ReadValue(&checkpoint.locations) ||
+      !cursor.ReadValue(&checkpoint.window_points) ||
+      !cursor.ReadValue(&checkpoint.expired_points) ||
       !cursor.ReadValue(&has_offset) ||
       !cursor.ReadValue(&checkpoint.byte_offset) ||
       !cursor.ReadValue(&checkpoint.cursor_window_hash) ||

@@ -70,6 +70,13 @@ struct IngestCheckpoint {
   uint64_t batches = 0;
   uint64_t points = 0;
   uint64_t locations = 0;
+  /// Sliding-window state (v2): the window size the writer ran with
+  /// (0 = unbounded) and the cumulative points retired by expiry. The
+  /// expiry WATERMARK itself lives inside the coreset image; these two
+  /// fields let a restored replica report the same window config and
+  /// telemetry totals as an uninterrupted one.
+  uint64_t window_points = 0;
+  uint64_t expired_points = 0;
   /// Byte offset of the next unread record of the underlying file,
   /// when the source can report one (uncertain/io.h TellByteOffset),
   /// plus the hash of the file window preceding it (stream/ingest.h

@@ -40,6 +40,7 @@
 #define UKC_STREAM_CORESET_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -64,6 +65,20 @@ struct CoresetOptions {
   /// default supports coordinate magnitudes up to ~1.7e4 — raise the
   /// width for larger domains.
   double base_cell_width = 1e-9;
+  /// Churn mode (0 = off). Stream indices are grouped into buckets of
+  /// this many consecutive indices ([b·B, (b+1)·B)), and every cell
+  /// keeps its aggregates per bucket as well as folded. Whole buckets
+  /// retire deterministically via ExpireBefore — the sliding-window
+  /// primitive — because the cell refold over the surviving buckets is
+  /// exact and order-independent, just like the folds themselves.
+  uint64_t churn_bucket = 0;
+  /// Keep per-member records {index, spread, coords} inside each
+  /// bucket so Remove can re-fold the non-invertible aggregates
+  /// (min_index, representative, max_spread) exactly after deleting a
+  /// single point. Requires churn_bucket > 0. Memory becomes O(live
+  /// points) instead of O(max_cells); expiry-only windows do not need
+  /// it (bucket retirement is self-contained).
+  bool track_members = false;
 };
 
 /// The mergeable streaming summary. See file comment for invariants.
@@ -87,12 +102,45 @@ class StreamingCoreset {
   /// Absorbs one summarized uncertain point. `expected_coords` has
   /// dim() entries; `spread` = max location distance to the expected
   /// point. Indices must be unique across the stream but may arrive in
-  /// any order.
+  /// any order. In churn mode an index whose bucket already retired is
+  /// rejected (it could never be expired again deterministically).
   Status Add(uint64_t index, const double* expected_coords, double spread);
 
+  /// Exact single-point delete (churn mode with track_members only):
+  /// removes the member added as (index, expected_coords, spread) and
+  /// re-folds its bucket and cell, leaving the coreset bitwise equal
+  /// to one whose surviving points were added at this level (see
+  /// CoarsenTo for matching levels — the level itself stays monotone).
+  /// kNotFound when no such member exists; kInvalidArgument when a
+  /// member with that index exists but coords/spread disagree (caller
+  /// replayed the wrong point — removing it anyway would corrupt the
+  /// aggregates silently).
+  Status Remove(uint64_t index, const double* expected_coords, double spread);
+
+  /// Sliding-window expiry (churn mode only): retires every bucket
+  /// that lies entirely below `min_live_index`, i.e. buckets with id
+  /// < min_live_index / churn_bucket. Idempotent and monotone — the
+  /// watermark never moves backwards — and a pure function of the
+  /// largest watermark ever applied, so any schedule of calls with the
+  /// same final watermark leaves bitwise-identical state. Points with
+  /// index >= min_live_index are always retained; older points linger
+  /// until their whole bucket ages out (at most churn_bucket - 1 of
+  /// them). Returns the number of points retired.
+  Result<uint64_t> ExpireBefore(uint64_t min_live_index);
+
+  /// Coarsens the grid to `level` (>= level(); error above the level
+  /// cap). Deletes make levels history-dependent — an incremental
+  /// coreset may sit at a higher level than a fresh rebuild of its
+  /// surviving points — so parity checks coarsen both sides to the max
+  /// of the two levels before comparing.
+  Status CoarsenTo(int level);
+
   /// Merges another shard's coreset into this one (same dim / norm /
-  /// base_cell_width / max_cells required). Associative and
-  /// commutative up to bitwise equality of the extracted cells.
+  /// base_cell_width / max_cells / churn configuration required).
+  /// Associative and commutative up to bitwise equality of the
+  /// extracted cells; in churn mode the merged watermark is the max of
+  /// the two (shard pipelines apply expiry only after the final merge,
+  /// so shards normally carry watermark 0).
   Status MergeFrom(const StreamingCoreset& other);
 
   size_t dim() const { return dim_; }
@@ -136,11 +184,32 @@ class StreamingCoreset {
   static Result<StreamingCoreset> Deserialize(std::string_view bytes);
 
  private:
+  // Churn mode only: one member record inside a bucket, enough to
+  // re-fold the bucket exactly after a single-point delete.
+  struct Member {
+    uint64_t index = 0;
+    double spread = 0.0;
+    std::vector<double> coords;
+  };
+  // Churn mode only: the cell's aggregates restricted to one index
+  // bucket. Same commutative exact folds as the cell itself; members
+  // (track_members) stay sorted by index, so the refold is a pure
+  // function of the member set.
+  struct BucketState {
+    uint64_t min_index = 0;
+    uint64_t count = 0;
+    double max_spread = 0.0;
+    std::vector<double> representative;
+    std::vector<Member> members;
+  };
   struct CellState {
     uint64_t min_index = 0;
     uint64_t count = 0;
     double max_spread = 0.0;
     std::vector<double> representative;
+    // Ordered by bucket id: refolds and serialization walk buckets in
+    // a deterministic order, and expiry retires a prefix.
+    std::map<uint64_t, BucketState> buckets;
   };
   using Key = std::vector<int64_t>;
   struct KeyHash {
@@ -150,16 +219,29 @@ class StreamingCoreset {
 
   // Folds `state` into the cell at `key` (commutative, exact).
   static void Absorb(CellMap* cells, Key key, CellState state);
+  // Folds one bucket's aggregates into another (commutative, exact).
+  static void MergeBucket(BucketState* into, BucketState from);
+  // Recomputes the cell's top-level aggregates from its buckets.
+  static void RefoldCell(CellState* cell);
+  // Recomputes a bucket's aggregates from its (sorted) members.
+  static void RefoldBucket(BucketState* bucket);
+  // Writes the point's current-level grid key into key_scratch_.
+  Status ComputeKey(const double* expected_coords);
   // Rebuilds the table with every key shifted to `level` (> level_).
   void CoarsenToLevel(int level);
   // Doubles the level until the cell target (or the level cap) is met.
   void ReduceToCapacity();
+
+  bool churn() const { return options_.churn_bucket > 0; }
 
   size_t dim_;
   metric::Norm norm_;
   CoresetOptions options_;
   int level_ = 0;
   uint64_t num_points_ = 0;
+  // Churn mode: buckets below this id have retired; Add rejects
+  // indices that land under it, which keeps expiry monotone.
+  uint64_t watermark_bucket_ = 0;
   CellMap cells_;
   Key key_scratch_;
 };

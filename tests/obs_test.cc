@@ -87,6 +87,36 @@ TEST(MetricsRegistryTest, HistogramCountsSumAndQuantiles) {
   EXPECT_EQ(HistogramSnapshot{}.Quantile(0.5), 0.0);
 }
 
+// A quantile landing in the +Inf overflow bucket is a LOWER BOUND, not
+// an estimate: Quantile sets the overflow flag, and ExportJson marks
+// the quantile with a "<q>_lower_bound" field so dashboards can render
+// "p99 >= X" instead of a silently wrong point estimate.
+TEST(MetricsRegistryTest, OverflowQuantilesAreFlaggedAsLowerBounds) {
+  if (!kEnabled) GTEST_SKIP() << "built with UKC_OBS=OFF";
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("ukc_over_seconds", "", {},
+                                       ExponentialBuckets(1.0, 2.0, 4));
+  // Half the mass in (1, 2], half past the last finite bound (8): p50
+  // interpolates normally, p95/p99 land in the overflow bucket.
+  for (int i = 0; i < 50; ++i) h->Observe(1.5);
+  for (int i = 0; i < 50; ++i) h->Observe(100.0);
+  const HistogramSnapshot snapshot = h->Snapshot();
+
+  bool overflow = true;
+  const double p50 = snapshot.Quantile(0.5, &overflow);
+  EXPECT_FALSE(overflow);  // The flag is cleared, not just left alone.
+  EXPECT_LE(p50, 2.0);
+  const double p99 = snapshot.Quantile(0.99, &overflow);
+  EXPECT_TRUE(overflow);
+  EXPECT_DOUBLE_EQ(p99, 8.0);  // The last finite bound, never +Inf.
+  // The flag is optional — a null out-param must not crash.
+  EXPECT_DOUBLE_EQ(snapshot.Quantile(0.99), 8.0);
+
+  const std::string json = registry.ExportJson();
+  EXPECT_EQ(json.find("\"p50_lower_bound\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_lower_bound\":true"), std::string::npos);
+}
+
 // The determinism contract: the merged snapshot depends only on the
 // multiset of observed events, not on which thread observed which —
 // integer bucket counts and the fixed-point sum are commutative.

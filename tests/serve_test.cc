@@ -720,6 +720,9 @@ void ChaosRound(uint64_t seed, size_t num_ops, int threads = 1,
   options.degrade_after_failures = 2;
   options.threads = threads;
   options.metrics = &chaos_metrics;
+  // Measure every query: the bar below asserts the latency series
+  // holds one observation per query routed to a tenant.
+  options.latency_sample_every = 1;
   TenantRegistry registry(options);
 
   std::vector<std::string> ids;
